@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one experiment of the reconstructed
+evaluation (DESIGN.md section 4), prints its paper-shaped report, and saves
+it under ``benchmarks/_results/`` so the numbers persist after the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def emit(report) -> None:
+    """Print a harness Report and persist it to the results directory."""
+    text = str(report)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = report.experiment.split()[0].replace("/", "-")
+    # Benchmarks run reduced parameter sets; suffix them so they never
+    # shadow the full-parameter sweep outputs (E<k>.txt).
+    (RESULTS_DIR / f"{name}.bench.txt").write_text(text + "\n")

@@ -1,0 +1,51 @@
+"""A1-A4: ablations of the design choices (reflux, W cap, floor, CFL)."""
+
+import pytest
+
+from repro.harness.experiments_ablations import ABLATIONS
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {eid: fn() for eid, fn in ABLATIONS.items()}
+
+
+def test_bench_ablation_suite(benchmark, reports):
+    for report in reports.values():
+        emit(report)
+    # Benchmark the cheapest ablation as the timed unit.
+    report = benchmark(ABLATIONS["A4"], 100)
+    assert len(report.rows) == 4
+
+
+def test_a1_reflux_restores_conservation(reports):
+    rows = {r[0]: r for r in reports["A1"].rows}
+    assert abs(rows["True"][1]) < 1e-12  # mass drift with refluxing
+    assert abs(rows["False"][1]) > 1e-5  # the leak it fixes
+
+def test_a2_cap_neither_too_tight_nor_absent(reports):
+    rows = {r[0]: r for r in reports["A2"].rows}
+    assert rows[100.0][1] == "completed"  # the default works
+    # An extreme cap either completes with a distorted flow or the
+    # uncapped run reveals why the guard exists; both must be recorded.
+    assert len(reports["A2"].rows) == 4
+
+
+def test_a3_floor_engages_only_above_ambient(reports):
+    rows = reports["A3"].rows
+    far_right = reports["A3"].column("far_right_rho")
+    # Tenuous floors preserve the 1e-6 ambient medium...
+    assert far_right[0] == pytest.approx(1e-6, rel=0.5)
+    assert far_right[1] == pytest.approx(1e-6, rel=0.5)
+    # ...aggressive floors overwrite it with the floor value.
+    assert far_right[2] == pytest.approx(1e-4, rel=0.5)
+    assert far_right[3] == pytest.approx(1e-2, rel=0.5)
+
+
+def test_a4_cfl_insensitive_error(reports):
+    errs = reports["A4"].column("rel_L1(rho)")
+    steps = reports["A4"].column("steps")
+    assert max(errs) / min(errs) < 1.6
+    assert steps[0] > 4 * steps[-1]  # cost scales inversely with CFL

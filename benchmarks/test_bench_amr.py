@@ -1,0 +1,46 @@
+"""E11 (Table IV): AMR efficiency vs unigrid."""
+
+import pytest
+
+from repro import Grid, IdealGasEOS, SolverConfig, SRHDSystem
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.harness import experiment_e11_amr_efficiency
+from repro.physics.initial_data import RP1, shock_tube
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e11_amr_efficiency(root_n=64, max_levels=3)
+
+
+def test_bench_amr_step(benchmark, report):
+    emit(report)
+    eos = IdealGasEOS(gamma=RP1.gamma)
+    system = SRHDSystem(eos, ndim=1)
+    amr = AMRSolver(
+        system,
+        Grid((64,), ((0.0, 1.0),)),
+        lambda s, g: shock_tube(s, g, RP1),
+        SolverConfig(cfl=0.4),
+        AMRConfig(block_size=16, max_levels=3),
+    )
+    dt = amr.compute_dt()
+    benchmark(amr.step, dt)
+
+
+def test_amr_efficiency_shape(report):
+    """AMR must land near the fine-unigrid error at a fraction of the
+    cell updates."""
+    rows = {str(r[0]): r for r in report.rows}
+    fine_key = [k for k in rows if k.startswith("unigrid N=") and k != "unigrid N=64"][0]
+    err_fine = rows[fine_key][1]
+    updates_fine = rows[fine_key][2]
+    amr_key = [k for k in rows if k.startswith("AMR")][0]
+    err_amr = rows[amr_key][1]
+    updates_amr = rows[amr_key][2]
+    err_coarse = rows["unigrid N=64"][1]
+    assert err_amr < 0.5 * err_coarse  # far better than the coarse grid
+    assert err_amr < 2.0 * err_fine  # near the fine grid
+    assert updates_amr < 0.8 * updates_fine  # with meaningfully less work

@@ -1,0 +1,39 @@
+"""E4 (Fig. 2): 2-D cylindrical relativistic blast wave."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.harness import experiment_e4_blast2d
+from repro.physics.initial_data import blast_wave_2d
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e4_blast2d(n=64, p_in=100.0, t_final=0.15)
+
+
+def test_bench_2d_step(benchmark, report):
+    emit(report)
+    eos = IdealGasEOS()
+    system = SRHDSystem(eos, ndim=2)
+    grid = Grid((64, 64), ((0, 1), (0, 1)))
+    prim0 = blast_wave_2d(system, grid, p_in=10.0, radius=0.15)
+    solver = Solver(system, grid, prim0, SolverConfig(cfl=0.4))
+    dt = solver.compute_dt()
+    benchmark(solver.step, dt)
+    assert np.all(np.isfinite(solver.cons))
+
+
+def test_blast_shape(report):
+    """The shock front: density peaks at a finite radius, outward radial
+    velocity inside the front, quiescent exterior."""
+    r = np.asarray(report.column("r"))
+    rho = np.asarray(report.column("rho_mean"))
+    vr = np.asarray(report.column("v_r_mean"))
+    peak = np.argmax(rho)
+    assert 0.1 < r[peak] < 0.45  # front has moved off the initial radius
+    assert vr[: peak + 1].max() > 0.2  # strong outward flow behind the front
+    assert abs(vr[-1]) < 0.05  # undisturbed far field

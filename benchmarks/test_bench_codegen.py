@@ -1,0 +1,45 @@
+"""E12 (Fig. 8): generated-kernel throughput vs handwritten reference."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelGenerator, load_kernel
+from repro.harness import experiment_e12_codegen
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e12_codegen(n_cells=200_000, ndim=2)
+
+
+def test_bench_generated_kernel(benchmark, report):
+    emit(report)
+    kernel = load_kernel("flux", ndim=2, axis=0)
+    rng = np.random.default_rng(0)
+    n = 200_000
+    prim = np.stack(
+        [
+            rng.uniform(0.5, 2, n),
+            rng.uniform(-0.4, 0.4, n),
+            rng.uniform(-0.4, 0.4, n),
+            rng.uniform(0.5, 2, n),
+        ]
+    )
+    out = np.empty_like(prim)
+    result = benchmark(kernel, prim, out, 5.0 / 3.0)
+    assert np.all(np.isfinite(result))
+
+
+def test_bench_generation_cost(benchmark):
+    """Generating a full kernel module is an offline cost; keep it bounded."""
+    source = benchmark(KernelGenerator(2).generate_module)
+    assert "def prim_to_con_2d_numpy" in source
+
+
+def test_codegen_competitive(report):
+    """Generated kernels must stay within 3x of handwritten throughput."""
+    for kernel, variant, mcells, ratio in report.rows:
+        if variant != "handwritten":
+            assert ratio > 1.0 / 3.0, (kernel, variant, ratio)

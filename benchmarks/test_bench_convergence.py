@@ -1,0 +1,57 @@
+"""E1 (Table I): shock-tube convergence per reconstruction scheme.
+
+Regenerates the L1-error-vs-resolution table against the exact Riemann
+solution and benchmarks the full solver at the mid resolution.
+"""
+
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.harness import experiment_e1_convergence
+from repro.physics.initial_data import RP1, shock_tube
+
+from .conftest import emit
+
+RESOLUTIONS = (50, 100, 200)
+SCHEMES = ("pc", "mc", "ppm", "weno5")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e1_convergence(
+        resolutions=RESOLUTIONS, reconstructions=SCHEMES
+    )
+
+
+def test_bench_rp1_solver(benchmark, report):
+    emit(report)
+    eos = IdealGasEOS(gamma=RP1.gamma)
+    system = SRHDSystem(eos, ndim=1)
+    grid = Grid((100,), ((0.0, 1.0),))
+
+    def run():
+        solver = Solver(
+            system, grid, shock_tube(system, grid, RP1), SolverConfig(cfl=0.4)
+        )
+        solver.run(t_final=RP1.t_final)
+        return solver
+
+    solver = benchmark(run)
+    assert solver.t == pytest.approx(RP1.t_final)
+
+
+def test_convergence_shape(report):
+    """Errors must fall under refinement once resolved (RP2's thin shell is
+    pre-asymptotic at the coarsest N), and high-order schemes must beat
+    piecewise-constant."""
+    for row in report.rows:
+        errors = row[2:-1]
+        # Monotone decrease from the second resolution onward.
+        assert errors[-1] <= errors[1] * 1.02
+    by_scheme = {(r[0], r[1]): r[2:-1] for r in report.rows}
+    for problem in ("RP1", "RP2"):
+        assert by_scheme[(problem, "weno5")][-1] < by_scheme[(problem, "pc")][-1]
+    # RP1 is in the asymptotic regime everywhere: fully monotone.
+    for (problem, scheme), errors in by_scheme.items():
+        if problem == "RP1":
+            assert errors[0] > errors[-1]

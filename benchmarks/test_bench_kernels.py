@@ -1,0 +1,42 @@
+"""E8 (Table III): per-kernel device speedups (calibrated CPU, modelled GPU)."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, Solver, SolverConfig, IdealGasEOS, SRHDSystem
+from repro.harness import experiment_e8_kernel_speedups
+from repro.physics.con2prim import con_to_prim
+from repro.physics.initial_data import RP1, shock_tube
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e8_kernel_speedups(block_cells=256 * 256)
+
+
+def test_bench_con2prim_kernel(benchmark, report):
+    """con2prim is the calibration anchor: benchmark the real kernel."""
+    emit(report)
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    rng = np.random.default_rng(2)
+    n = 128
+    prim = np.empty((4, n, n))
+    prim[0] = rng.uniform(0.5, 2.0, (n, n))
+    prim[1] = rng.uniform(-0.5, 0.5, (n, n))
+    prim[2] = rng.uniform(-0.5, 0.5, (n, n))
+    prim[3] = rng.uniform(0.5, 2.0, (n, n))
+    cons = system.prim_to_con(prim)
+    recovered = benchmark(con_to_prim, system, cons)
+    np.testing.assert_allclose(recovered, prim, rtol=1e-8)
+
+
+def test_speedup_shape(report):
+    """Streaming kernels gain the most; iterative/copy kernels the least;
+    PCIe staging eats into the full-step speedup."""
+    rows = {r[0]: r for r in report.rows}
+    assert rows["update"][3] > rows["con2prim"][3]
+    assert rows["riemann"][3] > rows["boundary"][3]
+    full = rows["full step (+PCIe)"][3]
+    assert 1.0 < full < rows["update"][3]

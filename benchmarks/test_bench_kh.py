@@ -1,0 +1,36 @@
+"""E5 (Fig. 3): Kelvin-Helmholtz growth-rate convergence."""
+
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
+from repro.harness import experiment_e5_kelvin_helmholtz
+from repro.physics.initial_data import kelvin_helmholtz_2d
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e5_kelvin_helmholtz(resolutions=(32, 64), t_final=3.0)
+
+
+def test_bench_kh_step(benchmark, report):
+    emit(report)
+    eos = IdealGasEOS()
+    system = SRHDSystem(eos, ndim=2)
+    grid = Grid((64, 64), ((0, 1), (0, 1)))
+    prim0 = kelvin_helmholtz_2d(system, grid)
+    solver = Solver(
+        system, grid, prim0, SolverConfig(cfl=0.4), make_boundaries("periodic")
+    )
+    dt = solver.compute_dt()
+    benchmark(solver.step, dt)
+
+
+def test_instability_grows(report):
+    """The seeded mode must grow at every resolution, at a rate of order
+    the shear rate, and not explode unphysically."""
+    for n, gamma_fit, a0, a_final in report.rows:
+        assert a_final > 3 * a0  # clear growth past the early transient
+        assert 0.1 < gamma_fit < 20.0

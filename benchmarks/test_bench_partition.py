@@ -1,0 +1,48 @@
+"""E14: SFC vs baseline partitioning of an adapted AMR mesh."""
+
+import pytest
+
+from repro import Grid, IdealGasEOS, SolverConfig, SRHDSystem
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.harness import experiment_e14_partitioning
+from repro.mesh.amr.partition import partition_sfc
+from repro.physics.initial_data import blast_wave_2d
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e14_partitioning(root_n=128, rank_counts=(4, 16, 64))
+
+
+def test_bench_sfc_partition(benchmark, report):
+    emit(report)
+    eos = IdealGasEOS()
+    system = SRHDSystem(eos, ndim=2)
+    grid = Grid((128, 128), ((0, 1), (0, 1)))
+    amr = AMRSolver(
+        system,
+        grid,
+        lambda s, g: blast_wave_2d(s, g, p_in=50.0, radius=0.15, smoothing=0.02),
+        SolverConfig(cfl=0.3),
+        AMRConfig(block_size=16, max_levels=3, refine_threshold=0.1),
+    )
+    part = benchmark(partition_sfc, amr.forest, 64)
+    assert part.imbalance < 1.3
+
+
+def test_partition_quality_shape(report):
+    """SFC must dominate: comparable balance, several-fold lower traffic."""
+    by = {(r[0], r[1]): r for r in report.rows}
+    ranks_seen = sorted({r[0] for r in report.rows})
+    for ranks in ranks_seen:
+        sfc = by[(ranks, "sfc")]
+        rr = by[(ranks, "round-robin")]
+        rnd = by[(ranks, "random")]
+        assert sfc[2] <= 1.3  # imbalance
+        assert sfc[4] < 0.6 * rr[4]  # comm volume
+        assert sfc[4] < 0.6 * rnd[4]
+    # Edge cut grows with rank count for every strategy.
+    sfc_cuts = [by[(r, "sfc")][3] for r in ranks_seen]
+    assert sfc_cuts == sorted(sfc_cuts)

@@ -1,0 +1,37 @@
+"""E2 (Table II): approximate Riemann-solver accuracy/cost comparison."""
+
+import numpy as np
+import pytest
+
+from repro.eos import IdealGasEOS
+from repro.harness import experiment_e2_riemann_solvers
+from repro.physics.srhd import SRHDSystem
+from repro.riemann import make_riemann_solver
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e2_riemann_solvers(n=200)
+
+
+@pytest.mark.parametrize("name", ["llf", "hll", "hllc"])
+def test_bench_flux_kernel(benchmark, name, report):
+    if name == "llf":
+        emit(report)
+    system = SRHDSystem(IdealGasEOS(), ndim=1)
+    rng = np.random.default_rng(0)
+    n = 100_000
+    primL = np.stack([rng.uniform(0.5, 2, n), rng.uniform(-0.5, 0.5, n), rng.uniform(0.5, 2, n)])
+    primR = np.stack([rng.uniform(0.5, 2, n), rng.uniform(-0.5, 0.5, n), rng.uniform(0.5, 2, n)])
+    solver = make_riemann_solver(name)
+    flux = benchmark(solver.flux, system, primL, primR, 0)
+    assert np.all(np.isfinite(flux))
+
+
+def test_accuracy_ordering(report):
+    """HLLC resolves contacts HLL smears; both beat LLF."""
+    err = dict(zip(report.column("solver"), report.column("rel L1(rho)")))
+    assert err["hllc"] <= err["hll"] * 1.02
+    assert err["hll"] <= err["llf"] * 1.02

@@ -1,0 +1,40 @@
+"""E9 (Fig. 6): scheduler comparison on heterogeneous nodes."""
+
+import pytest
+
+from repro.harness import calibrated_cost_model, experiment_e9_schedulers
+from repro.harness.experiments_scaling import _hydro_step_dag
+from repro.runtime import ClusterSimulator, imbalanced_node, make_scheduler
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e9_schedulers(n_blocks=32, slow_factors=(1.0, 2.0, 4.0, 8.0))
+
+
+def test_bench_dag_simulation(benchmark, report):
+    emit(report)
+    model = calibrated_cost_model()
+    node = imbalanced_node(model, slow_factor=4.0)
+    cost = lambda t, d: d.kernel_time(t.kernel, t.n_cells)
+
+    def simulate():
+        graph = _hydro_step_dag(32, 64 * 64)
+        sim = ClusterSimulator(list(node.devices), cost, make_scheduler("work-stealing"))
+        return sim.run(graph)
+
+    timeline = benchmark(simulate)
+    timeline.validate_dependencies()
+
+
+def test_scheduler_ordering(report):
+    """Dynamic/work-stealing must beat static, and the gap must widen as
+    the device imbalance grows."""
+    gaps = []
+    for sf, static, dynamic, stealing, *_ in report.rows:
+        assert dynamic <= static * 1.01
+        assert stealing <= static * 1.01
+        gaps.append(static / dynamic)
+    assert gaps[-1] > gaps[0]  # imbalance widens the static penalty

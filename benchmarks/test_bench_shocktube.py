@@ -1,0 +1,38 @@
+"""E3 (Fig. 1): shock-tube profiles vs the exact solution."""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiment_e3_profiles
+from repro.physics.exact_riemann import ExactRiemannSolver
+from repro.physics.initial_data import RP1, RP2
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e3_profiles(problem=RP1, n=400)
+
+
+def test_bench_exact_solver(benchmark, report):
+    emit(report)
+    emit(experiment_e3_profiles(problem=RP2, n=400))
+    xi = np.linspace(-0.9, 0.95, 2000)
+
+    def solve_and_sample():
+        ex = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+        return ex.sample(xi)
+
+    rho, v, p = benchmark(solve_and_sample)
+    assert np.all(np.isfinite(rho))
+
+
+def test_profiles_track_exact(report):
+    """Pointwise agreement away from discontinuities: the sampled star and
+    far-field rows must match the exact columns closely."""
+    rho = np.asarray(report.column("rho"))
+    rho_e = np.asarray(report.column("rho_exact"))
+    # At least 2/3 of sample points within 5% (discontinuity cells excluded).
+    close = np.abs(rho - rho_e) <= 0.05 * np.abs(rho_e) + 0.05
+    assert close.mean() > 0.66

@@ -1,0 +1,45 @@
+"""E6 (Fig. 4): strong scaling on simulated CPU-only and CPU+GPU clusters."""
+
+import pytest
+
+from repro.harness import calibrated_cost_model, experiment_e6_strong_scaling
+from repro.mesh.grid import Grid
+from repro.runtime.cluster import gpu_cluster
+from repro.harness.scaling import simulate_step
+
+from .conftest import emit
+
+NODES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return calibrated_cost_model()
+
+
+@pytest.fixture(scope="module")
+def report(model):
+    return experiment_e6_strong_scaling(
+        grid_shape=(1024, 1024), node_counts=NODES, model=model
+    )
+
+
+def test_bench_step_simulation(benchmark, model, report):
+    emit(report)
+    grid = Grid((1024, 1024), ((0, 1), (0, 1)))
+    cluster = gpu_cluster(64, model)
+    cost = benchmark(simulate_step, grid, cluster, model)
+    assert cost.total_s > 0
+
+
+def test_strong_scaling_shape(report):
+    """Near-linear speedup at small counts; efficiency decays monotonically
+    in the tail; GPU efficiency decays faster (smaller per-node work)."""
+    cpu_eff = report.column("cpu_eff")
+    gpu_eff = report.column("gpu_eff")
+    assert cpu_eff[0] == pytest.approx(1.0)
+    assert cpu_eff[2] > 0.9  # still near-ideal at 4 nodes
+    assert gpu_eff[-1] < cpu_eff[-1]  # GPUs starve first
+    # GPU remains faster in absolute terms everywhere.
+    for cpu_t, gpu_t in zip(report.column("cpu_time_s"), report.column("gpu_time_s")):
+        assert gpu_t < cpu_t

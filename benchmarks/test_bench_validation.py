@@ -1,0 +1,41 @@
+"""E13: cost-model validation — predicted vs measured step times/traffic."""
+
+import pytest
+
+from repro.harness import calibrated_cost_model, experiment_e13_model_validation
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e13_model_validation(sizes=(200, 400, 1600), n_steps=15)
+
+
+def test_bench_calibration(benchmark, report):
+    emit(report)
+    # Benchmark one cost-model evaluation sweep (the pricing hot path).
+    model = calibrated_cost_model()
+
+    def sweep():
+        total = 0.0
+        for n in (1_000, 10_000, 100_000, 1_000_000):
+            total += model.step_time(model.cpu, n)
+            total += model.step_time(model.gpu(), n)
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_prediction_within_2x(report):
+    """Calibration must transfer across problem sizes within a factor 2."""
+    for row in report.rows:
+        quantity, predicted, measured, ratio = row
+        if str(quantity).startswith("step time"):
+            assert 0.5 < ratio < 2.0, row
+
+
+def test_traffic_prediction_exact(report):
+    rows = {str(r[0]): r for r in report.rows}
+    halo = [r for q, r in rows.items() if q.startswith("halo bytes")][0]
+    assert halo[3] == pytest.approx(1.0)

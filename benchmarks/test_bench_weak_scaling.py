@@ -1,0 +1,38 @@
+"""E7 (Fig. 5): weak scaling at fixed per-node work."""
+
+import pytest
+
+from repro.harness import calibrated_cost_model, experiment_e7_weak_scaling
+
+from .conftest import emit
+
+NODES = (1, 4, 16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return experiment_e7_weak_scaling(
+        cells_per_node_axis=256, node_counts=NODES
+    )
+
+
+def test_bench_weak_sweep(benchmark, report):
+    emit(report)
+    model = calibrated_cost_model()
+    result = benchmark(
+        experiment_e7_weak_scaling,
+        cells_per_node_axis=128,
+        node_counts=(1, 4, 16),
+        model=model,
+    )
+    assert len(result.rows) == 3
+
+
+def test_weak_scaling_shape(report):
+    """Efficiency stays high (halo/allreduce grow slowly) and decays
+    monotonically with node count."""
+    for col in ("cpu_eff", "gpu_eff"):
+        eff = report.column(col)
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] > 0.5  # the model cluster weak-scales reasonably
+        assert all(a >= b - 1e-9 for a, b in zip(eff, eff[1:]))  # monotone decay

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""2-D relativistic blast wave on the adaptive (quadtree) mesh.
+
+Shows the AMR machinery end to end: gradient-driven refinement tracks the
+cylindrical shock front, coarse blocks cover the quiescent exterior, and
+the cell-update accounting quantifies the saving over a uniform fine grid.
+
+Usage::
+
+    python examples/amr_blast.py [root_N] [t_final]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Grid, IdealGasEOS, SolverConfig, SRHDSystem
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.physics.initial_data import blast_wave_2d
+
+
+def main(root_n: int = 32, t_final: float = 0.15) -> None:
+    eos = IdealGasEOS(gamma=5.0 / 3.0)
+    system = SRHDSystem(eos, ndim=2)
+    root = Grid((root_n, root_n), ((0.0, 1.0), (0.0, 1.0)))
+
+    amr = AMRSolver(
+        system,
+        root,
+        lambda s, g: blast_wave_2d(s, g, p_in=50.0, radius=0.12, smoothing=0.02),
+        SolverConfig(cfl=0.3),
+        AMRConfig(block_size=16, max_levels=3, refine_threshold=0.08),
+    )
+    print(f"Initial leaf blocks by level: {amr.leaf_count_by_level()}")
+    print(f"Evolving to t = {t_final} ...")
+    amr.run(t_final=t_final)
+
+    grid_f, prim = amr.composite_primitives()
+    rho = prim[0]
+    fine_n = grid_f.shape[0]
+    updates_uniform = fine_n**2 * amr.steps * 3
+
+    print(f"  steps                : {amr.steps}")
+    print(f"  regrids              : {amr.regrids}")
+    print(f"  final leaves by level: {amr.leaf_count_by_level()}")
+    print(f"  cell updates (AMR)   : {amr.cells_updated}")
+    print(f"  cell updates (fine)  : {updates_uniform}")
+    print(f"  work saved           : {(1 - amr.cells_updated / updates_uniform) * 100:.1f}%")
+    print(f"  rho range            : [{rho.min():.4f}, {rho.max():.4f}]")
+    print(f"  symmetry violation   : {np.max(np.abs(rho - rho.T)):.2e}")
+
+    # Coarse ASCII rendering of the density on the composite grid.
+    print()
+    print("Density map (composite solution):")
+    step = max(fine_n // 32, 1)
+    shades = " .:-=+*#%@"
+    lo, hi = rho.min(), rho.max()
+    for row in rho[::step]:
+        line = "".join(
+            shades[min(int((v - lo) / (hi - lo + 1e-30) * (len(shades) - 1)), 9)]
+            for v in row[::step]
+        )
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    root_n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    t_final = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+    main(root_n, t_final)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Relativistic Kelvin-Helmholtz instability on a periodic 2-D grid.
+
+Evolves a seeded shear layer and measures the exponential growth rate of
+the transverse velocity amplitude — the classic resolution-sensitive test
+the paper's introduction motivates (shear flows in relativistic jets).
+
+Usage::
+
+    python examples/kelvin_helmholtz.py [N] [t_final]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.analysis import fit_exponential_growth, transverse_kinetic_amplitude
+from repro.boundary import make_boundaries
+from repro.physics.initial_data import kelvin_helmholtz_2d
+
+
+def main(n: int = 64, t_final: float = 2.0) -> None:
+    eos = IdealGasEOS(gamma=5.0 / 3.0)
+    system = SRHDSystem(eos, ndim=2)
+    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    prim0 = kelvin_helmholtz_2d(
+        system, grid, shear_v=0.5, perturb_amplitude=0.01, mode=2
+    )
+    solver = Solver(
+        system, grid, prim0, SolverConfig(cfl=0.4), make_boundaries("periodic")
+    )
+
+    times, amps = [], []
+
+    def record(s):
+        if not times or s.t - times[-1] > t_final / 50:
+            times.append(s.t)
+            amps.append(transverse_kinetic_amplitude(system, grid, s.primitives()))
+
+    record(solver)
+    print(f"Evolving {n}x{n} Kelvin-Helmholtz to t = {t_final} ...")
+    solver.run(t_final=t_final, callback=record)
+
+    gamma_fit, a0 = fit_exponential_growth(
+        times, np.maximum(amps, 1e-12), window=(0.2, 0.7 * t_final)
+    )
+    print(f"  steps           : {solver.summary.steps}")
+    print(f"  amplitude 0 -> T: {amps[0]:.4e} -> {amps[-1]:.4e}")
+    print(f"  fitted growth   : gamma = {gamma_fit:.3f} (A ~ A0 exp(gamma t))")
+    print()
+    print("Amplitude history (t, sqrt(<v_y^2>)):")
+    for t, a in zip(times[::5], amps[::5]):
+        bar = "#" * int(60 * a / max(amps))
+        print(f"  {t:6.3f}  {a:.4e}  {bar}")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    t_final = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    main(n, t_final)

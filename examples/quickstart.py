@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a relativistic shock tube and compare to the exact
+solution.
+
+Runs the Marti & Muller Problem 1 (RP1) with the production configuration
+(MC reconstruction, HLLC fluxes, SSP-RK3) and prints the solution profile
+against the exact Riemann solution.
+
+Usage::
+
+    python examples/quickstart.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.analysis import relative_l1_error
+from repro.boundary import make_boundaries
+from repro.physics.exact_riemann import ExactRiemannSolver
+from repro.physics.initial_data import RP1, shock_tube
+
+
+def main(n_cells: int = 400) -> None:
+    # 1. Physics: ideal-gas EOS closing the 1-D SRHD system.
+    eos = IdealGasEOS(gamma=RP1.gamma)
+    system = SRHDSystem(eos, ndim=1)
+
+    # 2. Mesh and initial data.
+    grid = Grid((n_cells,), ((0.0, 1.0),))
+    prim0 = shock_tube(system, grid, RP1)
+
+    # 3. Solver with production defaults.
+    solver = Solver(
+        system, grid, prim0, SolverConfig(cfl=0.4), make_boundaries("outflow")
+    )
+    summary = solver.run(t_final=RP1.t_final)
+
+    # 4. Compare against the exact solution.
+    exact = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+    x = grid.coords(0)
+    rho_e, v_e, p_e = exact.solution_on_grid(x, RP1.t_final, RP1.x0)
+    prim = solver.interior_primitives()
+
+    print(f"RP1 at t = {RP1.t_final} on N = {n_cells} cells")
+    print(f"  steps taken        : {summary.steps}")
+    print(f"  exact star state   : p* = {exact.p_star:.4f}, v* = {exact.v_star:.4f}")
+    print(f"  rel. L1(rho) error : {relative_l1_error(prim[0], rho_e):.5f}")
+    print(f"  mass drift         : {summary.conservation_drift['mass']:.2e}")
+    print()
+    print(f"{'x':>8} {'rho':>9} {'rho_ex':>9} {'v':>8} {'v_ex':>8} {'p':>9} {'p_ex':>9}")
+    for i in np.linspace(0, n_cells - 1, 15).astype(int):
+        print(
+            f"{x[i]:8.3f} {prim[0][i]:9.4f} {rho_e[i]:9.4f} "
+            f"{prim[1][i]:8.4f} {v_e[i]:8.4f} {prim[2][i]:9.4f} {p_e[i]:9.4f}"
+        )
+    print()
+    print("Density profile (numeric vs exact):")
+    from repro.viz import profile_compare
+
+    print(profile_compare(x, prim[0], rho_e))
+    print()
+    print("Kernel wall-clock profile:")
+    print(solver.timers.summary())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

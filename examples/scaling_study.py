@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Heterogeneous-cluster scaling study on the simulated runtime.
+
+Calibrates the kernel cost model from a real (measured) solver run, then
+sweeps strong and weak scaling over simulated CPU-only and CPU+GPU
+clusters — regenerating the shapes of the paper's scaling figures.
+
+Usage::
+
+    python examples/scaling_study.py
+"""
+
+from repro.harness import (
+    calibrated_cost_model,
+    experiment_e6_strong_scaling,
+    experiment_e7_weak_scaling,
+    experiment_e8_kernel_speedups,
+)
+
+
+def main() -> None:
+    print("Calibrating kernel cost model from a measured solver run ...")
+    model = calibrated_cost_model()
+    print("  CPU throughput (Mcells/s):")
+    for kernel, rate in sorted(model.cpu.throughput.items()):
+        print(f"    {kernel:12s} {rate / 1e6:8.2f}")
+    print()
+    print(experiment_e8_kernel_speedups(model=model))
+    print()
+    print(
+        experiment_e6_strong_scaling(
+            grid_shape=(1024, 1024),
+            node_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            model=model,
+        )
+    )
+    print()
+    print(
+        experiment_e7_weak_scaling(
+            cells_per_node_axis=256,
+            node_counts=(1, 4, 16, 64, 256),
+            model=model,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — Scalable Relativistic High-Resolution Shock-Capturing for
+Heterogeneous Computing (reproduction).
+
+Public API re-exports the pieces a downstream user needs for the common
+workflow: build an EOS and :class:`SRHDSystem`, lay out a :class:`Grid`,
+generate initial data, and run a :class:`Solver` — or hand the problem to
+the simulated heterogeneous cluster via :mod:`repro.runtime` and
+:mod:`repro.harness`.
+"""
+
+from .core import Solver, SolverConfig
+from .eos import EOS, HybridEOS, IdealGasEOS, PolytropicEOS, TabulatedEOS
+from .mesh import Grid
+from .physics import ExactRiemannSolver, RiemannState, SRHDSystem, TracerSystem
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "EOS",
+    "IdealGasEOS",
+    "PolytropicEOS",
+    "HybridEOS",
+    "TabulatedEOS",
+    "SRHDSystem",
+    "TracerSystem",
+    "ExactRiemannSolver",
+    "RiemannState",
+    "Grid",
+    "Solver",
+    "SolverConfig",
+]

@@ -1,0 +1,18 @@
+"""Analysis helpers: norms, convergence orders, growth-rate fits."""
+
+from .convergence import convergence_order, pairwise_orders, richardson_extrapolate
+from .growth import fit_exponential_growth, transverse_kinetic_amplitude
+from .norms import l1_error, l1_norm, l2_norm, linf_norm, relative_l1_error
+
+__all__ = [
+    "l1_norm",
+    "l2_norm",
+    "linf_norm",
+    "l1_error",
+    "relative_l1_error",
+    "convergence_order",
+    "pairwise_orders",
+    "richardson_extrapolate",
+    "fit_exponential_growth",
+    "transverse_kinetic_amplitude",
+]

@@ -1,0 +1,47 @@
+"""Convergence-order estimation from error sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+
+def convergence_order(resolutions, errors) -> float:
+    """Least-squares slope of log(error) vs log(1/N): the observed order.
+
+    Parameters
+    ----------
+    resolutions:
+        Increasing sequence of cell counts (N).
+    errors:
+        Matching error norms.
+    """
+    n = np.asarray(resolutions, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    if n.size != e.size or n.size < 2:
+        raise ConfigurationError("need at least two (N, error) pairs")
+    if np.any(e <= 0) or np.any(n <= 0):
+        raise ConfigurationError("resolutions and errors must be positive")
+    slope, _ = np.polyfit(np.log(n), np.log(e), 1)
+    return float(-slope)
+
+
+def pairwise_orders(resolutions, errors) -> list[float]:
+    """Order estimate between each consecutive resolution pair."""
+    n = np.asarray(resolutions, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    if n.size != e.size or n.size < 2:
+        raise ConfigurationError("need at least two (N, error) pairs")
+    return [
+        float(np.log(e[i] / e[i + 1]) / np.log(n[i + 1] / n[i]))
+        for i in range(n.size - 1)
+    ]
+
+
+def richardson_extrapolate(coarse: float, fine: float, ratio: float, order: float) -> float:
+    """Richardson-extrapolated limit value from two resolutions."""
+    if ratio <= 1:
+        raise ConfigurationError("refinement ratio must exceed 1")
+    factor = ratio**order
+    return (factor * fine - coarse) / (factor - 1.0)

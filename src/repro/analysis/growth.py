@@ -1,0 +1,38 @@
+"""Instability growth-rate fits (for the Kelvin-Helmholtz experiment)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+
+def fit_exponential_growth(times, amplitudes, window: tuple[float, float] | None = None):
+    """Fit A(t) = A0 exp(gamma t) over an optional time window.
+
+    Returns (gamma, A0). Amplitudes must be positive (use an L2 mode
+    amplitude, not a signed quantity).
+    """
+    t = np.asarray(times, dtype=float)
+    a = np.asarray(amplitudes, dtype=float)
+    if t.size != a.size or t.size < 3:
+        raise ConfigurationError("need at least three samples")
+    if window is not None:
+        mask = (t >= window[0]) & (t <= window[1])
+        t, a = t[mask], a[mask]
+        if t.size < 3:
+            raise ConfigurationError("window leaves fewer than three samples")
+    if np.any(a <= 0):
+        raise ConfigurationError("amplitudes must be positive for a log fit")
+    slope, intercept = np.polyfit(t, np.log(a), 1)
+    return float(slope), float(np.exp(intercept))
+
+
+def transverse_kinetic_amplitude(system, grid, prim) -> float:
+    """KH growth proxy: L2 amplitude of the transverse velocity.
+
+    The standard diagnostic for single-mode Kelvin-Helmholtz growth
+    (e.g. sqrt(<v_y^2>) over the interior).
+    """
+    vy = grid.interior_of(prim[system.V(1)])
+    return float(np.sqrt(np.mean(vy**2)))

@@ -1,0 +1,39 @@
+"""Grid-function norms and error measures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+
+def l1_norm(field: np.ndarray, cell_volume: float = 1.0) -> float:
+    """Discrete L1 norm: sum |f| dV."""
+    return float(np.sum(np.abs(field))) * cell_volume
+
+
+def l2_norm(field: np.ndarray, cell_volume: float = 1.0) -> float:
+    """Discrete L2 norm: sqrt(sum f^2 dV)."""
+    return float(np.sqrt(np.sum(field**2) * cell_volume))
+
+
+def linf_norm(field: np.ndarray) -> float:
+    """Max norm."""
+    return float(np.max(np.abs(field)))
+
+
+def l1_error(numeric: np.ndarray, reference: np.ndarray, cell_volume: float = 1.0) -> float:
+    """L1 norm of the pointwise error."""
+    if numeric.shape != reference.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {numeric.shape} vs {reference.shape}"
+        )
+    return l1_norm(numeric - reference, cell_volume)
+
+
+def relative_l1_error(numeric: np.ndarray, reference: np.ndarray) -> float:
+    """L1 error normalized by the L1 norm of the reference."""
+    denom = np.sum(np.abs(reference))
+    if denom == 0:
+        raise ConfigurationError("reference field is identically zero")
+    return float(np.sum(np.abs(numeric - reference)) / denom)

@@ -1,0 +1,25 @@
+"""Ghost-zone boundary conditions."""
+
+from .conditions import (
+    BoundaryCondition,
+    BoundarySet,
+    FixedState,
+    InteriorFace,
+    JetInflowBC,
+    Outflow,
+    Periodic,
+    Reflecting,
+    make_boundaries,
+)
+
+__all__ = [
+    "BoundaryCondition",
+    "BoundarySet",
+    "InteriorFace",
+    "Outflow",
+    "Periodic",
+    "Reflecting",
+    "FixedState",
+    "JetInflowBC",
+    "make_boundaries",
+]

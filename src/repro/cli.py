@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Evolve a named problem on a uniform grid, report the summary, and
+    optionally write a snapshot or checkpoint.
+``experiment``
+    Regenerate one table/figure of the evaluation by id (E1..E12).
+``info``
+    List available problems, schemes, solvers, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import relative_l1_error
+from .boundary import make_boundaries
+from .core import Solver, SolverConfig
+from .eos import IdealGasEOS
+from .mesh.grid import Grid
+from .physics.initial_data import (
+    SHOCK_TUBES,
+    blast_wave_2d,
+    kelvin_helmholtz_2d,
+    shock_tube,
+)
+from .physics.srhd import SRHDSystem
+from .reconstruct import SCHEMES
+from .riemann import SOLVERS
+from .utils.errors import ReproError
+
+#: named problems runnable from the CLI: name -> (ndim, default t_final)
+PROBLEMS = {
+    "rp1": (1, 0.4),
+    "rp2": (1, 0.35),
+    "blast2d": (2, 0.2),
+    "kh": (2, 2.0),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable relativistic HRSC for heterogeneous computing "
+        "(reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evolve a named problem")
+    run.add_argument("problem", choices=sorted(PROBLEMS))
+    run.add_argument("--n", type=int, default=200, help="cells per axis")
+    run.add_argument("--t-final", type=float, default=None)
+    run.add_argument("--cfl", type=float, default=0.4)
+    run.add_argument("--reconstruction", choices=SCHEMES, default="mc")
+    run.add_argument("--riemann", choices=sorted(SOLVERS), default="hllc")
+    run.add_argument("--snapshot", metavar="PATH", help="write final .npz snapshot")
+    run.add_argument("--checkpoint", metavar="PATH", help="write final checkpoint")
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
+
+    sub.add_parser("info", help="list problems, schemes, and experiments")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    ndim, default_t = PROBLEMS[args.problem]
+    t_final = args.t_final if args.t_final is not None else default_t
+    eos_gamma = SHOCK_TUBES[args.problem.upper()].gamma if args.problem in (
+        "rp1",
+        "rp2",
+    ) else 5.0 / 3.0
+    system = SRHDSystem(IdealGasEOS(gamma=eos_gamma), ndim=ndim)
+    shape = (args.n,) * ndim
+    grid = Grid(shape, tuple((0.0, 1.0) for _ in shape))
+    config = SolverConfig(
+        cfl=args.cfl, reconstruction=args.reconstruction, riemann=args.riemann
+    )
+    if args.problem in ("rp1", "rp2"):
+        prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
+        bcs = make_boundaries("outflow")
+    elif args.problem == "blast2d":
+        prim0 = blast_wave_2d(system, grid, p_in=100.0, radius=0.1, smoothing=0.02)
+        bcs = make_boundaries("outflow")
+    else:  # kh
+        prim0 = kelvin_helmholtz_2d(system, grid)
+        bcs = make_boundaries("periodic")
+
+    solver = Solver(system, grid, prim0, config, bcs)
+    summary = solver.run(t_final=t_final)
+    prim = solver.interior_primitives()
+    print(f"{args.problem}: t = {solver.t:.4f}, steps = {summary.steps}")
+    print(f"  rho range : [{prim[system.RHO].min():.4g}, {prim[system.RHO].max():.4g}]")
+    print(f"  max |v|   : {max(np.abs(prim[system.V(ax)]).max() for ax in range(ndim)):.4f}")
+    drift = summary.conservation_drift
+    print(f"  mass drift: {drift['mass']:.2e}")
+    if args.problem in ("rp1", "rp2"):
+        from .physics.exact_riemann import ExactRiemannSolver
+
+        prob = SHOCK_TUBES[args.problem.upper()]
+        exact = ExactRiemannSolver(prob.left, prob.right, prob.gamma)
+        rho_e, _, _ = exact.solution_on_grid(grid.coords(0), solver.t, prob.x0)
+        print(f"  rel L1(rho) vs exact: {relative_l1_error(prim[0], rho_e):.5f}")
+    if args.snapshot:
+        from .io import save_solution
+
+        names = ["rho"] + [f"v{i}" for i in range(ndim)] + ["p"]
+        save_solution(args.snapshot, grid, prim, solver.t, names)
+        print(f"  snapshot  : {args.snapshot}")
+    if args.checkpoint:
+        from .io import save_checkpoint
+
+        save_checkpoint(solver, args.checkpoint)
+        print(f"  checkpoint: {args.checkpoint}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .harness import EXPERIMENTS
+
+    eid = args.id.upper()
+    if eid not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; choose from {sorted(EXPERIMENTS)}")
+        return 2
+    print(EXPERIMENTS[eid]())
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from .harness import EXPERIMENTS
+
+    print("problems      :", ", ".join(sorted(PROBLEMS)))
+    print("reconstruction:", ", ".join(SCHEMES))
+    print("riemann       :", ", ".join(sorted(SOLVERS)))
+    print("experiments   :", ", ".join(sorted(EXPERIMENTS, key=lambda e: int(e[1:]))))
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        return _cmd_info(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Automatic kernel generation from symbolic physics (SymPy).
+
+Write the SRHD equations once (:class:`SRHDSymbols`), emit per-architecture
+kernels (:class:`KernelGenerator`: ``numpy`` host flavour, ``flat`` SoA
+accelerator flavour), compile and cache them (:func:`load_kernel`), and
+verify every generated kernel against the handwritten reference
+(:func:`verify_kernels`).
+"""
+
+from .cache import (
+    cache_size,
+    clear_cache,
+    load_kernel,
+    run_flat_kernel,
+    verify_kernels,
+)
+from .generator import KernelGenerator
+from .symbols import SRHDSymbols
+from .system import GeneratedSRHDSystem
+
+__all__ = [
+    "SRHDSymbols",
+    "KernelGenerator",
+    "GeneratedSRHDSystem",
+    "load_kernel",
+    "run_flat_kernel",
+    "verify_kernels",
+    "clear_cache",
+    "cache_size",
+]

@@ -1,0 +1,116 @@
+"""Symbolic specification of the SRHD equations (SymPy).
+
+The physics is written once, symbolically; architecture-specific kernels are
+*generated* from these expressions — the code-generation approach of the
+authors' framework line (symbolic physics module + per-target emitters).
+
+All expressions assume the ideal-gas closure ``eps = p / ((gamma - 1) rho)``
+so the generated kernels are closed-form (no EOS callbacks), matching how
+production generators specialize kernels per EOS.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..utils.errors import CodegenError
+
+
+class SRHDSymbols:
+    """Symbol table and derived expressions for ndim-velocity SRHD."""
+
+    def __init__(self, ndim: int):
+        if ndim not in (1, 2, 3):
+            raise CodegenError(f"ndim must be 1, 2, or 3, got {ndim}")
+        self.ndim = ndim
+        self.rho = sp.Symbol("rho", positive=True)
+        self.p = sp.Symbol("p", positive=True)
+        self.gamma = sp.Symbol("gamma", positive=True)
+        self.v = [sp.Symbol(f"v{i}", real=True) for i in range(ndim)]
+
+    # -- thermodynamics (ideal gas) -----------------------------------------
+
+    @property
+    def eps(self) -> sp.Expr:
+        return self.p / ((self.gamma - 1) * self.rho)
+
+    @property
+    def enthalpy(self) -> sp.Expr:
+        return 1 + self.eps + self.p / self.rho
+
+    @property
+    def sound_speed_sq(self) -> sp.Expr:
+        return self.gamma * self.p / (self.rho * self.enthalpy)
+
+    # -- kinematics ------------------------------------------------------------
+
+    @property
+    def v2(self) -> sp.Expr:
+        return sum(vi**2 for vi in self.v)
+
+    @property
+    def lorentz(self) -> sp.Expr:
+        return 1 / sp.sqrt(1 - self.v2)
+
+    # -- conserved variables -----------------------------------------------------
+
+    def conserved(self) -> list[sp.Expr]:
+        """[D, S_0.., tau] as expressions in the primitives."""
+        W = self.lorentz
+        rhohW2 = self.rho * self.enthalpy * W**2
+        D = self.rho * W
+        S = [rhohW2 * vi for vi in self.v]
+        tau = rhohW2 - self.p - D
+        return [D, *S, tau]
+
+    def flux(self, axis: int) -> list[sp.Expr]:
+        """Flux vector along *axis* as expressions in the primitives."""
+        if not 0 <= axis < self.ndim:
+            raise CodegenError(f"axis {axis} out of range for ndim={self.ndim}")
+        U = self.conserved()
+        vk = self.v[axis]
+        D, S, tau = U[0], U[1 : 1 + self.ndim], U[-1]
+        F = [D * vk]
+        for i, Si in enumerate(S):
+            F.append(Si * vk + (self.p if i == axis else 0))
+        F.append(S[axis] - D * vk)
+        return F
+
+    def char_speeds(self, axis: int) -> tuple[sp.Expr, sp.Expr]:
+        """(lambda_minus, lambda_plus) along *axis*."""
+        if not 0 <= axis < self.ndim:
+            raise CodegenError(f"axis {axis} out of range for ndim={self.ndim}")
+        vk = self.v[axis]
+        cs2 = self.sound_speed_sq
+        v2 = self.v2
+        disc = (1 - v2) * (1 - vk**2 - (v2 - vk**2) * cs2)
+        root = sp.sqrt(cs2) * sp.sqrt(disc)
+        denom = 1 - v2 * cs2
+        lam_m = (vk * (1 - cs2) - root) / denom
+        lam_p = (vk * (1 - cs2) + root) / denom
+        return lam_m, lam_p
+
+    def input_names(self) -> list[str]:
+        """Primitive variable names in state-vector order."""
+        return ["rho", *[f"v{i}" for i in range(self.ndim)], "p"]
+
+    def output_names(self, kind: str, axis: int = 0) -> list[str]:
+        """Generated-output names for a kernel kind."""
+        cons = ["D", *[f"S{i}" for i in range(self.ndim)], "tau"]
+        if kind == "prim_to_con":
+            return cons
+        if kind == "flux":
+            return [f"F{axis}_{name}" for name in cons]
+        if kind == "char_speeds":
+            return ["lam_minus", "lam_plus"]
+        raise CodegenError(f"unknown kernel kind {kind!r}")
+
+    def expressions(self, kind: str, axis: int = 0) -> list[sp.Expr]:
+        """The expression list for a kernel kind (what the emitters consume)."""
+        if kind == "prim_to_con":
+            return self.conserved()
+        if kind == "flux":
+            return self.flux(axis)
+        if kind == "char_speeds":
+            return list(self.char_speeds(axis))
+        raise CodegenError(f"unknown kernel kind {kind!r}")

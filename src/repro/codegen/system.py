@@ -1,0 +1,50 @@
+"""A drop-in SRHD system backed by generated kernels.
+
+:class:`GeneratedSRHDSystem` has the same interface as
+:class:`~repro.physics.srhd.SRHDSystem` but evaluates ``prim_to_con``,
+``flux``, and ``char_speeds`` through the SymPy-generated kernels — i.e.
+the generated code runs in the *production solver path*, not just in
+micro-benchmarks. The conservative-to-primitive inversion and the EOS
+remain the handwritten implementations (they are iterative, not
+expression-shaped, so the generator does not target them — same split as
+the real framework).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eos.ideal import IdealGasEOS
+from ..physics.srhd import SRHDSystem
+from .cache import load_kernel
+
+
+class GeneratedSRHDSystem(SRHDSystem):
+    """SRHD system whose algebraic kernels are generated from SymPy."""
+
+    def __init__(self, gamma: float = 5.0 / 3.0, ndim: int = 1):
+        super().__init__(IdealGasEOS(gamma=gamma), ndim)
+        self.gamma = float(gamma)
+        self._k_prim_to_con = load_kernel("prim_to_con", ndim)
+        self._k_flux = [load_kernel("flux", ndim, axis) for axis in range(ndim)]
+        self._k_char = [
+            load_kernel("char_speeds", ndim, axis) for axis in range(ndim)
+        ]
+
+    def prim_to_con(self, prim: np.ndarray) -> np.ndarray:
+        # Keep the reference implementation's admissibility guard.
+        self.lorentz_factor(prim)
+        return self._k_prim_to_con(prim, np.empty_like(prim), self.gamma)
+
+    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0) -> np.ndarray:
+        # The generated flux consumes primitives only; *cons* is accepted
+        # for interface compatibility.
+        return self._k_flux[axis](prim, np.empty_like(prim), self.gamma)
+
+    def char_speeds(self, prim: np.ndarray, axis: int = 0):
+        out = np.empty((2,) + prim.shape[1:])
+        self._k_char[axis](prim, out, self.gamma)
+        return out[0], out[1]
+
+    def __repr__(self):
+        return f"GeneratedSRHDSystem(gamma={self.gamma}, ndim={self.ndim})"

@@ -1,0 +1,23 @@
+"""Simulated distributed-memory communication substrate.
+
+An in-process stand-in for MPI: :class:`SimCommunicator` provides tagged
+point-to-point and collective operations with full traffic accounting,
+:func:`exchange_halos` implements the nearest-neighbour ghost exchange over
+a :class:`~repro.mesh.decomposition.CartesianDecomposition`, and
+:class:`LinkModel` (Hockney alpha-beta) converts logged traffic into
+simulated wire time for the scaling experiments.
+"""
+
+from .communicator import SimCommunicator, TrafficLog
+from .costs import PRESETS, LinkModel, make_link
+from .halo import exchange_halos, halo_bytes_per_step
+
+__all__ = [
+    "SimCommunicator",
+    "TrafficLog",
+    "LinkModel",
+    "PRESETS",
+    "make_link",
+    "exchange_halos",
+    "halo_bytes_per_step",
+]

@@ -1,0 +1,137 @@
+"""In-process simulated MPI communicator.
+
+Substitutes for MPI on this single-process substrate: ranks exchange NumPy
+arrays through in-memory mailboxes with mpi4py-like semantics (tagged
+point-to-point, collectives), while a :class:`TrafficLog` records every
+message so the Hockney model can convert the pattern into simulated wire
+time for the scaling experiments.
+
+The execution model is SPMD-by-phases: the driver iterates ranks, posting
+sends first, then draining receives — deterministic, deadlock-free for the
+halo-exchange patterns used here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.errors import CommunicationError
+from .costs import LinkModel
+
+
+@dataclass
+class TrafficLog:
+    """Per-communicator accounting of simulated message traffic."""
+
+    n_messages: int = 0
+    n_bytes: int = 0
+    n_collectives: int = 0
+    by_pair: dict = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, src: int, dest: int, n_bytes: int) -> None:
+        self.n_messages += 1
+        self.n_bytes += n_bytes
+        self.by_pair[(src, dest)] += n_bytes
+
+    def point_to_point_time(self, link: LinkModel) -> float:
+        """Total serialized wire time, one aggregated message per rank pair."""
+        return sum(link.transfer_time(b) for b in self.by_pair.values())
+
+    def reset(self) -> None:
+        self.n_messages = 0
+        self.n_bytes = 0
+        self.n_collectives = 0
+        self.by_pair.clear()
+
+
+class SimCommunicator:
+    """Simulated communicator over *size* ranks.
+
+    Point-to-point messages are buffered per ``(src, dest, tag)``; receives
+    pop in FIFO order. Collectives act on a dict of per-rank contributions
+    (the SPMD driver supplies all of them at once).
+    """
+
+    _REDUCTIONS = {
+        "sum": np.sum,
+        "max": np.max,
+        "min": np.min,
+    }
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommunicationError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self.traffic = TrafficLog()
+
+    def _check_rank(self, rank: int, what: str = "rank") -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicationError(f"{what} {rank} out of range [0, {self.size})")
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, src: int, dest: int, data: np.ndarray, tag: int = 0) -> None:
+        """Post a message; a copy is buffered (MPI value semantics)."""
+        self._check_rank(src, "source")
+        self._check_rank(dest, "destination")
+        payload = np.array(data, copy=True)
+        self._mailboxes[(src, dest, tag)].append(payload)
+        self.traffic.record(src, dest, payload.nbytes)
+
+    def recv(self, src: int, dest: int, tag: int = 0) -> np.ndarray:
+        """Pop the oldest matching message; raises if none is pending."""
+        self._check_rank(src, "source")
+        self._check_rank(dest, "destination")
+        box = self._mailboxes.get((src, dest, tag))
+        if not box:
+            raise CommunicationError(
+                f"no pending message src={src} dest={dest} tag={tag}"
+            )
+        return box.popleft()
+
+    def pending(self) -> int:
+        """Number of messages posted but not yet received."""
+        return sum(len(b) for b in self._mailboxes.values())
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, contributions: dict[int, np.ndarray | float], op: str = "sum"):
+        """Reduce per-rank contributions; every rank gets the result."""
+        if set(contributions) != set(range(self.size)):
+            raise CommunicationError(
+                f"allreduce needs contributions from all {self.size} ranks, "
+                f"got {sorted(contributions)}"
+            )
+        if op not in self._REDUCTIONS:
+            raise CommunicationError(
+                f"unknown reduction {op!r}; choose from {sorted(self._REDUCTIONS)}"
+            )
+        stacked = np.stack([np.asarray(contributions[r]) for r in range(self.size)])
+        self.traffic.n_collectives += 1
+        result = self._REDUCTIONS[op](stacked, axis=0)
+        return {rank: result.copy() for rank in range(self.size)}
+
+    def broadcast(self, root: int, data):
+        """Root's value delivered to every rank."""
+        self._check_rank(root, "root")
+        self.traffic.n_collectives += 1
+        payload = np.asarray(data)
+        return {rank: payload.copy() for rank in range(self.size)}
+
+    def gather(self, contributions: dict[int, np.ndarray], root: int = 0):
+        """All contributions collected at *root* (returned as a list)."""
+        if set(contributions) != set(range(self.size)):
+            raise CommunicationError("gather needs contributions from all ranks")
+        self._check_rank(root, "root")
+        self.traffic.n_collectives += 1
+        return [np.asarray(contributions[r]).copy() for r in range(self.size)]
+
+    def barrier(self) -> None:
+        """No-op in the SPMD-by-phases model; kept for API parity."""
+
+    def __repr__(self):
+        return f"SimCommunicator(size={self.size}, pending={self.pending()})"

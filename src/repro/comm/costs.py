@@ -1,0 +1,63 @@
+"""Analytic communication cost models.
+
+The Hockney model — ``T(m) = alpha + m / beta`` for an m-byte message with
+latency ``alpha`` and bandwidth ``beta`` — is the standard first-order model
+for cluster interconnects and is what drives the scaling-experiment shapes
+(latency-dominated small messages vs bandwidth-dominated halos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from ..utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Hockney latency/bandwidth parameters for one link type.
+
+    Defaults approximate a 2015-era FDR InfiniBand fabric.
+    """
+
+    latency_s: float = 1.5e-6
+    bandwidth_Bps: float = 6.0e9
+
+    def __post_init__(self):
+        if self.latency_s < 0 or self.bandwidth_Bps <= 0:
+            raise ConfigurationError(f"invalid link model {self}")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Point-to-point message time (Hockney)."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative message size {n_bytes}")
+        return self.latency_s + n_bytes / self.bandwidth_Bps
+
+    def allreduce_time(self, n_bytes: float, n_ranks: int) -> float:
+        """Recursive-doubling allreduce estimate: 2 log2(P) message steps."""
+        if n_ranks < 1:
+            raise ConfigurationError(f"invalid rank count {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        steps = 2 * ceil(log2(n_ranks))
+        return steps * self.transfer_time(n_bytes)
+
+
+#: common link presets (rounded to era-plausible values)
+PRESETS = {
+    "infiniband-fdr": LinkModel(latency_s=1.5e-6, bandwidth_Bps=6.0e9),
+    "ethernet-10g": LinkModel(latency_s=2.0e-5, bandwidth_Bps=1.25e9),
+    "pcie-gen3": LinkModel(latency_s=5.0e-6, bandwidth_Bps=12.0e9),
+    "shared-memory": LinkModel(latency_s=2.0e-7, bandwidth_Bps=4.0e10),
+}
+
+
+def make_link(name: str) -> LinkModel:
+    """Link model by preset name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown link preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,16 @@
+"""Core solver drivers: configuration, pipeline, unigrid and AMR solvers."""
+
+from .config import SolverConfig
+from .diagnostics import ConservedTotals, RunSummary
+from .distributed import DistributedSolver
+from .pipeline import HydroPipeline
+from .solver import Solver
+
+__all__ = [
+    "SolverConfig",
+    "Solver",
+    "DistributedSolver",
+    "HydroPipeline",
+    "ConservedTotals",
+    "RunSummary",
+]

@@ -1,0 +1,359 @@
+"""Adaptive-mesh-refinement solver driver.
+
+Evolves the leaf blocks of an :class:`~repro.mesh.amr.forest.AMRForest`
+with the same HRSC pipeline as the unigrid solver: shared global time step
+(no subcycling), ghost zones filled per RK stage from the composite-level
+snapshots, gradient-based regridding with 2:1 balance enforcement.
+
+The headline accounting for experiment E11 is :attr:`cells_updated` — the
+number of leaf-cell RK-stage updates actually performed — against the error
+measured on the composite solution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..boundary.conditions import BoundarySet, InteriorFace, make_boundaries
+from ..mesh.amr.blocks import BlockKey, BlockLayout
+from ..mesh.amr.criteria import GradientCriterion
+from ..mesh.amr.forest import AMRForest
+from ..mesh.amr.transfer import prolong_array, restrict_array
+from ..mesh.grid import Grid
+from ..physics.srhd import SRHDSystem
+from ..time_integration.cfl import compute_dt
+from ..time_integration.ssprk import make_integrator
+from ..utils.errors import ConfigurationError
+from ..utils.parameters import ParameterSet, param
+from .config import SolverConfig
+from .distributed import _DictState
+from .pipeline import HydroPipeline
+
+
+class AMRConfig(ParameterSet):
+    """Refinement policy knobs."""
+
+    block_size = param(16, int, lambda v: v >= 8, "cells per block per axis")
+    max_levels = param(3, int, lambda v: 1 <= v <= 8, "number of levels (incl. root)")
+    refine_threshold = param(
+        0.05, float, lambda v: v > 0, "scaled-gradient refinement trigger"
+    )
+    coarsen_threshold = param(
+        0.0125, float, lambda v: v > 0, "scaled-gradient coarsening trigger"
+    )
+    regrid_interval = param(5, int, lambda v: v >= 1, "steps between regrids")
+    initial_regrid_passes = param(
+        4, int, lambda v: v >= 0, "refinement sweeps over the initial data"
+    )
+    reflux = param(
+        True, bool, doc="conservative flux correction at coarse-fine faces"
+    )
+
+
+class AMRSolver:
+    """Block-structured AMR evolution of the SRHD system.
+
+    Parameters
+    ----------
+    system:
+        SRHD physics.
+    root_grid:
+        Level-0 uniform grid; its shape must tile by ``amr.block_size``.
+    initial_data:
+        Callable ``(system, grid) -> prim`` evaluated per block grid, so
+        newly created fine blocks at t = 0 sample the analytic data at full
+        resolution.
+    config:
+        Numerical scheme configuration (shared with the unigrid solver).
+    amr:
+        Refinement policy.
+    boundaries:
+        Physical wall conditions (outflow default).
+    """
+
+    def __init__(
+        self,
+        system: SRHDSystem,
+        root_grid: Grid,
+        initial_data: Callable[[SRHDSystem, Grid], np.ndarray],
+        config: SolverConfig | None = None,
+        amr: AMRConfig | None = None,
+        boundaries: BoundarySet | None = None,
+    ):
+        if system.ndim != root_grid.ndim:
+            raise ConfigurationError("system/grid dimensionality mismatch")
+        self.system = system
+        self.config = config or SolverConfig()
+        self.amr = amr or AMRConfig()
+        self.wall_bcs = boundaries or make_boundaries("outflow")
+        self.layout = BlockLayout(root_grid, self.amr.block_size)
+        self.forest = AMRForest(self.layout, self.amr.max_levels)
+        self.criterion = GradientCriterion(
+            self.amr.refine_threshold, self.amr.coarsen_threshold
+        )
+        self.integrator = make_integrator(self.config.integrator)
+        self._initial_data = initial_data
+        self._pipelines: dict[BlockKey, HydroPipeline] = {}
+        self._interior_bcs = BoundarySet(default=InteriorFace())
+
+        self.t = 0.0
+        self.steps = 0
+        self.cells_updated = 0
+        self.regrids = 0
+
+        # Root tiling from the analytic initial data.
+        for key in self.layout.root_keys():
+            grid = self.layout.grid_for(key)
+            prim = initial_data(system, grid).astype(float, copy=True)
+            self.forest.add_leaf(key, system.prim_to_con(prim))
+        # Initial refinement sweeps resolve features present at t = 0.
+        for _ in range(self.amr.initial_regrid_passes):
+            if not self._initial_refine_pass():
+                break
+        self._enforce_balance(from_initial_data=True)
+
+    # ------------------------------------------------------------------
+    # Pipelines
+    # ------------------------------------------------------------------
+
+    def _pipeline(self, key: BlockKey) -> HydroPipeline:
+        pipe = self._pipelines.get(key)
+        if pipe is None:
+            pipe = HydroPipeline(
+                self.system,
+                self.forest.leaves[key].grid,
+                self._interior_bcs,
+                self.config,
+            )
+            pipe.store_fluxes = self.amr.reflux
+            self._pipelines[key] = pipe
+        return pipe
+
+    def _drop_pipeline(self, key: BlockKey) -> None:
+        self._pipelines.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Refinement operations
+    # ------------------------------------------------------------------
+
+    def _split_leaf(self, key: BlockKey, from_initial_data: bool = False) -> None:
+        """Refine one leaf; children get analytic data at t=0, prolonged
+        primitives afterwards."""
+        leaf = self.forest.leaves[key]
+        children = key.children()
+        child_cons: dict[BlockKey, np.ndarray] = {}
+        if from_initial_data and self.t == 0.0:
+            for child in children:
+                grid = self.layout.grid_for(child)
+                prim = self._initial_data(self.system, grid).astype(float, copy=True)
+                child_cons[child] = self.system.prim_to_con(prim)
+        else:
+            prim = self._pipeline(key).recover_primitives(leaf.cons)
+            self.forest.fill_ghosts(
+                {key: prim, **self._recover_all_except(key)},
+                self.system.nvars,
+                self.system,
+                self.wall_bcs,
+            )
+            g = leaf.grid.n_ghost
+            B = self.layout.block_size
+            pad = (slice(None),) + (slice(g - 1, g + B + 1),) * self.layout.ndim
+            fine_prim = prolong_array(prim[pad], self.layout.ndim)
+            for child in children:
+                grid = self.layout.grid_for(child)
+                child_prim = grid.allocate(self.system.nvars)
+                off = child.child_offset()
+                sel = (slice(None),) + tuple(
+                    slice(o * B, (o + 1) * B) for o in off
+                )
+                grid.interior_of(child_prim)[...] = fine_prim[sel]
+                # Ghosts are filled on the next stage; seed with the edge
+                # values so prim_to_con stays physical.
+                self.wall_bcs.apply(self.system, grid, child_prim)
+                child_cons[child] = self.system.prim_to_con(child_prim)
+        self.forest.split(key, child_cons)
+        self._drop_pipeline(key)
+
+    def _recover_all_except(self, skip: BlockKey) -> dict[BlockKey, np.ndarray]:
+        return {
+            k: self._pipeline(k).recover_primitives(leaf.cons)
+            for k, leaf in self.forest.leaves.items()
+            if k != skip
+        }
+
+    def _merge_siblings(self, parent: BlockKey) -> None:
+        children = parent.children()
+        grid = self.layout.grid_for(parent)
+        cons = grid.allocate(self.system.nvars)
+        B = self.layout.block_size
+        half = B // 2
+        for child in children:
+            data = restrict_array(
+                self.forest.leaves[child].grid.interior_of(
+                    self.forest.leaves[child].cons
+                ),
+                self.layout.ndim,
+            )
+            off = child.child_offset()
+            sel = (slice(None),) + tuple(
+                slice(o * half, (o + 1) * half) for o in off
+            )
+            grid.interior_of(cons)[sel] = data
+        for child in children:
+            self._drop_pipeline(child)
+        self.forest.merge(parent, cons)
+
+    def _flag_view(self, prim: np.ndarray, grid: Grid) -> np.ndarray:
+        """Interior plus one ghost ring: discontinuities sitting exactly on
+        a block face must still flag both neighbouring blocks."""
+        g = grid.n_ghost
+        sel = (slice(None),) + tuple(
+            slice(g - 1, g + n + 1) for n in grid.shape
+        )
+        return prim[sel]
+
+    def _initial_refine_pass(self) -> bool:
+        """One sweep of refinement over the initial data; True if changed."""
+        prims = {
+            k: self._pipeline(k).recover_primitives(leaf.cons)
+            for k, leaf in self.forest.leaves.items()
+        }
+        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+        flagged = []
+        for key, leaf in self.forest.leaves.items():
+            if key.level + 1 >= self.amr.max_levels:
+                continue
+            if self.criterion.needs_refinement(
+                self.system, self._flag_view(prims[key], leaf.grid)
+            ):
+                flagged.append(key)
+        for key in flagged:
+            self._split_leaf(key, from_initial_data=True)
+        return bool(flagged)
+
+    def _enforce_balance(self, from_initial_data: bool = False) -> None:
+        for _ in range(16):  # bounded: each pass strictly raises min levels
+            bad = self.forest.unbalanced_leaves()
+            if not bad:
+                return
+            for key in bad:
+                if key in self.forest.leaves:
+                    self._split_leaf(key, from_initial_data=from_initial_data)
+        raise ConfigurationError("2:1 balance did not converge")
+
+    def regrid(self) -> None:
+        """Flag, refine, coarsen, and rebalance."""
+        self.regrids += 1
+        prims = {
+            k: self._pipeline(k).recover_primitives(leaf.cons)
+            for k, leaf in self.forest.leaves.items()
+        }
+        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+        refine_flags: set[BlockKey] = set()
+        coarsen_ok: set[BlockKey] = set()
+        for key, leaf in self.forest.leaves.items():
+            view = self._flag_view(prims[key], leaf.grid)
+            if self.criterion.needs_refinement(self.system, view):
+                if key.level + 1 < self.amr.max_levels:
+                    refine_flags.add(key)
+            elif self.criterion.allows_coarsening(self.system, view):
+                coarsen_ok.add(key)
+        for key in refine_flags:
+            if key in self.forest.leaves:
+                self._split_leaf(key)
+        # Coarsen complete, unflagged sibling groups.
+        parents = {}
+        for key in coarsen_ok:
+            if key.level == 0 or key not in self.forest.leaves:
+                continue
+            parents.setdefault(key.parent(), []).append(key)
+        for parent, kids in parents.items():
+            if len(kids) == 2**self.layout.ndim:
+                self._merge_siblings(parent)
+        self._enforce_balance()
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def _rhs(self, cons_parts: dict[BlockKey, np.ndarray]) -> dict[BlockKey, np.ndarray]:
+        prims = {
+            key: self._pipeline(key).recover_primitives(cons_parts[key])
+            for key in self.forest.leaves
+        }
+        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+        dU = {
+            key: self._pipeline(key).flux_divergence(prims[key])
+            for key in self.forest.leaves
+        }
+        if self.amr.reflux:
+            from ..mesh.amr.reflux import apply_reflux
+
+            fluxes = {
+                key: self._pipelines[key].last_face_fluxes
+                for key in self.forest.leaves
+            }
+            apply_reflux(self.forest, fluxes, dU)
+        return dU
+
+    def compute_dt(self, t_final: float | None = None) -> float:
+        dt = min(
+            compute_dt(
+                self.system,
+                leaf.grid,
+                self._pipeline(key).recover_primitives(leaf.cons),
+                cfl=self.config.cfl,
+            )
+            for key, leaf in self.forest.leaves.items()
+        )
+        if t_final is not None and self.t + dt > t_final:
+            dt = t_final - self.t
+        return dt
+
+    def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        if dt is None:
+            dt = self.compute_dt(t_final)
+        state = _DictState({k: leaf.cons for k, leaf in self.forest.leaves.items()})
+        rhs = lambda s: _DictState(self._rhs(s.parts))
+        advanced = self.integrator.step(state, dt, rhs)
+        for key, cons in advanced.parts.items():
+            self.forest.leaves[key].cons = cons
+        self.t += dt
+        self.steps += 1
+        self.cells_updated += (
+            self.forest.n_leaf_cells() * self.integrator.stages
+        )
+        if self.steps % self.amr.regrid_interval == 0:
+            self.regrid()
+        return dt
+
+    def run(self, t_final: float, max_steps: int | None = None) -> None:
+        limit = max_steps if max_steps is not None else self.config.max_steps
+        while self.t < t_final * (1.0 - 1e-14) and self.steps < limit:
+            self.step(t_final=t_final)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def composite_primitives(self, level: int | None = None):
+        """(grid, interior prim array) of the composite at *level*
+        (finest active level by default)."""
+        prims = {
+            k: self._pipeline(k).recover_primitives(leaf.cons)
+            for k, leaf in self.forest.leaves.items()
+        }
+        target = self.forest.finest_level() if level is None else level
+        composites = self.forest.composite_levels(
+            prims, self.system.nvars, self.system, self.wall_bcs, up_to_level=target
+        )
+        grid, arr = composites[target]
+        return grid, grid.interior_of(arr)
+
+    def leaf_count_by_level(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for key in self.forest.leaves:
+            out[key.level] = out.get(key.level, 0) + 1
+        return out

@@ -1,0 +1,37 @@
+"""Solver configuration with validated parameters."""
+
+from __future__ import annotations
+
+from ..reconstruct import SCHEMES
+from ..riemann import SOLVERS
+from ..time_integration.ssprk import INTEGRATORS
+from ..utils.parameters import ParameterSet, param
+
+
+class SolverConfig(ParameterSet):
+    """All numerical knobs of the HRSC solver.
+
+    The defaults (MC-limited TVD reconstruction, HLLC fluxes, SSP-RK3,
+    CFL 0.5) are the production settings in this family of codes.
+    """
+
+    reconstruction = param(
+        "mc", str, choices=SCHEMES, doc="interface reconstruction scheme"
+    )
+    riemann = param(
+        "hllc", str, choices=tuple(sorted(SOLVERS)), doc="approximate Riemann solver"
+    )
+    integrator = param(
+        "ssprk3", str, choices=tuple(sorted(INTEGRATORS)), doc="time integrator"
+    )
+    cfl = param(0.5, float, lambda v: 0 < v <= 1, "CFL number in (0, 1]")
+    rho_atmo = param(1e-10, float, lambda v: v > 0, "atmosphere density floor")
+    p_atmo = param(1e-12, float, lambda v: v > 0, "atmosphere pressure floor")
+    atmo_threshold = param(
+        10.0, float, lambda v: v >= 1, "flooring threshold factor over rho_atmo"
+    )
+    recovery_tol = param(1e-12, float, lambda v: 0 < v < 1e-3, "con2prim tolerance")
+    w_max = param(
+        100.0, float, lambda v: v > 1, "Lorentz-factor cap applied to face states"
+    )
+    max_steps = param(1_000_000, int, lambda v: v > 0, "hard step-count limit")

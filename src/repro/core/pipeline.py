@@ -1,0 +1,194 @@
+"""The HRSC step pipeline: recover -> reconstruct -> Riemann -> divergence.
+
+:class:`HydroPipeline` owns the per-step numerical kernels and exposes the
+right-hand side ``dU/dt = -div F`` used by the SSP integrators. It is shared
+by the unigrid and AMR solvers and is the unit the heterogeneous runtime's
+performance model is calibrated against (each stage is one "kernel").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..boundary.conditions import BoundarySet
+from ..mesh.grid import Grid
+from ..physics.atmosphere import Atmosphere
+from ..physics.con2prim import RecoveryStats, con_to_prim
+from ..physics.srhd import SRHDSystem
+from ..reconstruct import make_reconstruction
+from ..riemann import make_riemann_solver
+from ..utils.timers import TimerRegistry
+from .config import SolverConfig
+
+
+class HydroPipeline:
+    """Numerical kernels for one grid patch.
+
+    Parameters
+    ----------
+    system, grid, boundaries:
+        Physics, mesh, and ghost-fill policy for the patch.
+    config:
+        Numerical scheme selection.
+    timers:
+        Optional registry; when given, each kernel stage is timed (used for
+        calibrating the heterogeneous performance model).
+    """
+
+    def __init__(
+        self,
+        system: SRHDSystem,
+        grid: Grid,
+        boundaries: BoundarySet,
+        config: SolverConfig,
+        timers: TimerRegistry | None = None,
+    ):
+        self.system = system
+        self.grid = grid
+        self.boundaries = boundaries
+        self.config = config
+        self.reconstruction = make_reconstruction(config.reconstruction)
+        self.riemann = make_riemann_solver(config.riemann)
+        self.atmosphere = Atmosphere(
+            rho_atmo=config.rho_atmo,
+            threshold_factor=config.atmo_threshold,
+            p_atmo=config.p_atmo,
+        )
+        if grid.n_ghost < self.reconstruction.required_ghosts:
+            from ..utils.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"grid has {grid.n_ghost} ghost layers but "
+                f"{config.reconstruction} needs {self.reconstruction.required_ghosts}"
+            )
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.recovery_stats = RecoveryStats()
+        # Pressure cache seeds the next con2prim Newton solve.
+        self._p_cache: np.ndarray | None = None
+        #: when True, flux_divergence stashes the interior face fluxes per
+        #: axis in :attr:`last_face_fluxes` (used by AMR refluxing).
+        self.store_fluxes = False
+        #: optional source term ``(system, grid, prim, t) -> dU_interior``
+        #: added to the flux divergence (external forces, heating, ...)
+        self.source_fn = None
+        #: time passed to source_fn; the owning solver keeps it current
+        self.time = 0.0
+        #: per-axis face fluxes of the last divergence evaluation, shaped
+        #: (nvars, *transverse_interior, n_axis + 1) with the face index last
+        self.last_face_fluxes: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+
+    def recover_primitives(self, cons: np.ndarray) -> np.ndarray:
+        """Full primitive array: recovery on the interior + BC ghost fill."""
+        grid, system = self.grid, self.system
+        with self.timers("con2prim"):
+            self.atmosphere.apply_cons(system, cons)
+            self._limit_momentum(cons)
+            interior_cons = grid.interior_of(cons)
+            p_guess = self._p_cache
+            if p_guess is not None and p_guess.shape != interior_cons.shape[1:]:
+                p_guess = None
+            interior_prim = con_to_prim(
+                system,
+                interior_cons,
+                p_guess=p_guess,
+                tol=self.config.recovery_tol,
+                stats=self.recovery_stats,
+            )
+            self.atmosphere.apply_prim(system, interior_prim)
+            self._p_cache = interior_prim[system.P].copy()
+        prim = grid.allocate(system.nvars)
+        grid.interior_of(prim)[...] = interior_prim
+        with self.timers("boundary"):
+            self.boundaries.apply(system, grid, prim)
+        return prim
+
+    def _limit_momentum(self, cons: np.ndarray) -> None:
+        """Rescale S_i so the recovered velocity respects the W_max cap.
+
+        Admissibility of con2prim requires |S| < tau + D + p; transient
+        update overshoots can violate the sharper |S| <= v_max (tau + D + p)
+        bound, which would force the recovery toward W -> W_max runaways.
+        Rescaling the momentum (the WhiskyMHD/IllinoisGRMHD-style fix) keeps
+        the state recoverable without touching D or tau.
+        """
+        system = self.system
+        S2 = np.zeros_like(cons[0])
+        for ax in range(system.ndim):
+            S2 += cons[system.S(ax)] ** 2
+        vmax = np.sqrt(1.0 - 1.0 / self.config.w_max**2)
+        smax = vmax * (cons[system.TAU] + cons[system.D] + self.atmosphere.p_atmo)
+        bad = S2 > smax**2
+        if bad.any():
+            scale = smax[bad] / np.sqrt(S2[bad])
+            for ax in range(system.ndim):
+                cons[system.S(ax)][bad] *= scale
+
+    def sanitize_face_states(self, q: np.ndarray) -> np.ndarray:
+        """Repair reconstructed face states in place and return them.
+
+        Componentwise reconstruction limits each velocity component against
+        its own neighbours, but the *magnitude* |v|^2 = sum v_i^2 can still
+        overshoot past 1 near strong multidimensional shocks. Rescale such
+        velocities to just below light speed and floor rho and p — the
+        standard fix in production relativistic codes.
+        """
+        system = self.system
+        v2 = np.zeros_like(q[0])
+        for ax in range(system.ndim):
+            v2 += q[system.V(ax)] ** 2
+        # Cap the Lorentz factor at W_max: reconstruction overshoots past
+        # this are numerical artifacts, and letting them through produces
+        # runaway fluxes long before anything is superluminal.
+        vmax2 = 1.0 - 1.0 / self.config.w_max**2
+        bad = v2 > vmax2
+        if bad.any():
+            scale = np.sqrt(vmax2 / v2[bad])
+            for ax in range(system.ndim):
+                q[system.V(ax)][bad] *= scale
+        np.maximum(q[system.RHO], self.atmosphere.rho_atmo, out=q[system.RHO])
+        np.maximum(q[system.P], self.atmosphere.p_atmo, out=q[system.P])
+        return q
+
+    def flux_divergence(self, prim: np.ndarray) -> np.ndarray:
+        """-div F over the interior; ghost entries of the result are zero."""
+        grid, system = self.grid, self.system
+        dU = np.zeros((system.nvars,) + grid.shape_with_ghosts)
+        g = grid.n_ghost
+        for axis in range(grid.ndim):
+            with self.timers("reconstruct"):
+                qL, qR = self.reconstruction.interface_states(prim, axis, g)
+                self.sanitize_face_states(qL)
+                self.sanitize_face_states(qR)
+            with self.timers("riemann"):
+                F = self.riemann.flux(system, qL, qR, axis)
+            with self.timers("update"):
+                # Slice transverse axes to the interior, difference along axis.
+                Fm = np.moveaxis(F, axis + 1, -1)
+                sel = [slice(None)]
+                for ax in range(grid.ndim):
+                    if ax != axis:
+                        sel.append(slice(g, g + grid.shape[ax]))
+                Fm = Fm[tuple(sel)]
+                if self.store_fluxes:
+                    self.last_face_fluxes[axis] = Fm.copy()
+                div = (Fm[..., 1:] - Fm[..., :-1]) / grid.dx[axis]
+                target = np.moveaxis(grid.interior_of(dU), axis + 1, -1)
+                target -= div
+        return dU
+
+    def rhs(self, cons: np.ndarray) -> np.ndarray:
+        """dU/dt for the SSP integrators (cons may be floored in place)."""
+        prim = self.recover_primitives(cons)
+        dU = self.flux_divergence(prim)
+        if self.source_fn is not None:
+            with self.timers("source"):
+                src = self.source_fn(
+                    self.system, self.grid, self.grid.interior_of(prim), self.time
+                )
+                self.grid.interior_of(dU)[...] += src
+        return dU
+
+    def max_signal_speed(self, prim: np.ndarray, axis: int) -> float:
+        return self.system.max_signal_speed(self.grid.interior_of(prim), axis)

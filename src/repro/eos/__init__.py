@@ -1,0 +1,29 @@
+"""Equations of state closing the relativistic Euler system.
+
+Exports:
+
+- :class:`EOS` — abstract interface (pressure, derivatives, sound speed)
+- :class:`IdealGasEOS` — Gamma-law gas, the HRSC test-suite standard
+- :class:`PolytropicEOS` — barotropic p = K rho^Gamma
+- :class:`HybridEOS` — cold polytrope + thermal Gamma-law part
+- :class:`TabulatedEOS` / :func:`make_synthetic_table` — table-interpolated
+  EOS exercising the tabulated-EOS code path with synthetic data
+"""
+
+from .base import EOS
+from .hybrid import HybridEOS
+from .ideal import IdealGasEOS
+from .piecewise import PiecewisePolytropicEOS, sly_like
+from .polytropic import PolytropicEOS
+from .tabulated import TabulatedEOS, make_synthetic_table
+
+__all__ = [
+    "EOS",
+    "IdealGasEOS",
+    "PolytropicEOS",
+    "PiecewisePolytropicEOS",
+    "sly_like",
+    "HybridEOS",
+    "TabulatedEOS",
+    "make_synthetic_table",
+]

@@ -1,0 +1,74 @@
+"""Hybrid EOS: cold polytropic component plus a Gamma-law thermal component.
+
+Standard in numerical-relativity hydrodynamics for matter that is cold in
+equilibrium but shock-heats:
+
+    p(rho, eps) = p_cold(rho) + (Gamma_th - 1) * rho * (eps - eps_cold(rho))
+
+with ``p_cold = K rho^Gamma`` and ``eps_cold = K rho^(Gamma-1)/(Gamma-1)``.
+The thermal part is clipped at zero so numerical undershoots of eps below the
+cold floor do not produce tension (negative thermal pressure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EOS
+from .polytropic import PolytropicEOS
+
+
+class HybridEOS(EOS):
+    """Cold barotrope + Gamma-law thermal correction.
+
+    The cold part defaults to a single polytrope but any barotropic EOS
+    exposing ``pressure(rho)``, ``eps_from_rho(rho)``, and ``chi(rho)``
+    works — e.g. :class:`~repro.eos.piecewise.PiecewisePolytropicEOS` for
+    neutron-star-like matter.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        K: float = 100.0,
+        gamma: float = 2.0,
+        gamma_th: float = 5.0 / 3.0,
+        cold: EOS | None = None,
+    ):
+        self.cold = cold if cold is not None else PolytropicEOS(K=K, gamma=gamma)
+        self.gamma_th = float(gamma_th)
+        self._gth1 = self.gamma_th - 1.0
+
+    def _thermal_eps(self, rho, eps):
+        return np.maximum(np.asarray(eps, dtype=float) - self.cold.eps_from_rho(rho), 0.0)
+
+    def pressure(self, rho, eps):
+        rho = np.asarray(rho, dtype=float)
+        return self.cold.pressure(rho) + self._gth1 * rho * self._thermal_eps(rho, eps)
+
+    def eps_from_pressure(self, rho, p):
+        rho = np.asarray(rho, dtype=float)
+        p_th = np.maximum(np.asarray(p, dtype=float) - self.cold.pressure(rho), 0.0)
+        return self.cold.eps_from_rho(rho) + p_th / (self._gth1 * rho)
+
+    def chi(self, rho, eps):
+        rho = np.asarray(rho, dtype=float)
+        # d/drho [p_cold + (G-1) rho (eps - eps_cold)]
+        #   = chi_cold + (G-1)(eps - eps_cold) - (G-1) rho deps_cold/drho,
+        # with deps_cold/drho = p_cold / rho^2 (first law along the cold
+        # isentrope) — valid for any barotropic cold part.
+        deps_cold = self.cold.pressure(rho) / rho**2
+        return (
+            self.cold.chi(rho)
+            + self._gth1 * self._thermal_eps(rho, eps)
+            - self._gth1 * rho * deps_cold
+        )
+
+    def kappa(self, rho, eps):
+        rho = np.asarray(rho, dtype=float)
+        hot = self._thermal_eps(rho, eps) > 0
+        return np.where(hot, self._gth1 * rho, 0.0)
+
+    def __repr__(self):
+        return f"HybridEOS(cold={self.cold!r}, gamma_th={self.gamma_th})"

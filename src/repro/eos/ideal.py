@@ -1,0 +1,46 @@
+"""Ideal-gas (Gamma-law) equation of state: p = (Gamma - 1) rho eps.
+
+This is the workhorse EOS for relativistic shock-capturing test problems
+(Marti & Muller shock tubes use Gamma = 5/3 and Gamma = 4/3 variants).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import EOSError
+from .base import EOS
+
+
+class IdealGasEOS(EOS):
+    """Gamma-law EOS, p = (Gamma - 1) * rho * eps."""
+
+    name = "ideal"
+
+    def __init__(self, gamma: float = 5.0 / 3.0):
+        if not 1.0 < gamma <= 2.0:
+            raise EOSError(f"ideal-gas Gamma must be in (1, 2], got {gamma}")
+        self.gamma = float(gamma)
+        self._gm1 = self.gamma - 1.0
+
+    def pressure(self, rho, eps):
+        return self._gm1 * np.asarray(rho, dtype=float) * eps
+
+    def eps_from_pressure(self, rho, p):
+        return np.asarray(p, dtype=float) / (self._gm1 * np.asarray(rho, dtype=float))
+
+    def chi(self, rho, eps):
+        return self._gm1 * np.asarray(eps, dtype=float)
+
+    def kappa(self, rho, eps):
+        return self._gm1 * np.asarray(rho, dtype=float)
+
+    def sound_speed_sq(self, rho, eps):
+        # Closed form for the Gamma-law gas: cs^2 = Gamma p / (rho h).
+        rho = np.asarray(rho, dtype=float)
+        p = self.pressure(rho, eps)
+        h = 1.0 + eps + p / rho
+        return self.gamma * p / (rho * h)
+
+    def __repr__(self):
+        return f"IdealGasEOS(gamma={self.gamma})"

@@ -1,0 +1,129 @@
+"""Piecewise-polytropic equation of state.
+
+The standard parameterization of nuclear-matter EOS candidates (Read et
+al. 2009) used throughout this group's neutron-star work: the density
+range is split into segments, each a polytrope ``p = K_i rho^Gamma_i``,
+with the ``K_i`` fixed by pressure continuity at the segment breaks and
+the internal-energy constants ``a_i`` fixed by first-law continuity:
+
+    eps_i(rho) = a_i + K_i rho^(Gamma_i - 1) / (Gamma_i - 1).
+
+All evaluations are vectorized via ``searchsorted`` segment lookup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import EOSError
+from .base import EOS
+
+
+class PiecewisePolytropicEOS(EOS):
+    """Cold piecewise polytrope with continuous pressure and energy.
+
+    Parameters
+    ----------
+    K0:
+        Polytropic constant of the lowest-density segment.
+    gammas:
+        Adiabatic index per segment (lowest density first).
+    rho_breaks:
+        Strictly increasing densities separating the segments
+        (``len(gammas) - 1`` values).
+    """
+
+    name = "piecewise-polytropic"
+
+    def __init__(self, K0: float, gammas, rho_breaks):
+        gammas = [float(g) for g in np.atleast_1d(gammas)]
+        rho_breaks = [float(r) for r in np.atleast_1d(rho_breaks)] if np.ndim(
+            rho_breaks
+        ) or np.size(rho_breaks) else []
+        if K0 <= 0:
+            raise EOSError(f"K0 must be positive, got {K0}")
+        if any(g <= 1.0 for g in gammas):
+            raise EOSError(f"all Gammas must exceed 1, got {gammas}")
+        if len(rho_breaks) != len(gammas) - 1:
+            raise EOSError(
+                f"{len(gammas)} segments need {len(gammas) - 1} breaks, "
+                f"got {len(rho_breaks)}"
+            )
+        if any(b <= 0 for b in rho_breaks) or any(
+            b1 <= b0 for b0, b1 in zip(rho_breaks, rho_breaks[1:])
+        ):
+            raise EOSError(f"rho_breaks must be positive and increasing: {rho_breaks}")
+
+        self.gammas = gammas
+        self.rho_breaks = rho_breaks
+        # Pressure continuity: K_{i+1} = K_i * rho_b^(G_i - G_{i+1}).
+        self.Ks = [float(K0)]
+        for b, g_lo, g_hi in zip(rho_breaks, gammas, gammas[1:]):
+            self.Ks.append(self.Ks[-1] * b ** (g_lo - g_hi))
+        # Energy continuity: a_0 = 0; match eps across each break.
+        self.a = [0.0]
+        for b, (K_lo, g_lo), (K_hi, g_hi) in zip(
+            rho_breaks, zip(self.Ks, self.gammas), zip(self.Ks[1:], self.gammas[1:])
+        ):
+            eps_lo = self.a[-1] + K_lo * b ** (g_lo - 1.0) / (g_lo - 1.0)
+            self.a.append(eps_lo - K_hi * b ** (g_hi - 1.0) / (g_hi - 1.0))
+
+        self._breaks = np.asarray(rho_breaks)
+        self._Ks = np.asarray(self.Ks)
+        self._gammas = np.asarray(self.gammas)
+        self._a = np.asarray(self.a)
+
+    def _segment(self, rho):
+        return np.searchsorted(self._breaks, np.asarray(rho, dtype=float), side="right")
+
+    def pressure(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        i = self._segment(rho)
+        return self._Ks[i] * rho ** self._gammas[i]
+
+    def eps_from_rho(self, rho):
+        rho = np.asarray(rho, dtype=float)
+        i = self._segment(rho)
+        g = self._gammas[i]
+        return self._a[i] + self._Ks[i] * rho ** (g - 1.0) / (g - 1.0)
+
+    def eps_from_pressure(self, rho, p):
+        # Barotrope: eps is slaved to rho.
+        return self.eps_from_rho(rho)
+
+    def chi(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        i = self._segment(rho)
+        g = self._gammas[i]
+        return g * self._Ks[i] * rho ** (g - 1.0)
+
+    def kappa(self, rho, eps=None):
+        return np.zeros_like(np.asarray(rho, dtype=float))
+
+    def enthalpy(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        return 1.0 + self.eps_from_rho(rho) + self.pressure(rho) / rho
+
+    def sound_speed_sq(self, rho, eps=None):
+        return self.chi(rho) / self.enthalpy(rho)
+
+    def __repr__(self):
+        return (
+            f"PiecewisePolytropicEOS(K0={self.Ks[0]}, gammas={self.gammas}, "
+            f"rho_breaks={self.rho_breaks})"
+        )
+
+
+def sly_like() -> PiecewisePolytropicEOS:
+    """A four-segment SLy-flavoured cold EOS in geometrized benchmark units.
+
+    The segment structure (soft crust, stiffening core) mirrors the Read et
+    al. parameterization qualitatively; values are scaled to the unit
+    system of the test problems rather than CGS, chosen so the EOS stays
+    causal (cs^2 < 0.5) up to rho ~ 2.5 in benchmark units.
+    """
+    return PiecewisePolytropicEOS(
+        K0=0.03,
+        gammas=[1.58, 2.2, 2.6, 2.4],
+        rho_breaks=[0.3, 1.0, 1.8],
+    )

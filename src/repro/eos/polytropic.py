@@ -1,0 +1,59 @@
+"""Polytropic (isentropic) equation of state: p = K rho^Gamma.
+
+For a polytrope the internal energy is fully determined by the density,
+``eps = K rho^(Gamma-1) / (Gamma - 1)``, so the energy equation is redundant;
+we still expose the full EOS interface so the polytrope can be used anywhere
+an :class:`~repro.eos.base.EOS` is expected (e.g. cold initial data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import EOSError
+from .base import EOS
+
+
+class PolytropicEOS(EOS):
+    """Barotropic EOS p = K rho^Gamma (eps argument is ignored)."""
+
+    name = "polytropic"
+
+    def __init__(self, K: float = 100.0, gamma: float = 2.0):
+        if K <= 0:
+            raise EOSError(f"polytropic K must be positive, got {K}")
+        if gamma <= 1.0:
+            raise EOSError(f"polytropic Gamma must exceed 1, got {gamma}")
+        self.K = float(K)
+        self.gamma = float(gamma)
+
+    def pressure(self, rho, eps=None):
+        return self.K * np.asarray(rho, dtype=float) ** self.gamma
+
+    def eps_from_rho(self, rho):
+        """The isentropic internal energy eps(rho) = K rho^(Gamma-1)/(Gamma-1)."""
+        rho = np.asarray(rho, dtype=float)
+        return self.K * rho ** (self.gamma - 1.0) / (self.gamma - 1.0)
+
+    def eps_from_pressure(self, rho, p):
+        # eps is slaved to rho for a barotrope; p is accepted for interface
+        # compatibility but not used.
+        return self.eps_from_rho(rho)
+
+    def chi(self, rho, eps=None):
+        return self.gamma * self.K * np.asarray(rho, dtype=float) ** (self.gamma - 1.0)
+
+    def kappa(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        return np.zeros_like(rho)
+
+    def enthalpy(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        return 1.0 + self.eps_from_rho(rho) + self.pressure(rho) / rho
+
+    def sound_speed_sq(self, rho, eps=None):
+        rho = np.asarray(rho, dtype=float)
+        return self.chi(rho) / self.enthalpy(rho)
+
+    def __repr__(self):
+        return f"PolytropicEOS(K={self.K}, gamma={self.gamma})"

@@ -1,0 +1,47 @@
+"""Cost-model calibration from short real solver runs.
+
+Runs the RP1 shock tube at two grid sizes with the production
+configuration, measures per-kernel wall time *per call* from the solver's
+timers, and fits the two-parameter kernel model
+``t(n) = overhead + n / throughput`` — so both the streaming cost and the
+NumPy per-call dispatch overhead (which throttles small blocks and the
+strong-scaling tail) are taken from reality. Cached per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.config import SolverConfig
+from ..core.solver import Solver
+from ..eos.ideal import IdealGasEOS
+from ..mesh.grid import Grid
+from ..physics.initial_data import RP1, shock_tube
+from ..physics.srhd import SRHDSystem
+from ..runtime.device import KERNELS
+from ..runtime.perfmodel import KernelCostModel
+
+
+def _measure_per_call(n_cells: int, n_steps: int) -> dict[str, float]:
+    """Seconds per kernel call at one grid size (1-D: one call per stage)."""
+    eos = IdealGasEOS(gamma=RP1.gamma)
+    system = SRHDSystem(eos, ndim=1)
+    grid = Grid((n_cells,), ((0.0, 1.0),))
+    solver = Solver(system, grid, shock_tube(system, grid, RP1), SolverConfig())
+    solver.step()  # warm-up: kernel caches, allocator
+    solver.timers.reset()
+    solver.run(t_final=RP1.t_final, max_steps=n_steps)
+    return {k: solver.timers[k].mean for k in KERNELS}
+
+
+@lru_cache(maxsize=4)
+def calibrated_cost_model(
+    n_small: int = 200, n_big: int = 3200, n_steps: int = 30
+) -> KernelCostModel:
+    """Two-point calibrated kernel cost model (overhead + throughput)."""
+    small = (n_small, _measure_per_call(n_small, n_steps))
+    big = (n_big, _measure_per_call(n_big, n_steps))
+    eos_nvars = 5  # bytes-per-cell default sized for the 3-D state
+    return KernelCostModel.from_two_point_calibration(
+        small, big, bytes_per_cell=eos_nvars * 8
+    )

@@ -1,0 +1,84 @@
+"""AMR efficiency experiment E11 (Table IV).
+
+Runs the same problem three ways — coarse unigrid, fine unigrid, AMR with
+the fine level available where flagged — and reports error vs cell-updates
+vs modelled compute time. The AMR row should land near the fine-unigrid
+error at a fraction of its work.
+"""
+
+from __future__ import annotations
+
+from ..analysis import relative_l1_error
+from ..core.amr_solver import AMRConfig, AMRSolver
+from ..core.config import SolverConfig
+from ..core.solver import Solver
+from ..eos.ideal import IdealGasEOS
+from ..mesh.grid import Grid
+from ..physics.exact_riemann import ExactRiemannSolver
+from ..physics.initial_data import RP1, shock_tube
+from ..physics.srhd import SRHDSystem
+from ..runtime.perfmodel import KernelCostModel
+from .calibrate import calibrated_cost_model
+from .report import Report
+
+
+def experiment_e11_amr_efficiency(
+    root_n: int = 64,
+    max_levels: int = 3,
+    problem=RP1,
+    model: KernelCostModel | None = None,
+) -> Report:
+    """Table IV: AMR vs unigrid — error, cell updates, modelled time."""
+    model = model or calibrated_cost_model()
+    eos = IdealGasEOS(gamma=problem.gamma)
+    system = SRHDSystem(eos, ndim=1)
+    exact = ExactRiemannSolver(problem.left, problem.right, problem.gamma)
+    fine_n = root_n * 2 ** (max_levels - 1)
+    config = SolverConfig(cfl=0.4)
+
+    report = Report(
+        experiment="E11 (Table IV)",
+        title=f"AMR vs unigrid on {problem.name} (root N={root_n}, "
+        f"{max_levels} levels)",
+        headers=["configuration", "rel_L1(rho)", "cell_updates", "model_time_s"],
+    )
+
+    def unigrid_row(name, n):
+        grid = Grid((n,), ((0.0, 1.0),))
+        solver = Solver(system, grid, shock_tube(system, grid, problem), config)
+        solver.run(t_final=problem.t_final)
+        rho_e, _, _ = exact.solution_on_grid(grid.coords(0), problem.t_final, problem.x0)
+        err = relative_l1_error(solver.interior_primitives()[0], rho_e)
+        updates = grid.n_cells * solver.summary.steps * solver.integrator.stages
+        # Modelled compute time: per-cell kernel pipeline on the CPU model.
+        t_model = model.step_time(model.cpu, grid.n_cells) * solver.summary.steps / 3 * 3
+        report.add_row(name, err, updates, t_model)
+        return err, updates
+
+    unigrid_row(f"unigrid N={root_n}", root_n)
+    err_fine, updates_fine = unigrid_row(f"unigrid N={fine_n}", fine_n)
+
+    amr = AMRSolver(
+        system,
+        Grid((root_n,), ((0.0, 1.0),)),
+        lambda s, g: shock_tube(s, g, problem),
+        config,
+        AMRConfig(block_size=16, max_levels=max_levels, refine_threshold=0.05),
+    )
+    amr.run(t_final=problem.t_final)
+    grid_f, prim_f = amr.composite_primitives()
+    rho_e, _, _ = exact.solution_on_grid(grid_f.coords(0), problem.t_final, problem.x0)
+    err_amr = relative_l1_error(prim_f[0], rho_e)
+    t_amr = (
+        model.step_time(model.cpu, amr.cells_updated // max(amr.steps, 1) // 3)
+        * amr.steps
+    )
+    report.add_row(
+        f"AMR {max_levels} levels", err_amr, amr.cells_updated, t_amr
+    )
+    report.add_note(
+        f"AMR error / fine-unigrid error = {err_amr / err_fine:.2f}; "
+        f"AMR updates / fine updates = {amr.cells_updated / updates_fine:.2f}"
+    )
+    report.add_note(f"final leaf distribution: {amr.leaf_count_by_level()}")
+    return report

@@ -1,0 +1,246 @@
+"""Heterogeneous-computing experiments E6-E10: scaling, device speedups,
+scheduler comparison, communication overlap.
+
+All cluster quantities are simulated via the calibrated cost model (see
+DESIGN.md section 2); the decomposition geometry and message sizes come
+from the real distributed code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.grid import Grid
+from ..runtime.cluster import cpu_cluster, gpu_cluster, imbalanced_node
+from ..runtime.dag import TaskGraph
+from ..runtime.device import KERNELS
+from ..runtime.perfmodel import KernelCostModel
+from ..runtime.scheduler import make_scheduler
+from ..runtime.simulator import ClusterSimulator
+from ..runtime.task import Task
+from .calibrate import calibrated_cost_model
+from .report import Report
+from .scaling import efficiencies, simulate_step, speedups, strong_scaling, weak_scaling
+
+
+def experiment_e6_strong_scaling(
+    grid_shape=(1024, 1024),
+    node_counts=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    model: KernelCostModel | None = None,
+) -> Report:
+    """Figure 4: strong scaling, CPU-only vs CPU+GPU clusters."""
+    model = model or calibrated_cost_model()
+    grid = Grid(grid_shape, tuple((0.0, 1.0) for _ in grid_shape))
+    cpu_costs = strong_scaling(
+        grid, node_counts, lambda n: cpu_cluster(n, model), model, prefer_gpu=False
+    )
+    gpu_costs = strong_scaling(
+        grid, node_counts, lambda n: gpu_cluster(n, model), model, prefer_gpu=True
+    )
+    report = Report(
+        experiment="E6 (Fig. 4)",
+        title=f"Strong scaling of one hydro step, global grid {grid_shape}",
+        headers=[
+            "nodes",
+            "cpu_time_s",
+            "cpu_speedup",
+            "cpu_eff",
+            "gpu_time_s",
+            "gpu_speedup",
+            "gpu_eff",
+        ],
+    )
+    cpu_sp, cpu_eff = speedups(cpu_costs), efficiencies(cpu_costs)
+    gpu_sp, gpu_eff = speedups(gpu_costs), efficiencies(gpu_costs)
+    for i, n in enumerate(node_counts):
+        report.add_row(
+            n,
+            cpu_costs[i].total_s,
+            cpu_sp[i],
+            cpu_eff[i],
+            gpu_costs[i].total_s,
+            gpu_sp[i],
+            gpu_eff[i],
+        )
+    report.add_note(
+        "GPU nodes are faster in absolute time but lose efficiency earlier: "
+        "fixed per-node work shrinks until launch overhead + halo dominate"
+    )
+    return report
+
+
+def experiment_e7_weak_scaling(
+    cells_per_node_axis: int = 256,
+    node_counts=(1, 4, 16, 64, 256),
+    model: KernelCostModel | None = None,
+) -> Report:
+    """Figure 5: weak scaling efficiency at fixed per-node work."""
+    model = model or calibrated_cost_model()
+    cpu_costs = weak_scaling(
+        cells_per_node_axis, node_counts, lambda n: cpu_cluster(n, model), model,
+        prefer_gpu=False,
+    )
+    gpu_costs = weak_scaling(
+        cells_per_node_axis, node_counts, lambda n: gpu_cluster(n, model), model,
+        prefer_gpu=True,
+    )
+    report = Report(
+        experiment="E7 (Fig. 5)",
+        title=(
+            f"Weak scaling, {cells_per_node_axis}^2 cells per node"
+        ),
+        headers=["nodes", "cpu_time_s", "cpu_eff", "gpu_time_s", "gpu_eff"],
+    )
+    cpu_eff = efficiencies(cpu_costs, mode="weak")
+    gpu_eff = efficiencies(gpu_costs, mode="weak")
+    for i, n in enumerate(node_counts):
+        report.add_row(
+            n, cpu_costs[i].total_s, cpu_eff[i], gpu_costs[i].total_s, gpu_eff[i]
+        )
+    report.add_note(
+        "efficiency decays with the allreduce log(P) term and halo growth; "
+        "flat curves = good weak scaling"
+    )
+    return report
+
+
+def experiment_e8_kernel_speedups(
+    block_cells: int = 256 * 256, model: KernelCostModel | None = None
+) -> Report:
+    """Table III: per-kernel GPU:CPU speedup (calibrated CPU, modelled GPU)."""
+    model = model or calibrated_cost_model()
+    gpu = model.gpu()
+    report = Report(
+        experiment="E8 (Table III)",
+        title=f"Per-kernel device times for a {block_cells}-cell block",
+        headers=["kernel", "cpu_ms", "gpu_ms", "speedup"],
+    )
+    for kernel in KERNELS:
+        t_cpu = model.cpu.kernel_time(kernel, block_cells)
+        t_gpu = gpu.kernel_time(kernel, block_cells)
+        report.add_row(kernel, t_cpu * 1e3, t_gpu * 1e3, t_cpu / t_gpu)
+    step_cpu = model.step_time(model.cpu, block_cells)
+    step_gpu = model.step_time(gpu, block_cells) + model.transfer_time(
+        gpu, block_cells
+    )
+    report.add_row("full step (+PCIe)", step_cpu * 1e3, step_gpu * 1e3, step_cpu / step_gpu)
+    report.add_note(
+        "streaming kernels get full memory-bandwidth ratios; the divergent "
+        "con2prim Newton iteration benefits least"
+    )
+    return report
+
+
+def _hydro_step_dag(n_blocks: int, cells_per_block: int, seed: int = 0) -> TaskGraph:
+    """Task DAG of one hydro step over blocks: per-block kernel chains with
+    a halo-dependency wavefront between neighbouring blocks."""
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for b in range(n_blocks):
+        # Mild size imbalance mimics AMR blocks at mixed levels.
+        n = int(cells_per_block * rng.uniform(0.5, 1.5))
+        tasks.append(Task(id=f"c2p-{b}", kernel="con2prim", n_cells=n, block=b))
+        halo_deps = [f"c2p-{b}"]
+        for nbr in (b - 1, b + 1):
+            if 0 <= nbr < n_blocks:
+                halo_deps.append(f"c2p-{nbr}")
+        tasks.append(
+            Task(
+                id=f"recon-{b}", kernel="reconstruct", n_cells=n,
+                deps=tuple(halo_deps), block=b,
+            )
+        )
+        tasks.append(
+            Task(id=f"rie-{b}", kernel="riemann", n_cells=n, deps=(f"recon-{b}",), block=b)
+        )
+        tasks.append(
+            Task(id=f"upd-{b}", kernel="update", n_cells=n, deps=(f"rie-{b}",), block=b)
+        )
+    return TaskGraph(tasks)
+
+
+def experiment_e9_schedulers(
+    n_blocks: int = 32,
+    cells_per_block: int = 64 * 64,
+    slow_factors=(1.0, 2.0, 4.0, 8.0),
+    model: KernelCostModel | None = None,
+) -> Report:
+    """Figure 6: scheduler makespan on increasingly imbalanced nodes."""
+    model = model or calibrated_cost_model()
+
+    def cost(task, device):
+        return device.kernel_time(task.kernel, task.n_cells)
+
+    report = Report(
+        experiment="E9 (Fig. 6)",
+        title=f"Scheduler comparison, {n_blocks} blocks on a CPU+GPU node",
+        headers=[
+            "slow_factor",
+            "static_ms",
+            "dynamic_ms",
+            "stealing_ms",
+            "static_imb",
+            "dynamic_imb",
+            "stealing_imb",
+        ],
+    )
+    for sf in slow_factors:
+        node = imbalanced_node(model, slow_factor=sf)
+        spans, imbs = {}, {}
+        for name in ("static", "dynamic", "work-stealing"):
+            graph = _hydro_step_dag(n_blocks, cells_per_block)
+            sim = ClusterSimulator(list(node.devices), cost, make_scheduler(name))
+            tl = sim.run(graph)
+            spans[name] = tl.makespan * 1e3
+            imbs[name] = tl.imbalance()
+        report.add_row(
+            sf,
+            spans["static"],
+            spans["dynamic"],
+            spans["work-stealing"],
+            imbs["static"],
+            imbs["dynamic"],
+            imbs["work-stealing"],
+        )
+    report.add_note(
+        "static strands half the blocks on the slow device; dynamic and "
+        "work-stealing track the device speed ratio"
+    )
+    return report
+
+
+def experiment_e10_overlap(
+    node_counts=(16, 64, 256, 1024, 4096),
+    grid_shape=(2048, 2048),
+    interconnect: str = "ethernet-10g",
+    model: KernelCostModel | None = None,
+) -> Report:
+    """Figure 7: communication/computation overlap benefit vs node count.
+
+    Run on the slower fabric preset by default: a fat-tree InfiniBand keeps
+    the halo fraction of this stencil under 1% until extreme node counts,
+    which is itself a finding the strong-scaling figure already shows.
+    """
+    model = model or calibrated_cost_model()
+    grid = Grid(grid_shape, tuple((0.0, 1.0) for _ in grid_shape))
+    report = Report(
+        experiment="E10 (Fig. 7)",
+        title=(
+            f"Halo-exchange overlap benefit, global grid {grid_shape}, "
+            f"{interconnect}"
+        ),
+        headers=["nodes", "no_overlap_s", "overlap_s", "saving_pct", "halo_frac_pct"],
+    )
+    for n in node_counts:
+        cluster = gpu_cluster(n, model, interconnect=interconnect)
+        plain = simulate_step(grid, cluster, model, overlap=False)
+        lapped = simulate_step(grid, cluster, model, overlap=True)
+        saving = (1.0 - lapped.total_s / plain.total_s) * 100.0
+        halo_frac = plain.halo_s / plain.total_s * 100.0
+        report.add_row(n, plain.total_s, lapped.total_s, saving, halo_frac)
+    report.add_note(
+        "overlap recovers most of the halo cost while compute per node still "
+        "exceeds the exchange time; at extreme node counts nothing is left "
+        "to hide behind"
+    )
+    return report

@@ -1,0 +1,71 @@
+"""Paper-shaped report rendering: tables (rows) and figure series.
+
+Every experiment driver returns a :class:`Report`; benchmarks print it so
+the regenerated numbers appear in the same rows/series layout as the
+original table or figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..utils.errors import ConfigurationError
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Report:
+    """A titled table of results (one per experiment)."""
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one named column."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no column {name!r}; have {list(self.headers)}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "  "
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(sep.join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep.join("-" * w for w in widths))
+        for row in cells:
+            lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Checkpoint/restart for solver runs.
+
+Long cluster campaigns live and die by restart capability; this module
+serializes the full state of the unigrid and AMR solvers to ``.npz``
+archives (portable, dependency-free) and restores them exactly — the
+restarted evolution is bit-identical to an uninterrupted one (tested).
+
+Format (unigrid), one compressed npz:
+
+- ``meta``: json-encoded dict (format version, t, steps, grid geometry,
+  solver config, EOS descriptor)
+- ``cons``: the ghosted conserved state array
+
+AMR checkpoints add per-leaf entries ``leaf_<level>_<idx...>`` plus the
+forest topology in ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from ..core.amr_solver import AMRConfig, AMRSolver
+from ..core.config import SolverConfig
+from ..core.solver import Solver
+from ..mesh.amr.blocks import BlockKey
+from ..mesh.grid import Grid
+from ..utils.errors import ConfigurationError
+
+FORMAT_VERSION = 1
+
+
+def _quiescent_prim(system, grid: Grid) -> np.ndarray:
+    """Physically admissible placeholder state (rho = p = 1, v = 0)."""
+    prim = grid.allocate(system.nvars, fill=0.0)
+    prim[system.RHO] = 1.0
+    prim[system.P] = 1.0
+    return prim
+
+
+def _grid_meta(grid: Grid) -> dict:
+    return {
+        "shape": list(grid.shape),
+        "bounds": [list(b) for b in grid.bounds],
+        "n_ghost": grid.n_ghost,
+    }
+
+
+def _grid_from_meta(meta: dict) -> Grid:
+    return Grid(
+        tuple(meta["shape"]),
+        tuple(tuple(b) for b in meta["bounds"]),
+        n_ghost=meta["n_ghost"],
+    )
+
+
+def save_checkpoint(solver: Solver, path) -> None:
+    """Write a unigrid solver's full state to *path* (.npz)."""
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "unigrid",
+        "t": solver.t,
+        "steps": solver.summary.steps,
+        "grid": _grid_meta(solver.grid),
+        "config": solver.config.to_dict(),
+        "ndim": solver.system.ndim,
+    }
+    arrays = {"cons": solver.cons}
+    # The con2prim warm-start cache participates in bit-exact restart: a
+    # cold-started Newton lands within tolerance but not on the identical
+    # bits, which would fork the trajectory.
+    p_cache = solver.pipeline._p_cache
+    if p_cache is not None:
+        arrays["p_cache"] = p_cache
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+
+
+def load_checkpoint(path, system, boundaries=None) -> Solver:
+    """Reconstruct a unigrid solver from a checkpoint.
+
+    The physics (*system*) and boundary conditions are code, not data, so
+    the caller supplies them; geometry, configuration, time, and the
+    conserved state come from the archive.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format") != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint format {meta.get('format')!r}"
+            )
+        if meta.get("kind") != "unigrid":
+            raise ConfigurationError(
+                f"checkpoint holds a {meta.get('kind')!r} run, not unigrid"
+            )
+        if meta["ndim"] != system.ndim:
+            raise ConfigurationError(
+                f"checkpoint is {meta['ndim']}D, system is {system.ndim}D"
+            )
+        grid = _grid_from_meta(meta["grid"])
+        config = SolverConfig(**meta["config"])
+        cons = np.array(data["cons"])
+        p_cache = np.array(data["p_cache"]) if "p_cache" in data else None
+
+    # Build the solver through a quiescent placeholder state, then install
+    # the checkpointed conserved variables verbatim.
+    prim_placeholder = _quiescent_prim(system, grid)
+    solver = Solver(system, grid, prim_placeholder, config, boundaries)
+    solver.cons = cons
+    solver.pipeline._p_cache = p_cache
+    solver._prim_dirty = True
+    solver.t = meta["t"]
+    solver.summary.steps = meta["steps"]
+    return solver
+
+
+def save_amr_checkpoint(solver: AMRSolver, path) -> None:
+    """Write an AMR solver's leaves and topology to *path* (.npz)."""
+    leaves = sorted(solver.forest.leaves, key=lambda k: (k.level, k.idx))
+    meta = {
+        "format": FORMAT_VERSION,
+        "kind": "amr",
+        "t": solver.t,
+        "steps": solver.steps,
+        "cells_updated": solver.cells_updated,
+        "regrids": solver.regrids,
+        "root_grid": _grid_meta(solver.layout.root_grid),
+        "config": solver.config.to_dict(),
+        "amr": solver.amr.to_dict(),
+        "ndim": solver.system.ndim,
+        "leaves": [[k.level, list(k.idx)] for k in leaves],
+        "refined": [[k.level, list(k.idx)] for k in sorted(
+            solver.forest.refined, key=lambda k: (k.level, k.idx)
+        )],
+    }
+    arrays = {}
+    for key in leaves:
+        name = f"leaf_{key.level}_" + "_".join(map(str, key.idx))
+        arrays[name] = solver.forest.leaves[key].cons
+        pipe = solver._pipelines.get(key)
+        if pipe is not None and pipe._p_cache is not None:
+            arrays["pcache_" + name] = pipe._p_cache
+    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+
+
+def load_amr_checkpoint(path, system, boundaries=None) -> AMRSolver:
+    """Reconstruct an AMR solver (topology + leaf states) from *path*."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("kind") != "amr":
+            raise ConfigurationError(
+                f"checkpoint holds a {meta.get('kind')!r} run, not amr"
+            )
+        if meta["ndim"] != system.ndim:
+            raise ConfigurationError(
+                f"checkpoint is {meta['ndim']}D, system is {system.ndim}D"
+            )
+        root = _grid_from_meta(meta["root_grid"])
+        config = SolverConfig(**meta["config"])
+        amr_cfg = AMRConfig(**meta["amr"])
+
+        def flat_ic(sys, grid):
+            return _quiescent_prim(sys, grid)
+
+        solver = AMRSolver(
+            system,
+            root,
+            flat_ic,
+            config,
+            amr_cfg.replace(initial_regrid_passes=0),
+            boundaries,
+        )
+        # Rebuild the exact topology.
+        solver.forest.leaves.clear()
+        solver.forest.refined = {
+            BlockKey(level, tuple(idx)) for level, idx in meta["refined"]
+        }
+        solver._pipelines.clear()
+        from ..mesh.amr.blocks import LeafBlock
+
+        for level, idx in meta["leaves"]:
+            key = BlockKey(level, tuple(idx))
+            name = f"leaf_{level}_" + "_".join(map(str, idx))
+            cons = np.array(data[name])
+            grid = solver.layout.grid_for(key)
+            solver.forest.leaves[key] = LeafBlock(key, grid, cons)
+            if "pcache_" + name in data:
+                pipe = solver._pipeline(key)
+                pipe._p_cache = np.array(data["pcache_" + name])
+        solver.t = meta["t"]
+        solver.steps = meta["steps"]
+        solver.cells_updated = meta["cells_updated"]
+        solver.regrids = meta["regrids"]
+    return solver

@@ -1,0 +1,77 @@
+"""Solution output: portable snapshots and 1-D curve files.
+
+Snapshots store a grid's geometry plus the interior primitive fields in a
+``.npz`` archive; curves write plain text columns (gnuplot/np.loadtxt
+friendly) for quick profile comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..mesh.grid import Grid
+from ..utils.errors import ConfigurationError
+
+
+def save_solution(path, grid: Grid, prim_interior: np.ndarray, t: float,
+                  field_names=None) -> None:
+    """Write an interior primitive snapshot to *path* (.npz)."""
+    if prim_interior.shape[1:] != grid.shape:
+        raise ConfigurationError(
+            f"field shape {prim_interior.shape[1:]} != grid {grid.shape}"
+        )
+    meta = {
+        "t": t,
+        "shape": list(grid.shape),
+        "bounds": [list(b) for b in grid.bounds],
+        "n_ghost": grid.n_ghost,
+        "fields": list(field_names)
+        if field_names is not None
+        else [f"var{i}" for i in range(prim_interior.shape[0])],
+    }
+    np.savez_compressed(path, meta=json.dumps(meta), prim=prim_interior)
+
+
+def load_solution(path):
+    """Read a snapshot; returns (grid, prim_interior, t, field_names)."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        grid = Grid(
+            tuple(meta["shape"]),
+            tuple(tuple(b) for b in meta["bounds"]),
+            n_ghost=meta["n_ghost"],
+        )
+        prim = np.array(data["prim"])
+    return grid, prim, meta["t"], meta["fields"]
+
+
+def write_curve(path, columns: dict, comment: str = "") -> None:
+    """Write named 1-D columns as whitespace-separated text."""
+    names = list(columns)
+    arrays = [np.asarray(columns[n], dtype=float) for n in names]
+    length = arrays[0].size
+    if any(a.ndim != 1 or a.size != length for a in arrays):
+        raise ConfigurationError("all columns must be 1-D and equal length")
+    with open(path, "w") as fh:
+        if comment:
+            fh.write(f"# {comment}\n")
+        fh.write("# " + " ".join(names) + "\n")
+        for row in zip(*arrays):
+            fh.write(" ".join(f"{v:.12e}" for v in row) + "\n")
+
+
+def read_curve(path):
+    """Read a curve file back; returns {name: array}."""
+    with open(path) as fh:
+        names = None
+        for line in fh:
+            if line.startswith("#"):
+                names = line[1:].split()
+            else:
+                break
+    data = np.loadtxt(path, ndmin=2)
+    if names is None or len(names) != data.shape[1]:
+        names = [f"col{i}" for i in range(data.shape[1])]
+    return {name: data[:, i] for i, name in enumerate(names)}

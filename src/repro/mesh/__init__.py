@@ -1,0 +1,6 @@
+"""Meshes: uniform ghosted grids, decomposition, block-structured AMR."""
+
+from .decomposition import CartesianDecomposition, balanced_split, choose_dims
+from .grid import Grid
+
+__all__ = ["Grid", "CartesianDecomposition", "balanced_split", "choose_dims"]

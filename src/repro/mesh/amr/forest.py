@@ -1,0 +1,232 @@
+"""The AMR forest: leaf bookkeeping, refinement topology, and ghost fill.
+
+Topology is a 2^d-tree over fixed-size blocks (see
+:mod:`~repro.mesh.amr.blocks`). Ghost zones of every leaf are filled from
+*composite level arrays*: a uniform snapshot of the solution is assembled
+per refinement level (coarse levels by restriction of finer leaves, fine
+levels by prolongation of the next-coarser composite, leaf footprints
+deposited verbatim), and each leaf copies its halo from the composite at
+its own level. This handles same-level faces, coarse-fine faces, corners,
+and physical walls through a single code path.
+
+Production codes exchange ghosts neighbour-to-neighbour instead; the
+composite construction trades asymptotic cost for exactness and simplicity
+on this substrate (see DESIGN.md section 2). The *evolved* work — the
+quantity the AMR-efficiency experiment counts — is per-leaf only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...boundary.conditions import BoundarySet
+from ...physics.srhd import SRHDSystem
+from ...utils.errors import MeshError
+from ..grid import Grid
+from .blocks import BlockKey, BlockLayout, LeafBlock
+from .transfer import prolong_array, restrict_array
+
+
+class AMRForest:
+    """Leaf set plus refinement topology over a :class:`BlockLayout`."""
+
+    def __init__(self, layout: BlockLayout, max_levels: int = 3):
+        if max_levels < 1:
+            raise MeshError("max_levels must be >= 1")
+        self.layout = layout
+        self.max_levels = max_levels  # levels 0 .. max_levels-1
+        self.leaves: dict[BlockKey, LeafBlock] = {}
+        self.refined: set[BlockKey] = set()
+
+    # -- topology -----------------------------------------------------------
+
+    def is_leaf(self, key: BlockKey) -> bool:
+        return key in self.leaves
+
+    def finest_level(self) -> int:
+        return max((k.level for k in self.leaves), default=0)
+
+    def n_leaf_cells(self) -> int:
+        return len(self.leaves) * self.layout.cells_per_block()
+
+    def add_leaf(self, key: BlockKey, cons: np.ndarray) -> LeafBlock:
+        if key in self.leaves or key in self.refined:
+            raise MeshError(f"block {key} already present")
+        if key.level >= self.max_levels:
+            raise MeshError(f"block {key} exceeds max level {self.max_levels - 1}")
+        leaf = LeafBlock(key, self.layout.grid_for(key), cons)
+        self.leaves[key] = leaf
+        return leaf
+
+    def split(self, key: BlockKey, child_cons: dict[BlockKey, np.ndarray]) -> None:
+        """Replace leaf *key* by its 2^d children (data supplied by caller)."""
+        if key not in self.leaves:
+            raise MeshError(f"cannot split non-leaf {key}")
+        children = key.children()
+        if set(child_cons) != set(children):
+            raise MeshError(f"split of {key} must supply all children")
+        del self.leaves[key]
+        self.refined.add(key)
+        for child in children:
+            self.add_leaf(child, child_cons[child])
+
+    def merge(self, parent: BlockKey, parent_cons: np.ndarray) -> None:
+        """Replace the 2^d children of *parent* by the parent leaf."""
+        children = parent.children()
+        if not all(c in self.leaves for c in children):
+            raise MeshError(f"cannot merge {parent}: children are not all leaves")
+        if parent not in self.refined:
+            raise MeshError(f"{parent} is not a refined block")
+        for c in children:
+            del self.leaves[c]
+        self.refined.discard(parent)
+        self.add_leaf(parent, parent_cons)
+
+    def max_adjacent_level(self, key: BlockKey, axis: int, side: int) -> int | None:
+        """Finest leaf level touching face (axis, side) of *key*, or None at
+        a domain wall."""
+        nbr = key.neighbor(axis, side)
+        if not self.layout.in_domain(nbr):
+            return None
+        # Walk up to the covering ancestor if the same-level key is absent.
+        probe = nbr
+        while probe.level > 0 and probe not in self.leaves and probe not in self.refined:
+            probe = probe.parent()
+        if probe in self.leaves:
+            return probe.level
+        if probe not in self.refined:
+            raise MeshError(f"no block covers {nbr}")
+        # Descend through refined blocks along the shared face.
+        level = probe.level
+        frontier = [probe]
+        touching_side = 1 - side  # children of the neighbour facing us
+        while frontier:
+            nxt = []
+            for blk in frontier:
+                for child in blk.children():
+                    if child.child_offset()[axis] != touching_side:
+                        continue
+                    if child in self.leaves:
+                        level = max(level, child.level)
+                    elif child in self.refined:
+                        nxt.append(child)
+            frontier = nxt
+        return level
+
+    def is_balanced(self) -> bool:
+        """2:1 face balance: adjacent leaves differ by at most one level."""
+        for key in self.leaves:
+            for axis in range(self.layout.ndim):
+                for side in (0, 1):
+                    adj = self.max_adjacent_level(key, axis, side)
+                    if adj is not None and adj > key.level + 1:
+                        return False
+        return True
+
+    def unbalanced_leaves(self) -> list[BlockKey]:
+        out = []
+        for key in self.leaves:
+            for axis in range(self.layout.ndim):
+                for side in (0, 1):
+                    adj = self.max_adjacent_level(key, axis, side)
+                    if adj is not None and adj > key.level + 1:
+                        out.append(key)
+                        break
+                else:
+                    continue
+                break
+        return out
+
+    # -- composite levels and ghost fill -----------------------------------------
+
+    def composite_levels(
+        self,
+        fields: dict[BlockKey, np.ndarray],
+        nvars: int,
+        system: SRHDSystem,
+        wall_bcs: BoundarySet,
+        up_to_level: int | None = None,
+    ) -> list[tuple[Grid, np.ndarray]]:
+        """Uniform (grid, ghosted-array) snapshots per level, 0..finest.
+
+        *fields* maps every leaf to its ghosted per-leaf array (typically
+        primitives); only interiors are consumed.
+        """
+        finest = self.finest_level() if up_to_level is None else up_to_level
+        root = self.layout.root_grid
+        out: list[tuple[Grid, np.ndarray]] = []
+        for level in range(finest + 1):
+            grid = root.refined(2**level) if level else root
+            arr = grid.allocate(nvars)
+            if level == 0:
+                # Everything restricted down to the root resolution.
+                for key, leaf in self.leaves.items():
+                    data = self.layout_interior(fields[key], leaf.grid)
+                    for _ in range(key.level):
+                        data = restrict_array(data, self.layout.ndim)
+                    self._deposit(arr, grid, key, 0, data)
+            else:
+                prev_grid, prev = out[level - 1]
+                # Prolong the previous composite (interior + 1-ring pad).
+                g = prev_grid.n_ghost
+                pad = tuple(
+                    slice(g - 1, g + n + 1) for n in prev_grid.shape
+                )
+                fine = prolong_array(prev[(slice(None),) + pad], self.layout.ndim)
+                grid.interior_of(arr)[...] = fine
+                # Overwrite with real data wherever leaves at >= this level live.
+                for key, leaf in self.leaves.items():
+                    if key.level < level:
+                        continue
+                    data = self.layout_interior(fields[key], leaf.grid)
+                    for _ in range(key.level - level):
+                        data = restrict_array(data, self.layout.ndim)
+                    self._deposit(arr, grid, key, level, data)
+            wall_bcs.apply(system, grid, arr)
+            out.append((grid, arr))
+        return out
+
+    @staticmethod
+    def layout_interior(field: np.ndarray, grid: Grid) -> np.ndarray:
+        return grid.interior_of(field)
+
+    def _deposit(
+        self, arr: np.ndarray, grid: Grid, key: BlockKey, level: int, data: np.ndarray
+    ) -> None:
+        """Write block data (already at *level* resolution) into the
+        composite array's interior."""
+        if level > key.level:
+            raise MeshError("deposit data must be at or below the leaf level")
+        # Footprint of the block in composite-level cells.
+        size = self.layout.block_size // (2 ** (key.level - level))
+        g = grid.n_ghost
+        idx = [slice(None)]
+        for ax in range(self.layout.ndim):
+            lo = key.idx[ax] * size
+            idx.append(slice(g + lo, g + lo + size))
+        arr[tuple(idx)] = data
+
+    def fill_ghosts(
+        self,
+        fields: dict[BlockKey, np.ndarray],
+        nvars: int,
+        system: SRHDSystem,
+        wall_bcs: BoundarySet,
+    ) -> None:
+        """Fill every leaf's ghost zones in place from the composites."""
+        composites = self.composite_levels(fields, nvars, system, wall_bcs)
+        g = self.layout.n_ghost
+        B = self.layout.block_size
+        for key, leaf in self.leaves.items():
+            comp_grid, comp = composites[key.level]
+            idx = [slice(None)]
+            for ax in range(self.layout.ndim):
+                lo = key.idx[ax] * B  # block origin in level interior cells
+                # Copy footprint +- g (ghosted block) from the composite,
+                # whose own ghosts cover the domain boundary overhang.
+                idx.append(slice(lo, lo + B + 2 * g))
+            block_view = comp[tuple(idx)]
+            # Preserve the leaf interior (it is the authoritative data).
+            interior = leaf.grid.interior_of(fields[key]).copy()
+            fields[key][...] = block_view
+            leaf.grid.interior_of(fields[key])[...] = interior

@@ -1,0 +1,39 @@
+"""SRHD physics: conservation-law system, recovery, exact solutions, data."""
+
+from .atmosphere import Atmosphere
+from .con2prim import RecoveryStats, con_to_prim
+from .exact_riemann import ExactRiemannSolver, RiemannState
+from .initial_data import (
+    RP1,
+    RP2,
+    SHOCK_TUBES,
+    JetInflow,
+    ShockTubeProblem,
+    blast_wave_2d,
+    kelvin_helmholtz_2d,
+    relativistic_jet_inflow,
+    shock_tube,
+    smooth_wave,
+)
+from .srhd import SRHDSystem
+from .tracers import TracerSystem
+
+__all__ = [
+    "SRHDSystem",
+    "TracerSystem",
+    "con_to_prim",
+    "RecoveryStats",
+    "Atmosphere",
+    "ExactRiemannSolver",
+    "RiemannState",
+    "ShockTubeProblem",
+    "RP1",
+    "RP2",
+    "SHOCK_TUBES",
+    "shock_tube",
+    "smooth_wave",
+    "blast_wave_2d",
+    "kelvin_helmholtz_2d",
+    "relativistic_jet_inflow",
+    "JetInflow",
+]

@@ -1,0 +1,72 @@
+"""Atmosphere (floor) treatment for near-vacuum regions.
+
+HRSC schemes for relativistic hydrodynamics cannot evolve true vacuum: the
+conservative-to-primitive map degenerates as ``D -> 0``. Production codes
+impose a tenuous static *atmosphere*: wherever the evolved density falls
+below a threshold, the state is reset to a low-density fluid at rest.  This
+module applies that policy to primitive and conserved states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .srhd import SRHDSystem
+
+
+@dataclass(frozen=True)
+class Atmosphere:
+    """Floor parameters.
+
+    Attributes
+    ----------
+    rho_atmo:
+        Rest-mass density assigned to atmosphere cells.
+    threshold_factor:
+        Cells with ``rho < threshold_factor * rho_atmo`` are reset.
+    p_atmo:
+        Pressure assigned to atmosphere cells (defaults to a cold value
+        consistent with ``rho_atmo`` if not given).
+    """
+
+    rho_atmo: float = 1e-10
+    threshold_factor: float = 10.0
+    p_atmo: float = 1e-12
+
+    def apply_prim(self, system: SRHDSystem, prim: np.ndarray) -> np.ndarray:
+        """Reset sub-threshold cells of a primitive state in place.
+
+        Returns the boolean mask of cells that were reset (useful for
+        diagnostics and tests).
+        """
+        mask = prim[system.RHO] < self.threshold_factor * self.rho_atmo
+        if mask.any():
+            prim[system.RHO][mask] = self.rho_atmo
+            for ax in range(system.ndim):
+                prim[system.V(ax)][mask] = 0.0
+            prim[system.P][mask] = self.p_atmo
+        # Independently floor the pressure everywhere (shock heating can
+        # produce transient negative-pressure undershoots at high W).
+        np.maximum(prim[system.P], self.p_atmo, out=prim[system.P])
+        np.maximum(prim[system.RHO], self.rho_atmo, out=prim[system.RHO])
+        return mask
+
+    def apply_cons(self, system: SRHDSystem, cons: np.ndarray) -> np.ndarray:
+        """Floor the conserved density/energy in place before recovery.
+
+        Guards the con2prim solve against unphysical ``D <= 0`` or
+        ``tau < 0`` produced by aggressive reconstruction near vacuum.
+        Returns the mask of modified cells.
+        """
+        bad_d = cons[system.D] < self.rho_atmo
+        bad_tau = cons[system.TAU] < self.p_atmo
+        mask = bad_d | bad_tau
+        if mask.any():
+            cons[system.D][bad_d] = self.rho_atmo
+            cons[system.TAU][bad_tau] = self.p_atmo
+            # Zero momentum in fully-floored cells to keep v well below 1.
+            for ax in range(system.ndim):
+                cons[system.S(ax)][bad_d] = 0.0
+        return mask

@@ -1,0 +1,184 @@
+"""Conservative-to-primitive recovery for SRHD (vectorized).
+
+The inversion solves a single nonlinear scalar equation per cell for the
+pressure.  Given conserved ``(D, S_i, tau)`` and a trial pressure ``p``:
+
+.. math::
+
+   Q = \\tau + D + p = \\rho h W^2, \\quad
+   v_i = S_i / Q, \\quad
+   W = (1 - v^2)^{-1/2}, \\quad
+   \\rho = D / W, \\quad
+   \\epsilon = (Q (1 - v^2) - p) / \\rho - 1
+
+and the residual is ``f(p) = p_EOS(rho, eps) - p``.  We run a vectorized
+Newton iteration with the quasi-exact derivative ``f'(p) = v^2 cs^2 - 1``
+(strictly negative, so Newton is monotone-safe) and fall back to bisection
+for any cells that fail to converge — the pattern a production GPU kernel
+uses, since divergent warps make per-cell scalar root-finders prohibitive.
+
+Physical admissibility requires ``|S| < tau + D + p``; the lower pressure
+bracket enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eos.base import EOS
+from ..utils.errors import RecoveryError
+from .srhd import SRHDSystem
+
+
+@dataclass
+class RecoveryStats:
+    """Convergence accounting for one con2prim sweep."""
+
+    n_cells: int = 0
+    n_newton_converged: int = 0
+    n_bisection: int = 0
+    n_failed: int = 0
+    max_iterations: int = 0
+
+
+def _eval_state(eos: EOS, D, S2, tau, p):
+    """Trial primitive state and EOS pressure residual at pressure *p*.
+
+    Returns (rho, eps, v2, residual). All inputs/outputs are arrays.
+    """
+    Q = tau + D + p
+    v2 = np.clip(S2 / Q**2, 0.0, 1.0 - 1e-14)
+    W = 1.0 / np.sqrt(1.0 - v2)
+    rho = D / W
+    eps = np.maximum((Q * (1.0 - v2) - p) / rho - 1.0, 0.0)
+    residual = eos.pressure(rho, eps) - p
+    return rho, eps, v2, residual
+
+
+def _p_lower_bracket(D, S2, tau, p_floor):
+    """Smallest admissible pressure: keeps v < 1 with a safety margin."""
+    return np.maximum((1.0 + 1e-10) * (np.sqrt(S2) - tau - D), p_floor)
+
+
+def con_to_prim(
+    system: SRHDSystem,
+    cons: np.ndarray,
+    p_guess: np.ndarray | None = None,
+    tol: float = 1e-12,
+    max_newton: int = 50,
+    max_bisect: int = 80,
+    p_floor: float = 1e-16,
+    stats: RecoveryStats | None = None,
+) -> np.ndarray:
+    """Invert conserved variables to primitives over a whole grid.
+
+    Parameters
+    ----------
+    system:
+        The SRHD system (supplies the EOS and variable indexing).
+    cons:
+        Conserved state array ``(nvars, *shape)``.
+    p_guess:
+        Optional pressure initial guess (e.g. last step's pressure); a
+        crude estimate is used otherwise.
+    stats:
+        Optional :class:`RecoveryStats` filled with convergence counters.
+
+    Returns
+    -------
+    prim:
+        Primitive array ``(nvars, *shape)``.
+
+    Raises
+    ------
+    RecoveryError
+        If any cell fails both Newton and bisection.
+    """
+    eos = system.eos
+    shape = cons.shape[1:]
+    D = cons[system.D].reshape(-1)
+    tau = cons[system.TAU].reshape(-1)
+    S2 = np.zeros_like(D)
+    for ax in range(system.ndim):
+        S2 += cons[system.S(ax)].reshape(-1) ** 2
+
+    p_lo = _p_lower_bracket(D, S2, tau, p_floor)
+    if p_guess is not None:
+        p = np.maximum(p_guess.reshape(-1).copy(), p_lo)
+    else:
+        # Gamma-law-flavoured seed: thermal pressure of order the kinetic gap.
+        p = np.maximum(np.abs(tau - np.sqrt(S2)) * 0.5 + p_floor, p_lo)
+
+    converged = np.zeros(D.shape, dtype=bool)
+    newton_iters = 0
+    for newton_iters in range(1, max_newton + 1):
+        rho, eps, v2, f = _eval_state(eos, D, S2, tau, p)
+        cs2 = np.clip(eos.sound_speed_sq(rho, np.maximum(eps, 1e-300)), 0.0, 1.0 - 1e-12)
+        newly = np.abs(f) <= tol * np.maximum(p, p_floor)
+        converged |= newly
+        if converged.all():
+            break
+        dfdp = v2 * cs2 - 1.0  # strictly negative
+        step = f / dfdp
+        p_new = p - step
+        # Keep the iterate inside the admissible region.
+        p_new = np.maximum(p_new, 0.5 * (p + p_lo))
+        p = np.where(converged, p, p_new)
+
+    n_bisect = 0
+    if not converged.all():
+        # Bisection fallback on the stragglers only.
+        bad = ~converged
+        idx = np.nonzero(bad)[0]
+        n_bisect = idx.size
+        lo = p_lo[idx].copy()
+        # Expand upper bracket until the residual changes sign.
+        hi = np.maximum(p[idx] * 4.0, lo * 2.0 + 1.0)
+        for _ in range(60):
+            _, _, _, f_hi = _eval_state(eos, D[idx], S2[idx], tau[idx], hi)
+            still = f_hi > 0.0
+            if not still.any():
+                break
+            hi = np.where(still, hi * 4.0, hi)
+        for _ in range(max_bisect):
+            mid = 0.5 * (lo + hi)
+            _, _, _, f_mid = _eval_state(eos, D[idx], S2[idx], tau[idx], mid)
+            take_low = f_mid > 0.0  # residual positive => root above mid
+            lo = np.where(take_low, mid, lo)
+            hi = np.where(take_low, hi, mid)
+        p_bis = 0.5 * (lo + hi)
+        _, _, _, f_fin = _eval_state(eos, D[idx], S2[idx], tau[idx], p_bis)
+        # Bisection halves the bracket max_bisect times; accept a looser
+        # relative residual than Newton, plus a tiny absolute floor.
+        ok = np.abs(f_fin) <= 1e-8 * np.maximum(p_bis, p_floor) + 1e-12
+        p[idx] = p_bis
+        converged[idx] = ok
+        if not converged.all():
+            failed = np.nonzero(~converged)[0]
+            raise RecoveryError(
+                f"con2prim failed for {failed.size} cells "
+                f"(first few indices: {failed[:8].tolist()})",
+                n_failed=int(failed.size),
+                indices=failed[:1024],
+            )
+
+    rho, eps, v2, _ = _eval_state(eos, D, S2, tau, p)
+    Q = tau + D + p
+    prim = np.empty_like(cons)
+    prim[system.RHO] = rho.reshape(shape)
+    for ax in range(system.ndim):
+        prim[system.V(ax)] = (cons[system.S(ax)].reshape(-1) / Q).reshape(shape)
+    prim[system.P] = p.reshape(shape)
+    # Passive scalars (TracerSystem) recover algebraically after the hydro
+    # sector: Y = D_Y / D.
+    if hasattr(system, "recover_tracers"):
+        system.recover_tracers(cons, prim)
+
+    if stats is not None:
+        stats.n_cells += D.size
+        stats.n_bisection += int(n_bisect)
+        stats.n_newton_converged += D.size - int(n_bisect)
+        stats.max_iterations = max(stats.max_iterations, newton_iters)
+    return prim

@@ -1,0 +1,224 @@
+"""Initial-data library for the HRSC test and benchmark suite.
+
+Each generator fills a primitive-state array for a given grid. The canonical
+problems are the ones the evaluation reconstructs:
+
+- :func:`shock_tube` — generic two-state diaphragm problem (1D)
+- :data:`RP1`, :data:`RP2` — the Marti & Muller relativistic shock-tube
+  problems used in the convergence tables
+- :func:`blast_wave_2d` — cylindrical relativistic blast (2D)
+- :func:`kelvin_helmholtz_2d` — relativistic shear layer with seeded modes
+- :func:`relativistic_jet_inflow` — ambient medium + jet nozzle description
+- :func:`smooth_wave` — smooth density advection for measuring high-order
+  convergence away from discontinuities
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mesh.grid import Grid
+from ..utils.errors import ConfigurationError
+from .exact_riemann import RiemannState
+from .srhd import SRHDSystem
+
+
+@dataclass(frozen=True)
+class ShockTubeProblem:
+    """A named 1-D two-state problem with its standard run parameters."""
+
+    name: str
+    left: RiemannState
+    right: RiemannState
+    gamma: float
+    t_final: float
+    x0: float = 0.5
+
+
+#: Marti & Muller Problem 1: moderate blast, gamma = 5/3.
+RP1 = ShockTubeProblem(
+    name="RP1",
+    left=RiemannState(rho=10.0, v=0.0, p=13.33),
+    right=RiemannState(rho=1.0, v=0.0, p=1e-8),
+    gamma=5.0 / 3.0,
+    t_final=0.4,
+)
+
+#: Marti & Muller Problem 2: strong blast wave, gamma = 5/3.
+RP2 = ShockTubeProblem(
+    name="RP2",
+    left=RiemannState(rho=1.0, v=0.0, p=1000.0),
+    right=RiemannState(rho=1.0, v=0.0, p=0.01),
+    gamma=5.0 / 3.0,
+    t_final=0.35,
+)
+
+#: All named shock-tube problems, keyed by name.
+SHOCK_TUBES = {p.name: p for p in (RP1, RP2)}
+
+
+def shock_tube(system: SRHDSystem, grid: Grid, problem: ShockTubeProblem) -> np.ndarray:
+    """Primitive state for a 1-D diaphragm problem on *grid* (with ghosts)."""
+    if grid.ndim != 1:
+        raise ConfigurationError("shock_tube requires a 1-D grid")
+    x = grid.coords_with_ghosts(0)
+    prim = np.empty((system.nvars,) + x.shape)
+    left_mask = x < problem.x0
+    prim[system.RHO] = np.where(left_mask, problem.left.rho, problem.right.rho)
+    prim[system.V(0)] = np.where(left_mask, problem.left.v, problem.right.v)
+    for ax in range(1, system.ndim):
+        prim[system.V(ax)] = 0.0
+    prim[system.P] = np.where(left_mask, problem.left.p, problem.right.p)
+    return prim
+
+
+def smooth_wave(
+    system: SRHDSystem,
+    grid: Grid,
+    rho0: float = 1.0,
+    amplitude: float = 0.2,
+    velocity: float = 0.5,
+    pressure: float = 1.0,
+) -> np.ndarray:
+    """Smooth advected density wave: rho = rho0 (1 + A sin 2 pi x), uniform v, p.
+
+    With constant velocity and pressure this is an exact advection solution of
+    the SRHD system, so it measures the design order of the scheme without
+    shocks.
+    """
+    if grid.ndim != 1:
+        raise ConfigurationError("smooth_wave requires a 1-D grid")
+    if not 0 <= amplitude < 1:
+        raise ConfigurationError("amplitude must be in [0, 1)")
+    x = grid.coords_with_ghosts(0)
+    prim = np.empty((system.nvars,) + x.shape)
+    prim[system.RHO] = rho0 * (1.0 + amplitude * np.sin(2.0 * np.pi * x))
+    prim[system.V(0)] = velocity
+    for ax in range(1, system.ndim):
+        prim[system.V(ax)] = 0.0
+    prim[system.P] = pressure
+    return prim
+
+
+def blast_wave_2d(
+    system: SRHDSystem,
+    grid: Grid,
+    rho_in: float = 1.0,
+    p_in: float = 100.0,
+    rho_out: float = 1.0,
+    p_out: float = 0.01,
+    radius: float = 0.1,
+    center=(0.5, 0.5),
+    smoothing: float = 0.0,
+) -> np.ndarray:
+    """Cylindrical relativistic blast wave on a 2-D grid.
+
+    A hot over-pressured disc of radius *radius* drives a cylindrical shock
+    into a cold ambient medium. ``smoothing > 0`` applies a tanh profile of
+    that width to reduce start-up noise.
+    """
+    if grid.ndim != 2 or system.ndim != 2:
+        raise ConfigurationError("blast_wave_2d requires 2-D grid and system")
+    x = grid.coords_with_ghosts(0)[:, None]
+    y = grid.coords_with_ghosts(1)[None, :]
+    r = np.sqrt((x - center[0]) ** 2 + (y - center[1]) ** 2)
+    if smoothing > 0:
+        inside = 0.5 * (1.0 - np.tanh((r - radius) / smoothing))
+    else:
+        inside = (r < radius).astype(float)
+    prim = np.empty((system.nvars,) + r.shape)
+    prim[system.RHO] = rho_out + (rho_in - rho_out) * inside
+    prim[system.V(0)] = 0.0
+    prim[system.V(1)] = 0.0
+    prim[system.P] = p_out + (p_in - p_out) * inside
+    return prim
+
+
+def kelvin_helmholtz_2d(
+    system: SRHDSystem,
+    grid: Grid,
+    shear_v: float = 0.5,
+    rho_band: float = 2.0,
+    rho_ambient: float = 1.0,
+    pressure: float = 2.5,
+    perturb_amplitude: float = 0.01,
+    layer_width: float = 0.035,
+    mode: int = 2,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Relativistic Kelvin-Helmholtz shear layer on a periodic 2-D grid.
+
+    A dense band occupying ``|y - 0.5| < 0.25`` moves at ``+shear_v`` while
+    the ambient medium moves at ``-shear_v``; the interface is smoothed over
+    *layer_width* and seeded with a sinusoidal transverse-velocity
+    perturbation of the given *mode* (plus optional noise when *seed* is set).
+    The single-mode growth rate is what experiment E5 measures.
+    """
+    if grid.ndim != 2 or system.ndim != 2:
+        raise ConfigurationError("kelvin_helmholtz_2d requires 2-D grid and system")
+    if abs(shear_v) >= 1:
+        raise ConfigurationError("shear velocity must be subluminal")
+    x = grid.coords_with_ghosts(0)[:, None]
+    y = grid.coords_with_ghosts(1)[None, :]
+    # Smooth double interface at y = 0.25 and y = 0.75.
+    profile = 0.5 * (
+        np.tanh((y - 0.25) / layer_width) - np.tanh((y - 0.75) / layer_width)
+    )
+    prim = np.empty((system.nvars,) + np.broadcast_shapes(x.shape, y.shape))
+    prim[system.RHO] = rho_ambient + (rho_band - rho_ambient) * profile
+    prim[system.V(0)] = -shear_v + 2.0 * shear_v * profile
+    vy = perturb_amplitude * np.sin(2.0 * np.pi * mode * x) * (
+        np.exp(-((y - 0.25) ** 2) / (2 * layer_width**2))
+        + np.exp(-((y - 0.75) ** 2) / (2 * layer_width**2))
+    )
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        vy = vy + perturb_amplitude * 0.1 * rng.standard_normal(vy.shape)
+    prim[system.V(1)] = np.broadcast_to(vy, prim[system.RHO].shape).copy()
+    prim[system.P] = pressure
+    return prim
+
+
+@dataclass(frozen=True)
+class JetInflow:
+    """Description of a relativistic jet nozzle for inflow boundaries.
+
+    Attributes mirror the classic axisymmetric jet setups: beam density,
+    Lorentz factor, Mach-like pressure ratio, and nozzle radius. Consumed by
+    :class:`repro.boundary.conditions.JetInflowBC`.
+    """
+
+    rho_beam: float = 0.1
+    lorentz: float = 7.0
+    p_beam: float = 0.01
+    radius: float = 0.1
+
+    @property
+    def v_beam(self) -> float:
+        return float(np.sqrt(1.0 - 1.0 / self.lorentz**2))
+
+
+def relativistic_jet_inflow(
+    system: SRHDSystem,
+    grid: Grid,
+    jet: JetInflow | None = None,
+    rho_ambient: float = 1.0,
+    p_ambient: float = 0.01,
+) -> tuple[np.ndarray, JetInflow]:
+    """Quiescent ambient medium plus a jet nozzle description (2-D).
+
+    Returns the ambient primitive state and the :class:`JetInflow` record;
+    the nozzle itself is enforced by the inflow boundary condition each step.
+    """
+    if grid.ndim != 2 or system.ndim != 2:
+        raise ConfigurationError("relativistic_jet_inflow requires 2-D grid/system")
+    jet = jet or JetInflow()
+    shape = grid.shape_with_ghosts
+    prim = np.empty((system.nvars,) + shape)
+    prim[system.RHO] = rho_ambient
+    prim[system.V(0)] = 0.0
+    prim[system.V(1)] = 0.0
+    prim[system.P] = p_ambient
+    return prim, jet

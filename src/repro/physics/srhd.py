@@ -1,0 +1,179 @@
+"""Special-relativistic hydrodynamics in flat-space Valencia form.
+
+State layout (C-order ``(nvars, *grid_shape)`` float64):
+
+- primitives ``P = [rho, v_1, ..., v_ndim, p]``
+  (rest-mass density, coordinate 3-velocity components, pressure)
+- conserved  ``U = [D, S_1, ..., S_ndim, tau]`` with
+
+  .. math::
+
+     W   &= (1 - v^2)^{-1/2}, \\qquad h = 1 + \\epsilon + p/\\rho \\\\
+     D   &= \\rho W \\\\
+     S_i &= \\rho h W^2 v_i \\\\
+     \\tau &= \\rho h W^2 - p - D
+
+and the flux along direction *k*:
+
+  .. math::
+
+     F^k = [D v^k,\\; S_i v^k + p \\delta_i^k,\\; S_k - D v^k].
+
+Characteristic speeds of the 1-D Jacobian along *k* (Marti & Muller 2003,
+Living Reviews):
+
+  .. math::
+
+     \\lambda_0 = v^k, \\quad
+     \\lambda_\\pm = \\frac{v^k (1 - c_s^2) \\pm c_s
+        \\sqrt{(1 - v^2)\\,[1 - v^k v^k - (v^2 - v^k v^k) c_s^2]}}
+       {1 - v^2 c_s^2}.
+
+Everything in this module is fully vectorized over the trailing grid axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eos.base import EOS
+from ..utils.errors import ConfigurationError
+
+
+class SRHDSystem:
+    """The SRHD conservation-law system for a given EOS and dimensionality.
+
+    Parameters
+    ----------
+    eos:
+        Equation of state closing the system.
+    ndim:
+        Number of velocity components carried (1, 2, or 3). The grid the
+        states live on may have the same or lower dimensionality.
+    """
+
+    def __init__(self, eos: EOS, ndim: int = 1):
+        if ndim not in (1, 2, 3):
+            raise ConfigurationError(f"ndim must be 1, 2, or 3, got {ndim}")
+        self.eos = eos
+        self.ndim = ndim
+        #: number of conserved/primitive variables: rho + ndim velocities + p
+        self.nvars = ndim + 2
+
+    # -- index helpers -------------------------------------------------------
+
+    @property
+    def RHO(self) -> int:
+        return 0
+
+    def V(self, axis: int) -> int:
+        """Index of velocity component along *axis* (0-based)."""
+        return 1 + axis
+
+    @property
+    def P(self) -> int:
+        return self.nvars - 1
+
+    @property
+    def D(self) -> int:
+        return 0
+
+    def S(self, axis: int) -> int:
+        """Index of momentum component along *axis* (0-based)."""
+        return 1 + axis
+
+    @property
+    def TAU(self) -> int:
+        return self.nvars - 1
+
+    # -- kinematics ----------------------------------------------------------
+
+    def v_squared(self, prim: np.ndarray) -> np.ndarray:
+        """v^2 = sum_i v_i v_i (flat metric)."""
+        v2 = np.zeros_like(prim[0])
+        for ax in range(self.ndim):
+            v2 += prim[self.V(ax)] ** 2
+        return v2
+
+    def lorentz_factor(self, prim: np.ndarray) -> np.ndarray:
+        """W = 1/sqrt(1 - v^2); raises on superluminal input."""
+        v2 = self.v_squared(prim)
+        if np.any(v2 >= 1.0):
+            raise ConfigurationError(
+                f"superluminal primitive state: max v^2 = {v2.max():.6g}"
+            )
+        return 1.0 / np.sqrt(1.0 - v2)
+
+    # -- conversions ---------------------------------------------------------
+
+    def prim_to_con(self, prim: np.ndarray) -> np.ndarray:
+        """Map primitives [rho, v_i, p] to conserved [D, S_i, tau]."""
+        rho = prim[self.RHO]
+        p = prim[self.P]
+        W = self.lorentz_factor(prim)
+        eps = self.eos.eps_from_pressure(rho, p)
+        h = 1.0 + eps + p / rho
+        rhohW2 = rho * h * W**2
+        cons = np.empty_like(prim)
+        cons[self.D] = rho * W
+        for ax in range(self.ndim):
+            cons[self.S(ax)] = rhohW2 * prim[self.V(ax)]
+        cons[self.TAU] = rhohW2 - p - cons[self.D]
+        return cons
+
+    # -- fluxes and signal speeds ---------------------------------------------
+
+    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Physical flux F^axis(U) evaluated from matching prim/cons states."""
+        vk = prim[self.V(axis)]
+        p = prim[self.P]
+        F = np.empty_like(cons)
+        F[self.D] = cons[self.D] * vk
+        for ax in range(self.ndim):
+            F[self.S(ax)] = cons[self.S(ax)] * vk
+        F[self.S(axis)] += p
+        F[self.TAU] = cons[self.S(axis)] - cons[self.D] * vk
+        return F
+
+    def sound_speed_sq(self, prim: np.ndarray) -> np.ndarray:
+        rho = prim[self.RHO]
+        p = prim[self.P]
+        eps = self.eos.eps_from_pressure(rho, p)
+        return np.clip(self.eos.sound_speed_sq(rho, eps), 0.0, 1.0 - 1e-12)
+
+    def char_speeds(self, prim: np.ndarray, axis: int = 0):
+        """Fastest left/right characteristic speeds (lam_minus, lam_plus)."""
+        vk = prim[self.V(axis)]
+        v2 = self.v_squared(prim)
+        cs2 = self.sound_speed_sq(prim)
+        one_m_v2 = np.maximum(1.0 - v2, 1e-16)
+        disc = one_m_v2 * (1.0 - vk**2 - (v2 - vk**2) * cs2)
+        root = np.sqrt(np.maximum(disc, 0.0))
+        denom = 1.0 - v2 * cs2
+        lam_minus = (vk * (1.0 - cs2) - np.sqrt(cs2) * root) / denom
+        lam_plus = (vk * (1.0 - cs2) + np.sqrt(cs2) * root) / denom
+        return lam_minus, lam_plus
+
+    def max_signal_speed(self, prim: np.ndarray, axis: int | None = None) -> float:
+        """Largest |characteristic speed|, over one axis or all of them."""
+        axes = range(self.ndim) if axis is None else [axis]
+        vmax = 0.0
+        for ax in axes:
+            lam_m, lam_p = self.char_speeds(prim, ax)
+            vmax = max(vmax, float(np.max(np.abs(lam_m))), float(np.max(np.abs(lam_p))))
+        return vmax
+
+    # -- derived diagnostics ---------------------------------------------------
+
+    def specific_enthalpy(self, prim: np.ndarray) -> np.ndarray:
+        rho = prim[self.RHO]
+        p = prim[self.P]
+        eps = self.eos.eps_from_pressure(rho, p)
+        return 1.0 + eps + p / rho
+
+    def total_energy(self, cons: np.ndarray) -> np.ndarray:
+        """E = tau + D, the full energy density."""
+        return cons[self.TAU] + cons[self.D]
+
+    def __repr__(self):
+        return f"SRHDSystem(ndim={self.ndim}, eos={self.eos!r})"

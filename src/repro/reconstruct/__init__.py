@@ -1,0 +1,49 @@
+"""Interface-state reconstruction schemes for the HRSC pipeline.
+
+Use :func:`make_reconstruction` to build a scheme by name:
+
+>>> recon = make_reconstruction("weno5")
+>>> qL, qR = recon.interface_states(prim, axis=0, n_ghost=3)
+"""
+
+from __future__ import annotations
+
+from ..utils.errors import ConfigurationError
+from .base import Reconstruction
+from .pc import PiecewiseConstant
+from .ppm import PPM
+from .tvd import LIMITERS, TVDSlope, minmod, minmod3
+from .weno import WENO5, WENOZ
+
+#: all reconstruction scheme names accepted by make_reconstruction
+SCHEMES = ("pc", "minmod", "mc", "vanleer", "superbee", "ppm", "weno5", "wenoz")
+
+
+def make_reconstruction(name: str) -> Reconstruction:
+    """Factory: reconstruction scheme by registry name."""
+    if name == "pc":
+        return PiecewiseConstant()
+    if name in LIMITERS:
+        return TVDSlope(limiter=name)
+    if name == "ppm":
+        return PPM()
+    if name == "weno5":
+        return WENO5()
+    if name == "wenoz":
+        return WENOZ()
+    raise ConfigurationError(f"unknown reconstruction {name!r}; choose from {SCHEMES}")
+
+
+__all__ = [
+    "Reconstruction",
+    "PiecewiseConstant",
+    "TVDSlope",
+    "PPM",
+    "WENO5",
+    "WENOZ",
+    "LIMITERS",
+    "SCHEMES",
+    "make_reconstruction",
+    "minmod",
+    "minmod3",
+]

@@ -1,0 +1,83 @@
+"""Reconstruction interface: cell averages -> left/right interface states.
+
+A reconstruction scheme produces, for every interior face of a ghosted state
+array, the states immediately left and right of that face. With ``n``
+interior cells along the working axis there are ``n + 1`` interior faces;
+face ``k`` (k = 0..n) separates ghosted cells ``g - 1 + k`` and ``g + k``.
+
+All schemes are vectorized: the working axis is moved to the end (a view, no
+copy), the formulas are pure slice arithmetic on the last axis, and the
+result is moved back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+
+class Reconstruction(ABC):
+    """Base class for interface-state reconstruction schemes."""
+
+    #: registry name
+    name: str = "abstract"
+    #: ghost layers required on each side
+    required_ghosts: int = 1
+    #: formal order of accuracy in smooth regions
+    order: int = 1
+
+    def interface_states(self, q: np.ndarray, axis: int, n_ghost: int):
+        """Left/right states at the n+1 interior faces along *axis*.
+
+        Parameters
+        ----------
+        q:
+            Ghosted array ``(nvars, *shape)``; reconstruction is applied
+            componentwise.
+        axis:
+            Grid axis (0-based, excluding the variable axis).
+        n_ghost:
+            Ghost layers present in *q* along every axis.
+
+        Returns
+        -------
+        (qL, qR):
+            Arrays shaped like *q* but with ``n + 1`` entries along *axis*
+            and ghost zones dropped on the remaining axes kept intact.
+        """
+        if n_ghost < self.required_ghosts:
+            raise ConfigurationError(
+                f"{self.name} needs {self.required_ghosts} ghost layers, "
+                f"grid has {n_ghost}"
+            )
+        work = np.moveaxis(q, axis + 1, -1)  # view
+        qL, qR = self._reconstruct_last_axis(work, n_ghost)
+        return (
+            np.moveaxis(qL, -1, axis + 1),
+            np.moveaxis(qR, -1, axis + 1),
+        )
+
+    @abstractmethod
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+        """Compute (qL, qR) with the working axis last."""
+
+    def __repr__(self):
+        return f"<Reconstruction {self.name} (order {self.order})>"
+
+
+def _nfaces(q: np.ndarray, g: int) -> int:
+    """Number of interior faces along the last axis: n + 1."""
+    return q.shape[-1] - 2 * g + 1
+
+
+def cell_view(q: np.ndarray, offset: int, g: int) -> np.ndarray:
+    """View of cells ``g - 1 + offset + k`` for faces k = 0..n (length n+1).
+
+    ``offset = 0`` is the cell left of each face, ``offset = 1`` right.
+    """
+    n_faces = _nfaces(q, g)
+    start = g - 1 + offset
+    return q[..., start : start + n_faces]

@@ -1,0 +1,22 @@
+"""Piecewise-constant (Godunov) reconstruction: first order, unconditionally
+monotone. Mostly useful as the robustness baseline in the comparison tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Reconstruction, cell_view
+
+
+class PiecewiseConstant(Reconstruction):
+    """First-order reconstruction: interface states are the cell averages."""
+
+    name = "pc"
+    required_ghosts = 1
+    order = 1
+
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+        qL = cell_view(q, 0, g).copy()
+        qR = cell_view(q, 1, g).copy()
+        return qL, qR

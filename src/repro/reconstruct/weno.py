@@ -1,0 +1,104 @@
+"""WENO5 reconstruction (Jiang & Shu 1996), componentwise.
+
+Fifth-order accurate in smooth regions, essentially non-oscillatory at
+discontinuities. The left-biased reconstruction at face i+1/2 combines the
+three 3-cell candidate stencils {i-2..i}, {i-1..i+1}, {i..i+2}; the
+right-biased one is its mirror image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Reconstruction, cell_view
+
+#: ideal (linear) weights of the three candidate stencils
+_IDEAL = (0.1, 0.6, 0.3)
+#: smoothness-indicator regularization
+_EPS_WENO = 1e-40
+
+
+def _weno5_biased(cm2, cm1, c0, cp1, cp2):
+    """Left-biased WENO5 value at the right face of the central cell c0.
+
+    Arguments are the five cell averages of the stencil, ordered along the
+    bias direction. The mirrored call gives the right-biased value.
+    """
+    # Candidate polynomial values at the face.
+    p0 = (2.0 * cm2 - 7.0 * cm1 + 11.0 * c0) / 6.0
+    p1 = (-cm1 + 5.0 * c0 + 2.0 * cp1) / 6.0
+    p2 = (2.0 * c0 + 5.0 * cp1 - cp2) / 6.0
+
+    # Jiang-Shu smoothness indicators.
+    b0 = (13.0 / 12.0) * (cm2 - 2.0 * cm1 + c0) ** 2 + 0.25 * (
+        cm2 - 4.0 * cm1 + 3.0 * c0
+    ) ** 2
+    b1 = (13.0 / 12.0) * (cm1 - 2.0 * c0 + cp1) ** 2 + 0.25 * (cm1 - cp1) ** 2
+    b2 = (13.0 / 12.0) * (c0 - 2.0 * cp1 + cp2) ** 2 + 0.25 * (
+        3.0 * c0 - 4.0 * cp1 + cp2
+    ) ** 2
+
+    a0 = _IDEAL[0] / (b0 + _EPS_WENO) ** 2
+    a1 = _IDEAL[1] / (b1 + _EPS_WENO) ** 2
+    a2 = _IDEAL[2] / (b2 + _EPS_WENO) ** 2
+    asum = a0 + a1 + a2
+    return (a0 * p0 + a1 * p1 + a2 * p2) / asum
+
+
+def _wenoz_biased(cm2, cm1, c0, cp1, cp2):
+    """WENO-Z variant (Borges et al. 2008): the global indicator
+    ``tau5 = |b0 - b2|`` restores 5th order at smooth critical points where
+    classic Jiang-Shu weights degrade to 3rd."""
+    p0 = (2.0 * cm2 - 7.0 * cm1 + 11.0 * c0) / 6.0
+    p1 = (-cm1 + 5.0 * c0 + 2.0 * cp1) / 6.0
+    p2 = (2.0 * c0 + 5.0 * cp1 - cp2) / 6.0
+
+    b0 = (13.0 / 12.0) * (cm2 - 2.0 * cm1 + c0) ** 2 + 0.25 * (
+        cm2 - 4.0 * cm1 + 3.0 * c0
+    ) ** 2
+    b1 = (13.0 / 12.0) * (cm1 - 2.0 * c0 + cp1) ** 2 + 0.25 * (cm1 - cp1) ** 2
+    b2 = (13.0 / 12.0) * (c0 - 2.0 * cp1 + cp2) ** 2 + 0.25 * (
+        3.0 * c0 - 4.0 * cp1 + cp2
+    ) ** 2
+
+    tau5 = np.abs(b0 - b2)
+    a0 = _IDEAL[0] * (1.0 + (tau5 / (b0 + _EPS_WENO)) ** 2)
+    a1 = _IDEAL[1] * (1.0 + (tau5 / (b1 + _EPS_WENO)) ** 2)
+    a2 = _IDEAL[2] * (1.0 + (tau5 / (b2 + _EPS_WENO)) ** 2)
+    asum = a0 + a1 + a2
+    return (a0 * p0 + a1 * p1 + a2 * p2) / asum
+
+
+class WENO5(Reconstruction):
+    """Fifth-order weighted essentially non-oscillatory reconstruction."""
+
+    name = "weno5"
+    required_ghosts = 3
+    order = 5
+    _biased = staticmethod(_weno5_biased)
+
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+        # Left state at face k comes from cell i = g-1+k, biased rightward.
+        qL = self._biased(
+            cell_view(q, -2, g),
+            cell_view(q, -1, g),
+            cell_view(q, 0, g),
+            cell_view(q, 1, g),
+            cell_view(q, 2, g),
+        )
+        # Right state comes from cell i+1, biased leftward (mirror).
+        qR = self._biased(
+            cell_view(q, 3, g),
+            cell_view(q, 2, g),
+            cell_view(q, 1, g),
+            cell_view(q, 0, g),
+            cell_view(q, -1, g),
+        )
+        return qL, qR
+
+
+class WENOZ(WENO5):
+    """WENO-Z: improved weights, full order at smooth extrema."""
+
+    name = "wenoz"
+    _biased = staticmethod(_wenoz_biased)

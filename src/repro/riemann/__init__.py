@@ -1,0 +1,25 @@
+"""Approximate Riemann solvers for the SRHD face-flux computation."""
+
+from __future__ import annotations
+
+from ..utils.errors import ConfigurationError
+from .base import RiemannSolver
+from .hll import HLL
+from .hllc import HLLC
+from .llf import LLF
+
+#: registry of available solvers
+SOLVERS = {"llf": LLF, "hll": HLL, "hllc": HLLC}
+
+
+def make_riemann_solver(name: str) -> RiemannSolver:
+    """Factory: Riemann solver by registry name (llf, hll, hllc)."""
+    try:
+        return SOLVERS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown Riemann solver {name!r}; choose from {sorted(SOLVERS)}"
+        ) from None
+
+
+__all__ = ["RiemannSolver", "LLF", "HLL", "HLLC", "SOLVERS", "make_riemann_solver"]

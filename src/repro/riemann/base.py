@@ -1,0 +1,52 @@
+"""Approximate Riemann solver interface.
+
+A solver consumes the reconstructed primitive states on the two sides of
+each face and returns the numerical flux in the conserved convention
+``(D, S_i, tau)``. Wave-speed estimates are the Davis bounds built from the
+characteristic speeds of both sides.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..physics.srhd import SRHDSystem
+
+
+class RiemannSolver(ABC):
+    """Base class for approximate Riemann solvers."""
+
+    name: str = "abstract"
+
+    def flux(
+        self,
+        system: SRHDSystem,
+        primL: np.ndarray,
+        primR: np.ndarray,
+        axis: int = 0,
+    ) -> np.ndarray:
+        """Numerical flux at faces with left/right primitive states."""
+        consL = system.prim_to_con(primL)
+        consR = system.prim_to_con(primR)
+        FL = system.flux(primL, consL, axis)
+        FR = system.flux(primR, consR, axis)
+        sL, sR = self.wave_speeds(system, primL, primR, axis)
+        return self._combine(system, primL, primR, consL, consR, FL, FR, sL, sR, axis)
+
+    @staticmethod
+    def wave_speeds(system: SRHDSystem, primL, primR, axis):
+        """Davis estimates: outermost characteristic speeds of both states."""
+        lamL_m, lamL_p = system.char_speeds(primL, axis)
+        lamR_m, lamR_p = system.char_speeds(primR, axis)
+        sL = np.minimum(lamL_m, lamR_m)
+        sR = np.maximum(lamL_p, lamR_p)
+        return sL, sR
+
+    @abstractmethod
+    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+        """Assemble the numerical flux from states, fluxes and speeds."""
+
+    def __repr__(self):
+        return f"<RiemannSolver {self.name}>"

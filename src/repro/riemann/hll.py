@@ -1,0 +1,25 @@
+"""HLL (Harten-Lax-van Leer) two-wave approximate Riemann solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RiemannSolver
+
+
+class HLL(RiemannSolver):
+    """Two-wave HLL flux with Davis wave-speed estimates."""
+
+    name = "hll"
+
+    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+        # Clip the fan to include the interface so the standard single
+        # expression applies everywhere (equivalent to the 3-branch form).
+        sL = np.minimum(sL, 0.0)
+        sR = np.maximum(sR, 0.0)
+        denom = sR - sL
+        # Degenerate fan (both speeds zero) only occurs for identical
+        # quiescent states, where any consistent flux is exact.
+        safe = np.where(denom > 1e-300, denom, 1.0)
+        flux = (sR * FL - sL * FR + sL * sR * (consR - consL)) / safe
+        return np.where(denom > 1e-300, flux, FL)

@@ -1,0 +1,111 @@
+"""HLLC approximate Riemann solver for SRHD (Mignone & Bodo 2005).
+
+Restores the contact wave that HLL smears: the Riemann fan is modelled with
+three waves (sL, lambda*, sR), where the contact speed lambda* is the causal
+root of a quadratic built from the HLL-average state, and the two star
+states satisfy exact jump conditions across the outer waves.
+
+Internally the solver works in the total-energy convention ``E = tau + D``
+(for which the energy flux is simply ``S_k``), converting back to the
+``tau`` convention at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RiemannSolver
+
+_SMALL = 1e-12
+
+
+class HLLC(RiemannSolver):
+    """Three-wave HLLC flux with contact restoration."""
+
+    name = "hllc"
+
+    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+        D, TAU = system.D, system.TAU
+        Sx = system.S(axis)
+
+        sL0, sR0 = sL, sR  # unclipped speeds decide the supersonic sectors
+        sL = np.minimum(sL, -_SMALL)  # keep the fan open so divisions are safe
+        sR = np.maximum(sR, _SMALL)
+        dS = sR - sL
+
+        # Total-energy convention: E = tau + D, F_E = F_tau + F_D = S_x flux.
+        EL = consL[TAU] + consL[D]
+        ER = consR[TAU] + consR[D]
+        FEL = FL[TAU] + FL[D]
+        FER = FR[TAU] + FR[D]
+
+        # HLL averages of (Sx, E) and their fluxes.
+        S_hll = (sR * consR[Sx] - sL * consL[Sx] + FL[Sx] - FR[Sx]) / dS
+        E_hll = (sR * ER - sL * EL + FEL - FER) / dS
+        FS_hll = (sR * FL[Sx] - sL * FR[Sx] + sL * sR * (consR[Sx] - consL[Sx])) / dS
+        FE_hll = (sR * FEL - sL * FER + sL * sR * (ER - EL)) / dS
+
+        # Contact speed: FE lam^2 - (E + FS) lam + S = 0, causal (minus) root.
+        # Written in Citardauq form lam = 2c / (-b + sqrt(b^2 - 4ac)): since
+        # b = -(E + FS) < 0 the denominator never cancels, which keeps the
+        # near-linear (FE -> 0) limit accurate to round-off.
+        a = FE_hll
+        b = -(E_hll + FS_hll)
+        c = S_hll
+        disc = np.sqrt(np.maximum(b * b - 4.0 * a * c, 0.0))
+        denom = -b + disc
+        lam_star = np.where(np.abs(denom) > _SMALL, 2.0 * c / np.where(
+            np.abs(denom) > _SMALL, denom, 1.0), 0.0)
+        lam_star = np.clip(lam_star, sL, sR)
+
+        # Star-region pressure from the contact conditions.
+        p_star = -FE_hll * lam_star + FS_hll
+
+        # Variables beyond the hydro sector (passive tracers) behave like
+        # transverse momenta across the outer waves: U* = U (s-v)/(s-lam*).
+        hydro = {D, TAU} | {system.S(ax) for ax in range(system.ndim)}
+        extras = [var for var in range(system.nvars) if var not in hydro]
+
+        flux = np.empty_like(FL)
+        for side, (prim, cons, F, s, E, FE) in enumerate(
+            ((primL, consL, FL, sL, EL, FEL), (primR, consR, FR, sR, ER, FER))
+        ):
+            v = prim[system.V(axis)]
+            p = prim[system.P]
+            factor = (s - v) / (s - lam_star)
+            # Star state in (D, S_i, E) convention.
+            D_star = cons[D] * factor
+            E_star = (E * (s - v) + p_star * lam_star - p * v) / (s - lam_star)
+            S_star = {}
+            S_star[axis] = (cons[Sx] * (s - v) + p_star - p) / (s - lam_star)
+            for ax in range(system.ndim):
+                if ax != axis:
+                    S_star[ax] = cons[system.S(ax)] * factor
+            # Flux across the outer wave: F* = F + s (U* - U).
+            F_side = np.empty_like(F)
+            F_side[D] = F[D] + s * (D_star - cons[D])
+            for ax in range(system.ndim):
+                F_side[system.S(ax)] = F[system.S(ax)] + s * (
+                    S_star[ax] - cons[system.S(ax)]
+                )
+            for var in extras:
+                F_side[var] = F[var] + s * (cons[var] * factor - cons[var])
+            # Energy flux in E convention, then back to tau = E - D.
+            FE_star = FE + s * (E_star - E)
+            F_side[TAU] = FE_star - F_side[D]
+            if side == 0:
+                flux_L = F_side
+            else:
+                flux_R = F_side
+
+        # Select the sector containing the interface (xi = 0).
+        take_left = lam_star >= 0.0
+        for var in range(system.nvars):
+            flux[var] = np.where(take_left, flux_L[var], flux_R[var])
+        # Supersonic cases: the fan does not straddle the interface.
+        pure_left = sL0 >= 0.0
+        pure_right = sR0 <= 0.0
+        for var in range(system.nvars):
+            flux[var] = np.where(pure_left, FL[var], flux[var])
+            flux[var] = np.where(pure_right, FR[var], flux[var])
+        return flux

@@ -1,0 +1,19 @@
+"""Local Lax-Friedrichs (Rusanov) flux: maximally dissipative, maximally
+robust. The baseline entry in the solver-comparison table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RiemannSolver
+
+
+class LLF(RiemannSolver):
+    """Rusanov flux F = (FL + FR)/2 - smax (UR - UL)/2."""
+
+    name = "llf"
+
+    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+        smax = np.maximum(np.abs(sL), np.abs(sR))
+        return 0.5 * (FL + FR) - 0.5 * smax * (consR - consL)

@@ -1,0 +1,54 @@
+"""Simulated heterogeneous runtime: devices, cost model, task DAG,
+schedulers, and the discrete-event cluster simulator.
+
+This package substitutes for the paper's real GPU cluster + HPX-style task
+runtime (see DESIGN.md section 2): kernel costs are calibrated from measured
+NumPy timings, devices/links are parametric models, and scheduling decisions
+are exact — so load-balance and scaling *shapes* are faithful even though no
+physical accelerator is present.
+"""
+
+from .cluster import Cluster, Node, cpu_cluster, gpu_cluster, imbalanced_node
+from .dag import TaskGraph
+from .device import DEFAULT_GPU_SPEEDUP, KERNELS, Device, make_cpu, make_gpu
+from .perfmodel import KernelCostModel
+from .scheduler import (
+    SCHEDULERS,
+    DynamicGreedyScheduler,
+    Scheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from .simulator import ClusterSimulator
+from .task import Task, TaskRecord, Timeline
+from .trace import ascii_gantt, save_chrome_trace, to_chrome_trace, utilization
+
+__all__ = [
+    "Device",
+    "make_cpu",
+    "make_gpu",
+    "KERNELS",
+    "DEFAULT_GPU_SPEEDUP",
+    "KernelCostModel",
+    "Task",
+    "TaskRecord",
+    "Timeline",
+    "TaskGraph",
+    "Scheduler",
+    "StaticScheduler",
+    "DynamicGreedyScheduler",
+    "WorkStealingScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "ClusterSimulator",
+    "Node",
+    "Cluster",
+    "cpu_cluster",
+    "gpu_cluster",
+    "imbalanced_node",
+    "to_chrome_trace",
+    "save_chrome_trace",
+    "ascii_gantt",
+    "utilization",
+]

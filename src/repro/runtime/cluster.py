@@ -1,0 +1,125 @@
+"""Cluster composition: nodes of devices joined by an interconnect.
+
+Convenience constructors build the configurations the scaling experiments
+sweep: homogeneous CPU clusters, GPU-accelerated clusters, and deliberately
+imbalanced heterogeneous nodes for the scheduler comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm.costs import LinkModel, make_link
+from ..utils.errors import ConfigurationError
+from .device import Device, make_cpu, make_gpu
+from .perfmodel import KernelCostModel
+
+
+@dataclass(frozen=True)
+class Node:
+    """One cluster node: a named set of devices sharing a host."""
+
+    name: str
+    devices: tuple[Device, ...]
+
+    def __post_init__(self):
+        if not self.devices:
+            raise ConfigurationError(f"node {self.name!r} has no devices")
+
+    @property
+    def cpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self.devices if d.kind == "cpu")
+
+    @property
+    def gpus(self) -> tuple[Device, ...]:
+        return tuple(d for d in self.devices if d.kind == "gpu")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Nodes plus the inter-node link model."""
+
+    nodes: tuple[Node, ...]
+    interconnect: LinkModel = field(default_factory=lambda: make_link("infiniband-fdr"))
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ConfigurationError("cluster has no nodes")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names: {names}")
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def all_devices(self) -> list[Device]:
+        return [d for node in self.nodes for d in node.devices]
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index]
+
+
+def cpu_cluster(
+    n_nodes: int, model: KernelCostModel, interconnect: str = "infiniband-fdr"
+) -> Cluster:
+    """Homogeneous cluster: one calibrated CPU socket per node."""
+    if n_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    nodes = tuple(
+        Node(
+            name=f"node{i}",
+            devices=(
+                Device(
+                    name=f"node{i}-cpu",
+                    kind="cpu",
+                    throughput=dict(model.cpu.throughput),
+                    launch_overhead_s=model.cpu.launch_overhead_s,
+                ),
+            ),
+        )
+        for i in range(n_nodes)
+    )
+    return Cluster(nodes=nodes, interconnect=make_link(interconnect))
+
+
+def gpu_cluster(
+    n_nodes: int,
+    model: KernelCostModel,
+    gpus_per_node: int = 1,
+    keep_cpu: bool = True,
+    interconnect: str = "infiniband-fdr",
+) -> Cluster:
+    """CPU+GPU cluster in the paper's heterogeneous configuration."""
+    if n_nodes < 1 or gpus_per_node < 1:
+        raise ConfigurationError("need at least one node and one GPU per node")
+    nodes = []
+    for i in range(n_nodes):
+        devices: list[Device] = []
+        if keep_cpu:
+            devices.append(
+                Device(
+                    name=f"node{i}-cpu",
+                    kind="cpu",
+                    throughput=dict(model.cpu.throughput),
+                    launch_overhead_s=model.cpu.launch_overhead_s,
+                )
+            )
+        for g in range(gpus_per_node):
+            devices.append(model.gpu(name=f"node{i}-gpu{g}"))
+        nodes.append(Node(name=f"node{i}", devices=tuple(devices)))
+    return Cluster(nodes=tuple(nodes), interconnect=make_link(interconnect))
+
+
+def imbalanced_node(model: KernelCostModel, slow_factor: float = 4.0) -> Node:
+    """One node with a fast GPU and a CPU *slow_factor*x slower than the
+    calibrated reference — the configuration that separates the schedulers."""
+    if slow_factor <= 0:
+        raise ConfigurationError("slow_factor must be positive")
+    slow_cpu = Device(
+        name="slow-cpu",
+        kind="cpu",
+        throughput={k: v / slow_factor for k, v in model.cpu.throughput.items()},
+        launch_overhead_s=model.cpu.launch_overhead_s,
+    )
+    return Node(name="hetero-node", devices=(slow_cpu, model.gpu("fast-gpu")))

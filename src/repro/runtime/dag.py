@@ -1,0 +1,96 @@
+"""Dependency DAG over tasks, built on networkx.
+
+Provides cycle checking, topological ready-set iteration for the simulator,
+and critical-path analysis (the lower bound no scheduler can beat).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import networkx as nx
+
+from ..utils.errors import SchedulerError
+from .task import Task
+
+
+class TaskGraph:
+    """A DAG of :class:`Task` objects keyed by task id."""
+
+    def __init__(self, tasks: Iterable[Task] = ()):
+        self._graph = nx.DiGraph()
+        self._tasks: dict[str, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    def add(self, task: Task) -> None:
+        if task.id in self._tasks:
+            raise SchedulerError(f"duplicate task id {task.id!r}")
+        self._tasks[task.id] = task
+        self._graph.add_node(task.id)
+        for dep in task.deps:
+            self._graph.add_edge(dep, task.id)
+
+    def finalize(self) -> None:
+        """Validate: all dependencies exist and the graph is acyclic."""
+        missing = set(self._graph.nodes) - set(self._tasks)
+        if missing:
+            raise SchedulerError(f"dangling dependencies: {sorted(missing)}")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise SchedulerError(f"task graph has a cycle: {cycle}")
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> Task:
+        return self._tasks[task_id]
+
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    def dependents(self, task_id: str) -> list[str]:
+        return list(self._graph.successors(task_id))
+
+    def dependencies(self, task_id: str) -> list[str]:
+        return list(self._graph.predecessors(task_id))
+
+    def roots(self) -> list[str]:
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self._graph))
+
+    def critical_path(self, cost: Callable[[Task], float]) -> tuple[float, list[str]]:
+        """Longest path through the DAG under *cost* — the ideal-parallel
+        lower bound on makespan.
+
+        Returns (length_seconds, path_task_ids).
+        """
+        self.finalize()
+        dist: dict[str, float] = {}
+        pred: dict[str, str | None] = {}
+        for node in self.topological_order():
+            node_cost = cost(self._tasks[node])
+            best, best_pred = 0.0, None
+            for p in self._graph.predecessors(node):
+                if dist[p] > best:
+                    best, best_pred = dist[p], p
+            dist[node] = best + node_cost
+            pred[node] = best_pred
+        if not dist:
+            return 0.0, []
+        end = max(dist, key=dist.get)  # type: ignore[arg-type]
+        path = [end]
+        while pred[path[-1]] is not None:
+            path.append(pred[path[-1]])  # type: ignore[arg-type]
+        return dist[end], list(reversed(path))
+
+    def total_work(self, cost: Callable[[Task], float]) -> float:
+        """Sum of all task costs — the serial-execution upper bound."""
+        return sum(cost(t) for t in self._tasks.values())

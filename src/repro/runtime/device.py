@@ -1,0 +1,127 @@
+"""Device models for the simulated heterogeneous cluster.
+
+A :class:`Device` is a compute endpoint (CPU socket or accelerator) with a
+per-kernel throughput table (cells/second), a per-task launch overhead, and
+— for accelerators — a host link (PCIe) whose transfer cost the simulator
+charges when data crosses the host/device boundary.
+
+Throughput numbers are *relative* by design: the CPU table is calibrated
+from measured NumPy kernel timings (see
+:meth:`repro.runtime.perfmodel.KernelCostModel.calibrate`), and accelerator
+tables are derived from it with per-kernel speedup factors typical of
+memory-bound stencil kernels on 2015-era GPUs. The scaling experiments
+depend only on these ratios, not on absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm.costs import LinkModel, make_link
+from ..utils.errors import ConfigurationError
+
+#: kernel stages of one hydro step, in execution order
+KERNELS = ("con2prim", "boundary", "reconstruct", "riemann", "update")
+
+#: default per-kernel GPU:CPU speedup factors. Streaming, regular kernels
+#: (reconstruct/riemann/update) enjoy full memory-bandwidth ratios; the
+#: iterative, divergent con2prim kernel and the copy-bound boundary fill
+#: benefit far less — the shape Table III (E8) reports.
+DEFAULT_GPU_SPEEDUP = {
+    "con2prim": 6.0,
+    "boundary": 3.0,
+    "reconstruct": 18.0,
+    "riemann": 16.0,
+    "update": 20.0,
+}
+
+
+@dataclass(frozen=True)
+class Device:
+    """One compute endpoint of a node."""
+
+    name: str
+    kind: str  # "cpu" or "gpu"
+    #: cells/second per kernel
+    throughput: dict[str, float] = field(default_factory=dict)
+    #: fixed per-task cost (kernel launch / loop startup)
+    launch_overhead_s: float = 5e-6
+    #: host link for accelerators (None for host-resident CPUs)
+    host_link: LinkModel | None = None
+    #: optional per-kernel fixed overhead (falls back to launch_overhead_s);
+    #: two-point calibration fills this with measured NumPy call overheads
+    overhead: dict[str, float] | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("cpu", "gpu"):
+            raise ConfigurationError(f"unknown device kind {self.kind!r}")
+        missing = [k for k in KERNELS if k not in self.throughput]
+        if missing:
+            raise ConfigurationError(
+                f"device {self.name!r} missing throughput for kernels {missing}"
+            )
+        for kernel, rate in self.throughput.items():
+            if rate <= 0:
+                raise ConfigurationError(
+                    f"device {self.name!r}: non-positive throughput for {kernel}"
+                )
+        if self.kind == "gpu" and self.host_link is None:
+            raise ConfigurationError(f"gpu device {self.name!r} needs a host_link")
+
+    def kernel_time(self, kernel: str, n_cells: int) -> float:
+        """Modelled execution time of one kernel over *n_cells*."""
+        if kernel not in self.throughput:
+            raise ConfigurationError(
+                f"device {self.name!r} has no throughput for kernel {kernel!r}"
+            )
+        fixed = self.launch_overhead_s
+        if self.overhead is not None and kernel in self.overhead:
+            fixed = self.overhead[kernel]
+        return fixed + n_cells / self.throughput[kernel]
+
+
+def make_cpu(
+    name: str = "cpu0",
+    base_mcells_s: float | None = None,
+    throughput: dict[str, float] | None = None,
+) -> Device:
+    """A CPU socket device.
+
+    Either pass an explicit per-kernel *throughput* table (e.g. from
+    calibration) or a single *base_mcells_s* applied to every kernel with
+    representative relative weights.
+    """
+    if throughput is None:
+        base = (base_mcells_s or 5.0) * 1e6
+        # Relative kernel weights from measured NumPy pipeline profiles:
+        # con2prim (iterative) is the most expensive per cell.
+        weights = {
+            "con2prim": 0.5,
+            "boundary": 4.0,
+            "reconstruct": 0.8,
+            "riemann": 0.6,
+            "update": 2.0,
+        }
+        throughput = {k: base * w for k, w in weights.items()}
+    return Device(
+        name=name, kind="cpu", throughput=throughput, launch_overhead_s=2e-6
+    )
+
+
+def make_gpu(
+    name: str = "gpu0",
+    cpu: Device | None = None,
+    speedup: dict[str, float] | None = None,
+    link: LinkModel | None = None,
+) -> Device:
+    """A GPU accelerator derived from a reference CPU via per-kernel speedups."""
+    cpu = cpu or make_cpu()
+    speedup = dict(DEFAULT_GPU_SPEEDUP, **(speedup or {}))
+    throughput = {k: cpu.throughput[k] * speedup[k] for k in KERNELS}
+    return Device(
+        name=name,
+        kind="gpu",
+        throughput=throughput,
+        launch_overhead_s=1e-5,  # kernel-launch latency dominates small grids
+        host_link=link or make_link("pcie-gen3"),
+    )

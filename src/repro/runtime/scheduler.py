@@ -1,0 +1,184 @@
+"""Task schedulers for the heterogeneous device simulator.
+
+Three policies reproduce the scheduling comparison (experiment E9):
+
+- :class:`StaticScheduler` — blocks pre-assigned to devices round-robin;
+  simple, no runtime decisions, suffers on heterogeneous device mixes.
+- :class:`DynamicGreedyScheduler` — HEFT-flavoured: tasks prioritized by
+  upward rank (critical path to the exit), each dispatched to the device
+  with the earliest finish time.
+- :class:`WorkStealingScheduler` — static owner queues plus stealing from
+  the most-loaded queue when a device runs dry; the HPX-style policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..utils.errors import SchedulerError
+from .dag import TaskGraph
+from .device import Device
+from .task import Task
+
+
+class SchedulerContext:
+    """What a scheduler may inspect when making a decision."""
+
+    def __init__(self, devices: list[Device], cost_fn):
+        self.devices = devices
+        self.device_by_name = {d.name: d for d in devices}
+        self.cost_fn = cost_fn  # (Task, Device) -> seconds
+        self.device_free: dict[str, float] = {d.name: 0.0 for d in devices}
+
+    def eligible_devices(self, task: Task) -> list[Device]:
+        if task.pinned_device is not None:
+            dev = self.device_by_name.get(task.pinned_device)
+            if dev is None:
+                raise SchedulerError(
+                    f"task {task.id!r} pinned to unknown device "
+                    f"{task.pinned_device!r}"
+                )
+            return [dev]
+        return self.devices
+
+
+class Scheduler(ABC):
+    """Base: pick the next (task, device) pair from the ready set."""
+
+    name = "abstract"
+
+    def prepare(self, graph: TaskGraph, ctx: SchedulerContext) -> None:
+        """Called once before simulation starts (for precomputation)."""
+
+    @abstractmethod
+    def select(
+        self, ready: dict[str, float], graph: TaskGraph, ctx: SchedulerContext
+    ) -> tuple[str, str]:
+        """Return (task_id, device_name) to dispatch next.
+
+        *ready* maps ready task ids to the time their dependencies finished.
+        """
+
+
+class StaticScheduler(Scheduler):
+    """Round-robin block->device pre-assignment, FIFO within a device."""
+
+    name = "static"
+
+    def prepare(self, graph, ctx):
+        self._assignment: dict[str, str] = {}
+        ndev = len(ctx.devices)
+        for task in graph.tasks():
+            if task.pinned_device is not None:
+                self._assignment[task.id] = task.pinned_device
+            else:
+                self._assignment[task.id] = ctx.devices[task.block % ndev].name
+
+    def select(self, ready, graph, ctx):
+        # Dispatch the assignment that can start earliest.
+        best = None
+        for tid, t_ready in ready.items():
+            dev = self._assignment[tid]
+            start = max(t_ready, ctx.device_free[dev])
+            key = (start, tid)
+            if best is None or key < best[0]:
+                best = (key, tid, dev)
+        assert best is not None
+        return best[1], best[2]
+
+
+class DynamicGreedyScheduler(Scheduler):
+    """Upward-rank priority + earliest-finish-time device selection (HEFT)."""
+
+    name = "dynamic"
+
+    def prepare(self, graph, ctx):
+        # Upward rank with device-mean costs: rank(t) = cost(t) +
+        # max over dependents of rank.
+        mean_cost = {
+            t.id: sum(ctx.cost_fn(t, d) for d in ctx.eligible_devices(t))
+            / len(ctx.eligible_devices(t))
+            for t in graph.tasks()
+        }
+        self._rank: dict[str, float] = {}
+        for tid in reversed(graph.topological_order()):
+            succ = graph.dependents(tid)
+            self._rank[tid] = mean_cost[tid] + max(
+                (self._rank[s] for s in succ), default=0.0
+            )
+
+    def select(self, ready, graph, ctx):
+        # Highest upward rank first (critical tasks dispatched earliest).
+        tid = max(ready, key=lambda t: (self._rank[t], t))
+        task = graph.task(tid)
+        t_ready = ready[tid]
+        best_dev, best_finish = None, None
+        for dev in ctx.eligible_devices(task):
+            start = max(t_ready, ctx.device_free[dev.name])
+            finish = start + ctx.cost_fn(task, dev)
+            if best_finish is None or finish < best_finish:
+                best_dev, best_finish = dev.name, finish
+        assert best_dev is not None
+        return tid, best_dev
+
+
+class WorkStealingScheduler(Scheduler):
+    """Owner-computes queues with idle-device stealing.
+
+    Tasks start in their block's owner queue (round-robin like static); when
+    the earliest-free device has no ready task of its own, it steals the
+    ready task with the most remaining work from the most-loaded peer.
+    """
+
+    name = "work-stealing"
+
+    def prepare(self, graph, ctx):
+        ndev = len(ctx.devices)
+        self._owner: dict[str, str] = {}
+        for task in graph.tasks():
+            if task.pinned_device is not None:
+                self._owner[task.id] = task.pinned_device
+            else:
+                self._owner[task.id] = ctx.devices[task.block % ndev].name
+
+    def select(self, ready, graph, ctx):
+        # The device that frees up first gets to act.
+        actor = min(ctx.device_free, key=lambda d: (ctx.device_free[d], d))
+        own = [tid for tid in ready if self._owner[tid] == actor]
+        if own:
+            # FIFO on the ready time within the owner queue.
+            tid = min(own, key=lambda t: (ready[t], t))
+            return tid, actor
+        # Steal: pick the ready task whose owner has the largest backlog,
+        # provided the task is not pinned elsewhere.
+        stealable = [
+            tid for tid in ready if graph.task(tid).pinned_device is None
+        ]
+        if not stealable:
+            # Nothing stealable: dispatch a pinned task on its own device.
+            tid = min(ready, key=lambda t: (ready[t], t))
+            return tid, self._owner[tid]
+        backlog: dict[str, int] = {}
+        for tid in stealable:
+            backlog[self._owner[tid]] = backlog.get(self._owner[tid], 0) + 1
+        victim = max(backlog, key=lambda d: (backlog[d], d))
+        candidates = [tid for tid in stealable if self._owner[tid] == victim]
+        tid = max(candidates, key=lambda t: (graph.task(t).n_cells, t))
+        return tid, actor
+
+
+SCHEDULERS = {
+    "static": StaticScheduler,
+    "dynamic": DynamicGreedyScheduler,
+    "work-stealing": WorkStealingScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory: scheduler by registry name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,112 @@
+"""Tasks and futures for the simulated dataflow runtime.
+
+The execution model mirrors HPX/ParalleX as used in this line of work: work
+is decomposed into tasks over blocks, dependencies form a DAG, and a
+scheduler maps ready tasks onto heterogeneous devices. Here the tasks carry
+*cost descriptors* (kernel kind + cell count) instead of code; the
+discrete-event simulator charges them against the device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    id:
+        Unique identifier (hashable).
+    kernel:
+        Kernel kind priced by the cost model (e.g. ``"riemann"``), or
+        ``"comm"`` for communication placeholders.
+    n_cells:
+        Work size in cells.
+    deps:
+        IDs of tasks that must complete first.
+    block:
+        Owning block/rank id — static schedulers map by block affinity.
+    pinned_device:
+        Optional device name this task must run on (e.g. comm tasks).
+    fixed_cost_s:
+        If set, overrides the cost model (used for comm tasks priced by the
+        link model).
+    """
+
+    id: str
+    kernel: str
+    n_cells: int = 0
+    deps: tuple[str, ...] = ()
+    block: int = 0
+    pinned_device: str | None = None
+    fixed_cost_s: float | None = None
+
+
+@dataclass
+class TaskRecord:
+    """Execution record of one task in a simulated timeline."""
+
+    task: Task
+    device: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Result of one simulated execution: records plus summary metrics."""
+
+    records: list[TaskRecord] = field(default_factory=list)
+
+    def add(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def makespan(self) -> float:
+        return max((r.end for r in self.records), default=0.0)
+
+    def busy_time(self) -> dict[str, float]:
+        busy: dict[str, float] = {}
+        for r in self.records:
+            busy[r.device] = busy.get(r.device, 0.0) + r.duration
+        return busy
+
+    def imbalance(self) -> float:
+        """max / mean device busy time; 1.0 is perfect balance."""
+        busy = list(self.busy_time().values())
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        if mean == 0:
+            return 1.0
+        return max(busy) / mean
+
+    def record_for(self, task_id: str) -> TaskRecord:
+        for r in self.records:
+            if r.task.id == task_id:
+                return r
+        raise SchedulerError(f"task {task_id!r} not in timeline")
+
+    def validate_dependencies(self) -> None:
+        """Assert no task started before all of its dependencies ended."""
+        end_of = {r.task.id: r.end for r in self.records}
+        for r in self.records:
+            for dep in r.task.deps:
+                if dep not in end_of:
+                    raise SchedulerError(
+                        f"task {r.task.id!r} depends on unexecuted {dep!r}"
+                    )
+                if r.start < end_of[dep] - 1e-12:
+                    raise SchedulerError(
+                        f"task {r.task.id!r} started at {r.start} before "
+                        f"dependency {dep!r} ended at {end_of[dep]}"
+                    )

@@ -1,0 +1,21 @@
+"""Time integration: SSP Runge-Kutta steppers and CFL control."""
+
+from .cfl import compute_dt
+from .ssprk import (
+    INTEGRATORS,
+    ForwardEuler,
+    SSPRK2,
+    SSPRK3,
+    TimeIntegrator,
+    make_integrator,
+)
+
+__all__ = [
+    "TimeIntegrator",
+    "ForwardEuler",
+    "SSPRK2",
+    "SSPRK3",
+    "INTEGRATORS",
+    "make_integrator",
+    "compute_dt",
+]

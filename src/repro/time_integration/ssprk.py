@@ -1,0 +1,79 @@
+"""Strong-stability-preserving Runge-Kutta integrators (Shu & Osher).
+
+An integrator advances a conserved state given a right-hand-side callback
+``rhs(cons) -> dU/dt`` that already includes the flux divergence (and any
+sources). SSP methods are convex combinations of forward-Euler steps, so the
+TVD property of the spatial scheme carries over to the full update.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from ..utils.errors import ConfigurationError
+
+RHS = Callable[[np.ndarray], np.ndarray]
+
+
+class TimeIntegrator(ABC):
+    """Base class: one full step of size dt from state U."""
+
+    name = "abstract"
+    order = 1
+    stages = 1
+
+    @abstractmethod
+    def step(self, U: np.ndarray, dt: float, rhs: RHS) -> np.ndarray:
+        """Return the state advanced by dt (input is not modified)."""
+
+
+class ForwardEuler(TimeIntegrator):
+    """First-order forward Euler (the SSP building block)."""
+
+    name = "euler"
+    order = 1
+    stages = 1
+
+    def step(self, U, dt, rhs):
+        return U + dt * rhs(U)
+
+
+class SSPRK2(TimeIntegrator):
+    """Heun's method in SSP (convex) form; second order, CFL coefficient 1."""
+
+    name = "ssprk2"
+    order = 2
+    stages = 2
+
+    def step(self, U, dt, rhs):
+        U1 = U + dt * rhs(U)
+        return 0.5 * U + 0.5 * (U1 + dt * rhs(U1))
+
+
+class SSPRK3(TimeIntegrator):
+    """Shu-Osher third-order SSP Runge-Kutta; the HRSC default."""
+
+    name = "ssprk3"
+    order = 3
+    stages = 3
+
+    def step(self, U, dt, rhs):
+        U1 = U + dt * rhs(U)
+        U2 = 0.75 * U + 0.25 * (U1 + dt * rhs(U1))
+        return U / 3.0 + (2.0 / 3.0) * (U2 + dt * rhs(U2))
+
+
+INTEGRATORS = {"euler": ForwardEuler, "ssprk2": SSPRK2, "ssprk3": SSPRK3}
+
+
+def make_integrator(name: str) -> TimeIntegrator:
+    """Factory: time integrator by registry name."""
+    try:
+        return INTEGRATORS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown integrator {name!r}; choose from {sorted(INTEGRATORS)}"
+        ) from None

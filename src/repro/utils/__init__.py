@@ -1,0 +1,31 @@
+"""Shared utilities: errors, logging, parameter validation, timers."""
+
+from .errors import (
+    CodegenError,
+    CommunicationError,
+    ConfigurationError,
+    EOSError,
+    MeshError,
+    RecoveryError,
+    ReproError,
+    SchedulerError,
+)
+from .logging import get_logger
+from .parameters import ParameterSet, param
+from .timers import Timer, TimerRegistry
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "RecoveryError",
+    "EOSError",
+    "MeshError",
+    "SchedulerError",
+    "CommunicationError",
+    "CodegenError",
+    "get_logger",
+    "ParameterSet",
+    "param",
+    "Timer",
+    "TimerRegistry",
+]

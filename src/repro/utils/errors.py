@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single handler while still
+distinguishing physics failures (e.g. primitive recovery) from configuration
+mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid solver, mesh, or runtime configuration."""
+
+
+class RecoveryError(ReproError):
+    """Conservative-to-primitive inversion failed for one or more cells.
+
+    Attributes
+    ----------
+    n_failed:
+        Number of cells for which recovery did not converge.
+    indices:
+        Flat indices of the failed cells (may be truncated for huge grids).
+    """
+
+    def __init__(self, message: str, n_failed: int = 0, indices=None):
+        super().__init__(message)
+        self.n_failed = n_failed
+        self.indices = indices
+
+
+class EOSError(ReproError):
+    """Equation-of-state evaluation outside its domain of validity."""
+
+
+class MeshError(ReproError):
+    """Inconsistent mesh, block, or AMR hierarchy state."""
+
+
+class SchedulerError(ReproError):
+    """Task scheduling failure in the simulated heterogeneous runtime."""
+
+
+class CommunicationError(ReproError):
+    """Simulated communicator misuse (bad rank, mismatched message, ...)."""
+
+
+class CodegenError(ReproError):
+    """Kernel generation or verification failure."""

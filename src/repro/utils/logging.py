@@ -1,0 +1,53 @@
+"""Lightweight structured logging for solvers and the simulated runtime.
+
+A thin wrapper over :mod:`logging` that gives every subsystem a namespaced
+logger (``repro.core``, ``repro.runtime``, ...) with a single shared,
+idempotent configuration. Verbosity is controlled either programmatically via
+:func:`set_level` or with the ``REPRO_LOG`` environment variable
+(``REPRO_LOG=DEBUG``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s %(name)s] %(message)s")
+        )
+        root.addHandler(handler)
+    level = os.environ.get("REPRO_LOG", "WARNING").upper()
+    root.setLevel(getattr(logging, level, logging.WARNING))
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("core")`` and ``get_logger("repro.core")`` both return the
+    ``repro.core`` logger.
+    """
+    _configure_root()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_level(level: int | str) -> None:
+    """Set the verbosity of all repro loggers."""
+    _configure_root()
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logging.getLogger(_ROOT_NAME).setLevel(level)

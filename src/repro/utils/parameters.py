@@ -1,0 +1,124 @@
+"""Declarative, validated parameter sets for solver and runtime configuration.
+
+Usage::
+
+    class SolverConfig(ParameterSet):
+        cfl = param(0.5, float, lambda v: 0 < v <= 1, "CFL number in (0, 1]")
+        reconstruction = param("mc", str, choices=("pc", "minmod", "mc",
+                                                   "ppm", "weno5"))
+
+    cfg = SolverConfig(cfl=0.4)
+    cfg.cfl            # 0.4
+    cfg.reconstruction # "mc"
+
+Invalid values raise :class:`~repro.utils.errors.ConfigurationError` at
+construction time, so configuration bugs fail fast rather than deep inside a
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .errors import ConfigurationError
+
+
+class _Param:
+    """Descriptor-ish record describing one parameter of a ParameterSet."""
+
+    __slots__ = ("default", "type", "check", "doc", "choices", "name")
+
+    def __init__(self, default, type_, check, doc, choices):
+        self.default = default
+        self.type = type_
+        self.check = check
+        self.doc = doc
+        self.choices = tuple(choices) if choices is not None else None
+        self.name = None  # filled in by the metaclass
+
+    def validate(self, value):
+        if self.type is not None and not isinstance(value, self.type):
+            # Allow ints where floats are expected; be strict otherwise.
+            if self.type is float and isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)
+            else:
+                raise ConfigurationError(
+                    f"parameter {self.name!r}: expected {self.type.__name__}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"parameter {self.name!r}: {value!r} not in {self.choices}"
+            )
+        if self.check is not None and not self.check(value):
+            raise ConfigurationError(
+                f"parameter {self.name!r}: value {value!r} failed validation "
+                f"({self.doc or 'no description'})"
+            )
+        return value
+
+
+def param(
+    default: Any,
+    type_: type | None = None,
+    check: Callable[[Any], bool] | None = None,
+    doc: str = "",
+    choices: Iterable[Any] | None = None,
+) -> _Param:
+    """Declare a validated parameter inside a :class:`ParameterSet` subclass."""
+    return _Param(default, type_, check, doc, choices)
+
+
+class _ParameterSetMeta(type):
+    def __new__(mcs, name, bases, ns):
+        params: dict[str, _Param] = {}
+        for base in bases:
+            params.update(getattr(base, "_params", {}))
+        for key, value in list(ns.items()):
+            if isinstance(value, _Param):
+                value.name = key
+                params[key] = value
+                del ns[key]
+        ns["_params"] = params
+        return super().__new__(mcs, name, bases, ns)
+
+
+class ParameterSet(metaclass=_ParameterSetMeta):
+    """Base class for declaratively validated configuration objects."""
+
+    _params: dict[str, _Param] = {}
+
+    def __init__(self, **kwargs):
+        unknown = set(kwargs) - set(self._params)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown parameter(s) {sorted(unknown)}; "
+                f"valid: {sorted(self._params)}"
+            )
+        for key, spec in self._params.items():
+            value = kwargs.get(key, spec.default)
+            object.__setattr__(self, key, spec.validate(value))
+
+    def replace(self, **kwargs) -> "ParameterSet":
+        """Return a copy with some parameters replaced (validated)."""
+        merged = self.to_dict()
+        merged.update(kwargs)
+        return type(self)(**merged)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {key: getattr(self, key) for key in self._params}
+
+    def __setattr__(self, key, value):
+        if key in self._params:
+            object.__setattr__(self, key, self._params[key].validate(value))
+        else:
+            raise ConfigurationError(
+                f"cannot set unknown parameter {key!r} on {type(self).__name__}"
+            )
+
+    def __repr__(self):
+        body = ", ".join(f"{k}={getattr(self, k)!r}" for k in sorted(self._params))
+        return f"{type(self).__name__}({body})"
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.to_dict() == other.to_dict()

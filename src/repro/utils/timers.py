@@ -1,0 +1,91 @@
+"""Wall-clock timers for kernel calibration and harness reporting.
+
+:class:`Timer` is a context manager accumulating elapsed wall time over
+repeated entries; :class:`TimerRegistry` groups named timers and renders a
+summary table. Simulated (modelled) times in :mod:`repro.runtime` are kept
+deliberately separate from these wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager."""
+
+    name: str = ""
+    elapsed: float = 0.0
+    count: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        dt = time.perf_counter() - self._start
+        self.elapsed += dt
+        self.count += 1
+        self._start = None
+        return dt
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed time per entry (0 if never stopped)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+
+class TimerRegistry:
+    """Named collection of timers with a formatted summary."""
+
+    def __init__(self):
+        self._timers: dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        """Get (creating if needed) the timer called *name*."""
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def __getitem__(self, name: str) -> Timer:
+        return self._timers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def items(self):
+        return self._timers.items()
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()
+
+    def summary(self) -> str:
+        if not self._timers:
+            return "(no timers)"
+        width = max(len(n) for n in self._timers)
+        lines = [f"{'timer':<{width}}  {'calls':>7}  {'total [s]':>10}  {'mean [ms]':>10}"]
+        for name in sorted(self._timers):
+            t = self._timers[name]
+            lines.append(
+                f"{name:<{width}}  {t.count:>7d}  {t.elapsed:>10.4f}  {t.mean * 1e3:>10.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Terminal visualization helpers.
+
+No plotting dependencies exist on this substrate, so the examples render
+fields as ASCII intensity maps and unicode-free sparklines — enough to see
+shock fronts, jet morphology, and growth curves directly in a terminal or
+CI log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .utils.errors import ConfigurationError
+
+#: intensity ramp from vacuum to peak
+SHADES = " .:-=+*#%@"
+
+
+def density_map(field: np.ndarray, width: int = 64, vmin: float | None = None,
+                vmax: float | None = None, transpose: bool = True) -> str:
+    """ASCII intensity map of a 2-D field.
+
+    With ``transpose=True`` (default) the first array axis (x) runs
+    rightward and the second (y) upward — matching the physics convention
+    of the examples.
+    """
+    arr = np.asarray(field, dtype=float)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"density_map needs a 2-D field, got {arr.ndim}-D")
+    if transpose:
+        arr = arr.T[::-1]  # y upward
+    lo = float(arr.min()) if vmin is None else vmin
+    hi = float(arr.max()) if vmax is None else vmax
+    span = max(hi - lo, 1e-300)
+    step = max(arr.shape[1] // width, 1)
+    rows = []
+    for row in arr[:: max(arr.shape[0] // (width // 2), 1)]:
+        cells = row[::step]
+        idx = np.clip(((cells - lo) / span * (len(SHADES) - 1)).astype(int),
+                      0, len(SHADES) - 1)
+        rows.append("".join(SHADES[i] for i in idx))
+    return "\n".join(rows)
+
+
+def sparkline(values, width: int = 60, height: int = 8,
+              label_format: str = "{:.3g}") -> str:
+    """Multi-row ASCII line chart of a 1-D series."""
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or v.size < 2:
+        raise ConfigurationError("sparkline needs a 1-D series of length >= 2")
+    if not np.all(np.isfinite(v)):
+        raise ConfigurationError("sparkline values must be finite")
+    # Resample to the display width.
+    xi = np.linspace(0, v.size - 1, width)
+    vi = np.interp(xi, np.arange(v.size), v)
+    lo, hi = float(vi.min()), float(vi.max())
+    span = max(hi - lo, 1e-300)
+    levels = np.clip(((vi - lo) / span * (height - 1)).round().astype(int),
+                     0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for col, lev in enumerate(levels):
+        grid[height - 1 - lev][col] = "*"
+    lines = ["".join(r) for r in grid]
+    lines[0] += f"  {label_format.format(hi)}"
+    lines[-1] += f"  {label_format.format(lo)}"
+    return "\n".join(lines)
+
+
+def profile_compare(x, numeric, exact, width: int = 64, height: int = 10) -> str:
+    """Overlay a numeric profile (*) on an exact reference (.) vs x."""
+    x = np.asarray(x, dtype=float)
+    num = np.asarray(numeric, dtype=float)
+    exa = np.asarray(exact, dtype=float)
+    if not (x.shape == num.shape == exa.shape) or x.ndim != 1:
+        raise ConfigurationError("profile_compare needs matching 1-D arrays")
+    lo = float(min(num.min(), exa.min()))
+    hi = float(max(num.max(), exa.max()))
+    span = max(hi - lo, 1e-300)
+    xi = np.linspace(x[0], x[-1], width)
+    ni = np.interp(xi, x, num)
+    ei = np.interp(xi, x, exa)
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(series, glyph):
+        levels = np.clip(((series - lo) / span * (height - 1)).round().astype(int),
+                         0, height - 1)
+        for col, lev in enumerate(levels):
+            row = height - 1 - lev
+            if grid[row][col] == " " or glyph == "*":
+                grid[row][col] = glyph
+
+    put(ei, ".")
+    put(ni, "*")
+    lines = ["".join(r) for r in grid]
+    lines.append(f"x: [{x[0]:.3g}, {x[-1]:.3g}]   y: [{lo:.3g}, {hi:.3g}]   "
+                 "(* numeric, . exact)")
+    return "\n".join(lines)

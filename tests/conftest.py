@@ -1,0 +1,54 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eos import IdealGasEOS
+from repro.mesh.grid import Grid
+from repro.physics.srhd import SRHDSystem
+
+
+@pytest.fixture
+def eos():
+    return IdealGasEOS(gamma=5.0 / 3.0)
+
+
+@pytest.fixture
+def system1d(eos):
+    return SRHDSystem(eos, ndim=1)
+
+
+@pytest.fixture
+def system2d(eos):
+    return SRHDSystem(eos, ndim=2)
+
+
+@pytest.fixture
+def grid1d():
+    return Grid((64,), ((0.0, 1.0),))
+
+
+@pytest.fixture
+def grid2d():
+    return Grid((16, 16), ((0.0, 1.0), (0.0, 1.0)))
+
+
+def random_prim(system, shape, rng, vmax=0.9):
+    """A random, physically admissible primitive state array."""
+    prim = np.empty((system.nvars,) + tuple(shape))
+    prim[system.RHO] = rng.uniform(0.1, 10.0, shape)
+    v2_budget = rng.uniform(0.0, vmax**2, shape)
+    direction = rng.normal(size=(system.ndim,) + tuple(shape))
+    norm = np.sqrt(np.sum(direction**2, axis=0))
+    norm = np.where(norm > 0, norm, 1.0)
+    for ax in range(system.ndim):
+        prim[system.V(ax)] = direction[ax] / norm * np.sqrt(v2_budget)
+    prim[system.P] = rng.uniform(0.01, 10.0, shape)
+    return prim
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

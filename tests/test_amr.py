@@ -1,0 +1,348 @@
+"""Tests for the block-structured AMR: addressing, transfer operators,
+criteria, forest topology, and full AMR evolutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.analysis import relative_l1_error
+from repro.boundary import make_boundaries
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.mesh.amr import (
+    AMRForest,
+    BlockKey,
+    BlockLayout,
+    GradientCriterion,
+    conservation_check,
+    prolong_array,
+    restrict_array,
+    scaled_gradient,
+)
+from repro.physics.exact_riemann import ExactRiemannSolver
+from repro.physics.initial_data import RP1, blast_wave_2d, shock_tube
+from repro.utils.errors import ConfigurationError, MeshError
+
+
+class TestBlockKey:
+    def test_children_count(self):
+        assert len(BlockKey(0, (0,)).children()) == 2
+        assert len(BlockKey(0, (0, 0)).children()) == 4
+        assert len(BlockKey(0, (0, 0, 0)).children()) == 8
+
+    def test_parent_child_round_trip(self):
+        key = BlockKey(1, (3, 2))
+        for child in key.children():
+            assert child.parent() == key
+            assert child.level == 2
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(MeshError):
+            BlockKey(0, (0,)).parent()
+
+    def test_child_offset(self):
+        key = BlockKey(1, (3, 2))
+        assert key.child_offset() == (1, 0)
+
+    def test_neighbor(self):
+        key = BlockKey(1, (3, 2))
+        assert key.neighbor(0, 1) == BlockKey(1, (4, 2))
+        assert key.neighbor(1, 0) == BlockKey(1, (3, 1))
+
+
+class TestBlockLayout:
+    def test_root_tiling(self):
+        layout = BlockLayout(Grid((64, 32), ((0, 2), (0, 1))), block_size=16)
+        assert layout.root_blocks == (4, 2)
+        assert len(layout.root_keys()) == 8
+
+    def test_indivisible_shape_rejected(self):
+        with pytest.raises(MeshError):
+            BlockLayout(Grid((60,), ((0, 1),)), block_size=16)
+
+    def test_block_too_small_rejected(self):
+        with pytest.raises(MeshError):
+            BlockLayout(Grid((32,), ((0, 1),), n_ghost=3), block_size=4)
+
+    def test_grid_for_level1_halves_spacing(self):
+        layout = BlockLayout(Grid((32,), ((0.0, 1.0),)), block_size=16)
+        g0 = layout.grid_for(BlockKey(0, (0,)))
+        g1 = layout.grid_for(BlockKey(1, (0,)))
+        assert g1.dx[0] == pytest.approx(g0.dx[0] / 2)
+        assert g1.bounds[0] == (0.0, 0.25)
+
+    def test_out_of_domain_rejected(self):
+        layout = BlockLayout(Grid((32,), ((0, 1),)), block_size=16)
+        assert not layout.in_domain(BlockKey(0, (5,)))
+        with pytest.raises(MeshError):
+            layout.grid_for(BlockKey(0, (5,)))
+
+
+class TestTransferOperators:
+    def test_restrict_averages(self):
+        fine = np.array([1.0, 3.0, 5.0, 7.0])
+        np.testing.assert_allclose(restrict_array(fine, 1), [2.0, 6.0])
+
+    def test_restrict_2d(self):
+        fine = np.arange(16.0).reshape(4, 4)
+        coarse = restrict_array(fine, 2)
+        assert coarse.shape == (2, 2)
+        assert coarse[0, 0] == pytest.approx(fine[:2, :2].mean())
+
+    def test_restrict_odd_extent_rejected(self):
+        with pytest.raises(MeshError):
+            restrict_array(np.zeros(5), 1)
+
+    def test_prolong_shape(self):
+        coarse = np.arange(6.0)
+        fine = prolong_array(coarse, 1)
+        assert fine.shape == (8,)  # 2 * (6 - 2)
+
+    def test_prolong_needs_ring(self):
+        with pytest.raises(MeshError):
+            prolong_array(np.zeros(2), 1)
+
+    def test_prolong_exact_on_linear_data(self):
+        coarse = np.arange(8.0)
+        fine = prolong_array(coarse, 1)
+        # Children of cell i sit at i -+ 1/4 in coarse coordinates.
+        expected = np.repeat(np.arange(1.0, 7.0), 2) + np.tile([-0.25, 0.25], 6)
+        np.testing.assert_allclose(fine, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    def test_property_prolong_restrict_conservative(self, data):
+        """restrict(prolong(q)) == q on the interior, for any data."""
+        coarse = np.asarray(data)
+        fine = prolong_array(coarse, 1)
+        assert conservation_check(coarse, fine, 1) < 1e-12
+
+    def test_conservative_2d(self):
+        rng = np.random.default_rng(5)
+        coarse = rng.normal(size=(3, 8, 8))
+        fine = prolong_array(coarse, 2)
+        assert fine.shape == (3, 12, 12)
+        assert conservation_check(coarse, fine, 2) < 1e-12
+
+    def test_prolong_monotone_at_jump(self):
+        """Limited slopes: no new extrema across a discontinuity."""
+        coarse = np.array([1.0, 1.0, 1.0, 10.0, 10.0, 10.0])
+        fine = prolong_array(coarse, 1)
+        assert fine.min() >= 1.0 - 1e-12
+        assert fine.max() <= 10.0 + 1e-12
+
+
+class TestCriterion:
+    def test_scaled_gradient_flags_jump(self):
+        field = np.array([1.0, 1.0, 1.0, 10.0, 10.0])
+        ind = scaled_gradient(field, 0)
+        assert ind[2] > 0.5 and ind[3] > 0.5
+        assert ind[0] == 0.0
+
+    def test_smooth_field_unflagged(self, system1d):
+        crit = GradientCriterion(refine_threshold=0.1)
+        prim = np.empty((3, 32))
+        prim[0] = 1.0 + 0.001 * np.sin(np.linspace(0, 2 * np.pi, 32))
+        prim[1] = 0.0
+        prim[2] = 1.0
+        assert not crit.needs_refinement(system1d, prim)
+        assert crit.allows_coarsening(system1d, prim)
+
+    def test_shock_flagged(self, system1d):
+        crit = GradientCriterion(refine_threshold=0.1)
+        prim = np.ones((3, 32))
+        prim[0, 16:] = 10.0
+        prim[1] = 0.0
+        assert crit.needs_refinement(system1d, prim)
+
+    def test_hysteresis_band(self, system1d):
+        crit = GradientCriterion(refine_threshold=0.5, coarsen_threshold=0.01)
+        prim = np.ones((3, 16))
+        prim[0, 8:] = 1.2  # moderate gradient: neither refine nor coarsen
+        prim[1] = 0.0
+        assert not crit.needs_refinement(system1d, prim)
+        assert not crit.allows_coarsening(system1d, prim)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GradientCriterion(refine_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            GradientCriterion(refine_threshold=0.1, coarsen_threshold=0.5)
+
+
+class TestForestTopology:
+    def _forest(self, n_blocks=4, max_levels=3):
+        layout = BlockLayout(Grid((16 * n_blocks,), ((0.0, 1.0),)), block_size=16)
+        forest = AMRForest(layout, max_levels=max_levels)
+        for key in layout.root_keys():
+            forest.add_leaf(key, layout.grid_for(key).allocate(3))
+        return layout, forest
+
+    def test_initial_leaves(self):
+        _, forest = self._forest()
+        assert len(forest.leaves) == 4
+        assert forest.finest_level() == 0
+
+    def test_split_replaces_leaf(self):
+        layout, forest = self._forest()
+        key = BlockKey(0, (1,))
+        children = {c: layout.grid_for(c).allocate(3) for c in key.children()}
+        forest.split(key, children)
+        assert not forest.is_leaf(key)
+        assert all(forest.is_leaf(c) for c in key.children())
+        assert forest.finest_level() == 1
+
+    def test_merge_restores_leaf(self):
+        layout, forest = self._forest()
+        key = BlockKey(0, (1,))
+        children = {c: layout.grid_for(c).allocate(3) for c in key.children()}
+        forest.split(key, children)
+        forest.merge(key, layout.grid_for(key).allocate(3))
+        assert forest.is_leaf(key)
+
+    def test_split_validation(self):
+        layout, forest = self._forest()
+        with pytest.raises(MeshError):
+            forest.split(BlockKey(0, (9,)), {})
+
+    def test_balance_detection(self):
+        layout, forest = self._forest(max_levels=4)
+        # Refine block 1 twice (to level 2) while block 0 stays at level 0:
+        key = BlockKey(0, (1,))
+        forest.split(key, {c: layout.grid_for(c).allocate(3) for c in key.children()})
+        left_child = BlockKey(1, (2,))
+        forest.split(
+            left_child,
+            {c: layout.grid_for(c).allocate(3) for c in left_child.children()},
+        )
+        assert not forest.is_balanced()
+        assert BlockKey(0, (0,)) in forest.unbalanced_leaves()
+
+    def test_max_adjacent_level(self):
+        layout, forest = self._forest()
+        key = BlockKey(0, (1,))
+        forest.split(key, {c: layout.grid_for(c).allocate(3) for c in key.children()})
+        assert forest.max_adjacent_level(BlockKey(0, (0,)), 0, 1) == 1
+        assert forest.max_adjacent_level(BlockKey(0, (0,)), 0, 0) is None  # wall
+
+
+class TestAMREvolution:
+    def test_1d_shock_tube_accuracy_and_efficiency(self):
+        """AMR must reach near-fine-unigrid error with fewer cell updates."""
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        root = Grid((64,), ((0.0, 1.0),))
+        amr = AMRSolver(
+            system,
+            root,
+            lambda s, g: shock_tube(s, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=3, refine_threshold=0.05),
+        )
+        assert amr.forest.finest_level() == 2  # initial data refined
+        amr.run(t_final=RP1.t_final)
+        grid_f, prim_f = amr.composite_primitives()
+        ex = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+        rho_e, _, _ = ex.solution_on_grid(grid_f.coords(0), RP1.t_final, RP1.x0)
+        err_amr = relative_l1_error(prim_f[0], rho_e)
+
+        fine = Grid((256,), ((0.0, 1.0),))
+        uni = Solver(system, fine, shock_tube(system, fine, RP1), SolverConfig(cfl=0.4))
+        uni.run(t_final=RP1.t_final)
+        rho_e_f, _, _ = ex.solution_on_grid(fine.coords(0), RP1.t_final, RP1.x0)
+        err_uni = relative_l1_error(uni.interior_primitives()[0], rho_e_f)
+        cells_uni = fine.n_cells * uni.summary.steps * 3
+
+        assert err_amr < 1.5 * err_uni  # near-unigrid accuracy
+        assert amr.cells_updated < 0.8 * cells_uni  # with less work
+
+    def test_forest_stays_balanced(self):
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        root = Grid((64,), ((0.0, 1.0),))
+        amr = AMRSolver(
+            system,
+            root,
+            lambda s, g: shock_tube(s, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=3),
+        )
+        amr.run(t_final=0.1)
+        assert amr.forest.is_balanced()
+        assert amr.regrids > 0
+
+    def test_2d_blast_symmetry_preserved(self, system2d):
+        root = Grid((32, 32), ((0, 1), (0, 1)))
+        amr = AMRSolver(
+            system2d,
+            root,
+            lambda s, g: blast_wave_2d(s, g, p_in=10.0, radius=0.15),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=2, refine_threshold=0.08),
+        )
+        amr.run(t_final=0.05)
+        _, prim = amr.composite_primitives()
+        rho = prim[0]
+        np.testing.assert_allclose(rho, rho[::-1, :], rtol=1e-10)
+        np.testing.assert_allclose(rho, rho.T, rtol=1e-10)
+
+    def test_smooth_data_stays_coarse(self, system1d):
+        root = Grid((64,), ((0.0, 1.0),))
+
+        def smooth_ic(system, grid):
+            from repro.physics.initial_data import smooth_wave
+
+            return smooth_wave(system, grid, amplitude=0.01)
+
+        amr = AMRSolver(
+            system1d,
+            root,
+            smooth_ic,
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=3, refine_threshold=0.1),
+            boundaries=make_boundaries("periodic"),
+        )
+        assert amr.forest.finest_level() == 0
+        amr.run(t_final=0.05)
+        assert amr.forest.finest_level() == 0  # nothing to refine
+
+    def test_single_level_amr_is_exactly_unigrid(self, system1d):
+        """With max_levels=1 the AMR machinery (blocks, composite ghost
+        fill, per-leaf pipelines) must reproduce the unigrid solver
+        bit-for-bit — the strongest correctness anchor for the forest."""
+        grid = Grid((64,), ((0.0, 1.0),))
+        cfg = SolverConfig(cfl=0.4)
+        uni = Solver(system1d, grid, shock_tube(system1d, grid, RP1), cfg)
+        uni.run(t_final=0.1)
+        amr = AMRSolver(
+            system1d,
+            grid,
+            lambda s, g: shock_tube(s, g, RP1),
+            cfg,
+            AMRConfig(block_size=16, max_levels=1),
+        )
+        amr.run(t_final=0.1)
+        _, prim = amr.composite_primitives(level=0)
+        np.testing.assert_array_equal(prim, uni.interior_primitives())
+        assert amr.steps == uni.summary.steps
+
+    def test_cells_updated_accounting(self, system1d):
+        root = Grid((32,), ((0.0, 1.0),))
+        amr = AMRSolver(
+            system1d,
+            root,
+            lambda s, g: shock_tube(s, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=1),
+        )
+        amr.step(dt=1e-4)
+        assert amr.cells_updated == 32 * 3  # 2 blocks x 16 cells x 3 stages

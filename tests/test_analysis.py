@@ -1,0 +1,95 @@
+"""Unit tests for analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    convergence_order,
+    fit_exponential_growth,
+    l1_error,
+    l1_norm,
+    l2_norm,
+    linf_norm,
+    pairwise_orders,
+    relative_l1_error,
+    richardson_extrapolate,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestNorms:
+    def test_l1(self):
+        assert l1_norm(np.array([1.0, -2.0, 3.0]), cell_volume=0.5) == 3.0
+
+    def test_l2(self):
+        assert l2_norm(np.array([3.0, 4.0]), cell_volume=1.0) == 5.0
+
+    def test_linf(self):
+        assert linf_norm(np.array([1.0, -7.0, 3.0])) == 7.0
+
+    def test_l1_error_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            l1_error(np.zeros(3), np.zeros(4))
+
+    def test_relative_l1(self):
+        assert relative_l1_error(np.array([1.1, 2.2]), np.array([1.0, 2.0])) == pytest.approx(0.1)
+
+    def test_relative_l1_zero_reference(self):
+        with pytest.raises(ConfigurationError):
+            relative_l1_error(np.ones(3), np.zeros(3))
+
+
+class TestConvergence:
+    def test_exact_second_order(self):
+        ns = [16, 32, 64]
+        errs = [1.0 / n**2 for n in ns]
+        assert convergence_order(ns, errs) == pytest.approx(2.0)
+
+    def test_pairwise(self):
+        orders = pairwise_orders([16, 32, 64], [1.0, 0.25, 0.0625])
+        assert orders == pytest.approx([2.0, 2.0])
+
+    def test_insufficient_data(self):
+        with pytest.raises(ConfigurationError):
+            convergence_order([16], [0.1])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            convergence_order([16, 32], [0.1, 0.0])
+
+    def test_richardson(self):
+        # f(h) = L + C h^2, exact L = 5.
+        L, C = 5.0, 3.0
+        coarse = L + C * 0.1**2
+        fine = L + C * 0.05**2
+        assert richardson_extrapolate(coarse, fine, ratio=2.0, order=2.0) == pytest.approx(5.0)
+
+    def test_richardson_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            richardson_extrapolate(1.0, 0.5, ratio=1.0, order=2)
+
+
+class TestGrowthFit:
+    def test_recovers_known_rate(self):
+        t = np.linspace(0, 5, 50)
+        a = 0.01 * np.exp(1.7 * t)
+        gamma, a0 = fit_exponential_growth(t, a)
+        assert gamma == pytest.approx(1.7, rel=1e-10)
+        assert a0 == pytest.approx(0.01, rel=1e-10)
+
+    def test_window_selects_linear_phase(self):
+        t = np.linspace(0, 10, 200)
+        a = 0.01 * np.exp(2.0 * t)
+        a[t > 5] = a[t <= 5].max()  # saturation
+        gamma, _ = fit_exponential_growth(t, a, window=(0.5, 4.5))
+        assert gamma == pytest.approx(2.0, rel=1e-6)
+
+    def test_requires_positive_amplitudes(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponential_growth([0, 1, 2], [1.0, -1.0, 1.0])
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponential_growth([0, 1], [1.0, 2.0])

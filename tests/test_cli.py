@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import load_solution
+
+
+class TestRun:
+    def test_rp1_run(self, capsys):
+        assert main(["run", "rp1", "--n", "50", "--t-final", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "steps" in out
+        assert "rel L1(rho) vs exact" in out
+
+    def test_blast2d_run(self, capsys):
+        assert main(["run", "blast2d", "--n", "16", "--t-final", "0.02"]) == 0
+        assert "rho range" in capsys.readouterr().out
+
+    def test_scheme_options(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "rp1",
+                    "--n",
+                    "50",
+                    "--t-final",
+                    "0.05",
+                    "--reconstruction",
+                    "weno5",
+                    "--riemann",
+                    "hll",
+                    "--cfl",
+                    "0.3",
+                ]
+            )
+            == 0
+        )
+
+    def test_snapshot_written(self, tmp_path, capsys):
+        snap = tmp_path / "out.npz"
+        assert (
+            main(
+                ["run", "rp1", "--n", "50", "--t-final", "0.05", "--snapshot", str(snap)]
+            )
+            == 0
+        )
+        grid, prim, t, names = load_solution(snap)
+        assert t == pytest.approx(0.05)
+        assert names == ["rho", "v0", "p"]
+        assert np.all(np.isfinite(prim))
+
+    def test_checkpoint_written(self, tmp_path, system1d):
+        ckpt = tmp_path / "c.npz"
+        assert (
+            main(
+                ["run", "rp1", "--n", "50", "--t-final", "0.05", "--checkpoint", str(ckpt)]
+            )
+            == 0
+        )
+        from repro.io import load_checkpoint
+
+        restored = load_checkpoint(ckpt, system1d)
+        assert restored.t == pytest.approx(0.05)
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "warp-drive"])
+
+
+class TestExperiment:
+    def test_e8_runs(self, capsys):
+        assert main(["experiment", "e8"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_lists_everything(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "rp1" in out
+        assert "weno5" in out
+        assert "hllc" in out
+        assert "E12" in out

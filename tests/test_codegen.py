@@ -1,0 +1,190 @@
+"""Tests for the SymPy kernel generator: generated kernels must match the
+handwritten reference bit-for-bit (to round-off) on both targets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.codegen import (
+    KernelGenerator,
+    SRHDSymbols,
+    cache_size,
+    clear_cache,
+    load_kernel,
+    run_flat_kernel,
+    verify_kernels,
+)
+from repro.eos import IdealGasEOS
+from repro.physics.srhd import SRHDSystem
+from repro.utils.errors import CodegenError
+
+from .conftest import random_prim
+
+
+class TestSymbols:
+    def test_invalid_ndim(self):
+        with pytest.raises(CodegenError):
+            SRHDSymbols(4)
+
+    def test_conserved_count(self):
+        for ndim in (1, 2, 3):
+            assert len(SRHDSymbols(ndim).conserved()) == ndim + 2
+
+    def test_lorentz_expression(self):
+        sym = SRHDSymbols(1)
+        W = sym.lorentz.subs({sym.v[0]: sp.Rational(3, 5)})
+        assert sp.simplify(W - sp.Rational(5, 4)) == 0
+
+    def test_static_conserved_reduce_correctly(self):
+        """At v = 0: D = rho, S = 0, tau = rho*eps."""
+        sym = SRHDSymbols(1)
+        subs = {sym.v[0]: 0}
+        D, S, tau = [sp.simplify(e.subs(subs)) for e in sym.conserved()]
+        assert D == sym.rho
+        assert S == 0
+        eps = sym.eps
+        assert sp.simplify(tau - sym.rho * eps.subs(subs)) == 0
+
+    def test_flux_axis_out_of_range(self):
+        with pytest.raises(CodegenError):
+            SRHDSymbols(2).flux(2)
+
+    def test_char_speeds_reduce_to_sound_speed_at_rest(self):
+        sym = SRHDSymbols(1)
+        lam_m, lam_p = sym.char_speeds(0)
+        at_rest = {sym.v[0]: 0}
+        cs = sp.sqrt(sym.sound_speed_sq)
+        assert sp.simplify(lam_p.subs(at_rest) - cs.subs(at_rest)) == 0
+        assert sp.simplify(lam_m.subs(at_rest) + cs.subs(at_rest)) == 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(CodegenError):
+            SRHDSymbols(1).expressions("sources")
+
+
+class TestGeneratedSource:
+    def test_source_is_valid_python(self):
+        gen = KernelGenerator(2)
+        for kind in ("prim_to_con", "flux", "char_speeds"):
+            for target in ("numpy", "flat"):
+                src = gen.generate(kind, axis=0, target=target)
+                compile(src, "<test>", "exec")  # must not raise
+
+    def test_cse_produces_temporaries(self):
+        """CSE must fire: the Lorentz factor appears in every component."""
+        src = KernelGenerator(2).generate("prim_to_con")
+        assert "t_0" in src
+
+    def test_module_generation(self):
+        src = KernelGenerator(1).generate_module()
+        ns: dict = {}
+        exec(compile(src, "<module>", "exec"), ns)
+        assert "prim_to_con_1d_numpy" in ns
+        assert "flux_ax0_1d_numpy" in ns
+        assert "char_speeds_ax0_1d_numpy" in ns
+
+    def test_unknown_target(self):
+        with pytest.raises(CodegenError):
+            KernelGenerator(1).generate("flux", target="cuda")
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_verify_all_kernels(self, ndim):
+        deviations = verify_kernels(ndim, rtol=1e-11)
+        assert max(deviations.values()) < 1e-11
+        # numpy and flat targets both covered.
+        assert any("/numpy" in k for k in deviations)
+        assert any("/flat" in k for k in deviations)
+
+    def test_numpy_kernel_matches_reference(self, rng):
+        system = SRHDSystem(IdealGasEOS(gamma=1.4), ndim=2)
+        prim = random_prim(system, (8, 8), rng)
+        kernel = load_kernel("prim_to_con", ndim=2)
+        got = kernel(prim, np.empty_like(prim), 1.4)
+        np.testing.assert_allclose(got, system.prim_to_con(prim), rtol=1e-12)
+
+    def test_flat_kernel_matches_reference(self, rng):
+        system = SRHDSystem(IdealGasEOS(gamma=1.4), ndim=1)
+        prim = random_prim(system, (64,), rng)
+        kernel = load_kernel("flux", ndim=1, axis=0, target="flat")
+        got = run_flat_kernel(kernel, prim, n_out=3, gamma=1.4)
+        cons = system.prim_to_con(prim)
+        np.testing.assert_allclose(got, system.flux(prim, cons, 0), rtol=1e-12)
+
+    def test_gamma_is_a_runtime_parameter(self, rng):
+        """One generated kernel serves every Gamma-law EOS."""
+        kernel = load_kernel("prim_to_con", ndim=1)
+        system_a = SRHDSystem(IdealGasEOS(gamma=1.4), ndim=1)
+        system_b = SRHDSystem(IdealGasEOS(gamma=5.0 / 3.0), ndim=1)
+        prim = random_prim(system_a, (16,), rng)
+        got_a = kernel(prim, np.empty_like(prim), 1.4)
+        got_b = kernel(prim, np.empty_like(prim), 5.0 / 3.0)
+        np.testing.assert_allclose(got_a, system_a.prim_to_con(prim), rtol=1e-12)
+        np.testing.assert_allclose(got_b, system_b.prim_to_con(prim), rtol=1e-12)
+        assert not np.allclose(got_a, got_b)
+
+
+class TestGeneratedSystemInSolver:
+    """Generated kernels driving the full production solver."""
+
+    def test_shock_tube_matches_handwritten(self):
+        from repro import Grid, Solver, SolverConfig
+        from repro.codegen import GeneratedSRHDSystem
+        from repro.physics.initial_data import RP1, shock_tube
+
+        cfg = SolverConfig(cfl=0.4)
+        grid = Grid((64,), ((0.0, 1.0),))
+
+        ref_system = SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1)
+        ref = Solver(ref_system, grid, shock_tube(ref_system, grid, RP1), cfg)
+        ref.run(t_final=0.1)
+
+        gen_system = GeneratedSRHDSystem(gamma=RP1.gamma, ndim=1)
+        gen = Solver(gen_system, grid, shock_tube(gen_system, grid, RP1), cfg)
+        gen.run(t_final=0.1)
+
+        assert gen.summary.steps == ref.summary.steps
+        np.testing.assert_allclose(
+            gen.interior_primitives(), ref.interior_primitives(),
+            rtol=1e-9, atol=1e-11,
+        )
+
+    def test_2d_evolution_stable(self):
+        from repro import Grid, Solver, SolverConfig
+        from repro.codegen import GeneratedSRHDSystem
+        from repro.physics.initial_data import blast_wave_2d
+
+        system = GeneratedSRHDSystem(ndim=2)
+        grid = Grid((16, 16), ((0, 1), (0, 1)))
+        prim0 = blast_wave_2d(system, grid, p_in=10.0, radius=0.2)
+        solver = Solver(system, grid, prim0, SolverConfig(cfl=0.4))
+        solver.run(t_final=0.03)
+        assert np.all(np.isfinite(solver.interior_primitives()))
+
+    def test_superluminal_guard_retained(self):
+        from repro.codegen import GeneratedSRHDSystem
+        from repro.utils.errors import ConfigurationError
+
+        system = GeneratedSRHDSystem(ndim=1)
+        with pytest.raises(ConfigurationError, match="superluminal"):
+            system.prim_to_con(np.array([[1.0], [1.5], [1.0]]))
+
+
+class TestCache:
+    def test_kernels_are_cached(self):
+        clear_cache()
+        k1 = load_kernel("prim_to_con", ndim=1)
+        n = cache_size()
+        k2 = load_kernel("prim_to_con", ndim=1)
+        assert k1 is k2
+        assert cache_size() == n
+
+    def test_distinct_keys_cached_separately(self):
+        clear_cache()
+        load_kernel("flux", ndim=2, axis=0)
+        load_kernel("flux", ndim=2, axis=1)
+        load_kernel("flux", ndim=2, axis=0, target="flat")
+        assert cache_size() == 3

@@ -1,0 +1,183 @@
+"""Unit and property tests for the equation-of-state layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eos import (
+    HybridEOS,
+    IdealGasEOS,
+    PolytropicEOS,
+    TabulatedEOS,
+    make_synthetic_table,
+)
+from repro.utils.errors import EOSError
+
+positive = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+
+
+class TestIdealGas:
+    def test_pressure_value(self):
+        eos = IdealGasEOS(gamma=5.0 / 3.0)
+        assert eos.pressure(1.0, 1.5) == pytest.approx((2.0 / 3.0) * 1.5)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(EOSError):
+            IdealGasEOS(gamma=1.0)
+        with pytest.raises(EOSError):
+            IdealGasEOS(gamma=2.5)
+
+    @given(rho=positive, eps=positive)
+    def test_pressure_eps_round_trip(self, rho, eps):
+        eos = IdealGasEOS(gamma=1.4)
+        p = eos.pressure(rho, eps)
+        assert eos.eps_from_pressure(rho, p) == pytest.approx(eps, rel=1e-12)
+
+    @given(rho=positive, eps=positive)
+    def test_sound_speed_subluminal(self, rho, eps):
+        eos = IdealGasEOS(gamma=5.0 / 3.0)
+        cs2 = eos.sound_speed_sq(rho, eps)
+        assert 0.0 <= cs2 < 1.0
+
+    @given(rho=positive, eps=positive, gamma=st.floats(min_value=1.1, max_value=2.0))
+    def test_closed_form_matches_generic(self, rho, eps, gamma):
+        """The Gamma-law closed-form cs^2 must equal the chi/kappa formula."""
+        eos = IdealGasEOS(gamma=gamma)
+        generic = (eos.chi(rho, eps) + eos.pressure(rho, eps) / rho**2 * eos.kappa(rho, eps)) / eos.enthalpy(rho, eps)
+        assert eos.sound_speed_sq(rho, eps) == pytest.approx(generic, rel=1e-12)
+
+    def test_vectorized(self):
+        eos = IdealGasEOS()
+        rho = np.array([1.0, 2.0, 3.0])
+        eps = np.array([0.5, 0.5, 0.5])
+        assert eos.pressure(rho, eps).shape == (3,)
+
+    def test_enthalpy_exceeds_one(self):
+        eos = IdealGasEOS()
+        assert np.all(eos.enthalpy(np.array([0.1, 1.0]), np.array([0.1, 2.0])) > 1.0)
+
+
+class TestPolytropic:
+    def test_pressure_power_law(self):
+        eos = PolytropicEOS(K=2.0, gamma=2.0)
+        assert eos.pressure(3.0) == pytest.approx(2.0 * 9.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(EOSError):
+            PolytropicEOS(K=-1.0)
+        with pytest.raises(EOSError):
+            PolytropicEOS(gamma=1.0)
+
+    @given(rho=positive)
+    def test_eps_consistent_with_first_law(self, rho):
+        """deps/drho = p / rho^2 along an isentrope (first law, dS=0)."""
+        eos = PolytropicEOS(K=1.5, gamma=1.8)
+        d = 1e-6 * rho
+        deps = (eos.eps_from_rho(rho + d) - eos.eps_from_rho(rho - d)) / (2 * d)
+        assert deps == pytest.approx(eos.pressure(rho) / rho**2, rel=1e-4)
+
+    def test_kappa_zero(self):
+        eos = PolytropicEOS()
+        assert np.all(eos.kappa(np.array([0.5, 1.0])) == 0.0)
+
+    @given(rho=st.floats(min_value=1e-6, max_value=1e-1))
+    def test_sound_speed_subluminal_at_moderate_density(self, rho):
+        eos = PolytropicEOS(K=100.0, gamma=2.0)
+        assert 0 <= eos.sound_speed_sq(rho) < 1.0
+
+
+class TestHybrid:
+    def test_reduces_to_cold_on_isentrope(self):
+        eos = HybridEOS(K=10.0, gamma=2.0, gamma_th=5.0 / 3.0)
+        rho = np.array([0.1, 0.5, 1.0])
+        eps_cold = eos.cold.eps_from_rho(rho)
+        np.testing.assert_allclose(
+            eos.pressure(rho, eps_cold), eos.cold.pressure(rho), rtol=1e-12
+        )
+
+    def test_thermal_part_positive_above_isentrope(self):
+        eos = HybridEOS(K=10.0, gamma=2.0)
+        rho = 0.5
+        eps_cold = float(eos.cold.eps_from_rho(rho))
+        assert eos.pressure(rho, eps_cold + 0.1) > eos.cold.pressure(rho)
+
+    def test_no_tension_below_isentrope(self):
+        """Undershooting eps below the cold value must not reduce p below cold."""
+        eos = HybridEOS(K=10.0, gamma=2.0)
+        rho = 0.5
+        eps_cold = float(eos.cold.eps_from_rho(rho))
+        assert eos.pressure(rho, eps_cold * 0.5) == pytest.approx(
+            float(eos.cold.pressure(rho))
+        )
+
+    @given(rho=st.floats(min_value=1e-3, max_value=1.0), deps=positive)
+    def test_eps_pressure_round_trip_hot(self, rho, deps):
+        eos = HybridEOS(K=1.0, gamma=2.0)
+        eps = float(eos.cold.eps_from_rho(rho)) + deps
+        p = eos.pressure(rho, eps)
+        assert eos.eps_from_pressure(rho, p) == pytest.approx(eps, rel=1e-10)
+
+    def test_kappa_zero_in_cold_region(self):
+        eos = HybridEOS(K=1.0, gamma=2.0)
+        rho = 0.5
+        eps_cold = float(eos.cold.eps_from_rho(rho))
+        assert eos.kappa(rho, eps_cold * 0.5) == 0.0
+        assert eos.kappa(rho, eps_cold * 2.0) > 0.0
+
+
+class TestTabulated:
+    @pytest.fixture
+    def table(self):
+        return make_synthetic_table(
+            IdealGasEOS(gamma=5.0 / 3.0),
+            rho_range=(1e-6, 1e2),
+            eps_range=(1e-6, 1e2),
+            n_rho=128,
+            n_eps=128,
+        )
+
+    def test_matches_analytic_inside_table(self, table):
+        eos = IdealGasEOS(gamma=5.0 / 3.0)
+        rho = np.geomspace(1e-3, 10.0, 20)
+        eps = np.geomspace(1e-3, 10.0, 20)
+        np.testing.assert_allclose(
+            table.pressure(rho, eps), eos.pressure(rho, eps), rtol=1e-3
+        )
+
+    def test_eps_inversion(self, table):
+        rho, eps = 0.7, 1.3
+        p = table.pressure(rho, eps)
+        assert table.eps_from_pressure(rho, p) == pytest.approx(eps, rel=1e-6)
+
+    def test_derivatives_match_analytic(self, table):
+        eos = IdealGasEOS(gamma=5.0 / 3.0)
+        rho, eps = 0.5, 0.8
+        assert table.chi(rho, eps) == pytest.approx(float(eos.chi(rho, eps)), rel=1e-2)
+        assert table.kappa(rho, eps) == pytest.approx(
+            float(eos.kappa(rho, eps)), rel=1e-2
+        )
+
+    def test_out_of_range_clamped(self, table):
+        # Clamping: queries beyond the table edge return the edge value.
+        assert np.isfinite(table.pressure(1e10, 1e10))
+
+    def test_shape_validation(self):
+        with pytest.raises(EOSError):
+            TabulatedEOS(np.array([1.0, 2.0]), np.array([1.0, 2.0]), np.ones((3, 2)))
+
+    def test_monotone_grid_required(self):
+        with pytest.raises(EOSError):
+            TabulatedEOS(np.array([2.0, 1.0]), np.array([1.0, 2.0]), np.ones((2, 2)))
+
+    def test_positive_entries_required(self):
+        with pytest.raises(EOSError):
+            TabulatedEOS(
+                np.array([1.0, 2.0]), np.array([1.0, 2.0]), np.array([[1.0, -1.0], [1.0, 1.0]])
+            )
+
+    def test_sound_speed_subluminal(self, table):
+        cs2 = table.sound_speed_sq(np.array([0.1, 1.0]), np.array([0.1, 1.0]))
+        assert np.all((cs2 >= 0) & (cs2 < 1))

@@ -1,0 +1,149 @@
+"""Tests for the piecewise-polytropic EOS and its hybrid combination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eos import HybridEOS, PiecewisePolytropicEOS, PolytropicEOS, sly_like
+from repro.physics.con2prim import con_to_prim
+from repro.physics.srhd import SRHDSystem
+from repro.utils.errors import EOSError
+
+
+@pytest.fixture
+def pp():
+    return PiecewisePolytropicEOS(K0=0.1, gammas=[1.6, 2.4, 3.0], rho_breaks=[0.5, 1.5])
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(EOSError):
+            PiecewisePolytropicEOS(K0=-1, gammas=[2.0], rho_breaks=[])
+        with pytest.raises(EOSError):
+            PiecewisePolytropicEOS(K0=1, gammas=[1.0], rho_breaks=[])
+        with pytest.raises(EOSError):
+            PiecewisePolytropicEOS(K0=1, gammas=[1.5, 2.0], rho_breaks=[])
+        with pytest.raises(EOSError):
+            PiecewisePolytropicEOS(K0=1, gammas=[1.5, 2.0, 2.5], rho_breaks=[1.0, 0.5])
+
+    def test_single_segment_is_polytrope(self):
+        pp = PiecewisePolytropicEOS(K0=2.0, gammas=[1.8], rho_breaks=[])
+        poly = PolytropicEOS(K=2.0, gamma=1.8)
+        rho = np.geomspace(0.01, 10, 20)
+        np.testing.assert_allclose(pp.pressure(rho), poly.pressure(rho), rtol=1e-13)
+        np.testing.assert_allclose(
+            pp.eps_from_rho(rho), poly.eps_from_rho(rho), rtol=1e-13
+        )
+
+    def test_sly_like_constructs(self):
+        eos = sly_like()
+        assert len(eos.gammas) == 4
+
+
+class TestContinuity:
+    def test_pressure_continuous_at_breaks(self, pp):
+        for b in pp.rho_breaks:
+            below = float(pp.pressure(b * (1 - 1e-12)))
+            above = float(pp.pressure(b * (1 + 1e-12)))
+            assert below == pytest.approx(above, rel=1e-9)
+
+    def test_energy_continuous_at_breaks(self, pp):
+        for b in pp.rho_breaks:
+            below = float(pp.eps_from_rho(b * (1 - 1e-12)))
+            above = float(pp.eps_from_rho(b * (1 + 1e-12)))
+            assert below == pytest.approx(above, rel=1e-9)
+
+    def test_enthalpy_continuous(self, pp):
+        for b in pp.rho_breaks:
+            below = float(pp.enthalpy(b * (1 - 1e-12)))
+            above = float(pp.enthalpy(b * (1 + 1e-12)))
+            assert below == pytest.approx(above, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rho=st.floats(min_value=1e-3, max_value=5.0))
+    def test_first_law_everywhere(self, rho):
+        """deps/drho = p/rho^2 away from the breaks (first law, dS = 0)."""
+        pp = PiecewisePolytropicEOS(
+            K0=0.1, gammas=[1.6, 2.4, 3.0], rho_breaks=[0.5, 1.5]
+        )
+        # Stay clear of the segment breaks where the derivative jumps.
+        for b in pp.rho_breaks:
+            if abs(rho - b) < 1e-3 * b:
+                return
+        d = 1e-7 * rho
+        deps = (pp.eps_from_rho(rho + d) - pp.eps_from_rho(rho - d)) / (2 * d)
+        assert deps == pytest.approx(float(pp.pressure(rho)) / rho**2, rel=1e-4)
+
+
+class TestPhysicalBehaviour:
+    def test_monotone_pressure(self, pp):
+        rho = np.geomspace(1e-3, 10, 200)
+        assert np.all(np.diff(pp.pressure(rho)) > 0)
+
+    def test_stiffening_core(self, pp):
+        """Sound speed grows through the stiffer core segments."""
+        cs_crust = float(pp.sound_speed_sq(0.1))
+        cs_core = float(pp.sound_speed_sq(2.0))
+        assert cs_core > cs_crust
+
+    def test_sly_like_causal_below_high_density(self):
+        eos = sly_like()
+        rho = np.geomspace(1e-4, 2.0, 100)
+        cs2 = eos.sound_speed_sq(rho)
+        assert np.all((cs2 >= 0) & (cs2 < 1))
+
+
+class TestHybridWithPiecewiseCold:
+    def test_reduces_to_cold_on_isentrope(self, pp):
+        hyb = HybridEOS(cold=pp, gamma_th=5.0 / 3.0)
+        rho = np.geomspace(0.01, 3.0, 30)
+        np.testing.assert_allclose(
+            hyb.pressure(rho, pp.eps_from_rho(rho)), pp.pressure(rho), rtol=1e-12
+        )
+
+    def test_shock_heating_adds_pressure(self, pp):
+        hyb = HybridEOS(cold=pp, gamma_th=5.0 / 3.0)
+        rho = 1.0
+        eps_cold = float(pp.eps_from_rho(rho))
+        assert hyb.pressure(rho, eps_cold + 0.5) > pp.pressure(rho)
+
+    def test_con2prim_round_trip(self, rng):
+        hyb = HybridEOS(
+            cold=PiecewisePolytropicEOS(
+                K0=0.1, gammas=[1.6, 2.4], rho_breaks=[0.5]
+            ),
+            gamma_th=5.0 / 3.0,
+        )
+        system = SRHDSystem(hyb, ndim=1)
+        prim = np.empty((3, 32))
+        prim[0] = rng.uniform(0.05, 2.0, 32)
+        prim[1] = rng.uniform(-0.6, 0.6, 32)
+        eps = hyb.cold.eps_from_rho(prim[0]) + rng.uniform(0.05, 1.0, 32)
+        prim[2] = hyb.pressure(prim[0], eps)
+        cons = system.prim_to_con(prim)
+        recovered = con_to_prim(system, cons)
+        np.testing.assert_allclose(recovered, prim, rtol=1e-6)
+
+    def test_shock_tube_with_ns_matter_runs(self):
+        """Full solver evolution with the SLy-like hybrid EOS."""
+        from repro import Grid, Solver, SolverConfig
+
+        hyb = HybridEOS(cold=sly_like(), gamma_th=1.8)
+        system = SRHDSystem(hyb, ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        x = grid.coords_with_ghosts(0)
+        prim0 = np.empty((3,) + x.shape)
+        prim0[0] = np.where(x < 0.5, 1.0, 0.25)
+        prim0[1] = 0.0
+        eps_hot = hyb.cold.eps_from_rho(prim0[0]) + np.where(x < 0.5, 0.5, 0.05)
+        prim0[2] = hyb.pressure(prim0[0], eps_hot)
+        solver = Solver(system, grid, prim0, SolverConfig(cfl=0.4))
+        solver.run(t_final=0.1)
+        prim = solver.interior_primitives()
+        assert np.all(np.isfinite(prim))
+        assert np.all(prim[0] > 0)
+        # A shock moves right: intermediate velocities appear.
+        assert prim[1].max() > 0.05

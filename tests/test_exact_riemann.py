@@ -1,0 +1,164 @@
+"""Tests for the exact SRHD Riemann solver against published reference values
+(Marti & Muller 2003, Living Reviews in Relativity) and internal consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics.exact_riemann import ExactRiemannSolver, RiemannState
+from repro.physics.initial_data import RP1, RP2
+from repro.utils.errors import ConfigurationError
+
+
+class TestPublishedValues:
+    """Star-region values published for the standard test problems."""
+
+    def test_rp1_star_state(self):
+        ex = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+        assert ex.p_star == pytest.approx(1.448, rel=2e-3)
+        assert ex.v_star == pytest.approx(0.714, rel=2e-3)
+        assert ex.rho_star_left == pytest.approx(2.639, rel=2e-3)
+        assert ex.rho_star_right == pytest.approx(5.071, rel=2e-3)
+
+    def test_rp1_wave_pattern(self):
+        ws = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma).wave_structure()
+        assert ws["left"][0] == "rarefaction"
+        assert ws["right"][0] == "shock"
+        # Published shock speed ~ 0.828.
+        assert ws["right"][1] == pytest.approx(0.828, rel=2e-3)
+
+    def test_rp2_star_state(self):
+        ex = ExactRiemannSolver(RP2.left, RP2.right, RP2.gamma)
+        assert ex.p_star == pytest.approx(18.60, rel=2e-3)
+        assert ex.v_star == pytest.approx(0.960, rel=2e-3)
+
+    def test_rp2_shock_speed(self):
+        ws = ExactRiemannSolver(RP2.left, RP2.right, RP2.gamma).wave_structure()
+        assert ws["right"][0] == "shock"
+        assert ws["right"][1] == pytest.approx(0.986, rel=2e-3)
+
+
+class TestSymmetry:
+    def test_colliding_flows_give_double_shock(self):
+        ex = ExactRiemannSolver(
+            RiemannState(1.0, 0.5, 1.0), RiemannState(1.0, -0.5, 1.0)
+        )
+        ws = ex.wave_structure()
+        assert ws["left"][0] == "shock" and ws["right"][0] == "shock"
+        assert ex.v_star == pytest.approx(0.0, abs=1e-10)
+        assert ex.p_star > 1.0
+
+    def test_receding_flows_give_double_rarefaction(self):
+        ex = ExactRiemannSolver(
+            RiemannState(1.0, -0.3, 1.0), RiemannState(1.0, 0.3, 1.0)
+        )
+        ws = ex.wave_structure()
+        assert ws["left"][0] == "rarefaction" and ws["right"][0] == "rarefaction"
+        assert ex.v_star == pytest.approx(0.0, abs=1e-10)
+        assert ex.p_star < 1.0
+
+    def test_mirror_symmetry(self):
+        """Swapping and mirroring the states negates the star velocity."""
+        a = ExactRiemannSolver(RiemannState(2.0, 0.1, 3.0), RiemannState(1.0, 0.0, 1.0))
+        b = ExactRiemannSolver(RiemannState(1.0, 0.0, 1.0), RiemannState(2.0, -0.1, 3.0))
+        assert a.p_star == pytest.approx(b.p_star, rel=1e-10)
+        assert a.v_star == pytest.approx(-b.v_star, rel=1e-10)
+
+    def test_trivial_problem(self):
+        """Identical states: no waves, star equals the input."""
+        st = RiemannState(1.0, 0.2, 1.0)
+        ex = ExactRiemannSolver(st, st)
+        assert ex.p_star == pytest.approx(1.0, rel=1e-9)
+        assert ex.v_star == pytest.approx(0.2, rel=1e-9)
+
+
+class TestSampling:
+    @pytest.fixture
+    def rp1(self):
+        return ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+
+    def test_far_field_returns_inputs(self, rp1):
+        rho, v, p = rp1.sample(-0.99)
+        assert (rho, v, p) == (RP1.left.rho, RP1.left.v, RP1.left.p)
+        rho, v, p = rp1.sample(0.99)
+        assert (rho, v, p) == (RP1.right.rho, RP1.right.v, RP1.right.p)
+
+    def test_contact_jump_in_density_only(self, rp1):
+        eps = 1e-6
+        rho_l, v_l, p_l = rp1.sample(rp1.v_star - eps)
+        rho_r, v_r, p_r = rp1.sample(rp1.v_star + eps)
+        assert v_l == pytest.approx(v_r, abs=1e-9)
+        assert p_l == pytest.approx(p_r, rel=1e-9)
+        assert abs(rho_l - rho_r) > 1.0  # density jumps across the contact
+
+    def test_rarefaction_fan_is_smooth_and_monotone(self, rp1):
+        _, head, tail = rp1._left_wave
+        xi = np.linspace(head + 1e-9, tail - 1e-9, 100)
+        rho, v, p = rp1.sample(xi)
+        assert np.all(np.diff(p) < 1e-12)  # pressure decreases through the fan
+        assert np.all(np.diff(v) > -1e-12)  # velocity increases
+        assert np.all((v >= 0) & (v <= rp1.v_star + 1e-9))
+
+    def test_fan_edges_match_neighbouring_states(self, rp1):
+        _, head, tail = rp1._left_wave
+        rho, v, p = rp1.sample(head + 1e-10)
+        assert p == pytest.approx(RP1.left.p, rel=1e-4)
+        rho, v, p = rp1.sample(tail - 1e-10)
+        assert p == pytest.approx(rp1.p_star, rel=1e-4)
+
+    def test_solution_on_grid_matches_sample(self, rp1):
+        x = np.linspace(0.0, 1.0, 11)
+        t = 0.4
+        rho_a, v_a, p_a = rp1.solution_on_grid(x, t, x0=0.5)
+        rho_b, v_b, p_b = rp1.sample((x - 0.5) / t)
+        np.testing.assert_array_equal(rho_a, rho_b)
+
+    def test_sampling_requires_positive_time(self, rp1):
+        with pytest.raises(ConfigurationError):
+            rp1.solution_on_grid(np.array([0.5]), 0.0)
+
+    def test_vectorized_matches_scalar(self, rp1):
+        xi = np.linspace(-0.9, 0.9, 37)
+        rho_vec, v_vec, p_vec = rp1.sample(xi)
+        for i, x in enumerate(xi):
+            rho_s, v_s, p_s = rp1.sample(float(x))
+            assert rho_vec[i] == pytest.approx(rho_s)
+
+
+class TestValidation:
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RiemannState(-1.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RiemannState(1.0, 1.5, 1.0)
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactRiemannSolver(RiemannState(1, 0, 1), RiemannState(1, 0, 1), gamma=3.0)
+
+    def test_vacuum_generation_rejected(self):
+        """Strongly receding cold flows would open a vacuum region."""
+        with pytest.raises(ConfigurationError, match="vacuum"):
+            ExactRiemannSolver(
+                RiemannState(1.0, -0.9999, 1e-12), RiemannState(1.0, 0.9999, 1e-12)
+            )
+
+
+class TestJumpConditions:
+    def test_shock_satisfies_rankine_hugoniot(self):
+        """Verify mass conservation across the right shock of RP1 by
+        transforming into the shock rest frame."""
+        ex = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+        Vs = ex.wave_structure()["right"][1]
+        for rho, v in (
+            (RP1.right.rho, RP1.right.v),
+            (ex.rho_star_right, ex.v_star),
+        ):
+            u = (v - Vs) / (1.0 - v * Vs)  # velocity in shock frame
+            W = 1.0 / np.sqrt(1.0 - u * u)
+            flux = rho * W * u
+            if rho == RP1.right.rho:
+                ref = flux
+        assert flux == pytest.approx(ref, rel=1e-8)

@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Each example is executed as a subprocess with reduced parameters; the test
+asserts a zero exit code and the presence of its headline output. The
+scaling study is exercised through the harness elsewhere (it re-runs the
+full calibration, too slow for a per-commit test).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "100")
+        assert "rel. L1(rho) error" in out
+        assert "p* = 1.4477" in out
+
+    def test_kelvin_helmholtz(self):
+        out = run_example("kelvin_helmholtz.py", "32", "0.8")
+        assert "fitted growth" in out
+
+    def test_amr_blast(self):
+        out = run_example("amr_blast.py", "32", "0.05")
+        assert "work saved" in out
+        assert "final leaves by level" in out
+
+    def test_distributed_run(self):
+        out = run_example("distributed_run.py", "16", "2")
+        assert "bit-exact expected" in out
+        assert "0.000e+00" in out
+
+    def test_relativistic_jet(self):
+        out = run_example("relativistic_jet.py", "32", "0.15")
+        assert "jet head at x" in out

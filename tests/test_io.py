@@ -1,0 +1,161 @@
+"""Tests for checkpoint/restart and solution output.
+
+The gold-standard property: a run interrupted by checkpoint + restore must
+finish bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.io import (
+    load_amr_checkpoint,
+    load_checkpoint,
+    load_solution,
+    read_curve,
+    save_amr_checkpoint,
+    save_checkpoint,
+    save_solution,
+    write_curve,
+)
+from repro.physics.initial_data import RP1, shock_tube, smooth_wave
+from repro.utils.errors import ConfigurationError
+
+
+class TestUnigridCheckpoint:
+    def test_restart_is_bit_identical(self, system1d, tmp_path):
+        grid = Grid((64,), ((0.0, 1.0),))
+        cfg = SolverConfig(cfl=0.4)
+        prim0 = shock_tube(system1d, grid, RP1)
+
+        # Uninterrupted run to t = 0.2.
+        ref = Solver(system1d, grid, prim0.copy(), cfg)
+        ref.run(t_final=0.1)
+        ref.run(t_final=0.2)
+
+        # Interrupted run: checkpoint at t = 0.1, restore, continue.
+        first = Solver(system1d, grid, prim0.copy(), cfg)
+        first.run(t_final=0.1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(first, path)
+        restored = load_checkpoint(path, system1d)
+        assert restored.t == first.t
+        restored.run(t_final=0.2)
+
+        np.testing.assert_array_equal(restored.cons, ref.cons)
+        np.testing.assert_array_equal(
+            restored.interior_primitives(), ref.interior_primitives()
+        )
+
+    def test_metadata_round_trip(self, system1d, tmp_path):
+        grid = Grid((32,), ((0.25, 0.75),), n_ghost=3)
+        cfg = SolverConfig(cfl=0.3, reconstruction="weno5", riemann="hll")
+        solver = Solver(system1d, grid, smooth_wave(system1d, grid), cfg)
+        solver.run(t_final=0.01)
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(path, system1d)
+        assert restored.grid == grid
+        assert restored.config == cfg
+        assert restored.summary.steps == solver.summary.steps
+
+    def test_dimension_mismatch_rejected(self, system1d, system2d, tmp_path):
+        grid = Grid((32,), ((0.0, 1.0),))
+        solver = Solver(system1d, grid, smooth_wave(system1d, grid))
+        path = tmp_path / "c.npz"
+        save_checkpoint(solver, path)
+        with pytest.raises(ConfigurationError, match="1D"):
+            load_checkpoint(path, system2d)
+
+    def test_wrong_kind_rejected(self, system1d, tmp_path):
+        grid = Grid((64,), ((0.0, 1.0),))
+        amr = AMRSolver(
+            system1d,
+            grid,
+            lambda s, g: shock_tube(s, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=2),
+        )
+        path = tmp_path / "amr.npz"
+        save_amr_checkpoint(amr, path)
+        with pytest.raises(ConfigurationError, match="unigrid"):
+            load_checkpoint(path, system1d)
+
+
+class TestAMRCheckpoint:
+    def test_restart_is_bit_identical(self, system1d, tmp_path):
+        grid = Grid((64,), ((0.0, 1.0),))
+        cfg = SolverConfig(cfl=0.4)
+        amr_cfg = AMRConfig(block_size=16, max_levels=3, refine_threshold=0.05)
+        ic = lambda s, g: shock_tube(s, g, RP1)
+
+        ref = AMRSolver(system1d, grid, ic, cfg, amr_cfg)
+        ref.run(t_final=0.05)
+        ref.run(t_final=0.1)
+
+        first = AMRSolver(system1d, grid, ic, cfg, amr_cfg)
+        first.run(t_final=0.05)
+        path = tmp_path / "amr.npz"
+        save_amr_checkpoint(first, path)
+        restored = load_amr_checkpoint(path, system1d)
+        assert restored.t == first.t
+        assert set(restored.forest.leaves) == set(first.forest.leaves)
+        restored.run(t_final=0.1)
+
+        assert set(restored.forest.leaves) == set(ref.forest.leaves)
+        for key in ref.forest.leaves:
+            np.testing.assert_array_equal(
+                restored.forest.leaves[key].cons, ref.forest.leaves[key].cons
+            )
+        assert restored.cells_updated == ref.cells_updated
+
+    def test_topology_preserved(self, system1d, tmp_path):
+        grid = Grid((64,), ((0.0, 1.0),))
+        amr = AMRSolver(
+            system1d,
+            grid,
+            lambda s, g: shock_tube(s, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=16, max_levels=3),
+        )
+        path = tmp_path / "amr.npz"
+        save_amr_checkpoint(amr, path)
+        restored = load_amr_checkpoint(path, system1d)
+        assert restored.forest.refined == amr.forest.refined
+        assert restored.leaf_count_by_level() == amr.leaf_count_by_level()
+        assert restored.forest.is_balanced()
+
+
+class TestSolutionOutput:
+    def test_snapshot_round_trip(self, system2d, tmp_path):
+        grid = Grid((8, 8), ((0, 1), (0, 2)))
+        rng = np.random.default_rng(0)
+        prim = rng.normal(size=(4,) + grid.shape)
+        path = tmp_path / "snap.npz"
+        save_solution(path, grid, prim, t=1.5, field_names=["rho", "vx", "vy", "p"])
+        grid2, prim2, t, names = load_solution(path)
+        assert grid2 == grid
+        assert t == 1.5
+        assert names == ["rho", "vx", "vy", "p"]
+        np.testing.assert_array_equal(prim2, prim)
+
+    def test_snapshot_shape_checked(self, tmp_path):
+        grid = Grid((8,), ((0, 1),))
+        with pytest.raises(ConfigurationError):
+            save_solution(tmp_path / "x.npz", grid, np.zeros((3, 9)), t=0.0)
+
+    def test_curve_round_trip(self, tmp_path):
+        path = tmp_path / "profile.dat"
+        x = np.linspace(0, 1, 11)
+        rho = np.sin(x)
+        write_curve(path, {"x": x, "rho": rho}, comment="test profile")
+        back = read_curve(path)
+        np.testing.assert_allclose(back["x"], x)
+        np.testing.assert_allclose(back["rho"], rho)
+
+    def test_curve_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_curve(tmp_path / "bad.dat", {"a": np.zeros(3), "b": np.zeros(4)})

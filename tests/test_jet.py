@@ -1,0 +1,63 @@
+"""Integration test: relativistic jet injection with tracer marking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem, TracerSystem
+from repro.boundary import BoundarySet, JetInflowBC, Outflow
+from repro.physics.initial_data import JetInflow
+
+
+@pytest.fixture
+def jet_solver():
+    eos = IdealGasEOS()
+    system = TracerSystem(SRHDSystem(eos, ndim=2), n_tracers=1)
+    grid = Grid((32, 32), ((0.0, 1.0), (0.0, 1.0)))
+    prim0 = grid.allocate(system.nvars)
+    prim0[system.RHO] = 1.0
+    prim0[system.V(0)] = 0.0
+    prim0[system.V(1)] = 0.0
+    prim0[system.P] = 0.01
+    prim0[system.Y(0)] = 0.0
+    jet = JetInflow(rho_beam=0.1, lorentz=5.0, p_beam=0.01, radius=0.12)
+    bcs = BoundarySet(
+        default=Outflow(),
+        faces={(0, 0): JetInflowBC(jet, center=0.5, tracer_value=1.0)},
+    )
+    solver = Solver(system, grid, prim0, SolverConfig(cfl=0.25, w_max=50.0), bcs)
+    return system, grid, solver, jet
+
+
+class TestJetEvolution:
+    def test_beam_material_enters_and_advances(self, jet_solver):
+        system, grid, solver, jet = jet_solver
+        solver.run(t_final=0.15)
+        tracer = solver.interior_primitives()[system.Y(0)]
+        assert tracer.max() > 0.9  # beam material present
+        # Head has moved into the domain but not across it yet.
+        x_with_beam = grid.coords(0)[(tracer > 0.5).any(axis=1)]
+        assert x_with_beam.size > 0
+        assert 0.03 < x_with_beam.max() < 0.9
+
+    def test_jet_symmetric_about_axis(self, jet_solver):
+        system, grid, solver, jet = jet_solver
+        solver.run(t_final=0.1)
+        rho = solver.interior_primitives()[system.RHO]
+        np.testing.assert_allclose(rho, rho[:, ::-1], rtol=1e-9)
+
+    def test_ambient_undisturbed_far_field(self, jet_solver):
+        system, grid, solver, jet = jet_solver
+        solver.run(t_final=0.1)
+        prim = solver.interior_primitives()
+        far = prim[system.RHO][-4:, :]  # opposite wall
+        np.testing.assert_allclose(far, 1.0, rtol=1e-8)
+
+    def test_beam_velocity_maintained_at_nozzle(self, jet_solver):
+        system, grid, solver, jet = jet_solver
+        solver.run(t_final=0.1)
+        prim = solver.interior_primitives()
+        on_axis = np.abs(grid.coords(1) - 0.5) < jet.radius / 2
+        vx_nozzle = prim[system.V(0)][0, on_axis]
+        assert vx_nozzle.mean() > 0.8 * jet.v_beam

@@ -1,0 +1,109 @@
+"""Unit tests for the uniform ghosted grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import Grid
+from repro.utils.errors import MeshError
+
+
+class TestConstruction:
+    def test_1d(self):
+        g = Grid((100,), ((0.0, 1.0),), n_ghost=3)
+        assert g.ndim == 1
+        assert g.dx == (0.01,)
+        assert g.shape_with_ghosts == (106,)
+        assert g.n_cells == 100
+
+    def test_2d_anisotropic(self):
+        g = Grid((10, 20), ((0.0, 1.0), (0.0, 4.0)))
+        assert g.dx == (0.1, 0.2)
+        assert g.cell_volume == pytest.approx(0.02)
+        assert g.min_dx == pytest.approx(0.1)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(MeshError):
+            Grid((10, 10), ((0.0, 1.0),))
+
+    def test_degenerate_bounds(self):
+        with pytest.raises(MeshError):
+            Grid((10,), ((1.0, 1.0),))
+
+    def test_bad_shape(self):
+        with pytest.raises(MeshError):
+            Grid((0,), ((0.0, 1.0),))
+
+    def test_needs_ghosts(self):
+        with pytest.raises(MeshError):
+            Grid((10,), ((0.0, 1.0),), n_ghost=0)
+
+
+class TestCoordinates:
+    def test_cell_centers(self):
+        g = Grid((4,), ((0.0, 1.0),), n_ghost=2)
+        np.testing.assert_allclose(g.coords(0), [0.125, 0.375, 0.625, 0.875])
+
+    def test_ghost_coordinates_extend_pattern(self):
+        g = Grid((4,), ((0.0, 1.0),), n_ghost=2)
+        x = g.coords_with_ghosts(0)
+        assert x.size == 8
+        np.testing.assert_allclose(np.diff(x), 0.25)
+        assert x[2] == pytest.approx(0.125)  # first interior center
+
+    def test_face_coords(self):
+        g = Grid((4,), ((0.0, 1.0),))
+        np.testing.assert_allclose(g.face_coords(0), [0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+class TestSlicing:
+    def test_interior_view_writes_through(self):
+        g = Grid((4, 4), ((0, 1), (0, 1)), n_ghost=2)
+        arr = g.allocate(3, fill=1.0)
+        g.interior_of(arr)[...] = 7.0
+        assert arr[0, 2, 2] == 7.0
+        assert arr[0, 0, 0] == 1.0  # ghosts untouched
+
+    def test_interior_plain_array(self):
+        g = Grid((4,), ((0, 1),), n_ghost=2)
+        arr = np.zeros(g.shape_with_ghosts)
+        assert g.interior_of(arr).shape == (4,)
+
+    def test_bad_rank_rejected(self):
+        g = Grid((4,), ((0, 1),))
+        with pytest.raises(MeshError):
+            g.interior_of(np.zeros((2, 3, 10)))
+
+
+class TestDerivedGrids:
+    def test_refined_preserves_bounds(self):
+        g = Grid((8,), ((0.0, 2.0),))
+        f = g.refined(2)
+        assert f.shape == (16,)
+        assert f.bounds == g.bounds
+        assert f.dx[0] == pytest.approx(g.dx[0] / 2)
+
+    def test_subgrid_geometry(self):
+        g = Grid((10,), ((0.0, 1.0),))
+        s = g.subgrid((2,), (6,))
+        assert s.shape == (4,)
+        assert s.bounds[0] == pytest.approx((0.2, 0.6))
+        assert s.dx[0] == pytest.approx(g.dx[0])
+
+    def test_subgrid_2d(self):
+        g = Grid((8, 8), ((0, 1), (0, 1)))
+        s = g.subgrid((0, 4), (4, 8))
+        assert s.shape == (4, 4)
+        assert s.bounds == ((0.0, 0.5), (0.5, 1.0))
+
+    def test_subgrid_out_of_range(self):
+        g = Grid((8,), ((0, 1),))
+        with pytest.raises(MeshError):
+            g.subgrid((2,), (12,))
+
+    def test_equality_and_hash(self):
+        a = Grid((8,), ((0, 1),))
+        b = Grid((8,), ((0, 1),))
+        assert a == b and hash(a) == hash(b)
+        assert a != Grid((8,), ((0, 2),))

@@ -1,0 +1,132 @@
+"""Unit tests for the HydroPipeline internals (guards and bookkeeping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
+from repro.core.pipeline import HydroPipeline
+from repro.physics.initial_data import smooth_wave
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def pipeline(system1d):
+    grid = Grid((32,), ((0.0, 1.0),))
+    return HydroPipeline(
+        system1d, grid, make_boundaries("periodic"), SolverConfig(cfl=0.4)
+    )
+
+
+class TestConstruction:
+    def test_ghost_requirement_enforced(self, system1d):
+        grid = Grid((32,), ((0.0, 1.0),), n_ghost=1)
+        with pytest.raises(ConfigurationError, match="ghost"):
+            HydroPipeline(
+                system1d, grid, make_boundaries(), SolverConfig(reconstruction="weno5")
+            )
+
+
+class TestSanitizeFaceStates:
+    def test_superluminal_rescaled_to_cap(self, pipeline, system1d):
+        q = np.array([[1.0], [0.8], [1.0]])
+        q[1, 0] = 1.2  # unphysical reconstruction overshoot
+        pipeline.sanitize_face_states(q)
+        v = abs(q[1, 0])
+        w_cap = pipeline.config.w_max
+        assert v < 1.0
+        assert 1.0 / np.sqrt(1 - v**2) == pytest.approx(w_cap, rel=1e-6)
+
+    def test_2d_velocity_magnitude_capped(self, system2d):
+        grid = Grid((8, 8), ((0, 1), (0, 1)))
+        pipe = HydroPipeline(
+            system2d, grid, make_boundaries(), SolverConfig(w_max=10.0)
+        )
+        q = np.zeros((4, 1))
+        q[0] = 1.0
+        q[1] = 0.9  # each component subluminal...
+        q[2] = 0.9  # ...magnitude 1.27 is not
+        q[3] = 1.0
+        pipe.sanitize_face_states(q)
+        v2 = q[1, 0] ** 2 + q[2, 0] ** 2
+        assert v2 < 1.0
+        # Direction preserved under the rescale.
+        assert q[1, 0] == pytest.approx(q[2, 0])
+
+    def test_floors_applied(self, pipeline):
+        q = np.array([[1e-30], [0.0], [-1.0]])
+        pipeline.sanitize_face_states(q)
+        assert q[0, 0] >= pipeline.atmosphere.rho_atmo
+        assert q[2, 0] >= pipeline.atmosphere.p_atmo
+
+    def test_physical_states_untouched(self, pipeline):
+        q = np.array([[1.0, 2.0], [0.3, -0.5], [1.0, 2.0]])
+        before = q.copy()
+        pipeline.sanitize_face_states(q)
+        np.testing.assert_array_equal(q, before)
+
+
+class TestLimitMomentum:
+    def test_inadmissible_momentum_rescaled(self, pipeline, system1d):
+        cons = np.array([[1.0], [100.0], [1.0]])  # |S| >> tau + D
+        pipeline._limit_momentum(cons)
+        vmax = np.sqrt(1 - 1 / pipeline.config.w_max**2)
+        bound = vmax * (cons[2, 0] + cons[0, 0] + pipeline.atmosphere.p_atmo)
+        assert abs(cons[1, 0]) <= bound * (1 + 1e-12)
+        assert cons[0, 0] == 1.0 and cons[2, 0] == 1.0  # D, tau untouched
+
+    def test_admissible_momentum_untouched(self, pipeline, system1d):
+        prim = np.array([[1.0], [0.5], [1.0]])
+        cons = system1d.prim_to_con(prim)
+        before = cons.copy()
+        pipeline._limit_momentum(cons)
+        np.testing.assert_array_equal(cons, before)
+
+
+class TestRhsBookkeeping:
+    def test_ghost_entries_of_rhs_are_zero(self, pipeline, system1d):
+        grid = pipeline.grid
+        prim = smooth_wave(system1d, grid, amplitude=0.2, velocity=0.4)
+        cons = system1d.prim_to_con(prim)
+        dU = pipeline.rhs(cons)
+        g = grid.n_ghost
+        assert np.all(dU[:, :g] == 0.0)
+        assert np.all(dU[:, -g:] == 0.0)
+
+    def test_face_fluxes_not_stored_by_default(self, pipeline, system1d):
+        grid = pipeline.grid
+        prim = smooth_wave(system1d, grid)
+        pipeline.rhs(system1d.prim_to_con(prim))
+        assert pipeline.last_face_fluxes == {}
+
+    def test_face_fluxes_stored_on_request(self, pipeline, system1d):
+        pipeline.store_fluxes = True
+        grid = pipeline.grid
+        prim = smooth_wave(system1d, grid)
+        pipeline.rhs(system1d.prim_to_con(prim))
+        assert 0 in pipeline.last_face_fluxes
+        assert pipeline.last_face_fluxes[0].shape == (3, grid.shape[0] + 1)
+
+    def test_flux_divergence_telescopes(self, pipeline, system1d):
+        """Interior sum of dU equals the boundary-flux difference (discrete
+        conservation of the divergence operator)."""
+        pipeline.store_fluxes = True
+        grid = pipeline.grid
+        prim = smooth_wave(system1d, grid, amplitude=0.3, velocity=0.4)
+        cons = system1d.prim_to_con(prim)
+        prim_full = pipeline.recover_primitives(cons)
+        dU = pipeline.flux_divergence(prim_full)
+        F = pipeline.last_face_fluxes[0]
+        total = grid.interior_of(dU).sum(axis=1) * grid.dx[0]
+        np.testing.assert_allclose(total, F[:, 0] - F[:, -1], atol=1e-13)
+
+    def test_recovery_stats_accumulate(self, pipeline, system1d):
+        grid = pipeline.grid
+        prim = smooth_wave(system1d, grid)
+        cons = system1d.prim_to_con(prim)
+        pipeline.recover_primitives(cons)
+        n1 = pipeline.recovery_stats.n_cells
+        pipeline.recover_primitives(cons)
+        assert pipeline.recovery_stats.n_cells == 2 * n1

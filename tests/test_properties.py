@@ -1,0 +1,203 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These target invariants that span modules: halo exchange must reproduce
+global-array neighbourhoods for any decomposition; recovery must invert
+conversion for any EOS; the exact Riemann solver's star state must respect
+ordering constraints for any admissible inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.comm import SimCommunicator, exchange_halos
+from repro.eos import HybridEOS, IdealGasEOS, make_synthetic_table
+from repro.mesh.decomposition import CartesianDecomposition, choose_dims
+from repro.mesh.grid import Grid
+from repro.physics.con2prim import con_to_prim
+from repro.physics.exact_riemann import ExactRiemannSolver, RiemannState
+from repro.physics.srhd import SRHDSystem
+
+
+class TestHaloExchangeProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_per_rank=st.integers(min_value=4, max_value=10),
+        ranks_x=st.integers(min_value=1, max_value=3),
+        ranks_y=st.integers(min_value=1, max_value=3),
+        periodic=st.tuples(st.booleans(), st.booleans()),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_matches_global_array(self, n_per_rank, ranks_x, ranks_y, periodic, seed):
+        """After exchange, every interior ghost cell equals the value the
+        same location holds in the assembled global array."""
+        g = 2
+        shape = (n_per_rank * ranks_x, n_per_rank * ranks_y)
+        grid = Grid(shape, ((0, 1), (0, 1)), n_ghost=g)
+        decomp = CartesianDecomposition(grid, (ranks_x, ranks_y), periodic=periodic)
+        comm = SimCommunicator(decomp.size)
+        rng = np.random.default_rng(seed)
+        global_field = rng.normal(size=(2,) + shape)
+
+        parts = decomp.scatter(global_field)
+        states = {}
+        for rank in range(decomp.size):
+            sub = decomp.subgrid(rank)
+            arr = sub.allocate(2, fill=np.nan)
+            sub.interior_of(arr)[...] = parts[rank]
+            states[rank] = arr
+        exchange_halos(decomp, comm, states)
+
+        # Build the periodic/padded global reference.
+        padded = np.full((2, shape[0] + 2 * g, shape[1] + 2 * g), np.nan)
+        padded[:, g:-g, g:-g] = global_field
+        if periodic[0]:
+            padded[:, :g, g:-g] = global_field[:, -g:, :]
+            padded[:, -g:, g:-g] = global_field[:, :g, :]
+        if periodic[1]:
+            padded[:, g:-g, :g] = global_field[:, :, -g:]
+            padded[:, g:-g, -g:] = global_field[:, :, :g]
+
+        for rank in range(decomp.size):
+            (x0, x1) = decomp.cell_range(rank, 0)
+            (y0, y1) = decomp.cell_range(rank, 1)
+            ref = padded[:, x0 : x1 + 2 * g, y0 : y1 + 2 * g]
+            got = states[rank]
+            mask = ~np.isnan(ref)
+            np.testing.assert_array_equal(got[mask], ref[mask])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=12, max_value=64),
+        parts=st.integers(min_value=2, max_value=6),
+    )
+    def test_1d_double_exchange_idempotent(self, n, parts):
+        assume(n >= parts * 4)
+        grid = Grid((n,), ((0, 1),), n_ghost=2)
+        decomp = CartesianDecomposition(grid, (parts,), periodic=(True,))
+        comm = SimCommunicator(parts)
+        rng = np.random.default_rng(1)
+        states = {}
+        for rank in range(parts):
+            sub = decomp.subgrid(rank)
+            arr = sub.allocate(1)
+            sub.interior_of(arr)[...] = rng.normal(size=sub.shape)
+            states[rank] = arr
+        exchange_halos(decomp, comm, states)
+        snapshot = {r: a.copy() for r, a in states.items()}
+        exchange_halos(decomp, comm, states)
+        for rank in range(parts):
+            np.testing.assert_array_equal(states[rank], snapshot[rank])
+
+
+class TestRecoveryAcrossEOS:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rho=st.floats(min_value=1e-3, max_value=1.0),
+        v=st.floats(min_value=-0.9, max_value=0.9),
+        deps=st.floats(min_value=1e-3, max_value=10.0),
+    )
+    def test_hybrid_eos_round_trip(self, rho, v, deps):
+        eos = HybridEOS(K=1.0, gamma=2.0, gamma_th=5.0 / 3.0)
+        system = SRHDSystem(eos, ndim=1)
+        eps = float(eos.cold.eps_from_rho(rho)) + deps
+        p = float(eos.pressure(rho, eps))
+        prim = np.array([[rho], [v], [p]])
+        cons = system.prim_to_con(prim)
+        recovered = con_to_prim(system, cons)
+        np.testing.assert_allclose(recovered, prim, rtol=1e-6, atol=1e-12)
+
+    def test_tabulated_eos_recovery(self, rng):
+        """Recovery through table interpolation converges (looser tol)."""
+        table = make_synthetic_table(
+            IdealGasEOS(gamma=5.0 / 3.0),
+            rho_range=(1e-4, 1e2),
+            eps_range=(1e-4, 1e2),
+            n_rho=256,
+            n_eps=256,
+        )
+        system = SRHDSystem(table, ndim=1)
+        prim = np.empty((3, 32))
+        prim[0] = rng.uniform(0.1, 5.0, 32)
+        prim[1] = rng.uniform(-0.7, 0.7, 32)
+        eps = rng.uniform(0.1, 5.0, 32)
+        prim[2] = table.pressure(prim[0], eps)
+        cons = system.prim_to_con(prim)
+        recovered = con_to_prim(system, cons, tol=1e-10)
+        np.testing.assert_allclose(recovered, prim, rtol=1e-4)
+
+
+class TestExactRiemannProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rho_l=st.floats(min_value=0.1, max_value=10.0),
+        rho_r=st.floats(min_value=0.1, max_value=10.0),
+        p_l=st.floats(min_value=0.01, max_value=100.0),
+        p_r=st.floats(min_value=0.01, max_value=100.0),
+        v_l=st.floats(min_value=-0.5, max_value=0.5),
+        v_r=st.floats(min_value=-0.5, max_value=0.5),
+    )
+    def test_star_state_invariants(self, rho_l, rho_r, p_l, p_r, v_l, v_r):
+        """For any admissible problem: p* > 0, v* subluminal, v* between
+        the wave-frame bounds, and waves ordered left-to-right."""
+        left = RiemannState(rho_l, v_l, p_l)
+        right = RiemannState(rho_r, v_r, p_r)
+        ex = ExactRiemannSolver(left, right)
+        assert ex.p_star > 0
+        assert abs(ex.v_star) < 1.0
+        lkind, lhead, ltail = ex._left_wave
+        rkind, rhead, rtail = ex._right_wave
+        assert lhead <= ltail + 1e-12
+        assert rtail <= rhead + 1e-12
+        assert ltail <= ex.v_star + 1e-9
+        assert ex.v_star <= rtail + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rho=st.floats(min_value=0.1, max_value=5.0),
+        p=st.floats(min_value=0.05, max_value=50.0),
+        v=st.floats(min_value=-0.5, max_value=0.5),
+    )
+    def test_identical_states_produce_no_waves(self, rho, p, v):
+        stt = RiemannState(rho, v, p)
+        ex = ExactRiemannSolver(stt, stt)
+        xi = np.linspace(-0.95, 0.95, 21)
+        rho_s, v_s, p_s = ex.sample(xi)
+        np.testing.assert_allclose(rho_s, rho, rtol=1e-7)
+        np.testing.assert_allclose(v_s, v, atol=1e-8)
+        np.testing.assert_allclose(p_s, p, rtol=1e-7)
+
+
+class TestSolverPositivityProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        p_ratio=st.floats(min_value=10.0, max_value=1e4),
+        rho_ratio=st.floats(min_value=0.1, max_value=10.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_random_shock_tubes_stay_physical(self, p_ratio, rho_ratio, seed):
+        """Any two-state problem in this range must evolve with positive
+        density/pressure and subluminal speeds."""
+        from repro.core import Solver, SolverConfig
+        from repro.physics.initial_data import ShockTubeProblem, shock_tube
+
+        problem = ShockTubeProblem(
+            name="random",
+            left=RiemannState(rho_ratio, 0.0, p_ratio * 0.01),
+            right=RiemannState(1.0, 0.0, 0.01),
+            gamma=5.0 / 3.0,
+            t_final=0.2,
+        )
+        system = SRHDSystem(IdealGasEOS(), ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        solver = Solver(
+            system, grid, shock_tube(system, grid, problem), SolverConfig(cfl=0.4)
+        )
+        solver.run(t_final=0.2)
+        prim = solver.interior_primitives()
+        assert np.all(prim[0] > 0)
+        assert np.all(prim[2] > 0)
+        assert np.all(np.abs(prim[1]) < 1.0)

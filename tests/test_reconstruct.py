@@ -1,0 +1,202 @@
+"""Unit and property tests for reconstruction schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.reconstruct import (
+    SCHEMES,
+    PiecewiseConstant,
+    TVDSlope,
+    WENO5,
+    WENOZ,
+    make_reconstruction,
+    minmod,
+    minmod3,
+)
+from repro.utils.errors import ConfigurationError
+
+G = 3  # ghost layers used throughout
+
+
+def ghosted(values):
+    """1-D field (1, n + 2G) with periodic ghost fill for testing."""
+    v = np.asarray(values, dtype=float)
+    full = np.concatenate([v[-G:], v, v[:G]])
+    return full[None, :]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_all_schemes_constructible(self, name):
+        recon = make_reconstruction(name)
+        assert recon.required_ghosts <= G
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            make_reconstruction("magic")
+
+    def test_unknown_limiter(self):
+        with pytest.raises(ConfigurationError):
+            TVDSlope(limiter="bogus")
+
+
+class TestLimiters:
+    def test_minmod_basic(self):
+        assert minmod(np.array([1.0]), np.array([2.0]))[0] == 1.0
+        assert minmod(np.array([-1.0]), np.array([2.0]))[0] == 0.0
+        assert minmod(np.array([-3.0]), np.array([-2.0]))[0] == -2.0
+
+    def test_minmod3(self):
+        assert minmod3(np.array([1.0]), np.array([2.0]), np.array([3.0]))[0] == 1.0
+        assert minmod3(np.array([1.0]), np.array([-2.0]), np.array([3.0]))[0] == 0.0
+
+    @given(
+        a=st.floats(-10, 10, allow_nan=False),
+        b=st.floats(-10, 10, allow_nan=False),
+    )
+    def test_minmod_bounded_by_inputs(self, a, b):
+        m = float(minmod(np.array([a]), np.array([b]))[0])
+        assert abs(m) <= max(abs(a), abs(b)) + 1e-15
+        if a * b > 0:
+            assert np.sign(m) == np.sign(a)
+        else:
+            assert m == 0.0
+
+
+class TestExactness:
+    """Every scheme must reproduce constants; linear data is exact for
+    order >= 2 schemes away from extrema."""
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_constant_preserved(self, name):
+        recon = make_reconstruction(name)
+        q = ghosted(np.full(16, 3.7))
+        qL, qR = recon.interface_states(q, 0, G)
+        np.testing.assert_allclose(qL, 3.7, rtol=1e-14)
+        np.testing.assert_allclose(qR, 3.7, rtol=1e-14)
+
+    @pytest.mark.parametrize(
+        "name", ["minmod", "mc", "vanleer", "superbee", "ppm", "weno5", "wenoz"]
+    )
+    def test_linear_exact(self, name):
+        recon = make_reconstruction(name)
+        n = 16
+        cells = np.arange(n, dtype=float)  # cell averages of a linear function
+        q = np.concatenate([cells[0] - np.arange(G, 0, -1), cells, cells[-1] + 1 + np.arange(G)])
+        q = q[None, :]
+        qL, qR = recon.interface_states(q, 0, G)
+        faces = np.arange(n + 1) - 0.5  # interface values of the linear fn
+        np.testing.assert_allclose(qL[0], faces, atol=1e-12)
+        np.testing.assert_allclose(qR[0], faces, atol=1e-12)
+
+    def test_pc_returns_cell_values(self):
+        q = ghosted(np.arange(8, dtype=float))
+        qL, qR = PiecewiseConstant().interface_states(q, 0, G)
+        # Face 1 sits between interior cells 0 and 1.
+        assert qL[0, 1] == 0.0 and qR[0, 1] == 1.0
+
+    def test_weno5_high_order_on_smooth_data(self):
+        """WENO5 interface error on smooth data shrinks ~ dx^5."""
+        errs = []
+        for n in (16, 32):
+            x_faces = np.linspace(0, 1, n + 1)
+            dx = 1.0 / n
+            # Exact cell averages of sin(2 pi x).
+            xl = x_faces[:-1]
+            cells = (np.cos(2 * np.pi * xl) - np.cos(2 * np.pi * (xl + dx))) / (
+                2 * np.pi * dx
+            )
+            full = np.concatenate([cells[-G:], cells, cells[:G]])[None, :]
+            qL, _ = WENO5().interface_states(full, 0, G)
+            exact = np.sin(2 * np.pi * x_faces)
+            errs.append(np.max(np.abs(qL[0] - exact)))
+        order = np.log2(errs[0] / errs[1])
+        assert order > 4.0
+
+
+class TestNonOscillatory:
+    @pytest.mark.parametrize("name", ["pc", "minmod", "mc", "vanleer", "superbee", "ppm"])
+    def test_no_new_extrema_at_jump(self, name):
+        """TVD/PPM interface states stay within the local data range."""
+        recon = make_reconstruction(name)
+        cells = np.array([1.0] * 8 + [10.0] * 8)
+        q = ghosted(cells)
+        qL, qR = recon.interface_states(q, 0, G)
+        assert qL.min() >= 1.0 - 1e-12 and qL.max() <= 10.0 + 1e-12
+        assert qR.min() >= 1.0 - 1e-12 and qR.max() <= 10.0 + 1e-12
+
+    @pytest.mark.parametrize("cls", [WENO5, WENOZ])
+    def test_weno_overshoot_is_small(self, cls):
+        cells = np.array([1.0] * 8 + [10.0] * 8)
+        q = ghosted(cells)
+        qL, qR = cls().interface_states(q, 0, G)
+        # ENO property: overshoot bounded (not strictly zero).
+        assert qL.max() <= 10.0 + 0.5
+        assert qL.min() >= 1.0 - 0.5
+
+    def test_wenoz_beats_weno5_at_critical_points(self):
+        """At smooth extrema the Z weights keep full order; JS weights
+        degrade — compare interface errors on sin data near its crest."""
+        n = 32
+        x_faces = np.linspace(0, 1, n + 1)
+        dx = 1.0 / n
+        xl = x_faces[:-1]
+        cells = (np.cos(2 * np.pi * xl) - np.cos(2 * np.pi * (xl + dx))) / (
+            2 * np.pi * dx
+        )
+        full = np.concatenate([cells[-G:], cells, cells[:G]])[None, :]
+        exact = np.sin(2 * np.pi * x_faces)
+        err_js = np.abs(WENO5().interface_states(full, 0, G)[0][0] - exact).max()
+        err_z = np.abs(WENOZ().interface_states(full, 0, G)[0][0] - exact).max()
+        assert err_z < err_js
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cells=arrays(
+            float,
+            st.integers(min_value=8, max_value=24),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        )
+    )
+    def test_property_tvd_within_data_range(self, cells):
+        """Property: limited states never exceed the global data range."""
+        recon = make_reconstruction("mc")
+        q = ghosted(cells)
+        qL, qR = recon.interface_states(q, 0, G)
+        lo, hi = q.min(), q.max()
+        assert qL.min() >= lo - 1e-9 and qL.max() <= hi + 1e-9
+        assert qR.min() >= lo - 1e-9 and qR.max() <= hi + 1e-9
+
+
+class TestMultiDimensional:
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_2d_reconstruction_shape(self, axis):
+        recon = make_reconstruction("mc")
+        nx, ny = 8, 12
+        q = np.random.default_rng(1).normal(size=(3, nx + 2 * G, ny + 2 * G))
+        qL, qR = recon.interface_states(q, axis, G)
+        expected = list(q.shape)
+        expected[axis + 1] = (nx if axis == 0 else ny) + 1
+        assert qL.shape == tuple(expected)
+        assert qR.shape == tuple(expected)
+
+    def test_axis_independence(self):
+        """Reconstructing y-varying data along y matches the 1-D result."""
+        recon = make_reconstruction("weno5")
+        n = 10
+        profile = np.sin(np.linspace(0, 3, n + 2 * G))
+        q1d = profile[None, :]
+        qL_1d, _ = recon.interface_states(q1d, 0, G)
+        q2d = np.broadcast_to(profile, (1, n + 2 * G, n + 2 * G)).copy()
+        qL_2d, _ = recon.interface_states(q2d, 1, G)
+        np.testing.assert_allclose(qL_2d[0, G + 2], qL_1d[0], rtol=1e-13)
+
+    def test_insufficient_ghosts_rejected(self):
+        q = np.zeros((1, 10))
+        with pytest.raises(ConfigurationError):
+            WENO5().interface_states(q, 0, 1)

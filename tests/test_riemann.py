@@ -1,0 +1,164 @@
+"""Unit and property tests for the approximate Riemann solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eos import IdealGasEOS
+from repro.physics.srhd import SRHDSystem
+from repro.riemann import HLL, HLLC, LLF, SOLVERS, make_riemann_solver
+from repro.utils.errors import ConfigurationError
+
+from .conftest import random_prim
+
+
+def single_state(system, rho, v, p):
+    prim = np.empty((system.nvars, 1))
+    prim[system.RHO] = rho
+    prim[system.V(0)] = v
+    for ax in range(1, system.ndim):
+        prim[system.V(ax)] = 0.0
+    prim[system.P] = p
+    return prim
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_constructible(self, name):
+        assert make_riemann_solver(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_riemann_solver("roe")
+
+
+class TestConsistency:
+    """F(U, U) must equal the physical flux F(U) for every solver."""
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_consistency_single_state(self, name, system1d):
+        solver = make_riemann_solver(name)
+        prim = single_state(system1d, 1.5, 0.3, 2.0)
+        cons = system1d.prim_to_con(prim)
+        expected = system1d.flux(prim, cons, 0)
+        actual = solver.flux(system1d, prim, prim, 0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-10, atol=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rho=st.floats(min_value=1e-3, max_value=100.0),
+        v=st.floats(min_value=-0.95, max_value=0.95),
+        p=st.floats(min_value=1e-6, max_value=100.0),
+        name=st.sampled_from(sorted(SOLVERS)),
+    )
+    def test_property_consistency(self, rho, v, p, name):
+        system = SRHDSystem(IdealGasEOS(), ndim=1)
+        solver = make_riemann_solver(name)
+        prim = single_state(system, rho, v, p)
+        cons = system.prim_to_con(prim)
+        expected = system.flux(prim, cons, 0)
+        actual = solver.flux(system, prim, prim, 0)
+        np.testing.assert_allclose(actual, expected, rtol=1e-8, atol=1e-12)
+
+
+class TestUpwinding:
+    """Supersonic flow: the flux must be the pure upwind flux."""
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_supersonic_right(self, name, system1d):
+        solver = make_riemann_solver(name)
+        primL = single_state(system1d, 1.0, 0.99, 0.01)  # everything moves right
+        primR = single_state(system1d, 2.0, 0.99, 0.02)
+        consL = system1d.prim_to_con(primL)
+        FL = system1d.flux(primL, consL, 0)
+        F = solver.flux(system1d, primL, primR, 0)
+        if name == "llf":
+            # LLF is dissipative even in supersonic flow; only check direction.
+            assert F[0, 0] > 0
+        else:
+            np.testing.assert_allclose(F, FL, rtol=1e-10)
+
+    @pytest.mark.parametrize("name", ["hll", "hllc"])
+    def test_supersonic_left(self, name, system1d):
+        solver = make_riemann_solver(name)
+        primL = single_state(system1d, 1.0, -0.99, 0.01)
+        primR = single_state(system1d, 2.0, -0.99, 0.02)
+        consR = system1d.prim_to_con(primR)
+        FR = system1d.flux(primR, consR, 0)
+        F = solver.flux(system1d, primL, primR, 0)
+        np.testing.assert_allclose(F, FR, rtol=1e-10)
+
+
+class TestContactResolution:
+    def test_hllc_exact_on_stationary_contact(self, system1d):
+        """A stationary contact (density jump, equal v=0 and p) must produce
+        zero mass flux under HLLC — the property HLL lacks."""
+        primL = single_state(system1d, 1.0, 0.0, 1.0)
+        primR = single_state(system1d, 10.0, 0.0, 1.0)
+        F_hllc = HLLC().flux(system1d, primL, primR, 0)
+        F_hll = HLL().flux(system1d, primL, primR, 0)
+        assert abs(F_hllc[0, 0]) < 1e-12  # no diffusion across the contact
+        assert abs(F_hll[0, 0]) > 1e-3  # HLL diffuses it
+
+    def test_moving_contact_advected(self, system1d):
+        """HLLC mass flux across a moving contact equals D_upwind * v."""
+        v = 0.3
+        primL = single_state(system1d, 1.0, v, 1.0)
+        primR = single_state(system1d, 5.0, v, 1.0)
+        consL = system1d.prim_to_con(primL)
+        F = HLLC().flux(system1d, primL, primR, 0)
+        assert F[0, 0] == pytest.approx(consL[0, 0] * v, rel=1e-9)
+
+
+class TestDissipationOrdering:
+    def test_llf_most_dissipative(self, system1d):
+        """For a shock-tube face, |LLF mass flux deficit| >= HLL >= HLLC is
+        not guaranteed pointwise, but the added dissipation term of LLF must
+        exceed HLL's for the same jump."""
+        primL = single_state(system1d, 10.0, 0.0, 13.33)
+        primR = single_state(system1d, 1.0, 0.0, 1e-6)
+        consL = system1d.prim_to_con(primL)
+        consR = system1d.prim_to_con(primR)
+        FL = system1d.flux(primL, consL, 0)
+        FR = system1d.flux(primR, consR, 0)
+        central = 0.5 * (FL + FR)
+        F_llf = LLF().flux(system1d, primL, primR, 0)
+        F_hll = HLL().flux(system1d, primL, primR, 0)
+        diss_llf = np.abs(F_llf - central).sum()
+        diss_hll = np.abs(F_hll - central).sum()
+        assert diss_llf >= diss_hll - 1e-12
+
+
+class TestWaveSpeeds:
+    def test_davis_bounds_bracket_both_states(self, system1d, rng):
+        primL = random_prim(system1d, (32,), rng)
+        primR = random_prim(system1d, (32,), rng)
+        sL, sR = LLF.wave_speeds(system1d, primL, primR, 0)
+        for prim in (primL, primR):
+            lam_m, lam_p = system1d.char_speeds(prim, 0)
+            assert np.all(sL <= lam_m + 1e-14)
+            assert np.all(sR >= lam_p - 1e-14)
+
+    def test_speeds_subluminal(self, system2d, rng):
+        primL = random_prim(system2d, (8, 8), rng, vmax=0.99)
+        primR = random_prim(system2d, (8, 8), rng, vmax=0.99)
+        for ax in range(2):
+            sL, sR = HLL.wave_speeds(system2d, primL, primR, ax)
+            assert np.all(np.abs(sL) <= 1.0) and np.all(np.abs(sR) <= 1.0)
+
+
+class TestMultiDimensional:
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_2d_transverse_momentum_advected(self, name, system2d):
+        """Uniform flow in x carrying a vy jump: flux reduces to advection."""
+        solver = make_riemann_solver(name)
+        primL = np.empty((4, 1))
+        primL[0], primL[1], primL[2], primL[3] = 1.0, 0.5, 0.2, 1.0
+        primR = primL.copy()
+        consL = system2d.prim_to_con(primL)
+        F = solver.flux(system2d, primL, primR, 0)
+        expected = system2d.flux(primL, consL, 0)
+        np.testing.assert_allclose(F, expected, rtol=1e-10)

@@ -1,0 +1,269 @@
+"""Unit tests for the heterogeneous runtime: devices, cost model, DAG,
+schedulers, simulator, clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.costs import LinkModel
+from repro.runtime import (
+    KERNELS,
+    ClusterSimulator,
+    Device,
+    KernelCostModel,
+    Task,
+    TaskGraph,
+    cpu_cluster,
+    gpu_cluster,
+    imbalanced_node,
+    make_cpu,
+    make_gpu,
+    make_scheduler,
+)
+from repro.utils.errors import ConfigurationError, SchedulerError
+
+
+@pytest.fixture
+def model():
+    # Synthetic calibration: 1 second per kernel over 1e6 cell-updates.
+    return KernelCostModel.from_calibration(
+        {k: 1.0 for k in KERNELS}, cells_updated=1_000_000
+    )
+
+
+def kernel_cost(task, device):
+    return device.kernel_time(task.kernel, task.n_cells)
+
+
+class TestDevice:
+    def test_kernel_time_formula(self):
+        cpu = make_cpu(base_mcells_s=1.0)
+        t = cpu.kernel_time("update", 2_000_000)
+        assert t == pytest.approx(cpu.launch_overhead_s + 2e6 / cpu.throughput["update"])
+
+    def test_missing_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Device(name="x", kind="cpu", throughput={"update": 1.0})
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Device(name="x", kind="tpu", throughput={k: 1.0 for k in KERNELS})
+
+    def test_gpu_requires_link(self):
+        with pytest.raises(ConfigurationError):
+            Device(name="g", kind="gpu", throughput={k: 1.0 for k in KERNELS})
+
+    def test_gpu_faster_than_cpu_on_streaming_kernels(self):
+        cpu = make_cpu()
+        gpu = make_gpu(cpu=cpu)
+        for k in ("reconstruct", "riemann", "update"):
+            assert gpu.throughput[k] > 10 * cpu.throughput[k]
+        # con2prim benefits least (divergent iteration).
+        assert gpu.throughput["con2prim"] / cpu.throughput["con2prim"] < 10
+
+
+class TestCostModel:
+    def test_calibration_throughput(self, model):
+        # 1e6 cells in 1 s -> 1e6 cells/s.
+        assert model.cpu.throughput["riemann"] == pytest.approx(1e6)
+
+    def test_calibration_requires_all_kernels(self):
+        with pytest.raises(ConfigurationError):
+            KernelCostModel.from_calibration({"riemann": 1.0}, 100)
+        with pytest.raises(ConfigurationError):
+            KernelCostModel.from_calibration({k: 1.0 for k in KERNELS}, 0)
+
+    def test_step_time_sums_kernels(self, model):
+        n = 10_000
+        expected = 3 * sum(model.cpu.kernel_time(k, n) for k in KERNELS)
+        assert model.step_time(model.cpu, n) == pytest.approx(expected)
+
+    def test_transfer_only_for_gpus(self, model):
+        assert model.transfer_time(model.cpu, 1000) == 0.0
+        assert model.transfer_time(model.gpu(), 1000) > 0.0
+
+    def test_speedup_table(self, model):
+        table = model.speedup_table(model.gpu())
+        assert table["update"] == pytest.approx(20.0)
+        assert table["con2prim"] == pytest.approx(6.0)
+
+    def test_from_real_solver_run(self, system1d):
+        from repro import Grid, Solver
+        from repro.physics.initial_data import smooth_wave
+
+        grid = Grid((128,), ((0, 1),))
+        solver = Solver(system1d, grid, smooth_wave(system1d, grid))
+        summary = solver.run(t_final=0.05)
+        cells = grid.n_cells * summary.steps * 3
+        model = KernelCostModel.from_calibration(summary.kernel_seconds, cells)
+        # NumPy kernels land in a plausible Mcells/s band.
+        for k in KERNELS:
+            assert 1e4 < model.cpu.throughput[k] < 1e10
+
+
+class TestTaskGraph:
+    def test_duplicate_id_rejected(self):
+        g = TaskGraph([Task(id="a", kernel="update")])
+        with pytest.raises(SchedulerError):
+            g.add(Task(id="a", kernel="update"))
+
+    def test_dangling_dependency_detected(self):
+        g = TaskGraph([Task(id="a", kernel="update", deps=("ghost",))])
+        with pytest.raises(SchedulerError):
+            g.finalize()
+
+    def test_cycle_detected(self):
+        g = TaskGraph(
+            [
+                Task(id="a", kernel="update", deps=("b",)),
+                Task(id="b", kernel="update", deps=("a",)),
+            ]
+        )
+        with pytest.raises(SchedulerError):
+            g.finalize()
+
+    def test_roots_and_topo_order(self):
+        g = TaskGraph(
+            [
+                Task(id="a", kernel="update"),
+                Task(id="b", kernel="update", deps=("a",)),
+                Task(id="c", kernel="update", deps=("a", "b")),
+            ]
+        )
+        assert g.roots() == ["a"]
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_critical_path(self):
+        g = TaskGraph(
+            [
+                Task(id="a", kernel="update", n_cells=100),
+                Task(id="b", kernel="update", n_cells=300, deps=("a",)),
+                Task(id="c", kernel="update", n_cells=100, deps=("a",)),
+            ]
+        )
+        length, path = g.critical_path(lambda t: float(t.n_cells))
+        assert length == 400.0
+        assert path == ["a", "b"]
+
+    def test_total_work(self):
+        g = TaskGraph([Task(id=f"t{i}", kernel="update", n_cells=10) for i in range(5)])
+        assert g.total_work(lambda t: float(t.n_cells)) == 50.0
+
+
+class TestSimulator:
+    def _chain(self, n=4, cells=100_000):
+        return TaskGraph(
+            [
+                Task(
+                    id=f"t{i}",
+                    kernel="update",
+                    n_cells=cells,
+                    deps=(f"t{i-1}",) if i else (),
+                )
+                for i in range(n)
+            ]
+        )
+
+    def test_chain_is_serial(self, model):
+        """A dependency chain cannot be parallelized: makespan = total work."""
+        devices = [make_cpu("c0"), make_cpu("c1")]
+        sim = ClusterSimulator(devices, kernel_cost, make_scheduler("dynamic"))
+        tl = sim.run(self._chain())
+        assert tl.makespan == pytest.approx(tl.busy_time()[max(tl.busy_time())], rel=0.5)
+        tl.validate_dependencies()
+
+    def test_independent_tasks_parallelize(self):
+        devices = [make_cpu("c0"), make_cpu("c1")]
+        g = TaskGraph(
+            [Task(id=f"t{i}", kernel="update", n_cells=10**6, block=i) for i in range(4)]
+        )
+        sim = ClusterSimulator(devices, kernel_cost, make_scheduler("dynamic"))
+        tl = sim.run(g)
+        serial = g.total_work(lambda t: kernel_cost(t, devices[0]))
+        assert tl.makespan == pytest.approx(serial / 2, rel=0.01)
+        assert tl.imbalance() == pytest.approx(1.0, abs=0.01)
+
+    def test_pinned_task_respected(self):
+        devices = [make_cpu("c0"), make_cpu("c1")]
+        g = TaskGraph([Task(id="t", kernel="update", n_cells=10, pinned_device="c1")])
+        for name in ("static", "dynamic", "work-stealing"):
+            sim = ClusterSimulator(devices, kernel_cost, make_scheduler(name))
+            tl = sim.run(g)
+            assert tl.record_for("t").device == "c1"
+
+    def test_fixed_cost_tasks(self):
+        devices = [make_cpu("c0")]
+        g = TaskGraph([Task(id="comm", kernel="comm", fixed_cost_s=0.125)])
+        sim = ClusterSimulator(devices, kernel_cost, make_scheduler("dynamic"))
+        tl = sim.run(g)
+        assert tl.makespan == pytest.approx(0.125)
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(SchedulerError):
+            make_scheduler("magic")
+
+    def test_needs_devices(self):
+        with pytest.raises(SchedulerError):
+            ClusterSimulator([], kernel_cost, make_scheduler("static"))
+
+    def test_duplicate_device_names(self):
+        with pytest.raises(SchedulerError):
+            ClusterSimulator(
+                [make_cpu("c"), make_cpu("c")], kernel_cost, make_scheduler("static")
+            )
+
+
+class TestSchedulerComparison:
+    """The expected ordering on a heterogeneous node: dynamic and stealing
+    beat static, which strands work on the slow device."""
+
+    @pytest.fixture
+    def workload(self):
+        rng = np.random.default_rng(1)
+        return TaskGraph(
+            [
+                Task(id=f"t{i}", kernel="riemann", n_cells=int(rng.uniform(5e4, 2e5)), block=i)
+                for i in range(24)
+            ]
+        )
+
+    def test_ordering_on_imbalanced_node(self, model, workload):
+        node = imbalanced_node(model, slow_factor=4.0)
+        spans = {}
+        for name in ("static", "dynamic", "work-stealing"):
+            sim = ClusterSimulator(list(node.devices), kernel_cost, make_scheduler(name))
+            spans[name] = sim.run(workload).makespan
+        assert spans["dynamic"] < spans["static"]
+        assert spans["work-stealing"] < spans["static"]
+
+    def test_makespan_bounded_by_critical_path(self, model, workload):
+        node = imbalanced_node(model)
+        fastest = max(
+            node.devices, key=lambda d: d.throughput["riemann"]
+        )
+        lower, _ = workload.critical_path(lambda t: kernel_cost(t, fastest))
+        for name in ("static", "dynamic", "work-stealing"):
+            sim = ClusterSimulator(list(node.devices), kernel_cost, make_scheduler(name))
+            assert sim.run(workload).makespan >= lower * (1 - 1e-12)
+
+
+class TestClusters:
+    def test_cpu_cluster_layout(self, model):
+        c = cpu_cluster(4, model)
+        assert c.size == 4
+        assert len(c.all_devices()) == 4
+        assert all(d.kind == "cpu" for d in c.all_devices())
+
+    def test_gpu_cluster_layout(self, model):
+        c = gpu_cluster(2, model, gpus_per_node=2)
+        assert len(c.node(0).gpus) == 2
+        assert len(c.node(0).cpus) == 1
+        assert len(c.all_devices()) == 6
+
+    def test_node_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            cpu_cluster(0, model)
+        with pytest.raises(ConfigurationError):
+            imbalanced_node(model, slow_factor=0)

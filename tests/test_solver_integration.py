@@ -1,0 +1,203 @@
+"""Integration tests: full solver runs against exact solutions and
+conservation invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.analysis import convergence_order, relative_l1_error
+from repro.boundary import make_boundaries
+from repro.physics.exact_riemann import ExactRiemannSolver
+from repro.physics.initial_data import RP1, RP2, blast_wave_2d, shock_tube, smooth_wave
+from repro.utils.errors import ConfigurationError
+
+
+def run_shock_tube(problem, n, config=None):
+    eos = IdealGasEOS(gamma=problem.gamma)
+    system = SRHDSystem(eos, ndim=1)
+    grid = Grid((n,), ((0.0, 1.0),))
+    prim0 = shock_tube(system, grid, problem)
+    solver = Solver(system, grid, prim0, config or SolverConfig(), make_boundaries("outflow"))
+    solver.run(t_final=problem.t_final)
+    return system, grid, solver
+
+
+class TestShockTubeAccuracy:
+    @pytest.mark.parametrize("problem", [RP1, RP2], ids=["RP1", "RP2"])
+    def test_matches_exact_solution(self, problem):
+        system, grid, solver = run_shock_tube(problem, 200)
+        ex = ExactRiemannSolver(problem.left, problem.right, problem.gamma)
+        rho_e, v_e, p_e = ex.solution_on_grid(grid.coords(0), problem.t_final, problem.x0)
+        prim = solver.interior_primitives()
+        assert relative_l1_error(prim[system.RHO], rho_e) < (
+            0.03 if problem is RP1 else 0.30
+        )
+        # Star-region velocity plateau reached.
+        assert prim[system.V(0)].max() == pytest.approx(ex.v_star, rel=0.05)
+
+    def test_convergence_under_refinement(self):
+        errors, ns = [], [50, 100, 200]
+        for n in ns:
+            system, grid, solver = run_shock_tube(RP1, n)
+            ex = ExactRiemannSolver(RP1.left, RP1.right, RP1.gamma)
+            rho_e, _, _ = ex.solution_on_grid(grid.coords(0), RP1.t_final, RP1.x0)
+            errors.append(relative_l1_error(solver.interior_primitives()[0], rho_e))
+        # Shock-dominated: expect at least ~first-order convergence.
+        assert convergence_order(ns, errors) > 0.7
+        assert errors[-1] < errors[0]
+
+    @pytest.mark.parametrize("riemann", ["llf", "hll", "hllc"])
+    def test_all_riemann_solvers_stable(self, riemann):
+        system, grid, solver = run_shock_tube(
+            RP1, 100, SolverConfig(riemann=riemann)
+        )
+        prim = solver.interior_primitives()
+        assert np.all(np.isfinite(prim))
+        assert np.all(prim[system.RHO] > 0)
+
+    @pytest.mark.parametrize("recon", ["pc", "minmod", "mc", "ppm", "weno5"])
+    def test_all_reconstructions_stable(self, recon):
+        system, grid, solver = run_shock_tube(
+            RP1, 100, SolverConfig(reconstruction=recon)
+        )
+        prim = solver.interior_primitives()
+        assert np.all(np.isfinite(prim))
+        assert np.all(prim[system.P] > 0)
+
+
+class TestSmoothAdvection:
+    def _advect(self, n, recon="weno5", integrator="ssprk3"):
+        eos = IdealGasEOS()
+        system = SRHDSystem(eos, ndim=1)
+        grid = Grid((n,), ((0.0, 1.0),))
+        v = 0.3
+        prim0 = smooth_wave(system, grid, amplitude=0.1, velocity=v, pressure=100.0)
+        solver = Solver(
+            system,
+            grid,
+            prim0,
+            SolverConfig(reconstruction=recon, integrator=integrator, cfl=0.4),
+            make_boundaries("periodic"),
+        )
+        # One full period: the wave returns to its initial position.
+        solver.run(t_final=1.0 / v)
+        x = grid.coords(0)
+        rho_exact = 1.0 * (1.0 + 0.1 * np.sin(2 * np.pi * x))
+        return relative_l1_error(solver.interior_primitives()[0], rho_exact)
+
+    def test_high_order_convergence_smooth(self):
+        """Near-uniform-pressure advection: high-order schemes converge at
+        >= 2nd order (time stepping limits the global order)."""
+        errs = [self._advect(n) for n in (16, 32, 64)]
+        order = convergence_order([16, 32, 64], errs)
+        assert order > 1.8
+        assert errs[-1] < 1e-3
+
+    def test_second_order_scheme(self):
+        errs = [self._advect(n, recon="mc", integrator="ssprk2") for n in (32, 64)]
+        order = np.log2(errs[0] / errs[1])
+        assert order > 1.3
+
+
+class TestConservation:
+    def test_periodic_exactly_conservative(self, system1d):
+        grid = Grid((64,), ((0.0, 1.0),))
+        prim0 = smooth_wave(system1d, grid, amplitude=0.3, velocity=0.5)
+        solver = Solver(
+            system1d, grid, prim0, SolverConfig(), make_boundaries("periodic")
+        )
+        summary = solver.run(t_final=0.5)
+        drift = summary.conservation_drift
+        assert abs(drift["mass"]) < 1e-12
+        assert abs(drift["energy"]) < 1e-12
+        assert abs(drift["momentum_0"]) < 1e-10
+
+    def test_2d_periodic_conservative(self, system2d):
+        grid = Grid((16, 16), ((0, 1), (0, 1)))
+        prim0 = np.empty((4,) + grid.shape_with_ghosts)
+        x = grid.coords_with_ghosts(0)[:, None]
+        y = grid.coords_with_ghosts(1)[None, :]
+        prim0[0] = 1.0 + 0.2 * np.sin(2 * np.pi * x) * np.sin(2 * np.pi * y)
+        prim0[1] = 0.2
+        prim0[2] = -0.1
+        prim0[3] = 1.0
+        solver = Solver(
+            system2d, grid, prim0, SolverConfig(), make_boundaries("periodic")
+        )
+        summary = solver.run(t_final=0.1)
+        assert abs(summary.conservation_drift["mass"]) < 1e-12
+        assert abs(summary.conservation_drift["energy"]) < 1e-12
+
+
+class TestBlastWave2D:
+    def test_quadrant_symmetry(self, system2d):
+        """A centered blast on a symmetric grid stays 4-fold symmetric."""
+        grid = Grid((32, 32), ((0, 1), (0, 1)))
+        prim0 = blast_wave_2d(system2d, grid, p_in=10.0, radius=0.15)
+        solver = Solver(system2d, grid, prim0, SolverConfig(cfl=0.4))
+        solver.run(t_final=0.1)
+        rho = solver.interior_primitives()[0]
+        np.testing.assert_allclose(rho, rho[::-1, :], rtol=1e-10)
+        np.testing.assert_allclose(rho, rho[:, ::-1], rtol=1e-10)
+        np.testing.assert_allclose(rho, rho.T, rtol=1e-10)
+
+    def test_shock_expands_outward(self, system2d):
+        grid = Grid((32, 32), ((0, 1), (0, 1)))
+        prim0 = blast_wave_2d(system2d, grid, p_in=100.0, radius=0.1)
+        solver = Solver(system2d, grid, prim0, SolverConfig(cfl=0.4))
+        solver.run(t_final=0.15)
+        prim = solver.interior_primitives()
+        x = grid.coords(0)[:, None] - 0.5
+        y = grid.coords(1)[None, :] - 0.5
+        r = np.sqrt(x**2 + y**2)
+        vr = (prim[1] * x + prim[2] * y) / np.maximum(r, 1e-10)
+        # Radial velocity is positive where the shock has passed.
+        assert vr[(r > 0.1) & (r < 0.3)].mean() > 0.1
+
+
+class TestSolverAPI:
+    def test_dimension_mismatch_rejected(self, system2d):
+        grid = Grid((16,), ((0, 1),))
+        with pytest.raises(ConfigurationError):
+            Solver(system2d, grid, np.zeros((4, 22)))
+
+    def test_bad_initial_shape_rejected(self, system1d, grid1d):
+        with pytest.raises(ConfigurationError):
+            Solver(system1d, grid1d, np.zeros((3, 10)))
+
+    def test_t_final_before_now_rejected(self, system1d, grid1d):
+        prim0 = smooth_wave(system1d, grid1d)
+        solver = Solver(system1d, grid1d, prim0)
+        solver.t = 1.0
+        with pytest.raises(ConfigurationError):
+            solver.run(t_final=0.5)
+
+    def test_max_steps_limit(self, system1d, grid1d):
+        prim0 = smooth_wave(system1d, grid1d)
+        solver = Solver(system1d, grid1d, prim0)
+        summary = solver.run(t_final=10.0, max_steps=3)
+        assert summary.steps == 3
+        assert solver.t < 10.0
+
+    def test_callback_invoked(self, system1d, grid1d):
+        prim0 = smooth_wave(system1d, grid1d)
+        solver = Solver(system1d, grid1d, prim0)
+        times = []
+        solver.run(t_final=0.05, callback=lambda s: times.append(s.t))
+        assert len(times) == solver.summary.steps
+        assert times == sorted(times)
+
+    def test_kernel_timers_populated(self, system1d, grid1d):
+        prim0 = smooth_wave(system1d, grid1d)
+        solver = Solver(system1d, grid1d, prim0)
+        summary = solver.run(t_final=0.02)
+        for kernel in ("con2prim", "reconstruct", "riemann", "update", "boundary"):
+            assert kernel in summary.kernel_seconds
+
+    def test_exact_final_time(self, system1d, grid1d):
+        prim0 = smooth_wave(system1d, grid1d)
+        solver = Solver(system1d, grid1d, prim0)
+        solver.run(t_final=0.123)
+        assert solver.t == pytest.approx(0.123, rel=1e-12)

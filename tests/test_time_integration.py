@@ -1,0 +1,108 @@
+"""Unit tests for SSP Runge-Kutta integrators and CFL control."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import Grid
+from repro.physics.initial_data import smooth_wave
+from repro.time_integration import (
+    INTEGRATORS,
+    compute_dt,
+    make_integrator,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestIntegratorOrders:
+    """Measured convergence order on u' = -u (exact: exp(-t))."""
+
+    @pytest.mark.parametrize(
+        "name,expected_order", [("euler", 1), ("ssprk2", 2), ("ssprk3", 3)]
+    )
+    def test_order_on_linear_ode(self, name, expected_order):
+        integ = make_integrator(name)
+        rhs = lambda u: -u
+        errors = []
+        for n in (20, 40):
+            u = np.array([1.0])
+            dt = 1.0 / n
+            for _ in range(n):
+                u = integ.step(u, dt, rhs)
+            errors.append(abs(u[0] - np.exp(-1.0)))
+        order = np.log2(errors[0] / errors[1])
+        assert order == pytest.approx(expected_order, abs=0.25)
+
+    @pytest.mark.parametrize("name", sorted(INTEGRATORS))
+    def test_input_not_modified(self, name):
+        integ = make_integrator(name)
+        u = np.array([1.0, 2.0])
+        u_copy = u.copy()
+        integ.step(u, 0.1, lambda q: -q)
+        np.testing.assert_array_equal(u, u_copy)
+
+    @pytest.mark.parametrize("name", sorted(INTEGRATORS))
+    def test_exact_on_constant_rhs(self, name):
+        """All SSP methods integrate u' = c exactly."""
+        integ = make_integrator(name)
+        u = np.array([1.0])
+        out = integ.step(u, 0.5, lambda q: np.full_like(q, 2.0))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_ssp_convex_combination_preserves_positivity(self):
+        """For the contraction map u -> u - dt*u with dt <= 1, SSP methods
+        keep nonnegative data nonnegative (the SSP property)."""
+        integ = make_integrator("ssprk3")
+        u = np.array([0.0, 0.5, 1.0])
+        out = integ.step(u, 1.0, lambda q: -q)
+        assert np.all(out >= -1e-15)
+
+    def test_unknown_integrator(self):
+        with pytest.raises(ConfigurationError):
+            make_integrator("rk4")
+
+
+class TestCFL:
+    def test_dt_scales_with_dx(self, system1d):
+        """Uniform state: dt halves exactly when dx halves."""
+        dts = []
+        for n in (32, 64):
+            grid = Grid((n,), ((0.0, 1.0),))
+            prim = smooth_wave(system1d, grid, amplitude=0.0, velocity=0.5)
+            dts.append(compute_dt(system1d, grid, prim, cfl=0.5))
+        assert dts[0] == pytest.approx(2 * dts[1], rel=1e-10)
+
+    def test_dt_equals_cfl_over_signal_speed(self, system1d):
+        grid = Grid((32,), ((0.0, 1.0),))
+        prim = smooth_wave(system1d, grid, velocity=0.9)
+        dt = compute_dt(system1d, grid, prim, cfl=1.0)
+        vmax = system1d.max_signal_speed(grid.interior_of(prim), 0)
+        assert vmax < 1.0
+        assert dt == pytest.approx(grid.dx[0] / vmax, rel=1e-12)
+        # dt never exceeds a light-crossing time by more than 1/vmax.
+        assert dt * vmax <= grid.dx[0] * (1 + 1e-12)
+
+    def test_final_time_clipping(self, system1d):
+        grid = Grid((32,), ((0.0, 1.0),))
+        prim = smooth_wave(system1d, grid)
+        dt = compute_dt(system1d, grid, prim, cfl=0.5, t=0.99, t_final=1.0)
+        assert dt == pytest.approx(0.01)
+
+    def test_2d_stricter_than_1d(self, system2d, system1d):
+        """The unsplit 2-D bound sums directional contributions."""
+        grid2 = Grid((32, 32), ((0, 1), (0, 1)))
+        prim2 = np.empty((4,) + grid2.shape_with_ghosts)
+        prim2[0], prim2[1], prim2[2], prim2[3] = 1.0, 0.3, 0.3, 1.0
+        dt2 = compute_dt(system2d, grid2, prim2, cfl=0.5)
+        grid1 = Grid((32,), ((0, 1),))
+        prim1 = np.empty((3,) + grid1.shape_with_ghosts)
+        prim1[0], prim1[1], prim1[2] = 1.0, 0.3, 1.0
+        dt1 = compute_dt(system1d, grid1, prim1, cfl=0.5)
+        assert dt2 < dt1
+
+    def test_invalid_cfl(self, system1d):
+        grid = Grid((8,), ((0, 1),))
+        prim = smooth_wave(system1d, grid)
+        with pytest.raises(ConfigurationError):
+            compute_dt(system1d, grid, prim, cfl=0.0)

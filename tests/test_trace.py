@@ -1,0 +1,97 @@
+"""Tests for simulated-execution trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    ClusterSimulator,
+    Task,
+    TaskGraph,
+    make_cpu,
+    make_scheduler,
+)
+from repro.runtime.trace import (
+    ascii_gantt,
+    save_chrome_trace,
+    to_chrome_trace,
+    utilization,
+)
+from repro.runtime.task import Timeline
+from repro.utils.errors import SchedulerError
+
+
+@pytest.fixture
+def timeline():
+    devices = [make_cpu("c0"), make_cpu("c1")]
+    tasks = [
+        Task(id=f"c2p-{b}", kernel="con2prim", n_cells=100_000, block=b)
+        for b in range(4)
+    ] + [
+        Task(
+            id=f"upd-{b}", kernel="update", n_cells=100_000,
+            deps=(f"c2p-{b}",), block=b,
+        )
+        for b in range(4)
+    ]
+    sim = ClusterSimulator(
+        devices,
+        lambda t, d: d.kernel_time(t.kernel, t.n_cells),
+        make_scheduler("dynamic"),
+    )
+    return sim.run(TaskGraph(tasks))
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_tasks(self, timeline):
+        doc = json.loads(to_chrome_trace(timeline))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 8
+        names = {e["name"] for e in events}
+        assert "c2p-0" in names and "upd-3" in names
+
+    def test_durations_microseconds(self, timeline):
+        doc = json.loads(to_chrome_trace(timeline))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        rec = timeline.records[0]
+        ev = next(e for e in events if e["name"] == rec.task.id)
+        assert ev["dur"] == pytest.approx(rec.duration * 1e6)
+
+    def test_device_lanes_named(self, timeline):
+        doc = json.loads(to_chrome_trace(timeline))
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas} == {"c0", "c1"}
+
+    def test_save_round_trip(self, timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        save_chrome_trace(timeline, path)
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestAsciiGantt:
+    def test_contains_devices_and_legend(self, timeline):
+        chart = ascii_gantt(timeline)
+        assert "c0" in chart and "c1" in chart
+        assert "con2prim" in chart and "update" in chart
+        assert "makespan" in chart
+
+    def test_empty_timeline(self):
+        assert ascii_gantt(Timeline()) == "(empty timeline)"
+
+    def test_width_validated(self, timeline):
+        with pytest.raises(SchedulerError):
+            ascii_gantt(timeline, width=3)
+
+
+class TestUtilization:
+    def test_fractions_in_unit_interval(self, timeline):
+        util = utilization(timeline)
+        assert set(util) == {"c0", "c1"}
+        for frac in util.values():
+            assert 0.0 < frac <= 1.0
+
+    def test_balanced_workload_high_utilization(self, timeline):
+        util = utilization(timeline)
+        assert min(util.values()) > 0.5  # dynamic scheduler balances it

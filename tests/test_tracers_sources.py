@@ -1,0 +1,194 @@
+"""Tests for passive tracer transport and the source-term hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
+from repro.physics.con2prim import con_to_prim
+from repro.physics.tracers import TracerSystem
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def tsystem(eos):
+    return TracerSystem(SRHDSystem(eos, ndim=1), n_tracers=2)
+
+
+def tracer_wave(system, grid, velocity=0.5):
+    """Uniform flow carrying a tracer step and a smooth tracer profile."""
+    x = grid.coords_with_ghosts(0)
+    prim = np.empty((system.nvars,) + x.shape)
+    prim[system.RHO] = 1.0
+    prim[system.V(0)] = velocity
+    prim[system.P] = 1.0
+    prim[system.Y(0)] = (np.abs(x - 0.5) < 0.2).astype(float)  # step
+    prim[system.Y(1)] = 0.5 * (1.0 + np.sin(2 * np.pi * x))  # smooth
+    return prim
+
+
+class TestTracerSystem:
+    def test_layout(self, tsystem):
+        assert tsystem.nvars == 5
+        assert tsystem.Y(0) == 3 and tsystem.Y(1) == 4
+        with pytest.raises(ConfigurationError):
+            tsystem.Y(2)
+        with pytest.raises(ConfigurationError):
+            TracerSystem(tsystem.base, n_tracers=0)
+
+    def test_prim_con_round_trip(self, tsystem, rng):
+        n = 32
+        prim = np.empty((5, n))
+        prim[0] = rng.uniform(0.1, 2.0, n)
+        prim[1] = rng.uniform(-0.8, 0.8, n)
+        prim[2] = rng.uniform(0.1, 2.0, n)
+        prim[3] = rng.uniform(0.0, 1.0, n)
+        prim[4] = rng.uniform(0.0, 1.0, n)
+        cons = tsystem.prim_to_con(prim)
+        # Tracer conserved density is D * Y.
+        np.testing.assert_allclose(cons[3], cons[0] * prim[3])
+        recovered = con_to_prim(tsystem, cons)
+        np.testing.assert_allclose(recovered, prim, rtol=1e-9, atol=1e-12)
+
+    def test_tracer_flux_rides_mass_flux(self, tsystem):
+        prim = np.array([[1.0], [0.4], [1.0], [0.7], [0.2]])
+        cons = tsystem.prim_to_con(prim)
+        F = tsystem.flux(prim, cons, 0)
+        assert F[3, 0] == pytest.approx(cons[3, 0] * 0.4)
+        # Hydro sector matches the wrapped system exactly.
+        F_base = tsystem.base.flux(prim[:3], cons[:3], 0)
+        np.testing.assert_allclose(F[:3], F_base)
+
+    def test_char_speeds_unaffected(self, tsystem):
+        prim = np.array([[1.0], [0.3], [1.0], [0.9], [0.1]])
+        lam = tsystem.char_speeds(prim, 0)
+        lam_base = tsystem.base.char_speeds(prim[:3], 0)
+        np.testing.assert_array_equal(lam[0], lam_base[0])
+
+
+class TestTracerEvolution:
+    def test_advection_preserves_bounds_and_total(self, tsystem):
+        """Tracers stay in [0, 1] (TVD transport) and sum(D Y) is conserved
+        on a periodic domain."""
+        grid = Grid((64,), ((0.0, 1.0),))
+        prim0 = tracer_wave(tsystem, grid)
+        solver = Solver(
+            tsystem, grid, prim0, SolverConfig(cfl=0.4), make_boundaries("periodic")
+        )
+        total0 = grid.interior_of(solver.cons)[3].sum()
+        solver.run(t_final=0.5)
+        prim = solver.interior_primitives()
+        assert prim[3].min() > -1e-10 and prim[3].max() < 1.0 + 1e-10
+        total1 = grid.interior_of(solver.cons)[3].sum()
+        assert total1 == pytest.approx(total0, rel=1e-12)
+
+    def test_smooth_tracer_advects_exactly(self, tsystem):
+        """Uniform flow: after one period the smooth tracer returns."""
+        grid = Grid((64,), ((0.0, 1.0),))
+        v = 0.5
+        prim0 = tracer_wave(tsystem, grid, velocity=v)
+        solver = Solver(
+            tsystem, grid, prim0, SolverConfig(cfl=0.4), make_boundaries("periodic")
+        )
+        solver.run(t_final=1.0 / v)
+        prim = solver.interior_primitives()
+        x = grid.coords(0)
+        expected = 0.5 * (1.0 + np.sin(2 * np.pi * x))
+        assert np.mean(np.abs(prim[4] - expected)) < 0.02
+
+    def test_tracer_does_not_disturb_hydro(self, eos):
+        """The hydro solution with tracers matches the tracer-free run."""
+        from repro.physics.initial_data import RP1, shock_tube
+
+        base = SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        plain = Solver(base, grid, shock_tube(base, grid, RP1), SolverConfig(cfl=0.4))
+        plain.run(t_final=0.1)
+
+        wrapped = TracerSystem(
+            SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1), n_tracers=1
+        )
+        prim0 = np.empty((4,) + grid.shape_with_ghosts)
+        prim0[:3] = shock_tube(wrapped.base, grid, RP1)
+        x = grid.coords_with_ghosts(0)
+        prim0[3] = (x < 0.5).astype(float)  # marks left-state material
+        traced = Solver(wrapped, grid, prim0, SolverConfig(cfl=0.4))
+        traced.run(t_final=0.1)
+        np.testing.assert_allclose(
+            traced.interior_primitives()[:3],
+            plain.interior_primitives(),
+            atol=1e-13,
+        )
+        # The contact carries the material boundary: tracer jump location
+        # coincides with the density contact, right of x = 0.5.
+        y = traced.interior_primitives()[3]
+        jump = np.argmin(np.abs(y - 0.5))
+        assert grid.coords(0)[jump] > 0.5
+
+
+class TestSourceTerms:
+    def test_uniform_heating_exact(self, system1d):
+        """d tau/dt = q with v = 0 stays uniform: p(t) = p0 + (gamma-1) q t."""
+        q = 0.3
+        gamma = system1d.eos.gamma
+
+        def heating(system, grid, prim, t):
+            src = np.zeros((system.nvars,) + prim.shape[1:])
+            src[system.TAU] = q
+            return src
+
+        grid = Grid((16,), ((0.0, 1.0),))
+        prim0 = grid.allocate(3)
+        prim0[0] = 1.0
+        prim0[1] = 0.0
+        prim0[2] = 1.0
+        solver = Solver(
+            system1d,
+            grid,
+            prim0,
+            SolverConfig(cfl=0.4),
+            make_boundaries("periodic"),
+            source_fn=heating,
+        )
+        t_final = 0.5
+        solver.run(t_final=t_final)
+        p = solver.interior_primitives()[2]
+        expected = 1.0 + (gamma - 1.0) * q * t_final
+        np.testing.assert_allclose(p, expected, rtol=1e-10)
+
+    def test_constant_force_accelerates(self, system1d):
+        """A uniform momentum source pushes the fluid in +x."""
+        def force(system, grid, prim, t):
+            src = np.zeros((system.nvars,) + prim.shape[1:])
+            src[system.S(0)] = 0.5
+            return src
+
+        grid = Grid((16,), ((0.0, 1.0),))
+        prim0 = grid.allocate(3)
+        prim0[0] = 1.0
+        prim0[1] = 0.0
+        prim0[2] = 1.0
+        solver = Solver(
+            system1d, grid, prim0, SolverConfig(cfl=0.4),
+            make_boundaries("periodic"), source_fn=force,
+        )
+        solver.run(t_final=0.2)
+        v = solver.interior_primitives()[1]
+        assert np.all(v > 0.01)
+        # Momentum gained matches the integrated source.
+        S = grid.interior_of(solver.cons)[1]
+        np.testing.assert_allclose(S, 0.5 * 0.2, rtol=1e-10)
+
+    def test_source_timer_recorded(self, system1d):
+        grid = Grid((16,), ((0.0, 1.0),))
+        prim0 = grid.allocate(3)
+        prim0[0], prim0[1], prim0[2] = 1.0, 0.0, 1.0
+        solver = Solver(
+            system1d, grid, prim0,
+            boundaries=make_boundaries("periodic"),
+            source_fn=lambda s, g, p, t: np.zeros((s.nvars,) + p.shape[1:]),
+        )
+        solver.run(t_final=0.01)
+        assert "source" in solver.summary.kernel_seconds

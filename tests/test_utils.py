@@ -1,0 +1,126 @@
+"""Unit tests for repro.utils: parameters, timers, errors, logging."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils import ConfigurationError, ParameterSet, Timer, TimerRegistry, param
+from repro.utils.logging import get_logger, set_level
+
+
+class DemoConfig(ParameterSet):
+    cfl = param(0.5, float, lambda v: 0 < v <= 1, "CFL in (0,1]")
+    scheme = param("mc", str, choices=("pc", "mc"))
+    steps = param(10, int, lambda v: v > 0)
+
+
+class TestParameterSet:
+    def test_defaults(self):
+        cfg = DemoConfig()
+        assert cfg.cfl == 0.5
+        assert cfg.scheme == "mc"
+
+    def test_override(self):
+        cfg = DemoConfig(cfl=0.25, scheme="pc")
+        assert cfg.cfl == 0.25
+        assert cfg.scheme == "pc"
+
+    def test_int_promoted_to_float(self):
+        assert DemoConfig(cfl=1).cfl == 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            DemoConfig(nope=1)
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(ConfigurationError, match="not in"):
+            DemoConfig(scheme="weno99")
+
+    def test_check_failure_rejected(self):
+        with pytest.raises(ConfigurationError, match="failed validation"):
+            DemoConfig(cfl=1.5)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            DemoConfig(scheme=3)
+
+    def test_replace_returns_validated_copy(self):
+        cfg = DemoConfig()
+        cfg2 = cfg.replace(cfl=0.9)
+        assert cfg2.cfl == 0.9
+        assert cfg.cfl == 0.5
+        with pytest.raises(ConfigurationError):
+            cfg.replace(cfl=-1)
+
+    def test_setattr_validates(self):
+        cfg = DemoConfig()
+        cfg.cfl = 0.75
+        assert cfg.cfl == 0.75
+        with pytest.raises(ConfigurationError):
+            cfg.cfl = 2.0
+        with pytest.raises(ConfigurationError):
+            cfg.unknown = 1
+
+    def test_to_dict_round_trip(self):
+        cfg = DemoConfig(cfl=0.3)
+        assert DemoConfig(**cfg.to_dict()) == cfg
+
+    def test_repr_contains_values(self):
+        assert "cfl=0.5" in repr(DemoConfig())
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("t")
+        for _ in range(3):
+            with t:
+                time.sleep(0.001)
+        assert t.count == 3
+        assert t.elapsed >= 0.003
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_double_start_raises(self):
+        t = Timer("t").start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("t").stop()
+
+    def test_reset(self):
+        t = Timer("t")
+        with t:
+            pass
+        t.reset()
+        assert t.count == 0 and t.elapsed == 0.0
+
+    def test_registry_creates_and_reuses(self):
+        reg = TimerRegistry()
+        a = reg("kernel")
+        assert reg("kernel") is a
+        assert "kernel" in reg
+
+    def test_registry_summary(self):
+        reg = TimerRegistry()
+        with reg("a"):
+            pass
+        s = reg.summary()
+        assert "a" in s and "calls" in s
+        assert TimerRegistry().summary() == "(no timers)"
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_set_level(self):
+        set_level("DEBUG")
+        import logging
+
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_level(logging.WARNING)

@@ -1,0 +1,78 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.viz import SHADES, density_map, profile_compare, sparkline
+
+
+class TestDensityMap:
+    def test_extremes_use_ramp_ends(self):
+        field = np.zeros((16, 16))
+        field[8, 8] = 1.0
+        # Full-resolution rendering so the single bright cell is sampled.
+        out = density_map(field, width=32)
+        assert SHADES[-1] in out
+        assert SHADES[0] in out
+
+    def test_constant_field(self):
+        out = density_map(np.ones((8, 8)), width=8)
+        assert set(out.replace("\n", "")) == {SHADES[0]}
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            density_map(np.zeros(8))
+
+    def test_fixed_range_clipping(self):
+        field = np.array([[0.0, 10.0]])
+        out = density_map(field, vmin=0.0, vmax=1.0, transpose=False)
+        assert SHADES[-1] in out  # 10.0 clipped to top shade
+
+    def test_orientation(self):
+        """transpose=True puts increasing y at the top rows."""
+        field = np.zeros((4, 4))
+        field[:, -1] = 1.0  # bright at high y
+        out = density_map(field, width=4).splitlines()
+        assert SHADES[-1] in out[0]
+        assert SHADES[-1] not in out[-1]
+
+
+class TestSparkline:
+    def test_monotone_series_spans_rows(self):
+        out = sparkline(np.linspace(0, 1, 30), width=30, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5
+        assert "*" in lines[0] and "*" in lines[-1]
+
+    def test_labels_show_range(self):
+        out = sparkline([1.0, 5.0, 2.0])
+        assert "5" in out and "1" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0, np.nan])
+
+
+class TestProfileCompare:
+    def test_overlay_contains_both_glyphs(self):
+        x = np.linspace(0, 1, 50)
+        exact = np.sin(2 * np.pi * x)
+        numeric = exact + 0.3 * (x > 0.5)
+        out = profile_compare(x, numeric, exact)
+        assert "*" in out and "." in out
+        assert "numeric" in out
+
+    def test_identical_series_numeric_wins(self):
+        x = np.linspace(0, 1, 20)
+        out = profile_compare(x, x, x)
+        body = "\n".join(out.splitlines()[:-1])
+        assert "*" in body and "." not in body
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            profile_compare(np.zeros(4), np.zeros(4), np.zeros(5))
