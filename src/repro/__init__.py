@@ -11,6 +11,7 @@ the simulated heterogeneous cluster via :mod:`repro.runtime` and
 from .core import Solver, SolverConfig
 from .eos import EOS, HybridEOS, IdealGasEOS, PolytropicEOS, TabulatedEOS
 from .mesh import Grid
+from .obs import JsonlEventSink, MetricsRegistry, StepRecorder, read_events
 from .physics import ExactRiemannSolver, RiemannState, SRHDSystem, TracerSystem
 
 __version__ = "0.1.0"
@@ -29,4 +30,8 @@ __all__ = [
     "Grid",
     "Solver",
     "SolverConfig",
+    "MetricsRegistry",
+    "StepRecorder",
+    "JsonlEventSink",
+    "read_events",
 ]

@@ -60,6 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--riemann", choices=sorted(SOLVERS), default="hllc")
     run.add_argument("--snapshot", metavar="PATH", help="write final .npz snapshot")
     run.add_argument("--checkpoint", metavar="PATH", help="write final checkpoint")
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="stream per-step structured metrics (JSONL) to PATH and print "
+        "the aggregated summary table",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -91,8 +97,28 @@ def _cmd_run(args) -> int:
         prim0 = kelvin_helmholtz_2d(system, grid)
         bcs = make_boundaries("periodic")
 
-    solver = Solver(system, grid, prim0, config, bcs)
+    recorder = None
+    if args.metrics_out:
+        from .obs import JsonlEventSink, StepRecorder
+
+        recorder = StepRecorder(
+            JsonlEventSink(args.metrics_out),
+            meta={
+                "problem": args.problem,
+                "n": args.n,
+                "ndim": ndim,
+                "t_final": t_final,
+                "cfl": args.cfl,
+                "reconstruction": args.reconstruction,
+                "riemann": args.riemann,
+            },
+        )
+
+    solver = Solver(system, grid, prim0, config, bcs, recorder=recorder)
     summary = solver.run(t_final=t_final)
+    if recorder is not None:
+        recorder.finish(t_end=solver.t, conservation_drift=summary.conservation_drift)
+        recorder.close()
     prim = solver.interior_primitives()
     print(f"{args.problem}: t = {solver.t:.4f}, steps = {summary.steps}")
     print(f"  rho range : [{prim[system.RHO].min():.4g}, {prim[system.RHO].max():.4g}]")
@@ -117,6 +143,12 @@ def _cmd_run(args) -> int:
 
         save_checkpoint(solver, args.checkpoint)
         print(f"  checkpoint: {args.checkpoint}")
+    if args.metrics_out:
+        from .harness.report import Report
+        from .obs import read_events
+
+        print(f"  metrics   : {args.metrics_out}")
+        print(Report.from_metrics(read_events(args.metrics_out)))
     return 0
 
 

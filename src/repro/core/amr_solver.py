@@ -12,7 +12,8 @@ measured on the composite solution.
 
 from __future__ import annotations
 
-from typing import Callable
+import time
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -22,14 +23,19 @@ from ..mesh.amr.criteria import GradientCriterion
 from ..mesh.amr.forest import AMRForest
 from ..mesh.amr.transfer import prolong_array, restrict_array
 from ..mesh.grid import Grid
+from ..obs.metrics import MetricsRegistry
 from ..physics.srhd import SRHDSystem
 from ..time_integration.cfl import compute_dt
 from ..time_integration.ssprk import make_integrator
 from ..utils.errors import ConfigurationError
 from ..utils.parameters import ParameterSet, param
+from ..utils.timers import TimerRegistry
 from .config import SolverConfig
 from .distributed import _DictState
 from .pipeline import HydroPipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import StepRecorder
 
 
 class AMRConfig(ParameterSet):
@@ -71,6 +77,10 @@ class AMRSolver:
         Refinement policy.
     boundaries:
         Physical wall conditions (outflow default).
+    recorder:
+        Optional :class:`~repro.obs.StepRecorder`; per-step records carry
+        forest shape (leaf counts, cells updated) alongside the shared
+        kernel timings and counters of every block pipeline.
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class AMRSolver:
         config: SolverConfig | None = None,
         amr: AMRConfig | None = None,
         boundaries: BoundarySet | None = None,
+        recorder: "StepRecorder | None" = None,
     ):
         if system.ndim != root_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -97,6 +108,11 @@ class AMRSolver:
         self._initial_data = initial_data
         self._pipelines: dict[BlockKey, HydroPipeline] = {}
         self._interior_bcs = BoundarySet(default=InteriorFace())
+        # Shared across every block pipeline so timings/counters aggregate
+        # over the whole forest.
+        self.timers = TimerRegistry()
+        self.metrics = MetricsRegistry()
+        self.recorder = recorder
 
         self.t = 0.0
         self.steps = 0
@@ -126,6 +142,8 @@ class AMRSolver:
                 self.forest.leaves[key].grid,
                 self._interior_bcs,
                 self.config,
+                timers=self.timers,
+                metrics=self.metrics,
             )
             pipe.store_fluxes = self.amr.reflux
             self._pipelines[key] = pipe
@@ -313,6 +331,7 @@ class AMRSolver:
         return dt
 
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        wall0 = time.perf_counter()
         if dt is None:
             dt = self.compute_dt(t_final)
         state = _DictState({k: leaf.cons for k, leaf in self.forest.leaves.items()})
@@ -322,11 +341,28 @@ class AMRSolver:
             self.forest.leaves[key].cons = cons
         self.t += dt
         self.steps += 1
-        self.cells_updated += (
-            self.forest.n_leaf_cells() * self.integrator.stages
-        )
+        step_cells = self.forest.n_leaf_cells() * self.integrator.stages
+        self.cells_updated += step_cells
         if self.steps % self.amr.regrid_interval == 0:
             self.regrid()
+        if self.recorder is not None:
+            self.recorder.record_step(
+                step=self.steps,
+                t=self.t,
+                dt=dt,
+                wall_seconds=time.perf_counter() - wall0,
+                timers=self.timers,
+                metrics=self.metrics,
+                amr={
+                    "n_leaves": len(self.forest.leaves),
+                    "cells_updated": step_cells,
+                    "regrids": self.regrids,
+                    "leaves_by_level": {
+                        str(lvl): n
+                        for lvl, n in sorted(self.leaf_count_by_level().items())
+                    },
+                },
+            )
         return dt
 
     def run(self, t_final: float, max_steps: int | None = None) -> None:

@@ -16,18 +16,26 @@ represents the real code path the scaling model prices.
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..boundary.conditions import BoundarySet, InteriorFace, make_boundaries
 from ..comm.communicator import SimCommunicator
-from ..comm.halo import exchange_halos
+from ..comm.halo import exchange_halos, halo_bytes_per_step
 from ..mesh.decomposition import CartesianDecomposition
 from ..mesh.grid import Grid
+from ..obs.metrics import MetricsRegistry
 from ..physics.srhd import SRHDSystem
 from ..time_integration.cfl import compute_dt
 from ..utils.errors import ConfigurationError
+from ..utils.timers import TimerRegistry
 from .config import SolverConfig
 from .pipeline import HydroPipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import StepRecorder
 
 
 class _DictState:
@@ -64,6 +72,10 @@ class DistributedSolver:
         Process-grid shape (e.g. ``(2, 2)``).
     config, boundaries:
         As for :class:`Solver`; *boundaries* describes the physical walls.
+    recorder:
+        Optional :class:`~repro.obs.StepRecorder`; per-step records carry
+        globally aggregated kernel timings and counters (all rank pipelines
+        share one registry) plus communicator traffic deltas.
     """
 
     def __init__(
@@ -75,6 +87,7 @@ class DistributedSolver:
         config: SolverConfig | None = None,
         boundaries: BoundarySet | None = None,
         periodic=None,
+        recorder: "StepRecorder | None" = None,
     ):
         if system.ndim != global_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -89,6 +102,12 @@ class DistributedSolver:
             )
         self.decomp = CartesianDecomposition(global_grid, dims, periodic=periodic)
         self.comm = SimCommunicator(self.decomp.size)
+        # One shared timer/metrics registry across all rank pipelines: the
+        # counters and kernel times aggregate globally, which is what the
+        # per-step records report.
+        self.timers = TimerRegistry()
+        self.metrics = MetricsRegistry()
+        self.recorder = recorder
 
         # Per-rank boundary sets: interior faces (neighbour present) are
         # no-ops, physical walls inherit the global policy.
@@ -106,7 +125,12 @@ class DistributedSolver:
             sub = self.decomp.subgrid(rank)
             self.subgrids[rank] = sub
             self.pipelines[rank] = HydroPipeline(
-                system, sub, BoundarySet(faces=faces), self.config
+                system,
+                sub,
+                BoundarySet(faces=faces),
+                self.config,
+                timers=self.timers,
+                metrics=self.metrics,
             )
 
         # Scatter the initial data (interiors), then fill all ghosts once.
@@ -133,6 +157,18 @@ class DistributedSolver:
         self.integrator = make_integrator(self.config.integrator)
         self.t = 0.0
         self.steps = 0
+        #: analytic bytes sent by one full halo exchange (all ranks, all
+        #: faces) — the model the measured traffic is checked against
+        self.halo_bytes_per_exchange = sum(
+            halo_bytes_per_step(self.decomp, system.nvars).values()
+        )
+        # Snapshot after the constructor's initial exchange so the first
+        # step's delta counts only that step's traffic.
+        self._traffic_prev = (
+            self.comm.traffic.n_bytes,
+            self.comm.traffic.n_messages,
+            self.comm.traffic.n_collectives,
+        )
 
     # ------------------------------------------------------------------
 
@@ -178,6 +214,7 @@ class DistributedSolver:
         return dt
 
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        wall0 = time.perf_counter()
         if dt is None:
             dt = self.compute_dt(t_final)
         rhs = lambda state: _DictState(self._rhs(state.parts))
@@ -186,7 +223,30 @@ class DistributedSolver:
         self._prims_cache = None  # state advanced: next dt recovers afresh
         self.t += dt
         self.steps += 1
+        if self.recorder is not None:
+            self.recorder.record_step(
+                step=self.steps,
+                t=self.t,
+                dt=dt,
+                wall_seconds=time.perf_counter() - wall0,
+                timers=self.timers,
+                metrics=self.metrics,
+                comm=self._traffic_delta(),
+            )
         return dt
+
+    def _traffic_delta(self) -> dict:
+        """Communicator traffic since the last call, plus the analytic
+        per-exchange byte count for cross-checking."""
+        log = self.comm.traffic
+        now = (log.n_bytes, log.n_messages, log.n_collectives)
+        prev, self._traffic_prev = self._traffic_prev, now
+        return {
+            "halo_bytes": now[0] - prev[0],
+            "messages": now[1] - prev[1],
+            "collectives": now[2] - prev[2],
+            "halo_bytes_model_per_exchange": self.halo_bytes_per_exchange,
+        }
 
     def run(self, t_final: float, max_steps: int | None = None) -> None:
         limit = max_steps if max_steps is not None else self.config.max_steps

@@ -12,6 +12,7 @@ import numpy as np
 
 from ..boundary.conditions import BoundarySet
 from ..mesh.grid import Grid
+from ..obs.metrics import MetricsRegistry
 from ..physics.atmosphere import Atmosphere
 from ..physics.con2prim import RecoveryStats, con_to_prim
 from ..physics.srhd import SRHDSystem
@@ -33,6 +34,11 @@ class HydroPipeline:
     timers:
         Optional registry; when given, each kernel stage is timed (used for
         calibrating the heterogeneous performance model).
+    metrics:
+        Optional :class:`MetricsRegistry` the pipeline reports through
+        (con2prim counters, atmosphere resets, face sanitizations). Drivers
+        that own several pipelines pass one shared registry so the counters
+        aggregate globally.
     """
 
     def __init__(
@@ -42,6 +48,7 @@ class HydroPipeline:
         boundaries: BoundarySet,
         config: SolverConfig,
         timers: TimerRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.system = system
         self.grid = grid
@@ -62,6 +69,7 @@ class HydroPipeline:
                 f"{config.reconstruction} needs {self.reconstruction.required_ghosts}"
             )
         self.timers = timers if timers is not None else TimerRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.recovery_stats = RecoveryStats()
         # Pressure cache seeds the next con2prim Newton solve.
         self._p_cache: np.ndarray | None = None
@@ -83,26 +91,47 @@ class HydroPipeline:
         """Full primitive array: recovery on the interior + BC ghost fill."""
         grid, system = self.grid, self.system
         with self.timers("con2prim"):
-            self.atmosphere.apply_cons(system, cons)
+            cons_mask = self.atmosphere.apply_cons(system, cons)
+            if cons_mask.any():
+                self.metrics.counter("atmo.cons_floored").inc(int(cons_mask.sum()))
             self._limit_momentum(cons)
             interior_cons = grid.interior_of(cons)
             p_guess = self._p_cache
             if p_guess is not None and p_guess.shape != interior_cons.shape[1:]:
                 p_guess = None
-            interior_prim = con_to_prim(
-                system,
-                interior_cons,
-                p_guess=p_guess,
-                tol=self.config.recovery_tol,
-                stats=self.recovery_stats,
-            )
-            self.atmosphere.apply_prim(system, interior_prim)
+            sweep = RecoveryStats()
+            try:
+                interior_prim = con_to_prim(
+                    system,
+                    interior_cons,
+                    p_guess=p_guess,
+                    tol=self.config.recovery_tol,
+                    stats=sweep,
+                )
+            finally:
+                # con_to_prim populates the sweep counters before raising,
+                # so the failing sweep is accounted for too.
+                self.recovery_stats.merge(sweep)
+                self._record_recovery(sweep)
+            prim_mask = self.atmosphere.apply_prim(system, interior_prim)
+            if prim_mask.any():
+                self.metrics.counter("atmo.prim_reset").inc(int(prim_mask.sum()))
             self._p_cache = interior_prim[system.P].copy()
         prim = grid.allocate(system.nvars)
         grid.interior_of(prim)[...] = interior_prim
         with self.timers("boundary"):
             self.boundaries.apply(system, grid, prim)
         return prim
+
+    def _record_recovery(self, sweep: RecoveryStats) -> None:
+        """Report one con2prim sweep's counters through the metrics layer."""
+        m = self.metrics
+        m.counter("con2prim.cells").inc(sweep.n_cells)
+        m.counter("con2prim.newton_converged").inc(sweep.n_newton_converged)
+        m.counter("con2prim.bisection").inc(sweep.n_bisection)
+        m.counter("con2prim.failed").inc(sweep.n_failed)
+        m.counter("con2prim.unbracketed").inc(sweep.n_unbracketed)
+        m.gauge("con2prim.max_newton_iters").max(sweep.max_iterations)
 
     def _limit_momentum(self, cons: np.ndarray) -> None:
         """Rescale S_i so the recovered velocity respects the W_max cap.
@@ -121,6 +150,7 @@ class HydroPipeline:
         smax = vmax * (cons[system.TAU] + cons[system.D] + self.atmosphere.p_atmo)
         bad = S2 > smax**2
         if bad.any():
+            self.metrics.counter("limiter.momentum_rescaled").inc(int(bad.sum()))
             scale = smax[bad] / np.sqrt(S2[bad])
             for ax in range(system.ndim):
                 cons[system.S(ax)][bad] *= scale
@@ -144,9 +174,16 @@ class HydroPipeline:
         vmax2 = 1.0 - 1.0 / self.config.w_max**2
         bad = v2 > vmax2
         if bad.any():
+            self.metrics.counter("sanitize.velocity_rescaled").inc(int(bad.sum()))
             scale = np.sqrt(vmax2 / v2[bad])
             for ax in range(system.ndim):
                 q[system.V(ax)][bad] *= scale
+        n_floored = int(
+            (q[system.RHO] < self.atmosphere.rho_atmo).sum()
+            + (q[system.P] < self.atmosphere.p_atmo).sum()
+        )
+        if n_floored:
+            self.metrics.counter("sanitize.floored").inc(n_floored)
         np.maximum(q[system.RHO], self.atmosphere.rho_atmo, out=q[system.RHO])
         np.maximum(q[system.P], self.atmosphere.p_atmo, out=q[system.P])
         return q

@@ -17,12 +17,14 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
 
 from ..boundary.conditions import BoundarySet, make_boundaries
 from ..mesh.grid import Grid
+from ..obs.recorder import StepRecorder
 from ..physics.srhd import SRHDSystem
 from ..time_integration.cfl import compute_dt
 from ..time_integration.ssprk import make_integrator
@@ -55,6 +57,10 @@ class Solver:
     source_fn:
         Optional source term ``(system, grid, prim_interior, t) ->
         dU_interior`` added to the flux divergence every RK stage.
+    recorder:
+        Optional :class:`~repro.obs.StepRecorder`; when given, every step
+        emits one structured record (dt, wall time, kernel timings,
+        con2prim/atmosphere/sanitization counters).
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class Solver:
         config: SolverConfig | None = None,
         boundaries: BoundarySet | None = None,
         source_fn=None,
+        recorder: StepRecorder | None = None,
     ):
         if system.ndim != grid.ndim:
             raise ConfigurationError(
@@ -84,6 +91,8 @@ class Solver:
             system, grid, self.boundaries, self.config, self.timers
         )
         self.pipeline.source_fn = source_fn
+        self.metrics = self.pipeline.metrics
+        self.recorder = recorder
         self.integrator = make_integrator(self.config.integrator)
 
         prim = initial_prim.astype(float, copy=True)
@@ -121,6 +130,7 @@ class Solver:
 
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
         """Advance one time step; returns the dt taken."""
+        wall0 = time.perf_counter()
         if dt is None:
             dt = self.compute_dt(t_final)
         self.pipeline.time = self.t
@@ -128,6 +138,15 @@ class Solver:
         self.t += dt
         self._prim_dirty = True
         self.summary.record_step(dt)
+        if self.recorder is not None:
+            self.recorder.record_step(
+                step=self.summary.steps,
+                t=self.t,
+                dt=dt,
+                wall_seconds=time.perf_counter() - wall0,
+                timers=self.timers,
+                metrics=self.metrics,
+            )
         return dt
 
     def run(

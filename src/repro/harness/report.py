@@ -54,6 +54,53 @@ class Report:
             ) from None
         return [row[idx] for row in self.rows]
 
+    @classmethod
+    def from_metrics(
+        cls,
+        records: Sequence[dict],
+        experiment: str = "metrics",
+        title: str = "run metrics summary",
+    ) -> "Report":
+        """Aggregate a :mod:`repro.obs` event stream into a summary table.
+
+        Accepts the records as loaded by :func:`repro.obs.read_events`
+        (mixed ``run_start``/``step``/``run_end``); only ``step`` records
+        contribute. Kernel seconds, counters, and communication fields are
+        summed over steps; gauges report their final value.
+        """
+        steps = [r for r in records if r.get("event") == "step"]
+        report = cls(experiment, title, headers=("metric", "value"))
+        if not steps:
+            report.add_note("no step records")
+            return report
+        source = steps[0].get("source", "measured")
+        report.add_row("steps", len(steps))
+        report.add_row("t_end", float(steps[-1].get("t", 0.0)))
+        report.add_row(
+            "wall_seconds", sum(float(s.get("wall_seconds", 0.0)) for s in steps)
+        )
+        kernels: dict[str, float] = {}
+        counters: dict[str, float] = {}
+        comm: dict[str, float] = {}
+        for s in steps:
+            for name, sec in s.get("kernel_seconds", {}).items():
+                kernels[name] = kernels.get(name, 0.0) + sec
+            for name, val in s.get("counters", {}).items():
+                counters[name] = counters.get(name, 0.0) + val
+            for name, val in s.get("comm", {}).items():
+                if name != "halo_bytes_model_per_exchange":
+                    comm[name] = comm.get(name, 0.0) + val
+        for name in sorted(kernels):
+            report.add_row(f"kernel.{name} [s]", kernels[name])
+        for name in sorted(counters):
+            report.add_row(f"counter.{name}", counters[name])
+        for name in sorted(comm):
+            report.add_row(f"comm.{name}", comm[name])
+        for name, val in sorted(steps[-1].get("gauges", {}).items()):
+            report.add_row(f"gauge.{name}", val)
+        report.add_note(f"source: {source}")
+        return report
+
     def __str__(self) -> str:
         cells = [[_format_cell(v) for v in row] for row in self.rows]
         widths = [

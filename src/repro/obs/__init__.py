@@ -1,0 +1,38 @@
+"""Observability layer: metrics instruments and structured JSONL events.
+
+Every hot layer of the code reports through this package — con2prim
+convergence counters, atmosphere resets, face-state sanitizations, kernel
+wall times, halo traffic — and every solver driver can stream one
+self-contained JSON record per step via :class:`StepRecorder`. The
+simulated heterogeneous runtime exports its modelled timelines in the same
+schema (:func:`repro.runtime.trace.to_metrics_records`), so measured and
+modelled runs are directly comparable.
+"""
+
+from .events import (
+    SCHEMA_VERSION,
+    BufferSink,
+    EventSink,
+    JsonlEventSink,
+    TeeSink,
+    read_events,
+    steps_of,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, counter_deltas
+from .recorder import StepRecorder
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BufferSink",
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlEventSink",
+    "MetricsRegistry",
+    "StepRecorder",
+    "TeeSink",
+    "counter_deltas",
+    "read_events",
+    "steps_of",
+]

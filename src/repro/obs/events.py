@@ -1,0 +1,102 @@
+"""Structured JSONL event stream: the export format of the metrics layer.
+
+One JSON object per line, every record carrying ``schema`` (version),
+``event`` (record kind) and ``source`` (``"measured"`` for wall-clock runs,
+``"modelled"`` for the simulated heterogeneous runtime — identical schema so
+the two are directly comparable). Record kinds:
+
+``run_start``
+    Run metadata (problem, grid, scheme, ranks, ...).
+``step``
+    One solver step: ``step``, ``t``, ``dt``, ``wall_seconds``, per-kernel
+    ``kernel_seconds`` deltas, per-counter ``counters`` deltas, current
+    ``gauges``, plus driver-specific extras (halo bytes, leaf counts).
+``run_end``
+    Cumulative totals for the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..utils.errors import ConfigurationError
+
+#: version stamp written into every record
+SCHEMA_VERSION = 1
+
+
+class EventSink:
+    """Destination for structured event records."""
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resource (idempotent)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BufferSink(EventSink):
+    """In-memory sink: records accumulate on :attr:`records`."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class JsonlEventSink(EventSink):
+    """Append events to a JSONL file, one record per line, flushed eagerly
+    so a crashed run still leaves every completed step on disk."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w")
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            raise ConfigurationError(f"event sink {self.path!r} already closed")
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class TeeSink(EventSink):
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, *sinks: EventSink):
+        self.sinks = sinks
+
+    def emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_events(path) -> list[dict]:
+    """Load a JSONL metrics file back into a list of records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def steps_of(records) -> list[dict]:
+    """The ``step`` records of an event stream, in order."""
+    return [r for r in records if r.get("event") == "step"]

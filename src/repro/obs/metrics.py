@@ -1,0 +1,157 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+The observability layer every hot path reports through. Three instrument
+kinds cover the measurement needs of a CLUSTER-style systems study:
+
+- :class:`Counter` — monotone totals (cells recovered, bytes sent, cells
+  floored to atmosphere);
+- :class:`Gauge` — last-written values (current dt, deepest Newton
+  iteration count of the latest sweep);
+- :class:`Histogram` — streaming min/max/mean/count over observations
+  (per-step wall times, message sizes).
+
+A :class:`MetricsRegistry` names and owns instruments; snapshots are plain
+dicts so per-step *deltas* (what the structured-event recorder emits) are a
+dictionary subtraction away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.errors import ConfigurationError
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Gauge:
+    """Last-written value (not monotone)."""
+
+    name: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (e.g. deepest iteration count)."""
+        self.value = max(self.value, float(value))
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed samples (no bucket storage)."""
+
+    name: str = ""
+    count: int = 0
+    total: float = 0.0
+    vmin: float = field(default=float("inf"))
+    vmax: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+
+class MetricsRegistry:
+    """Named collection of instruments; one name maps to one kind."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: dict) -> None:
+        for pool in (self._counters, self._gauges, self._histograms):
+            if pool is not kind and name in pool:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_free(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_free(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._check_free(name, self._histograms)
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.summary() for n, h in self._histograms.items()},
+        }
+
+    def reset(self) -> None:
+        for pool in (self._counters, self._gauges, self._histograms):
+            for instrument in pool.values():
+                instrument.reset()
+
+
+def counter_deltas(new: dict, old: dict | None) -> dict[str, float]:
+    """Per-counter increments between two :meth:`MetricsRegistry.snapshot`\\ s.
+
+    Counters absent from *old* are treated as having been zero, so the
+    first delta after an instrument appears reports its full value.
+    """
+    prev = (old or {}).get("counters", {})
+    return {
+        name: value - prev.get(name, 0.0)
+        for name, value in new.get("counters", {}).items()
+    }

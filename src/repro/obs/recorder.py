@@ -1,0 +1,103 @@
+"""Per-step structured-event recorder shared by all solver drivers.
+
+A :class:`StepRecorder` sits between a solver and an :class:`EventSink`: the
+solver calls :meth:`record_step` once per time step with its registries, and
+the recorder turns cumulative state (timer totals, counter totals) into
+per-step deltas so each ``step`` record is self-contained. The unigrid,
+distributed, and AMR drivers all emit through this one class, which is what
+makes their streams comparable row-for-row.
+"""
+
+from __future__ import annotations
+
+from ..utils.timers import TimerRegistry
+from .events import SCHEMA_VERSION, EventSink
+from .metrics import MetricsRegistry, counter_deltas
+
+
+def _timer_totals(timers: TimerRegistry | None) -> dict[str, float]:
+    if timers is None:
+        return {}
+    return {name: timer.elapsed for name, timer in timers.items()}
+
+
+class StepRecorder:
+    """Emit one structured record per solver step.
+
+    Parameters
+    ----------
+    sink:
+        Destination of the event stream.
+    source:
+        ``"measured"`` for wall-clock runs, ``"modelled"`` for simulated
+        executions (same schema either way).
+    meta:
+        Run metadata included in the ``run_start`` record.
+    """
+
+    def __init__(
+        self,
+        sink: EventSink,
+        source: str = "measured",
+        meta: dict | None = None,
+    ):
+        self.sink = sink
+        self.source = source
+        self._prev_metrics: dict | None = None
+        self._prev_timers: dict[str, float] = {}
+        self.steps_recorded = 0
+        self._emit("run_start", meta=dict(meta or {}))
+
+    def _emit(self, event: str, **fields) -> None:
+        self.sink.emit(
+            {"schema": SCHEMA_VERSION, "event": event, "source": self.source, **fields}
+        )
+
+    def record_step(
+        self,
+        *,
+        step: int,
+        t: float,
+        dt: float,
+        wall_seconds: float,
+        timers: TimerRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
+        **extra,
+    ) -> None:
+        """Emit the ``step`` record for one completed time step.
+
+        ``kernel_seconds`` and ``counters`` are deltas against the previous
+        call, so cumulative registries can be handed over as-is.
+        """
+        totals = _timer_totals(timers)
+        kernel_seconds = {
+            name: total - self._prev_timers.get(name, 0.0)
+            for name, total in totals.items()
+        }
+        self._prev_timers = totals
+        snap = metrics.snapshot() if metrics is not None else {}
+        record = {
+            "step": step,
+            "t": t,
+            "dt": dt,
+            "wall_seconds": wall_seconds,
+            "kernel_seconds": kernel_seconds,
+            "counters": counter_deltas(snap, self._prev_metrics),
+            "gauges": dict(snap.get("gauges", {})),
+        }
+        self._prev_metrics = snap
+        self.steps_recorded += 1
+        self._emit("step", **record, **extra)
+
+    def finish(self, **summary) -> None:
+        """Emit the ``run_end`` record with cumulative totals."""
+        self._emit(
+            "run_end",
+            steps=self.steps_recorded,
+            kernel_seconds_total=dict(self._prev_timers),
+            counters_total=dict((self._prev_metrics or {}).get("counters", {})),
+            **summary,
+        )
+
+    def close(self) -> None:
+        self.sink.close()

@@ -34,13 +34,30 @@ from .srhd import SRHDSystem
 
 @dataclass
 class RecoveryStats:
-    """Convergence accounting for one con2prim sweep."""
+    """Convergence accounting for one con2prim sweep.
+
+    The counters partition the sweep: ``n_newton_converged + n_bisection +
+    n_failed == n_cells`` always holds, including on the failure path
+    (stats are populated *before* :class:`RecoveryError` is raised).
+    ``n_unbracketed`` counts cells whose bisection bracket never found a
+    sign change — a subset of ``n_failed``.
+    """
 
     n_cells: int = 0
     n_newton_converged: int = 0
     n_bisection: int = 0
     n_failed: int = 0
+    n_unbracketed: int = 0
     max_iterations: int = 0
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Accumulate another sweep's counters into this one."""
+        self.n_cells += other.n_cells
+        self.n_newton_converged += other.n_newton_converged
+        self.n_bisection += other.n_bisection
+        self.n_failed += other.n_failed
+        self.n_unbracketed += other.n_unbracketed
+        self.max_iterations = max(self.max_iterations, other.max_iterations)
 
 
 def _eval_state(eos: EOS, D, S2, tau, p):
@@ -128,20 +145,33 @@ def con_to_prim(
         p = np.where(converged, p, p_new)
 
     n_bisect = 0
+    n_unbracketed = 0
     if not converged.all():
         # Bisection fallback on the stragglers only.
         bad = ~converged
         idx = np.nonzero(bad)[0]
         n_bisect = idx.size
         lo = p_lo[idx].copy()
-        # Expand upper bracket until the residual changes sign.
-        hi = np.maximum(p[idx] * 4.0, lo * 2.0 + 1.0)
+        # Expand upper bracket until the residual changes sign. The seed is
+        # scale-relative: anchoring it to the local pressure scale keeps the
+        # bracket tight for atmosphere-level pressures (p ~ 1e-12), where an
+        # absolute offset of order unity would cost ~40 bisections just to
+        # return to the right magnitude.
+        p_scale = np.maximum(np.maximum(p[idx], lo), p_floor)
+        hi = np.maximum(p[idx] * 4.0, lo * 2.0 + 4.0 * p_scale)
+        unbracketed = np.zeros(idx.shape, dtype=bool)
         for _ in range(60):
             _, _, _, f_hi = _eval_state(eos, D[idx], S2[idx], tau[idx], hi)
-            still = f_hi > 0.0
-            if not still.any():
+            unbracketed = f_hi > 0.0
+            if not unbracketed.any():
                 break
-            hi = np.where(still, hi * 4.0, hi)
+            hi = np.where(unbracketed, hi * 4.0, hi)
+        else:
+            # Expansion budget exhausted: re-evaluate at the final bracket so
+            # the unbracketed mask reflects the hi actually bisected.
+            _, _, _, f_hi = _eval_state(eos, D[idx], S2[idx], tau[idx], hi)
+            unbracketed = f_hi > 0.0
+        n_unbracketed = int(unbracketed.sum())
         for _ in range(max_bisect):
             mid = 0.5 * (lo + hi)
             _, _, _, f_mid = _eval_state(eos, D[idx], S2[idx], tau[idx], mid)
@@ -151,18 +181,43 @@ def con_to_prim(
         p_bis = 0.5 * (lo + hi)
         _, _, _, f_fin = _eval_state(eos, D[idx], S2[idx], tau[idx], p_bis)
         # Bisection halves the bracket max_bisect times; accept a looser
-        # relative residual than Newton, plus a tiny absolute floor.
-        ok = np.abs(f_fin) <= 1e-8 * np.maximum(p_bis, p_floor) + 1e-12
+        # relative residual than Newton, plus the cancellation noise floor
+        # of the residual: eps = (Q(1-v^2)-p)/rho - 1 loses ~eps_mach * Q
+        # absolutely, so demanding less is demanding noise. (The old
+        # absolute 1e-12 was scale-wrong both ways: 100% error at
+        # atmosphere-level pressures, yet below the noise floor for
+        # Q >> 1.) Cells with no sign change bisected an unbracketed
+        # interval: never accept them.
+        noise = 64.0 * np.finfo(float).eps * (tau[idx] + D[idx] + p_bis)
+        ok = np.abs(f_fin) <= 1e-8 * np.maximum(p_bis, p_floor) + noise
+        ok &= ~unbracketed
         p[idx] = p_bis
         converged[idx] = ok
-        if not converged.all():
-            failed = np.nonzero(~converged)[0]
-            raise RecoveryError(
-                f"con2prim failed for {failed.size} cells "
-                f"(first few indices: {failed[:8].tolist()})",
-                n_failed=int(failed.size),
-                indices=failed[:1024],
-            )
+
+    n_failed = 0
+    failed = None
+    if not converged.all():
+        failed = np.nonzero(~converged)[0]
+        n_failed = int(failed.size)
+
+    if stats is not None:
+        # Populate counters before any raise: the failing sweep is exactly
+        # the one whose accounting the caller needs.
+        stats.n_cells += D.size
+        stats.n_newton_converged += D.size - int(n_bisect)
+        stats.n_bisection += int(n_bisect) - n_failed
+        stats.n_failed += n_failed
+        stats.n_unbracketed += n_unbracketed
+        stats.max_iterations = max(stats.max_iterations, newton_iters)
+
+    if failed is not None:
+        raise RecoveryError(
+            f"con2prim failed for {failed.size} cells "
+            f"({n_unbracketed} unbracketed; "
+            f"first few indices: {failed[:8].tolist()})",
+            n_failed=n_failed,
+            indices=failed[:1024],
+        )
 
     rho, eps, v2, _ = _eval_state(eos, D, S2, tau, p)
     Q = tau + D + p
@@ -175,10 +230,4 @@ def con_to_prim(
     # sector: Y = D_Y / D.
     if hasattr(system, "recover_tracers"):
         system.recover_tracers(cons, prim)
-
-    if stats is not None:
-        stats.n_cells += D.size
-        stats.n_bisection += int(n_bisect)
-        stats.n_newton_converged += D.size - int(n_bisect)
-        stats.max_iterations = max(stats.max_iterations, newton_iters)
     return prim

@@ -5,13 +5,17 @@ Converts a :class:`~repro.runtime.task.Timeline` into:
 - Chrome trace-event JSON (loadable in ``chrome://tracing`` / Perfetto),
   the interchange format HPC tracing tools speak;
 - a plain-text Gantt chart for terminal inspection;
-- a per-device utilization summary.
+- a per-device utilization summary;
+- the structured metrics schema of :mod:`repro.obs` (``source:
+  "modelled"``), so simulated executions are directly comparable with
+  measured solver runs, record for record.
 """
 
 from __future__ import annotations
 
 import json
 
+from ..obs.events import SCHEMA_VERSION, JsonlEventSink
 from ..utils.errors import SchedulerError
 from .task import Timeline
 
@@ -95,3 +99,62 @@ def utilization(timeline: Timeline) -> dict[str, float]:
     if span == 0:
         return {}
     return {dev: busy / span for dev, busy in sorted(timeline.busy_time().items())}
+
+
+def to_metrics_records(timeline: Timeline, meta: dict | None = None) -> list[dict]:
+    """Export a simulated timeline in the :mod:`repro.obs` event schema.
+
+    The whole timeline becomes one ``step`` record (``source: "modelled"``)
+    whose ``kernel_seconds`` are the per-kernel modelled busy times and
+    whose ``wall_seconds`` is the makespan — the same keys a measured
+    solver run emits, so modelled and measured streams diff directly.
+    Per-device busy seconds land in ``gauges``.
+    """
+    kernels: dict[str, float] = {}
+    n_cells_total = 0
+    for r in timeline.records:
+        kernels[r.task.kernel] = kernels.get(r.task.kernel, 0.0) + r.duration
+        n_cells_total += r.task.n_cells
+    gauges = {
+        f"device.{dev}.busy_seconds": busy
+        for dev, busy in sorted(timeline.busy_time().items())
+    }
+    common = {"schema": SCHEMA_VERSION, "source": "modelled"}
+    return [
+        {
+            **common,
+            "event": "run_start",
+            "meta": {
+                "n_tasks": len(timeline.records),
+                "devices": sorted({r.device for r in timeline.records}),
+                **(meta or {}),
+            },
+        },
+        {
+            **common,
+            "event": "step",
+            "step": 1,
+            "t": timeline.makespan,
+            "dt": timeline.makespan,
+            "wall_seconds": timeline.makespan,
+            "kernel_seconds": kernels,
+            "counters": {"tasks.cells": n_cells_total},
+            "gauges": gauges,
+        },
+        {
+            **common,
+            "event": "run_end",
+            "steps": 1,
+            "kernel_seconds_total": kernels,
+            "counters_total": {"tasks.cells": n_cells_total},
+            "makespan": timeline.makespan,
+            "imbalance": timeline.imbalance(),
+        },
+    ]
+
+
+def save_metrics_jsonl(timeline: Timeline, path, meta: dict | None = None) -> None:
+    """Write :func:`to_metrics_records` as a JSONL metrics file."""
+    with JsonlEventSink(path) as sink:
+        for record in to_metrics_records(timeline, meta):
+            sink.emit(record)

@@ -14,11 +14,18 @@ from dataclasses import dataclass, field
 
 @dataclass
 class Timer:
-    """Accumulating wall-clock timer usable as a context manager."""
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Intervals whose timed block raises are *discarded* (counted in
+    :attr:`aborted`, not :attr:`elapsed`): a partially executed kernel's
+    wall time would pollute the calibration data the runtime performance
+    model consumes.
+    """
 
     name: str = ""
     elapsed: float = 0.0
     count: int = 0
+    aborted: int = 0
     _start: float | None = field(default=None, repr=False)
 
     def start(self) -> "Timer":
@@ -36,11 +43,21 @@ class Timer:
         self._start = None
         return dt
 
+    def abort(self) -> None:
+        """Discard the running interval without accumulating it."""
+        if self._start is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        self._start = None
+        self.aborted += 1
+
     def __enter__(self) -> "Timer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.stop()
 
     @property
     def mean(self) -> float:
@@ -50,6 +67,7 @@ class Timer:
     def reset(self) -> None:
         self.elapsed = 0.0
         self.count = 0
+        self.aborted = 0
         self._start = None
 
 

@@ -67,6 +67,38 @@ class TestRun:
         restored = load_checkpoint(ckpt, system1d)
         assert restored.t == pytest.approx(0.05)
 
+    def test_metrics_out_written(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "rp1",
+                    "--n",
+                    "50",
+                    "--t-final",
+                    "0.05",
+                    "--metrics-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "run metrics summary" in out
+        assert "kernel.con2prim [s]" in out
+        from repro.obs import read_events, steps_of
+
+        records = read_events(path)
+        assert records[0]["event"] == "run_start"
+        assert records[0]["meta"]["problem"] == "rp1"
+        assert records[-1]["event"] == "run_end"
+        steps = steps_of(records)
+        assert steps and steps[-1]["t"] == pytest.approx(0.05)
+        for s in steps:
+            assert "con2prim" in s["kernel_seconds"]
+            assert s["counters"]["con2prim.cells"] > 0
+
     def test_unknown_problem_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "warp-drive"])

@@ -1,0 +1,330 @@
+"""Tests for the observability layer (repro.obs) and its solver threading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
+from repro.core import DistributedSolver
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.harness.report import Report
+from repro.obs import (
+    BufferSink,
+    JsonlEventSink,
+    MetricsRegistry,
+    StepRecorder,
+    TeeSink,
+    counter_deltas,
+    read_events,
+    steps_of,
+)
+from repro.physics.initial_data import RP1, shock_tube, smooth_wave
+from repro.utils.errors import ConfigurationError
+
+
+class TestMetricsPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("cells")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert reg.counter("cells") is c
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ConfigurationError, match="decrease"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_and_max(self):
+        g = MetricsRegistry().gauge("iters")
+        g.set(3.0)
+        g.max(7)
+        g.max(2)
+        assert g.value == 7.0
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("dt")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError, match="different kind"):
+            reg.gauge("x")
+
+    def test_snapshot_and_deltas(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        before = reg.snapshot()
+        reg.counter("a").inc(3)
+        reg.counter("b").inc(2)
+        after = reg.snapshot()
+        deltas = counter_deltas(after, before)
+        assert deltas == {"a": 3, "b": 2}
+        # None previous snapshot: full values.
+        assert counter_deltas(after, None) == {"a": 8, "b": 2}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.gauge("g").set(1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 0
+        assert snap["gauges"]["g"] == 0.0
+
+
+class TestEventSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit({"event": "step", "step": 1, "dt": 0.5})
+            sink.emit({"event": "step", "step": 2, "nested": {"a": [1, 2]}})
+        records = read_events(path)
+        assert records == [
+            {"event": "step", "step": 1, "dt": 0.5},
+            {"event": "step", "step": 2, "nested": {"a": [1, 2]}},
+        ]
+
+    def test_emit_after_close_rejected(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "m.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ConfigurationError, match="closed"):
+            sink.emit({"event": "step"})
+
+    def test_tee_fans_out(self):
+        a, b = BufferSink(), BufferSink()
+        tee = TeeSink(a, b)
+        tee.emit({"event": "x"})
+        assert a.records == b.records == [{"event": "x"}]
+
+    def test_steps_of_filters(self):
+        records = [{"event": "run_start"}, {"event": "step", "step": 1}]
+        assert steps_of(records) == [{"event": "step", "step": 1}]
+
+
+class TestStepRecorder:
+    def test_run_start_carries_meta(self):
+        sink = BufferSink()
+        StepRecorder(sink, meta={"problem": "rp1"})
+        assert sink.records[0]["event"] == "run_start"
+        assert sink.records[0]["meta"] == {"problem": "rp1"}
+        assert sink.records[0]["source"] == "measured"
+
+    def test_counters_and_timers_are_deltas(self):
+        from repro.utils.timers import TimerRegistry
+
+        sink = BufferSink()
+        rec = StepRecorder(sink)
+        reg = MetricsRegistry()
+        timers = TimerRegistry()
+        timers("k").elapsed = 1.0
+        reg.counter("c").inc(10)
+        rec.record_step(
+            step=1, t=0.1, dt=0.1, wall_seconds=0.0, timers=timers, metrics=reg
+        )
+        timers("k").elapsed = 1.5
+        reg.counter("c").inc(4)
+        rec.record_step(
+            step=2, t=0.2, dt=0.1, wall_seconds=0.0, timers=timers, metrics=reg
+        )
+        s1, s2 = steps_of(sink.records)
+        assert s1["counters"]["c"] == 10 and s2["counters"]["c"] == 4
+        assert s1["kernel_seconds"]["k"] == pytest.approx(1.0)
+        assert s2["kernel_seconds"]["k"] == pytest.approx(0.5)
+
+    def test_finish_emits_totals(self):
+        sink = BufferSink()
+        rec = StepRecorder(sink)
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        rec.record_step(step=1, t=0.1, dt=0.1, wall_seconds=0.0, metrics=reg)
+        rec.finish(t_end=0.1)
+        end = sink.records[-1]
+        assert end["event"] == "run_end"
+        assert end["steps"] == 1
+        assert end["counters_total"]["c"] == 7
+        assert end["t_end"] == 0.1
+
+
+class TestSolverRecording:
+    def _run(self, n_steps=3):
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        prim0 = shock_tube(system, grid, RP1)
+        sink = BufferSink()
+        recorder = StepRecorder(sink, meta={"problem": "rp1"})
+        solver = Solver(system, grid, prim0, SolverConfig(cfl=0.4), recorder=recorder)
+        solver.run(t_final=1.0, max_steps=n_steps)
+        return solver, sink
+
+    def test_one_record_per_step(self):
+        solver, sink = self._run(3)
+        steps = steps_of(sink.records)
+        assert len(steps) == solver.summary.steps == 3
+        assert [s["step"] for s in steps] == [1, 2, 3]
+
+    def test_step_records_contain_kernels_and_counters(self):
+        solver, sink = self._run(2)
+        for s in steps_of(sink.records):
+            assert s["dt"] > 0 and s["wall_seconds"] > 0
+            for kernel in ("con2prim", "reconstruct", "riemann", "update"):
+                assert s["kernel_seconds"][kernel] >= 0
+            c = s["counters"]
+            # The partition invariant holds per step record too.
+            assert (
+                c["con2prim.newton_converged"]
+                + c["con2prim.bisection"]
+                + c["con2prim.failed"]
+                == c["con2prim.cells"]
+            )
+            assert c["con2prim.cells"] % 64 == 0 and c["con2prim.cells"] > 0
+
+    def test_counters_scale_with_sweeps(self):
+        solver, sink = self._run(3)
+        stages = solver.integrator.stages
+        steps = steps_of(sink.records)
+        # Each RK stage recovers once; from the second step on, compute_dt
+        # adds one more sweep (the first uses the constructor's cache).
+        assert steps[0]["counters"]["con2prim.cells"] == 64 * stages
+        assert steps[1]["counters"]["con2prim.cells"] == 64 * (stages + 1)
+
+
+class TestDistributedRecording:
+    def test_halo_bytes_match_analytic_model(self):
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        prim0 = shock_tube(system, grid, RP1)
+        sink = BufferSink()
+        solver = DistributedSolver(
+            system, grid, prim0, dims=(4,), recorder=StepRecorder(sink)
+        )
+        solver.run(t_final=1.0, max_steps=2)
+        steps = steps_of(sink.records)
+        assert len(steps) == 2
+        per_exchange = solver.halo_bytes_per_exchange
+        from repro.comm.halo import halo_bytes_per_step
+
+        assert per_exchange == sum(
+            halo_bytes_per_step(solver.decomp, system.nvars).values()
+        )
+        stages = solver.integrator.stages
+        # First step: dt comes from the constructor's cached primitives, so
+        # only the RK stages exchange; afterwards compute_dt adds one more.
+        assert steps[0]["comm"]["halo_bytes"] == stages * per_exchange
+        assert steps[1]["comm"]["halo_bytes"] == (stages + 1) * per_exchange
+        assert steps[0]["comm"]["halo_bytes_model_per_exchange"] == per_exchange
+        assert steps[1]["comm"]["collectives"] >= 1
+
+    def test_rank_pipelines_share_registries(self):
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        grid = Grid((32,), ((0.0, 1.0),))
+        prim0 = smooth_wave(system, grid)
+        solver = DistributedSolver(system, grid, prim0, dims=(2,))
+        solver.step()
+        # All interior cells of every rank counted in one shared registry.
+        cells = solver.metrics.counter("con2prim.cells").value
+        assert cells == 32 * solver.integrator.stages
+        assert "con2prim" in solver.timers
+
+
+class TestAMRRecording:
+    def test_step_records_carry_forest_shape(self):
+        system = SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1)
+        grid = Grid((32,), ((0.0, 1.0),))
+        sink = BufferSink()
+        solver = AMRSolver(
+            system,
+            grid,
+            lambda sys, g: shock_tube(sys, g, RP1),
+            SolverConfig(cfl=0.4),
+            AMRConfig(block_size=8, max_levels=2),
+            recorder=StepRecorder(sink),
+        )
+        solver.run(t_final=1.0, max_steps=2)
+        steps = steps_of(sink.records)
+        assert len(steps) == 2
+        for s in steps:
+            assert s["amr"]["n_leaves"] >= 4
+            assert s["amr"]["cells_updated"] > 0
+            assert sum(s["amr"]["leaves_by_level"].values()) == s["amr"]["n_leaves"]
+            assert s["counters"]["con2prim.cells"] > 0
+
+
+class TestModelledExport:
+    @pytest.fixture
+    def timeline(self):
+        from repro.runtime.task import Task, TaskRecord, Timeline
+
+        tl = Timeline()
+        tl.add(TaskRecord(Task("a", "riemann", n_cells=100), "cpu0", 0.0, 1.0))
+        tl.add(TaskRecord(Task("b", "riemann", n_cells=100), "gpu0", 0.0, 0.5))
+        tl.add(TaskRecord(Task("c", "con2prim", n_cells=100), "cpu0", 1.0, 1.25))
+        return tl
+
+    def test_same_schema_as_measured(self, timeline):
+        from repro.runtime.trace import to_metrics_records
+
+        records = to_metrics_records(timeline, meta={"experiment": "E8"})
+        assert [r["event"] for r in records] == ["run_start", "step", "run_end"]
+        assert all(r["source"] == "modelled" for r in records)
+        step = steps_of(records)[0]
+        assert step["wall_seconds"] == pytest.approx(1.25)
+        assert step["kernel_seconds"]["riemann"] == pytest.approx(1.5)
+        assert step["kernel_seconds"]["con2prim"] == pytest.approx(0.25)
+        assert step["gauges"]["device.cpu0.busy_seconds"] == pytest.approx(1.25)
+        assert step["gauges"]["device.gpu0.busy_seconds"] == pytest.approx(0.5)
+        assert records[0]["meta"]["experiment"] == "E8"
+
+    def test_jsonl_round_trip_and_report(self, timeline, tmp_path):
+        from repro.runtime.trace import save_metrics_jsonl
+
+        path = tmp_path / "modelled.jsonl"
+        save_metrics_jsonl(timeline, path)
+        records = read_events(path)
+        report = Report.from_metrics(records)
+        text = str(report)
+        assert "kernel.riemann [s]" in text
+        assert "source: modelled" in text
+
+
+class TestMetricsReport:
+    def test_aggregates_measured_stream(self):
+        eos = IdealGasEOS(gamma=RP1.gamma)
+        system = SRHDSystem(eos, ndim=1)
+        grid = Grid((32,), ((0.0, 1.0),))
+        prim0 = shock_tube(system, grid, RP1)
+        sink = BufferSink()
+        solver = Solver(
+            system,
+            grid,
+            prim0,
+            SolverConfig(cfl=0.4),
+            make_boundaries("outflow"),
+            recorder=StepRecorder(sink),
+        )
+        solver.run(t_final=1.0, max_steps=3)
+        report = Report.from_metrics(sink.records)
+        assert report.column("metric")[0] == "steps"
+        by_name = dict(zip(report.column("metric"), report.column("value")))
+        assert by_name["steps"] == 3
+        assert by_name["counter.con2prim.cells"] == sum(
+            s["counters"]["con2prim.cells"] for s in steps_of(sink.records)
+        )
+        assert "kernel.con2prim [s]" in by_name
+
+    def test_empty_stream_noted(self):
+        report = Report.from_metrics([{"event": "run_start"}])
+        assert not report.rows
+        assert any("no step records" in n for n in report.notes)

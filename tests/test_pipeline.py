@@ -130,3 +130,89 @@ class TestRhsBookkeeping:
         n1 = pipeline.recovery_stats.n_cells
         pipeline.recover_primitives(cons)
         assert pipeline.recovery_stats.n_cells == 2 * n1
+
+
+class TestRecoveryInstrumentation:
+    def _cons(self, pipeline, system1d):
+        prim = smooth_wave(system1d, pipeline.grid)
+        return system1d.prim_to_con(prim)
+
+    def test_warm_start_reuses_pressure_cache(
+        self, pipeline, system1d, monkeypatch
+    ):
+        import repro.core.pipeline as mod
+
+        guesses = []
+        real = mod.con_to_prim
+
+        def spy(system, cons, p_guess=None, **kw):
+            guesses.append(None if p_guess is None else p_guess.copy())
+            return real(system, cons, p_guess=p_guess, **kw)
+
+        monkeypatch.setattr(mod, "con_to_prim", spy)
+        cons = self._cons(pipeline, system1d)
+        prim1 = pipeline.recover_primitives(cons.copy())
+        pipeline.recover_primitives(cons.copy())
+        assert guesses[0] is None
+        # The second sweep is seeded with the first sweep's pressures.
+        np.testing.assert_array_equal(
+            guesses[1], pipeline.grid.interior_of(prim1)[system1d.P]
+        )
+
+    def test_metrics_counters_populated(self, pipeline, system1d):
+        cons = self._cons(pipeline, system1d)
+        pipeline.recover_primitives(cons)
+        snap = pipeline.metrics.snapshot()["counters"]
+        n = pipeline.grid.shape[0]
+        assert snap["con2prim.cells"] == n
+        assert (
+            snap["con2prim.newton_converged"]
+            + snap["con2prim.bisection"]
+            + snap["con2prim.failed"]
+            == snap["con2prim.cells"]
+        )
+
+    def test_atmosphere_resets_counted(self, pipeline, system1d):
+        cons = self._cons(pipeline, system1d)
+        # Push a few interior cells below the conserved-density floor.
+        interior = pipeline.grid.interior_of(cons)
+        interior[system1d.D, :3] = 1e-30
+        interior[system1d.S(0), :3] = 0.0
+        interior[system1d.TAU, :3] = 1e-30
+        pipeline.recover_primitives(cons)
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap["atmo.cons_floored"] >= 3
+        assert snap["atmo.prim_reset"] >= 3
+
+    def test_sanitize_counts_rescales_and_floors(self, pipeline):
+        q = np.array([[1.0, 1e-30], [1.2, 0.0], [1.0, -1.0]])
+        pipeline.sanitize_face_states(q)
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap["sanitize.velocity_rescaled"] == 1
+        assert snap["sanitize.floored"] == 2  # rho and p of the second cell
+
+    def test_failure_still_accounted(self, pipeline, system1d, monkeypatch):
+        """A raising sweep must leave counters and stats populated (and the
+        con2prim timer aborted, not accumulated)."""
+        import repro.core.pipeline as mod
+        from repro.physics.con2prim import RecoveryStats
+        from repro.utils.errors import RecoveryError
+
+        def failing(system, cons, p_guess=None, stats=None, **kw):
+            n = cons.shape[1]
+            stats.merge(
+                RecoveryStats(n_cells=n, n_newton_converged=n - 2, n_failed=2)
+            )
+            raise RecoveryError("forced", n_failed=2)
+
+        monkeypatch.setattr(mod, "con_to_prim", failing)
+        cons = self._cons(pipeline, system1d)
+        with pytest.raises(RecoveryError):
+            pipeline.recover_primitives(cons)
+        n = pipeline.grid.shape[0]
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap["con2prim.failed"] == 2
+        assert snap["con2prim.cells"] == n
+        assert pipeline.recovery_stats.n_failed == 2
+        assert pipeline.timers["con2prim"].aborted == 1
+        assert pipeline.timers["con2prim"].count == 0

@@ -183,6 +183,62 @@ class TestCon2Prim:
         with pytest.raises(RecoveryError):
             con_to_prim(system1d, cons, max_newton=5, max_bisect=5)
 
+    def test_stats_populated_on_failure(self, system1d):
+        """The failing sweep's accounting must be available to the caller:
+        stats are filled (including n_failed) before RecoveryError."""
+        cons = np.empty((3, 3))
+        cons[:, 0] = [1.0, 10.0, 0.1]  # unphysical: fails both solvers
+        cons[:, 1] = [1.0, 0.0, 1.0]  # fine
+        cons[:, 2] = [1.0, 0.3, 2.0]  # fine
+        stats = RecoveryStats()
+        with pytest.raises(RecoveryError) as excinfo:
+            con_to_prim(system1d, cons, max_newton=5, max_bisect=5, stats=stats)
+        assert stats.n_cells == 3
+        assert stats.n_failed == excinfo.value.n_failed >= 1
+        assert (
+            stats.n_newton_converged + stats.n_bisection + stats.n_failed
+            == stats.n_cells
+        )
+
+    def test_bisection_at_atmosphere_scale(self, system1d):
+        """Forced bisection recovers atmosphere-level pressures accurately.
+
+        The old bracket seed ``hi = max(4p, 2 lo + 1.0)`` started ~12 orders
+        of magnitude above the root for p ~ 1e-12, so a bisection budget of
+        40 left a 100% pressure error that the absolute acceptance term then
+        silently waved through. The scale-relative seed converges tightly.
+        """
+        prim = np.array([[1e-8], [0.0], [1e-12]])
+        cons = system1d.prim_to_con(prim)
+        stats = RecoveryStats()
+        recovered = con_to_prim(
+            system1d, cons, max_newton=1, max_bisect=40, stats=stats
+        )
+        assert stats.n_bisection == 1  # Newton was denied; bisection did it
+        assert stats.n_unbracketed == 0
+        np.testing.assert_allclose(recovered[system1d.P], prim[2], rtol=1e-6)
+        np.testing.assert_allclose(recovered[system1d.RHO], prim[0], rtol=1e-9)
+
+    def test_stats_merge(self):
+        a = RecoveryStats(
+            n_cells=10, n_newton_converged=8, n_bisection=2, max_iterations=5
+        )
+        b = RecoveryStats(
+            n_cells=4,
+            n_newton_converged=1,
+            n_bisection=2,
+            n_failed=1,
+            n_unbracketed=1,
+            max_iterations=9,
+        )
+        a.merge(b)
+        assert a.n_cells == 14
+        assert a.n_newton_converged == 9
+        assert a.n_bisection == 4
+        assert a.n_failed == 1
+        assert a.n_unbracketed == 1
+        assert a.max_iterations == 9
+
 
 class TestAtmosphere:
     def test_floors_low_density(self, system1d):

@@ -91,12 +91,37 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer("t").stop()
 
+    def test_raising_block_discards_interval(self):
+        """A raising timed block must not pollute the calibration data."""
+        t = Timer("t")
+        with t:
+            time.sleep(0.001)
+        elapsed_clean = t.elapsed
+        with pytest.raises(ValueError):
+            with t:
+                time.sleep(0.001)
+                raise ValueError("kernel blew up")
+        assert t.elapsed == elapsed_clean
+        assert t.count == 1
+        assert t.aborted == 1
+        # The timer is reusable after an abort.
+        with t:
+            pass
+        assert t.count == 2
+
+    def test_abort_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer("t").abort()
+
     def test_reset(self):
         t = Timer("t")
         with t:
             pass
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError
         t.reset()
-        assert t.count == 0 and t.elapsed == 0.0
+        assert t.count == 0 and t.elapsed == 0.0 and t.aborted == 0
 
     def test_registry_creates_and_reuses(self):
         reg = TimerRegistry()
