@@ -66,6 +66,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream per-step structured metrics (JSONL) to PATH and print "
         "the aggregated summary table",
     )
+    run.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="chaos-test the run against a seeded FaultPlan JSON file "
+        "(see repro.resilience)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N steps to the --checkpoint path during the "
+        "run (0 disables; the final checkpoint is written either way)",
+    )
+    run.add_argument(
+        "--failsafe-frac",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="max fraction of cells per con2prim sweep that may be "
+        "atmosphere-reset instead of aborting the run (0 disables)",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -85,8 +107,14 @@ def _cmd_run(args) -> int:
     shape = (args.n,) * ndim
     grid = Grid(shape, tuple((0.0, 1.0) for _ in shape))
     config = SolverConfig(
-        cfl=args.cfl, reconstruction=args.reconstruction, riemann=args.riemann
+        cfl=args.cfl,
+        reconstruction=args.reconstruction,
+        riemann=args.riemann,
+        failsafe_frac=args.failsafe_frac,
     )
+    if args.checkpoint_every and not args.checkpoint:
+        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
     if args.problem in ("rp1", "rp2"):
         prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
         bcs = make_boundaries("outflow")
@@ -114,8 +142,21 @@ def _cmd_run(args) -> int:
             },
         )
 
-    solver = Solver(system, grid, prim0, config, bcs, recorder=recorder)
-    summary = solver.run(t_final=t_final)
+    fault_injector = None
+    if args.faults:
+        from .resilience import FaultInjector, FaultPlan
+
+        fault_injector = FaultInjector(FaultPlan.load(args.faults))
+
+    solver = Solver(
+        system, grid, prim0, config, bcs,
+        recorder=recorder, fault_injector=fault_injector,
+    )
+    summary = solver.run(
+        t_final=t_final,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint if args.checkpoint_every else None,
+    )
     if recorder is not None:
         recorder.finish(t_end=solver.t, conservation_drift=summary.conservation_drift)
         recorder.close()
@@ -125,6 +166,12 @@ def _cmd_run(args) -> int:
     print(f"  max |v|   : {max(np.abs(prim[system.V(ax)]).max() for ax in range(ndim)):.4f}")
     drift = summary.conservation_drift
     print(f"  mass drift: {drift['mass']:.2e}")
+    if args.faults:
+        snap = solver.metrics.snapshot()["counters"]
+        resilience = {k: v for k, v in sorted(snap.items()) if k.startswith("resilience.")}
+        print(f"  faults    : {args.faults}")
+        for name, value in resilience.items():
+            print(f"    {name}: {value:g}")
     if args.problem in ("rp1", "rp2"):
         from .physics.exact_riemann import ExactRiemannSolver
 

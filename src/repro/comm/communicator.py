@@ -53,6 +53,12 @@ class SimCommunicator:
     Point-to-point messages are buffered per ``(src, dest, tag)``; receives
     pop in FIFO order. Collectives act on a dict of per-rank contributions
     (the SPMD driver supplies all of them at once).
+
+    When a :class:`~repro.resilience.faults.FaultInjector` is attached,
+    every *injectable* send is submitted to it: the injector may drop the
+    message (buffered nowhere), duplicate it (buffered twice), or corrupt
+    the payload in flight.  Traffic is logged for every send regardless —
+    the wire time was spent whether or not the message arrived.
     """
 
     _REDUCTIONS = {
@@ -61,10 +67,11 @@ class SimCommunicator:
         "min": np.min,
     }
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, fault_injector=None):
         if size < 1:
             raise CommunicationError(f"communicator size must be >= 1, got {size}")
         self.size = size
+        self.fault_injector = fault_injector
         self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self.traffic = TrafficLog()
 
@@ -74,13 +81,30 @@ class SimCommunicator:
 
     # -- point to point ------------------------------------------------------
 
-    def send(self, src: int, dest: int, data: np.ndarray, tag: int = 0) -> None:
-        """Post a message; a copy is buffered (MPI value semantics)."""
+    def send(
+        self, src: int, dest: int, data: np.ndarray, tag: int = 0,
+        injectable: bool = True,
+    ) -> None:
+        """Post a message; a copy is buffered (MPI value semantics).
+
+        *injectable* marks the message as fair game for an attached fault
+        injector; control-plane messages (halo checksums) set it False so
+        faults only strike data the recovery layer can verify.
+        """
         self._check_rank(src, "source")
         self._check_rank(dest, "destination")
         payload = np.array(data, copy=True)
-        self._mailboxes[(src, dest, tag)].append(payload)
         self.traffic.record(src, dest, payload.nbytes)
+        n_copies = 1
+        if injectable and self.fault_injector is not None:
+            action, payload = self.fault_injector.on_send(src, dest, tag, payload)
+            if action == "drop":
+                return
+            if action == "duplicate":
+                n_copies = 2
+        box = self._mailboxes[(src, dest, tag)]
+        for _ in range(n_copies):
+            box.append(payload)
 
     def recv(self, src: int, dest: int, tag: int = 0) -> np.ndarray:
         """Pop the oldest matching message; raises if none is pending."""
@@ -96,6 +120,17 @@ class SimCommunicator:
     def pending(self) -> int:
         """Number of messages posted but not yet received."""
         return sum(len(b) for b in self._mailboxes.values())
+
+    def discard_pending(self) -> int:
+        """Drop every undelivered message; returns how many were discarded.
+
+        The resilient halo exchange calls this after a completed exchange so
+        stale duplicates (injected or retransmission leftovers) can never be
+        mistaken for the next step's data.
+        """
+        n = self.pending()
+        self._mailboxes.clear()
+        return n
 
     # -- collectives -----------------------------------------------------------
 

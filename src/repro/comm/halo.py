@@ -11,11 +11,25 @@ sweep).
 
 from __future__ import annotations
 
+import zlib
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..mesh.decomposition import CartesianDecomposition
 from ..utils.errors import CommunicationError
 from .communicator import SimCommunicator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+    from ..resilience.policies import HaloRetryPolicy
+
+#: tag offset separating checksum control messages from halo data messages
+CHECKSUM_TAG_OFFSET = 1000
+
+
+def _crc(payload: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes())
 
 
 def _face_slices(ndim: int, axis: int, side: int, n_ghost: int, n_interior: int):
@@ -37,10 +51,82 @@ def _face_slices(ndim: int, axis: int, side: int, n_ghost: int, n_interior: int)
     return send, recv
 
 
+def _post_strip(
+    decomp, comm, states, sender: int, dest: int, axis: int, side: int,
+    g: int, checksum: bool,
+) -> None:
+    """Post *sender*'s face strip toward *dest* (side is the sender's side).
+
+    With *checksum*, a CRC32 of the payload rides alongside on a shifted
+    tag; checksum messages are not injectable, so a corrupted data message
+    is always detectable against its (intact) checksum.
+    """
+    ndim = decomp.global_grid.ndim
+    n = decomp.subgrid(sender).shape[axis]
+    send, _ = _face_slices(ndim, axis, side, g, n)
+    tag = axis * 2 + side  # tag encodes (axis, direction of travel)
+    payload = states[sender][send]
+    comm.send(sender, dest, payload, tag=tag)
+    if checksum:
+        comm.send(
+            sender, dest,
+            np.array([_crc(payload)], dtype=np.int64),
+            tag=tag + CHECKSUM_TAG_OFFSET,
+            injectable=False,
+        )
+
+
+def _recv_reliable(
+    decomp, comm, states, nbr: int, rank: int, axis: int, side: int, g: int,
+    policy: "HaloRetryPolicy", metrics: "MetricsRegistry | None",
+) -> np.ndarray:
+    """Receive one halo message with checksum verification and retry.
+
+    A missing message (dropped in flight) or a checksum mismatch (corrupted
+    in flight) triggers a retransmission request — in this in-process SPMD
+    substrate, re-posting the sender's strip — after an exponential backoff,
+    up to the policy's attempt budget.  Only when the budget is exhausted
+    does :class:`CommunicationError` propagate to the caller.
+    """
+    tag = axis * 2 + (1 - side)  # sender sent from its opposite side
+    for attempt in range(policy.max_attempts):
+        data = None
+        try:
+            data = comm.recv(nbr, rank, tag)
+        except CommunicationError:
+            # Data lost; drain the orphaned checksum to keep FIFOs aligned.
+            try:
+                comm.recv(nbr, rank, tag + CHECKSUM_TAG_OFFSET)
+            except CommunicationError:
+                pass
+        if data is not None:
+            try:
+                ref = comm.recv(nbr, rank, tag + CHECKSUM_TAG_OFFSET)
+            except CommunicationError:
+                ref = None
+            if ref is not None and int(ref[0]) == _crc(data):
+                return data
+            if metrics is not None:
+                metrics.counter("resilience.halo_checksum_mismatch").inc()
+        if attempt == policy.max_attempts - 1:
+            break
+        delay = policy.wait(attempt)
+        if metrics is not None:
+            metrics.counter("resilience.halo_retries").inc()
+            metrics.histogram("resilience.halo_retry_backoff_s").observe(delay)
+        _post_strip(decomp, comm, states, nbr, rank, axis, 1 - side, g, True)
+    raise CommunicationError(
+        f"halo message rank {nbr} -> {rank} (axis {axis}, side {side}) lost "
+        f"after {policy.max_attempts} attempts"
+    )
+
+
 def exchange_halos(
     decomp: CartesianDecomposition,
     comm: SimCommunicator,
     states: dict[int, np.ndarray],
+    policy: "HaloRetryPolicy | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> None:
     """Fill ghost layers of every rank's ghosted state array in place.
 
@@ -50,6 +136,17 @@ def exchange_halos(
         The Cartesian decomposition (supplies neighbours and local shapes).
     states:
         ``{rank: array (nvars, *local_shape_with_ghosts)}``.
+    policy:
+        Optional :class:`~repro.resilience.policies.HaloRetryPolicy`. When
+        given, every message carries a checksum and lost/corrupted messages
+        are retransmitted with exponential backoff;
+        :class:`CommunicationError` is raised only once a message's attempt
+        budget is exhausted.  Retries and backoff latencies are recorded on
+        *metrics* (``resilience.halo_retries``,
+        ``resilience.halo_retry_backoff_s``), and leftover duplicates are
+        purged after the exchange (``resilience.halo_stale_discarded``).
+        Checksum traffic is counted in the byte log, so resilient exchanges
+        deliberately exceed the bare-wire ``halo_bytes_per_step`` model.
 
     Faces with no neighbour (non-periodic wall) are left untouched —
     physical boundary conditions fill them afterwards.
@@ -60,19 +157,18 @@ def exchange_halos(
         )
     ndim = decomp.global_grid.ndim
     g = decomp.global_grid.n_ghost
+    resilient = policy is not None
+    if comm.fault_injector is not None:
+        comm.fault_injector.begin_exchange()
 
     for axis in range(ndim):
         # Phase 1: all ranks post their face strips.
         for rank in range(decomp.size):
-            sub = decomp.subgrid(rank)
-            n = sub.shape[axis]
             for side in (0, 1):
                 nbr = decomp.neighbor(rank, axis, side)
                 if nbr is None:
                     continue
-                send, _ = _face_slices(ndim, axis, side, g, n)
-                # Tag encodes (axis, direction of travel).
-                comm.send(rank, nbr, states[rank][send], tag=axis * 2 + side)
+                _post_strip(decomp, comm, states, rank, nbr, axis, side, g, resilient)
         # Phase 2: all ranks drain their ghosts.
         for rank in range(decomp.size):
             sub = decomp.subgrid(rank)
@@ -81,10 +177,21 @@ def exchange_halos(
                 nbr = decomp.neighbor(rank, axis, side)
                 if nbr is None:
                     continue
-                # The message from nbr travelling toward us was tagged with
-                # the opposite side on the sender.
                 _, recv = _face_slices(ndim, axis, side, g, n)
-                states[rank][recv] = comm.recv(nbr, rank, tag=axis * 2 + (1 - side))
+                if resilient:
+                    states[rank][recv] = _recv_reliable(
+                        decomp, comm, states, nbr, rank, axis, side, g,
+                        policy, metrics,
+                    )
+                else:
+                    # The message from nbr travelling toward us was tagged
+                    # with the opposite side on the sender.
+                    states[rank][recv] = comm.recv(nbr, rank, tag=axis * 2 + (1 - side))
+
+    if resilient:
+        stale = comm.discard_pending()
+        if stale and metrics is not None:
+            metrics.counter("resilience.halo_stale_discarded").inc(stale)
 
 
 def halo_bytes_per_step(

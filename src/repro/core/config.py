@@ -31,6 +31,13 @@ class SolverConfig(ParameterSet):
         10.0, float, lambda v: v >= 1, "flooring threshold factor over rho_atmo"
     )
     recovery_tol = param(1e-12, float, lambda v: 0 < v < 1e-3, "con2prim tolerance")
+    failsafe_frac = param(
+        0.0,
+        float,
+        lambda v: 0 <= v <= 1,
+        "max fraction of cells per con2prim sweep that may be atmosphere-reset "
+        "instead of raising RecoveryError (0 disables the failsafe)",
+    )
     w_max = param(
         100.0, float, lambda v: v > 1, "Lorentz-factor cap applied to face states"
     )

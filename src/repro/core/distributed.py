@@ -29,13 +29,15 @@ from ..mesh.grid import Grid
 from ..obs.metrics import MetricsRegistry
 from ..physics.srhd import SRHDSystem
 from ..time_integration.cfl import compute_dt
-from ..utils.errors import ConfigurationError
+from ..utils.errors import ConfigurationError, NumericsError
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
 from .pipeline import HydroPipeline
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.recorder import StepRecorder
+    from ..resilience.faults import FaultInjector
+    from ..resilience.policies import HaloRetryPolicy
 
 
 class _DictState:
@@ -76,6 +78,16 @@ class DistributedSolver:
         Optional :class:`~repro.obs.StepRecorder`; per-step records carry
         globally aggregated kernel timings and counters (all rank pipelines
         share one registry) plus communicator traffic deltas.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`: halo
+        faults strike the communicator, con2prim bursts strike the rank
+        pipelines.  All ``resilience.*`` counters land in this solver's
+        shared metrics registry.
+    halo_policy:
+        Optional :class:`~repro.resilience.policies.HaloRetryPolicy`.
+        Without it a lost halo message kills the run immediately; with it
+        every exchange verifies checksums and retransmits with exponential
+        backoff before giving up.
     """
 
     def __init__(
@@ -88,6 +100,8 @@ class DistributedSolver:
         boundaries: BoundarySet | None = None,
         periodic=None,
         recorder: "StepRecorder | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        halo_policy: "HaloRetryPolicy | None" = None,
     ):
         if system.ndim != global_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -101,13 +115,17 @@ class DistributedSolver:
                 for ax in range(global_grid.ndim)
             )
         self.decomp = CartesianDecomposition(global_grid, dims, periodic=periodic)
-        self.comm = SimCommunicator(self.decomp.size)
+        self.comm = SimCommunicator(self.decomp.size, fault_injector=fault_injector)
         # One shared timer/metrics registry across all rank pipelines: the
         # counters and kernel times aggregate globally, which is what the
         # per-step records report.
         self.timers = TimerRegistry()
         self.metrics = MetricsRegistry()
         self.recorder = recorder
+        self.fault_injector = fault_injector
+        self.halo_policy = halo_policy
+        if fault_injector is not None and fault_injector.metrics is None:
+            fault_injector.metrics = self.metrics
 
         # Per-rank boundary sets: interior faces (neighbour present) are
         # no-ops, physical walls inherit the global policy.
@@ -131,6 +149,7 @@ class DistributedSolver:
                 self.config,
                 timers=self.timers,
                 metrics=self.metrics,
+                fault_injector=fault_injector,
             )
 
         # Scatter the initial data (interiors), then fill all ghosts once.
@@ -144,7 +163,7 @@ class DistributedSolver:
             sub.interior_of(prim)[...] = parts[rank]
             pipeline.boundaries.apply(system, sub, prim)
             prims[rank] = prim
-        exchange_halos(self.decomp, self.comm, prims)
+        self._exchange(prims)
         for rank, prim in prims.items():
             self.pipelines[rank].atmosphere.apply_prim(system, prim)
             self.cons[rank] = system.prim_to_con(prim)
@@ -176,6 +195,16 @@ class DistributedSolver:
     def size(self) -> int:
         return self.decomp.size
 
+    def _exchange(self, prims: dict[int, np.ndarray]) -> None:
+        """One full halo exchange, resilient when a retry policy is set."""
+        exchange_halos(
+            self.decomp,
+            self.comm,
+            prims,
+            policy=self.halo_policy,
+            metrics=self.metrics,
+        )
+
     def _recover_and_exchange(self, cons: dict[int, np.ndarray], use_cache: bool = False):
         if use_cache and self._prims_cache is not None:
             return self._prims_cache
@@ -183,7 +212,7 @@ class DistributedSolver:
             rank: self.pipelines[rank].recover_primitives(cons[rank])
             for rank in range(self.size)
         }
-        exchange_halos(self.decomp, self.comm, prims)
+        self._exchange(prims)
         return prims
 
     def _rhs(self, cons: dict[int, np.ndarray]):
@@ -213,16 +242,36 @@ class DistributedSolver:
             dt = t_final - self.t
         return dt
 
+    def _check_dt(self, dt: float) -> None:
+        if not np.isfinite(dt) or dt <= 0:
+            raise NumericsError(
+                f"invalid time step dt={dt!r} at t={self.t:g} (step {self.steps + 1})"
+            )
+
+    def _check_finite(self) -> None:
+        for rank in range(self.size):
+            bad = ~np.isfinite(self.cons[rank])
+            if bad.any():
+                var, *cell = (int(i) for i in np.argwhere(bad)[0])
+                raise NumericsError(
+                    f"non-finite conserved state after step {self.steps} "
+                    f"at t={self.t:g}: rank {rank}, variable {var}, "
+                    f"cell {tuple(cell)}"
+                )
+
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
         wall0 = time.perf_counter()
         if dt is None:
             dt = self.compute_dt(t_final)
+        self._check_dt(dt)
         rhs = lambda state: _DictState(self._rhs(state.parts))
         advanced = self.integrator.step(_DictState(self.cons), dt, rhs)
         self.cons = advanced.parts
         self._prims_cache = None  # state advanced: next dt recovers afresh
         self.t += dt
         self.steps += 1
+        self._check_finite()
+        self.metrics.histogram("solver.dt").observe(dt)
         if self.recorder is not None:
             self.recorder.record_step(
                 step=self.steps,
@@ -248,10 +297,31 @@ class DistributedSolver:
             "halo_bytes_model_per_exchange": self.halo_bytes_per_exchange,
         }
 
-    def run(self, t_final: float, max_steps: int | None = None) -> None:
+    def run(
+        self,
+        t_final: float,
+        max_steps: int | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+    ) -> None:
+        """Advance to *t_final*.
+
+        With ``checkpoint_every=N`` and a ``checkpoint_path``, the full
+        distributed state (all rank sub-patches plus con2prim warm-start
+        caches) is checkpointed every N steps, between steps, so a failure
+        mid-run leaves a consistent resumable archive behind (see
+        :func:`repro.resilience.run_with_restart`).
+        """
+        if checkpoint_every and checkpoint_path is None:
+            raise ConfigurationError("checkpoint_every requires a checkpoint_path")
         limit = max_steps if max_steps is not None else self.config.max_steps
         while self.t < t_final * (1.0 - 1e-14) and self.steps < limit:
             self.step(t_final=t_final)
+            if checkpoint_every and self.steps % checkpoint_every == 0:
+                # Deferred import: repro.io imports this module's siblings.
+                from ..io.checkpoint import save_distributed_checkpoint
+
+                save_distributed_checkpoint(self, checkpoint_path)
 
     def gather_primitives(self) -> np.ndarray:
         """Global interior primitive field assembled from all ranks."""

@@ -39,6 +39,11 @@ class HydroPipeline:
         (con2prim counters, atmosphere resets, face sanitizations). Drivers
         that own several pipelines pass one shared registry so the counters
         aggregate globally.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` consulted
+        once per recovery sweep: an injected con2prim burst forces a batch
+        of cells through the same bounded atmosphere failsafe that real
+        non-convergence takes (raising past ``config.failsafe_frac``).
     """
 
     def __init__(
@@ -49,6 +54,7 @@ class HydroPipeline:
         config: SolverConfig,
         timers: TimerRegistry | None = None,
         metrics: MetricsRegistry | None = None,
+        fault_injector=None,
     ):
         self.system = system
         self.grid = grid
@@ -70,6 +76,9 @@ class HydroPipeline:
             )
         self.timers = timers if timers is not None else TimerRegistry()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.metrics is None:
+            fault_injector.metrics = self.metrics
         self.recovery_stats = RecoveryStats()
         # Pressure cache seeds the next con2prim Newton solve.
         self._p_cache: np.ndarray | None = None
@@ -107,7 +116,11 @@ class HydroPipeline:
                     p_guess=p_guess,
                     tol=self.config.recovery_tol,
                     stats=sweep,
+                    failsafe_frac=self.config.failsafe_frac,
+                    atmosphere=(self.atmosphere.rho_atmo, self.atmosphere.p_atmo),
                 )
+                if self.fault_injector is not None:
+                    self._maybe_inject_burst(interior_cons, interior_prim)
             finally:
                 # con_to_prim populates the sweep counters before raising,
                 # so the failing sweep is accounted for too.
@@ -131,7 +144,45 @@ class HydroPipeline:
         m.counter("con2prim.bisection").inc(sweep.n_bisection)
         m.counter("con2prim.failed").inc(sweep.n_failed)
         m.counter("con2prim.unbracketed").inc(sweep.n_unbracketed)
+        if sweep.n_failsafe:
+            m.counter("resilience.failsafe_cells").inc(sweep.n_failsafe)
         m.gauge("con2prim.max_newton_iters").max(sweep.max_iterations)
+        # Tail analysis works off the full distribution, not just the
+        # running maximum the gauge keeps.
+        m.histogram("con2prim.newton_iters").observe(sweep.max_iterations)
+
+    def _maybe_inject_burst(
+        self, interior_cons: np.ndarray, interior_prim: np.ndarray
+    ) -> None:
+        """Apply an injected con2prim non-convergence burst, if scheduled.
+
+        The burst takes exactly the path real unrecoverable cells take:
+        within the ``failsafe_frac`` budget the cells are atmosphere-reset
+        (cons and prim together) and counted; past the budget the sweep
+        raises :class:`RecoveryError`.
+        """
+        from ..physics.con2prim import reset_cells_to_atmosphere
+        from ..utils.errors import RecoveryError
+
+        n_cells = interior_prim[0].size
+        n_burst = self.fault_injector.con2prim_burst(n_cells)
+        if not n_burst:
+            return
+        if n_burst > self.config.failsafe_frac * n_cells:
+            raise RecoveryError(
+                f"injected con2prim burst of {n_burst} cells exceeds the "
+                f"failsafe budget ({self.config.failsafe_frac} of {n_cells})",
+                n_failed=n_burst,
+            )
+        indices = self.fault_injector.burst_indices(n_burst, n_cells)
+        reset_cells_to_atmosphere(
+            self.system,
+            interior_cons,
+            interior_prim,
+            indices,
+            (self.atmosphere.rho_atmo, self.atmosphere.p_atmo),
+        )
+        self.metrics.counter("resilience.failsafe_cells").inc(int(indices.size))
 
     def _limit_momentum(self, cons: np.ndarray) -> None:
         """Rescale S_i so the recovered velocity respects the W_max cap.

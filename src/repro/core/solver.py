@@ -28,7 +28,7 @@ from ..obs.recorder import StepRecorder
 from ..physics.srhd import SRHDSystem
 from ..time_integration.cfl import compute_dt
 from ..time_integration.ssprk import make_integrator
-from ..utils.errors import ConfigurationError
+from ..utils.errors import ConfigurationError, NumericsError
 from ..utils.logging import get_logger
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
@@ -61,6 +61,9 @@ class Solver:
         Optional :class:`~repro.obs.StepRecorder`; when given, every step
         emits one structured record (dt, wall time, kernel timings,
         con2prim/atmosphere/sanitization counters).
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` for chaos
+        testing; forwarded to the pipeline (con2prim bursts).
     """
 
     def __init__(
@@ -72,6 +75,7 @@ class Solver:
         boundaries: BoundarySet | None = None,
         source_fn=None,
         recorder: StepRecorder | None = None,
+        fault_injector=None,
     ):
         if system.ndim != grid.ndim:
             raise ConfigurationError(
@@ -88,7 +92,8 @@ class Solver:
         self.boundaries = boundaries or make_boundaries("outflow")
         self.timers = TimerRegistry()
         self.pipeline = HydroPipeline(
-            system, grid, self.boundaries, self.config, self.timers
+            system, grid, self.boundaries, self.config, self.timers,
+            fault_injector=fault_injector,
         )
         self.pipeline.source_fn = source_fn
         self.metrics = self.pipeline.metrics
@@ -128,16 +133,35 @@ class Solver:
             t_final=t_final,
         )
 
+    def _check_dt(self, dt: float) -> None:
+        if not np.isfinite(dt) or dt <= 0:
+            raise NumericsError(
+                f"invalid time step dt={dt!r} at t={self.t:g} "
+                f"(step {self.summary.steps + 1})"
+            )
+
+    def _check_finite(self) -> None:
+        bad = ~np.isfinite(self.cons)
+        if bad.any():
+            var, *cell = (int(i) for i in np.argwhere(bad)[0])
+            raise NumericsError(
+                f"non-finite conserved state after step {self.summary.steps + 1} "
+                f"at t={self.t:g}: variable {var}, cell {tuple(cell)}"
+            )
+
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
         """Advance one time step; returns the dt taken."""
         wall0 = time.perf_counter()
         if dt is None:
             dt = self.compute_dt(t_final)
+        self._check_dt(dt)
         self.pipeline.time = self.t
         self.cons = self.integrator.step(self.cons, dt, self.pipeline.rhs)
         self.t += dt
         self._prim_dirty = True
+        self._check_finite()
         self.summary.record_step(dt)
+        self.metrics.histogram("solver.dt").observe(dt)
         if self.recorder is not None:
             self.recorder.record_step(
                 step=self.summary.steps,
@@ -154,16 +178,33 @@ class Solver:
         t_final: float,
         max_steps: int | None = None,
         callback: Callable[["Solver"], None] | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
     ) -> RunSummary:
-        """Advance to *t_final*; optional per-step callback for monitoring."""
+        """Advance to *t_final*; optional per-step callback for monitoring.
+
+        With ``checkpoint_every=N`` and a ``checkpoint_path``, the full
+        solver state is checkpointed every N steps, between steps, so a
+        failure mid-run leaves a consistent resumable archive behind (see
+        :func:`repro.resilience.run_with_restart`).
+        """
         if t_final < self.t:
             raise ConfigurationError(f"t_final={t_final} is before t={self.t}")
+        if checkpoint_every and checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_path"
+            )
         limit = max_steps if max_steps is not None else self.config.max_steps
         while self.t < t_final * (1.0 - 1e-14):
             if self.summary.steps >= limit:
                 _log.warning("step limit %d reached at t=%g", limit, self.t)
                 break
             self.step(t_final=t_final)
+            if checkpoint_every and self.summary.steps % checkpoint_every == 0:
+                # Deferred import: repro.io imports this module.
+                from ..io.checkpoint import save_checkpoint
+
+                save_checkpoint(self, checkpoint_path)
             if callback is not None:
                 callback(self)
         self.summary.t_final = self.t

@@ -98,6 +98,12 @@ class Report:
             report.add_row(f"comm.{name}", comm[name])
         for name, val in sorted(steps[-1].get("gauges", {}).items()):
             report.add_row(f"gauge.{name}", val)
+        # Histogram summaries are cumulative, so the last record has the
+        # full-run distribution.
+        for name, summ in sorted(steps[-1].get("histograms", {}).items()):
+            report.add_row(f"hist.{name}.count", summ.get("count", 0))
+            report.add_row(f"hist.{name}.mean", float(summ.get("mean", 0.0)))
+            report.add_row(f"hist.{name}.max", float(summ.get("max", 0.0)))
         report.add_note(f"source: {source}")
         return report
 

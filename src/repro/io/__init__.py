@@ -3,8 +3,10 @@
 from .checkpoint import (
     load_amr_checkpoint,
     load_checkpoint,
+    load_distributed_checkpoint,
     save_amr_checkpoint,
     save_checkpoint,
+    save_distributed_checkpoint,
 )
 from .output import load_solution, read_curve, save_solution, write_curve
 
@@ -13,6 +15,8 @@ __all__ = [
     "load_checkpoint",
     "save_amr_checkpoint",
     "load_amr_checkpoint",
+    "save_distributed_checkpoint",
+    "load_distributed_checkpoint",
     "save_solution",
     "load_solution",
     "write_curve",

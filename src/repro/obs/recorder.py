@@ -84,6 +84,9 @@ class StepRecorder:
             "kernel_seconds": kernel_seconds,
             "counters": counter_deltas(snap, self._prev_metrics),
             "gauges": dict(snap.get("gauges", {})),
+            # Cumulative histogram summaries (count/sum/min/max/mean): the
+            # last step record carries the whole run's distribution.
+            "histograms": dict(snap.get("histograms", {})),
         }
         self._prev_metrics = snap
         self.steps_recorded += 1

@@ -40,7 +40,10 @@ class RecoveryStats:
     n_failed == n_cells`` always holds, including on the failure path
     (stats are populated *before* :class:`RecoveryError` is raised).
     ``n_unbracketed`` counts cells whose bisection bracket never found a
-    sign change — a subset of ``n_failed``.
+    sign change — a subset of ``n_failed``.  ``n_failsafe`` counts failed
+    cells that were atmosphere-reset instead of raising (a subset of
+    ``n_failed``; see the ``failsafe_frac`` argument of
+    :func:`con_to_prim`).
     """
 
     n_cells: int = 0
@@ -48,6 +51,7 @@ class RecoveryStats:
     n_bisection: int = 0
     n_failed: int = 0
     n_unbracketed: int = 0
+    n_failsafe: int = 0
     max_iterations: int = 0
 
     def merge(self, other: "RecoveryStats") -> None:
@@ -57,6 +61,7 @@ class RecoveryStats:
         self.n_bisection += other.n_bisection
         self.n_failed += other.n_failed
         self.n_unbracketed += other.n_unbracketed
+        self.n_failsafe += other.n_failsafe
         self.max_iterations = max(self.max_iterations, other.max_iterations)
 
 
@@ -88,6 +93,8 @@ def con_to_prim(
     max_bisect: int = 80,
     p_floor: float = 1e-16,
     stats: RecoveryStats | None = None,
+    failsafe_frac: float = 0.0,
+    atmosphere: tuple[float, float] | None = None,
 ) -> np.ndarray:
     """Invert conserved variables to primitives over a whole grid.
 
@@ -96,12 +103,24 @@ def con_to_prim(
     system:
         The SRHD system (supplies the EOS and variable indexing).
     cons:
-        Conserved state array ``(nvars, *shape)``.
+        Conserved state array ``(nvars, *shape)``; may be modified in place
+        when the failsafe resets cells (see below).
     p_guess:
         Optional pressure initial guess (e.g. last step's pressure); a
         crude estimate is used otherwise.
     stats:
         Optional :class:`RecoveryStats` filled with convergence counters.
+    failsafe_frac, atmosphere:
+        Bounded non-convergence failsafe.  When ``failsafe_frac > 0`` and
+        ``atmosphere=(rho_atmo, p_atmo)`` is given, up to
+        ``failsafe_frac * n_cells`` unrecoverable cells are reset to the
+        static atmosphere (both the returned primitives and *cons* in
+        place, keeping the pair consistent) instead of raising — the
+        standard production compromise: a handful of pathological cells
+        must not kill a cluster-scale run, but silent mass resets past the
+        bound would corrupt the physics, so larger failures still raise.
+        Reset cells are counted in ``stats.n_failsafe`` (they remain in
+        ``n_failed`` too — the partition invariant holds).
 
     Returns
     -------
@@ -111,7 +130,8 @@ def con_to_prim(
     Raises
     ------
     RecoveryError
-        If any cell fails both Newton and bisection.
+        If any cell fails both Newton and bisection, and the failsafe is
+        disabled or the failure count exceeds its budget.
     """
     eos = system.eos
     shape = cons.shape[1:]
@@ -200,6 +220,16 @@ def con_to_prim(
         failed = np.nonzero(~converged)[0]
         n_failed = int(failed.size)
 
+    # Bounded failsafe: a small number of unrecoverable cells may be reset
+    # to atmosphere instead of killing the run; past the budget we still
+    # hard-fail.
+    failsafed = (
+        failed is not None
+        and atmosphere is not None
+        and failsafe_frac > 0.0
+        and n_failed <= failsafe_frac * D.size
+    )
+
     if stats is not None:
         # Populate counters before any raise: the failing sweep is exactly
         # the one whose accounting the caller needs.
@@ -208,9 +238,11 @@ def con_to_prim(
         stats.n_bisection += int(n_bisect) - n_failed
         stats.n_failed += n_failed
         stats.n_unbracketed += n_unbracketed
+        if failsafed:
+            stats.n_failsafe += n_failed
         stats.max_iterations = max(stats.max_iterations, newton_iters)
 
-    if failed is not None:
+    if failed is not None and not failsafed:
         raise RecoveryError(
             f"con2prim failed for {failed.size} cells "
             f"({n_unbracketed} unbracketed; "
@@ -226,8 +258,39 @@ def con_to_prim(
     for ax in range(system.ndim):
         prim[system.V(ax)] = (cons[system.S(ax)].reshape(-1) / Q).reshape(shape)
     prim[system.P] = p.reshape(shape)
+
+    if failsafed:
+        reset_cells_to_atmosphere(system, cons, prim, failed, atmosphere)
+
     # Passive scalars (TracerSystem) recover algebraically after the hydro
     # sector: Y = D_Y / D.
     if hasattr(system, "recover_tracers"):
         system.recover_tracers(cons, prim)
     return prim
+
+
+def reset_cells_to_atmosphere(
+    system: SRHDSystem,
+    cons: np.ndarray,
+    prim: np.ndarray,
+    flat_indices: np.ndarray,
+    atmosphere: tuple[float, float],
+) -> None:
+    """Reset the given cells of a (cons, prim) pair to the static atmosphere.
+
+    Both arrays are modified in place and stay mutually consistent
+    (``cons = prim_to_con(prim)`` at the reset cells).  *flat_indices* are
+    flat indices into the cell shape ``cons.shape[1:]``.
+    """
+    rho_a, p_a = atmosphere
+    k = int(np.asarray(flat_indices).size)
+    if k == 0:
+        return
+    prim_cells = np.zeros((system.nvars, k))
+    prim_cells[system.RHO] = rho_a
+    prim_cells[system.P] = p_a
+    cons_cells = system.prim_to_con(prim_cells)
+    cell_idx = np.unravel_index(np.asarray(flat_indices), cons.shape[1:])
+    for var in range(system.nvars):
+        cons[(var,) + cell_idx] = cons_cells[var]
+        prim[(var,) + cell_idx] = prim_cells[var]

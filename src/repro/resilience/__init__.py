@@ -1,0 +1,47 @@
+"""Fault injection and recovery for chaos-tested runs.
+
+Two halves, deliberately separated:
+
+- :mod:`~repro.resilience.faults` — *what goes wrong*: a seeded, declarative
+  :class:`FaultPlan` (JSON round-trip) executed by a :class:`FaultInjector`
+  hooked into the communicator, the con2prim pipeline, and the cluster
+  simulator.
+- :mod:`~repro.resilience.policies` — *how the system survives*: halo retry
+  with exponential backoff, bounded con2prim failsafe (configured via
+  ``SolverConfig.failsafe_frac``), device blacklisting + task re-execution
+  (built into the scheduler/simulator), and periodic checkpoint with
+  :func:`run_with_restart`.
+
+:mod:`~repro.resilience.chaos` ties them together into reference scenarios
+the chaos test suite (and ``pytest -m chaos``) exercises end to end.
+"""
+
+from .chaos import default_chaos_plan, run_chaos_shocktube, run_modelled_failover
+from .faults import (
+    Con2PrimFault,
+    DeviceFault,
+    FaultInjector,
+    FaultPlan,
+    HaloFault,
+)
+from .policies import (
+    HaloRetryPolicy,
+    RestartPolicy,
+    blocking_retry_policy,
+    run_with_restart,
+)
+
+__all__ = [
+    "FaultPlan",
+    "HaloFault",
+    "DeviceFault",
+    "Con2PrimFault",
+    "FaultInjector",
+    "HaloRetryPolicy",
+    "blocking_retry_policy",
+    "RestartPolicy",
+    "run_with_restart",
+    "default_chaos_plan",
+    "run_chaos_shocktube",
+    "run_modelled_failover",
+]

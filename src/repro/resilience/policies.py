@@ -1,0 +1,142 @@
+"""Recovery policies: halo retry with exponential backoff, auto-restart.
+
+The counterpart of :mod:`repro.resilience.faults` — faults describe what
+goes wrong, policies describe how the system survives it.  The policies are
+deliberately small value objects so the layers that apply them (halo
+exchange, solver run loops) stay testable without a chaos harness.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..utils.errors import ConfigurationError, ReproError
+from ..utils.logging import get_logger
+
+_log = get_logger("resilience")
+
+
+@dataclass(frozen=True)
+class HaloRetryPolicy:
+    """Retry budget for one halo message.
+
+    ``max_attempts`` counts the first delivery too, so ``max_attempts=4``
+    allows three retransmissions before
+    :class:`~repro.utils.errors.CommunicationError` is raised.  Backoff is
+    exponential (``base * 2**retry``) and capped; by default it is only
+    *recorded* (the simulated communicator has no real wire to wait on) —
+    pass ``sleep_fn=time.sleep`` to actually block, as a real transport
+    would.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 1e-4
+    backoff_cap_s: float = 0.1
+    sleep_fn: Callable[[float], None] | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+
+    def backoff_s(self, retry: int) -> float:
+        """Backoff before the *retry*-th retransmission (0-based)."""
+        return min(self.backoff_base_s * (2.0**retry), self.backoff_cap_s)
+
+    def wait(self, retry: int) -> float:
+        """Apply (and return) the backoff for one retry."""
+        delay = self.backoff_s(retry)
+        if self.sleep_fn is not None and delay > 0:
+            self.sleep_fn(delay)
+        return delay
+
+
+def blocking_retry_policy(**overrides) -> HaloRetryPolicy:
+    """A :class:`HaloRetryPolicy` that really sleeps (production transport)."""
+    overrides.setdefault("sleep_fn", time.sleep)
+    return HaloRetryPolicy(**overrides)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Periodic checkpointing plus a bounded auto-restart budget."""
+
+    checkpoint_path: str | os.PathLike
+    checkpoint_every: int = 10
+    max_restarts: int = 3
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+def run_with_restart(
+    solver,
+    t_final: float,
+    policy: RestartPolicy,
+    loader: Callable[[str | os.PathLike], object],
+    metrics=None,
+    max_steps: int | None = None,
+):
+    """Drive ``solver.run`` to *t_final*, auto-restarting from checkpoints.
+
+    The solver checkpoints every ``policy.checkpoint_every`` steps to
+    ``policy.checkpoint_path``.  When the run dies with a
+    :class:`~repro.utils.errors.ReproError` (non-convergence past the
+    failsafe budget, exhausted communication retries, injected chaos, ...),
+    the last checkpoint is reloaded via ``loader(path)`` and the run
+    continues — up to ``policy.max_restarts`` times, after which the error
+    propagates.  Restart is bit-exact: the checkpoint carries the con2prim
+    warm-start cache, so a recovered trajectory is identical to one that
+    never crashed.
+
+    Returns ``(solver, n_restarts)``; the returned solver is the restored
+    instance when any restart happened.
+
+    Restarts are counted on *metrics* (``resilience.restarts``) when given,
+    falling back to the solver's own registry if it has one — note the
+    solver registry is rebuilt by *loader*, so pass an external registry
+    when counters must survive the restart.
+    """
+    restarts = 0
+    while True:
+        try:
+            solver.run(
+                t_final,
+                max_steps=max_steps,
+                checkpoint_every=policy.checkpoint_every,
+                checkpoint_path=policy.checkpoint_path,
+            )
+            return solver, restarts
+        except ReproError as exc:
+            if restarts >= policy.max_restarts or not os.path.exists(
+                policy.checkpoint_path
+            ):
+                raise
+            restarts += 1
+            registry = metrics if metrics is not None else getattr(
+                solver, "metrics", None
+            )
+            if registry is not None:
+                registry.counter("resilience.restarts").inc()
+            _log.warning(
+                "run failed at t=%g (%s); restart %d/%d from %s",
+                getattr(solver, "t", float("nan")),
+                exc,
+                restarts,
+                policy.max_restarts,
+                policy.checkpoint_path,
+            )
+            solver = loader(policy.checkpoint_path)

@@ -29,6 +29,20 @@ class SchedulerContext:
         self.device_by_name = {d.name: d for d in devices}
         self.cost_fn = cost_fn  # (Task, Device) -> seconds
         self.device_free: dict[str, float] = {d.name: 0.0 for d in devices}
+        #: devices blacklisted mid-run (injected failures); they no longer
+        #: appear in device_free and are never eligible again
+        self.failed: set[str] = set()
+
+    def mark_failed(self, name: str) -> None:
+        """Blacklist *name*: remove it from the schedulable device pool."""
+        self.failed.add(name)
+        self.device_free.pop(name, None)
+
+    @staticmethod
+    def can_run(task: Task, device: Device) -> bool:
+        """Capability check: fixed-cost tasks run anywhere, modelled tasks
+        need a throughput entry for their kernel."""
+        return task.fixed_cost_s is not None or task.kernel in device.throughput
 
     def eligible_devices(self, task: Task) -> list[Device]:
         if task.pinned_device is not None:
@@ -38,8 +52,27 @@ class SchedulerContext:
                     f"task {task.id!r} pinned to unknown device "
                     f"{task.pinned_device!r}"
                 )
+            if dev.name in self.failed:
+                raise SchedulerError(
+                    f"task {task.id!r} pinned to failed device {dev.name!r}"
+                )
+            if not self.can_run(task, dev):
+                raise SchedulerError(
+                    f"task {task.id!r} pinned to device {dev.name!r}, which "
+                    f"cannot run kernel {task.kernel!r}"
+                )
             return [dev]
-        return self.devices
+        eligible = [
+            d
+            for d in self.devices
+            if d.name not in self.failed and self.can_run(task, d)
+        ]
+        if not eligible:
+            raise SchedulerError(
+                f"no eligible device for task {task.id!r} "
+                f"(kernel {task.kernel!r}, {len(self.failed)} device(s) failed)"
+            )
+        return eligible
 
 
 class Scheduler(ABC):
@@ -74,11 +107,27 @@ class StaticScheduler(Scheduler):
             else:
                 self._assignment[task.id] = ctx.devices[task.block % ndev].name
 
+    def _device_for(self, tid: str, graph, ctx) -> str:
+        """The pre-assigned device, re-assigned deterministically when it has
+        failed or cannot run the task's kernel."""
+        dev = self._assignment[tid]
+        task = graph.task(tid)
+        device = ctx.device_by_name.get(dev)
+        if dev in ctx.device_free and device is not None and ctx.can_run(task, device):
+            return dev
+        # Failover: least-loaded eligible device, name-tiebroken.
+        fallback = min(
+            ctx.eligible_devices(task),
+            key=lambda d: (ctx.device_free[d.name], d.name),
+        ).name
+        self._assignment[tid] = fallback
+        return fallback
+
     def select(self, ready, graph, ctx):
         # Dispatch the assignment that can start earliest.
         best = None
         for tid, t_ready in ready.items():
-            dev = self._assignment[tid]
+            dev = self._device_for(tid, graph, ctx)
             start = max(t_ready, ctx.device_free[dev])
             key = (start, tid)
             if best is None or key < best[0]:
@@ -144,20 +193,40 @@ class WorkStealingScheduler(Scheduler):
     def select(self, ready, graph, ctx):
         # The device that frees up first gets to act.
         actor = min(ctx.device_free, key=lambda d: (ctx.device_free[d], d))
-        own = [tid for tid in ready if self._owner[tid] == actor]
+        actor_dev = ctx.device_by_name[actor]
+        own = [
+            tid
+            for tid in ready
+            if self._owner[tid] == actor and ctx.can_run(graph.task(tid), actor_dev)
+        ]
         if own:
             # FIFO on the ready time within the owner queue.
             tid = min(own, key=lambda t: (ready[t], t))
             return tid, actor
         # Steal: pick the ready task whose owner has the largest backlog,
-        # provided the task is not pinned elsewhere.
+        # provided the task is not pinned elsewhere and the actor can run it.
         stealable = [
-            tid for tid in ready if graph.task(tid).pinned_device is None
+            tid
+            for tid in ready
+            if graph.task(tid).pinned_device is None
+            and ctx.can_run(graph.task(tid), actor_dev)
         ]
         if not stealable:
-            # Nothing stealable: dispatch a pinned task on its own device.
+            # Nothing this actor can take: dispatch the oldest ready task on
+            # its own (eligible) device instead.
             tid = min(ready, key=lambda t: (ready[t], t))
-            return tid, self._owner[tid]
+            task = graph.task(tid)
+            owner = self._owner[tid]
+            owner_dev = ctx.device_by_name.get(owner)
+            if owner in ctx.device_free and owner_dev is not None and ctx.can_run(
+                task, owner_dev
+            ):
+                return tid, owner
+            dev = min(
+                ctx.eligible_devices(task),
+                key=lambda d: (ctx.device_free[d.name], d.name),
+            )
+            return tid, dev.name
         backlog: dict[str, int] = {}
         for tid in stealable:
             backlog[self._owner[tid]] = backlog.get(self._owner[tid], 0) + 1

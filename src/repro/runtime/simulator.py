@@ -29,6 +29,18 @@ class ClusterSimulator:
         ``(Task, Device) -> seconds``. Tasks with ``fixed_cost_s`` bypass it.
     scheduler:
         Scheduling policy instance.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`. Devices
+        with a scheduled ``fail`` fault are blacklisted the moment a task
+        would run past the failure time — the in-flight task is lost and
+        re-queued for another device; ``straggle`` faults multiply the cost
+        of tasks starting after the onset.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving the
+        ``resilience.device_failed`` / ``resilience.tasks_reexecuted`` /
+        ``resilience.task_straggled`` counters and the
+        ``resilience.task_reexec_delay_s`` histogram (simulated seconds lost
+        to each failed execution attempt).
     """
 
     def __init__(
@@ -36,6 +48,8 @@ class ClusterSimulator:
         devices: list[Device],
         cost_fn: Callable[[Task, Device], float],
         scheduler: Scheduler,
+        fault_injector=None,
+        metrics=None,
     ):
         if not devices:
             raise SchedulerError("need at least one device")
@@ -45,11 +59,21 @@ class ClusterSimulator:
         self.devices = devices
         self.scheduler = scheduler
         self._user_cost = cost_fn
+        self.fault_injector = fault_injector
+        if metrics is None and fault_injector is not None:
+            metrics = fault_injector.metrics
+        self.metrics = metrics
+        if fault_injector is not None and fault_injector.metrics is None:
+            fault_injector.metrics = metrics
 
     def _cost(self, task: Task, device: Device) -> float:
         if task.fixed_cost_s is not None:
             return task.fixed_cost_s
         return self._user_cost(task, device)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     def run(self, graph: TaskGraph) -> Timeline:
         graph.finalize()
@@ -75,6 +99,11 @@ class ClusterSimulator:
                     f"scheduler {self.scheduler.name} selected non-ready task {tid!r}"
                 )
             if dev_name not in ctx.device_free:
+                if dev_name in ctx.failed:
+                    raise SchedulerError(
+                        f"scheduler {self.scheduler.name} routed task {tid!r} "
+                        f"to failed device {dev_name!r}"
+                    )
                 raise SchedulerError(
                     f"scheduler selected unknown device {dev_name!r}"
                 )
@@ -85,8 +114,32 @@ class ClusterSimulator:
                     f"scheduled on {dev_name!r}"
                 )
             device = ctx.device_by_name[dev_name]
-            start = max(ready.pop(tid), ctx.device_free[dev_name])
-            end = start + self._cost(task, device)
+            t_ready = ready[tid]
+            start = max(t_ready, ctx.device_free[dev_name])
+            cost = self._cost(task, device)
+            if self.fault_injector is not None:
+                factor = self.fault_injector.straggle_factor(dev_name, start)
+                if factor != 1.0:
+                    cost *= factor
+                    self._count("resilience.task_straggled")
+                t_fail = self.fault_injector.fail_time(dev_name)
+                if t_fail is not None and start + cost > t_fail:
+                    # The device dies before this task would complete: the
+                    # attempt is lost, the device is blacklisted, and the
+                    # task goes back to the ready set to run elsewhere (no
+                    # earlier than the failure time — that is when the loss
+                    # is detected).
+                    ctx.mark_failed(dev_name)
+                    ready[tid] = max(t_ready, t_fail)
+                    self._count("resilience.device_failed")
+                    self._count("resilience.tasks_reexecuted")
+                    if self.metrics is not None:
+                        self.metrics.histogram(
+                            "resilience.task_reexec_delay_s"
+                        ).observe(max(0.0, t_fail - start))
+                    continue
+            ready.pop(tid)
+            end = start + cost
             ctx.device_free[dev_name] = end
             done_at[tid] = end
             timeline.add(TaskRecord(task=task, device=dev_name, start=start, end=end))

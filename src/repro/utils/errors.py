@@ -34,6 +34,12 @@ class RecoveryError(ReproError):
         self.indices = indices
 
 
+class NumericsError(ReproError):
+    """Numerically invalid state detected mid-run (non-finite dt, NaN/Inf
+    conserved fields) — raised by the solver guards so corruption is caught
+    at the step that produced it instead of propagating silently."""
+
+
 class EOSError(ReproError):
     """Equation-of-state evaluation outside its domain of validity."""
 
