@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from ..eos.ideal import IdealGasEOS
 from ..physics.srhd import SRHDSystem
 from .cache import load_kernel
@@ -31,19 +32,25 @@ class GeneratedSRHDSystem(SRHDSystem):
             load_kernel("char_speeds", ndim, axis) for axis in range(ndim)
         ]
 
-    def prim_to_con(self, prim: np.ndarray) -> np.ndarray:
+    def prim_to_con(self, prim: np.ndarray, out=None, scratch=None, tag="p2c") -> np.ndarray:
         # Keep the reference implementation's admissibility guard.
         self.lorentz_factor(prim)
-        return self._k_prim_to_con(prim, np.empty_like(prim), self.gamma)
+        dst = np.empty_like(prim) if out is None else out
+        return self._k_prim_to_con(prim, dst, self.gamma)
 
-    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0) -> np.ndarray:
+    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0, out=None) -> np.ndarray:
         # The generated flux consumes primitives only; *cons* is accepted
         # for interface compatibility.
-        return self._k_flux[axis](prim, np.empty_like(prim), self.gamma)
+        dst = np.empty_like(prim) if out is None else out
+        return self._k_flux[axis](prim, dst, self.gamma)
 
-    def char_speeds(self, prim: np.ndarray, axis: int = 0):
-        out = np.empty((2,) + prim.shape[1:])
-        self._k_char[axis](prim, out, self.gamma)
+    def char_speeds(self, prim: np.ndarray, axis: int = 0, out=None, scratch=None, tag="cs"):
+        lam = scratch_buf(scratch, (tag, "lam2"), (2,) + prim.shape[1:])
+        self._k_char[axis](prim, lam, self.gamma)
+        if out is None:
+            return lam[0], lam[1]
+        np.copyto(out[0], lam[0])
+        np.copyto(out[1], lam[1])
         return out[0], out[1]
 
     def __repr__(self):

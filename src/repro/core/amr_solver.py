@@ -25,7 +25,7 @@ from ..mesh.amr.transfer import prolong_array, restrict_array
 from ..mesh.grid import Grid
 from ..obs.metrics import MetricsRegistry
 from ..physics.srhd import SRHDSystem
-from ..time_integration.cfl import compute_dt
+from ..time_integration.cfl import clip_dt_to_final, compute_dt
 from ..time_integration.ssprk import make_integrator
 from ..utils.errors import ConfigurationError
 from ..utils.parameters import ParameterSet, param
@@ -92,6 +92,7 @@ class AMRSolver:
         amr: AMRConfig | None = None,
         boundaries: BoundarySet | None = None,
         recorder: "StepRecorder | None" = None,
+        source_fn=None,
     ):
         if system.ndim != root_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -106,6 +107,7 @@ class AMRSolver:
         )
         self.integrator = make_integrator(self.config.integrator)
         self._initial_data = initial_data
+        self.source_fn = source_fn
         self._pipelines: dict[BlockKey, HydroPipeline] = {}
         self._interior_bcs = BoundarySet(default=InteriorFace())
         # Shared across every block pipeline so timings/counters aggregate
@@ -146,6 +148,8 @@ class AMRSolver:
                 metrics=self.metrics,
             )
             pipe.store_fluxes = self.amr.reflux
+            pipe.source_fn = self.source_fn
+            pipe.time = self.t
             self._pipelines[key] = pipe
         return pipe
 
@@ -297,13 +301,15 @@ class AMRSolver:
     # ------------------------------------------------------------------
 
     def _rhs(self, cons_parts: dict[BlockKey, np.ndarray]) -> dict[BlockKey, np.ndarray]:
+        # Per-block pipelines own their workspaces, so hot-path reuse is
+        # safe; refluxing is too, since last_face_fluxes stores copies.
         prims = {
-            key: self._pipeline(key).recover_primitives(cons_parts[key])
+            key: self._pipeline(key).recover_primitives(cons_parts[key], reuse=True)
             for key in self.forest.leaves
         }
         self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
         dU = {
-            key: self._pipeline(key).flux_divergence(prims[key])
+            key: self._pipeline(key).flux_divergence(prims[key], reuse=True)
             for key in self.forest.leaves
         }
         if self.amr.reflux:
@@ -314,6 +320,9 @@ class AMRSolver:
                 for key in self.forest.leaves
             }
             apply_reflux(self.forest, fluxes, dU)
+        if self.source_fn is not None:
+            for key in self.forest.leaves:
+                self._pipeline(key).apply_source(prims[key], dU[key])
         return dU
 
     def compute_dt(self, t_final: float | None = None) -> float:
@@ -321,14 +330,17 @@ class AMRSolver:
             compute_dt(
                 self.system,
                 leaf.grid,
-                self._pipeline(key).recover_primitives(leaf.cons),
+                self._pipeline(key).recover_primitives(leaf.cons, reuse=True),
                 cfl=self.config.cfl,
             )
             for key, leaf in self.forest.leaves.items()
         )
-        if t_final is not None and self.t + dt > t_final:
-            dt = t_final - self.t
-        return dt
+        return clip_dt_to_final(dt, self.t, t_final)
+
+    def _set_stage_time(self, t: float) -> None:
+        """Stage-time hook: every block pipeline's sources see t0 + c_i dt."""
+        for pipeline in self._pipelines.values():
+            pipeline.time = t
 
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
         wall0 = time.perf_counter()
@@ -336,7 +348,9 @@ class AMRSolver:
             dt = self.compute_dt(t_final)
         state = _DictState({k: leaf.cons for k, leaf in self.forest.leaves.items()})
         rhs = lambda s: _DictState(self._rhs(s.parts))
-        advanced = self.integrator.step(state, dt, rhs)
+        advanced = self.integrator.step(
+            state, dt, rhs, t0=self.t, set_time=self._set_stage_time
+        )
         for key, cons in advanced.parts.items():
             self.forest.leaves[key].cons = cons
         self.t += dt

@@ -41,4 +41,11 @@ class SolverConfig(ParameterSet):
     w_max = param(
         100.0, float, lambda v: v > 1, "Lorentz-factor cap applied to face states"
     )
+    scratch_workspace = param(
+        True,
+        bool,
+        doc="preallocate a per-pipeline scratch workspace and run the hot-path "
+        "kernels in place (bit-identical to the fresh-allocation path; "
+        "disable to force fresh arrays everywhere)",
+    )
     max_steps = param(1_000_000, int, lambda v: v > 0, "hard step-count limit")

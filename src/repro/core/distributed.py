@@ -28,7 +28,7 @@ from ..mesh.decomposition import CartesianDecomposition
 from ..mesh.grid import Grid
 from ..obs.metrics import MetricsRegistry
 from ..physics.srhd import SRHDSystem
-from ..time_integration.cfl import compute_dt
+from ..time_integration.cfl import clip_dt_to_final, compute_dt
 from ..utils.errors import ConfigurationError, NumericsError
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
@@ -102,6 +102,7 @@ class DistributedSolver:
         recorder: "StepRecorder | None" = None,
         fault_injector: "FaultInjector | None" = None,
         halo_policy: "HaloRetryPolicy | None" = None,
+        source_fn=None,
     ):
         if system.ndim != global_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -151,6 +152,7 @@ class DistributedSolver:
                 metrics=self.metrics,
                 fault_injector=fault_injector,
             )
+            self.pipelines[rank].source_fn = source_fn
 
         # Scatter the initial data (interiors), then fill all ghosts once.
         prim_interior = global_grid.interior_of(initial_prim)
@@ -205,22 +207,30 @@ class DistributedSolver:
             metrics=self.metrics,
         )
 
-    def _recover_and_exchange(self, cons: dict[int, np.ndarray], use_cache: bool = False):
+    def _recover_and_exchange(
+        self,
+        cons: dict[int, np.ndarray],
+        use_cache: bool = False,
+        reuse: bool = False,
+    ):
         if use_cache and self._prims_cache is not None:
             return self._prims_cache
         prims = {
-            rank: self.pipelines[rank].recover_primitives(cons[rank])
+            rank: self.pipelines[rank].recover_primitives(cons[rank], reuse=reuse)
             for rank in range(self.size)
         }
         self._exchange(prims)
         return prims
 
     def _rhs(self, cons: dict[int, np.ndarray]):
-        prims = self._recover_and_exchange(cons)
-        return {
-            rank: self.pipelines[rank].flux_divergence(prims[rank])
-            for rank in range(self.size)
-        }
+        # Each rank pipeline owns its workspace, so per-rank reuse is safe.
+        prims = self._recover_and_exchange(cons, reuse=True)
+        out = {}
+        for rank in range(self.size):
+            pipeline = self.pipelines[rank]
+            dU = pipeline.flux_divergence(prims[rank], reuse=True)
+            out[rank] = pipeline.apply_source(prims[rank], dU)
+        return out
 
     def compute_dt(self, t_final: float | None = None) -> float:
         """Global CFL step: allreduce(max) of the per-axis signal speeds,
@@ -238,9 +248,12 @@ class DistributedSolver:
         }
         vmax = self.comm.allreduce(local, op="max")[0]
         dt = dt_from_axis_maxima(self.global_grid, vmax, self.config.cfl)
-        if t_final is not None and self.t + dt > t_final:
-            dt = t_final - self.t
-        return dt
+        return clip_dt_to_final(dt, self.t, t_final)
+
+    def _set_stage_time(self, t: float) -> None:
+        """Stage-time hook: every rank pipeline's sources see t0 + c_i dt."""
+        for pipeline in self.pipelines.values():
+            pipeline.time = t
 
     def _check_dt(self, dt: float) -> None:
         if not np.isfinite(dt) or dt <= 0:
@@ -265,7 +278,10 @@ class DistributedSolver:
             dt = self.compute_dt(t_final)
         self._check_dt(dt)
         rhs = lambda state: _DictState(self._rhs(state.parts))
-        advanced = self.integrator.step(_DictState(self.cons), dt, rhs)
+        advanced = self.integrator.step(
+            _DictState(self.cons), dt, rhs,
+            t0=self.t, set_time=self._set_stage_time,
+        )
         self.cons = advanced.parts
         self._prims_cache = None  # state advanced: next dt recovers afresh
         self.t += dt

@@ -20,6 +20,7 @@ from ..reconstruct import make_reconstruction
 from ..riemann import make_riemann_solver
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
+from .workspace import ScratchWorkspace, scratch_buf
 
 
 class HydroPipeline:
@@ -80,6 +81,13 @@ class HydroPipeline:
         if fault_injector is not None and fault_injector.metrics is None:
             fault_injector.metrics = self.metrics
         self.recovery_stats = RecoveryStats()
+        #: preallocated kernel buffers for the hot path (one per pipeline, so
+        #: per-rank and per-AMR-block reuse is safe); None disables reuse.
+        self.workspace = (
+            ScratchWorkspace(grid, system.nvars)
+            if getattr(config, "scratch_workspace", True)
+            else None
+        )
         # Pressure cache seeds the next con2prim Newton solve.
         self._p_cache: np.ndarray | None = None
         #: when True, flux_divergence stashes the interior face fluxes per
@@ -96,9 +104,17 @@ class HydroPipeline:
 
     # ------------------------------------------------------------------
 
-    def recover_primitives(self, cons: np.ndarray) -> np.ndarray:
-        """Full primitive array: recovery on the interior + BC ghost fill."""
+    def recover_primitives(self, cons: np.ndarray, reuse: bool = False) -> np.ndarray:
+        """Full primitive array: recovery on the interior + BC ghost fill.
+
+        With ``reuse=True`` (the hot path) the returned array and the
+        recovery temporaries live in the pipeline workspace and are
+        overwritten by the next reusing call; the default returns fresh
+        arrays the caller may keep (e.g. the solver's primitive cache).
+        Values are bit-identical either way.
+        """
         grid, system = self.grid, self.system
+        ws = self.workspace if reuse else None
         with self.timers("con2prim"):
             cons_mask = self.atmosphere.apply_cons(system, cons)
             if cons_mask.any():
@@ -118,6 +134,8 @@ class HydroPipeline:
                     stats=sweep,
                     failsafe_frac=self.config.failsafe_frac,
                     atmosphere=(self.atmosphere.rho_atmo, self.atmosphere.p_atmo),
+                    scratch=ws,
+                    out=scratch_buf(ws, ("pipe", "interior_prim"), interior_cons.shape),
                 )
                 if self.fault_injector is not None:
                     self._maybe_inject_burst(interior_cons, interior_prim)
@@ -130,7 +148,12 @@ class HydroPipeline:
             if prim_mask.any():
                 self.metrics.counter("atmo.prim_reset").inc(int(prim_mask.sum()))
             self._p_cache = interior_prim[system.P].copy()
-        prim = grid.allocate(system.nvars)
+        if ws is not None:
+            # Zero-fill on reuse so ghost corners match grid.allocate exactly.
+            prim = ws.prim
+            prim.fill(0.0)
+        else:
+            prim = grid.allocate(system.nvars)
         grid.interior_of(prim)[...] = interior_prim
         with self.timers("boundary"):
             self.boundaries.apply(system, grid, prim)
@@ -147,9 +170,10 @@ class HydroPipeline:
         if sweep.n_failsafe:
             m.counter("resilience.failsafe_cells").inc(sweep.n_failsafe)
         m.gauge("con2prim.max_newton_iters").max(sweep.max_iterations)
-        # Tail analysis works off the full distribution, not just the
-        # running maximum the gauge keeps.
-        m.histogram("con2prim.newton_iters").observe(sweep.max_iterations)
+        # Tail analysis works off the full distribution of per-sweep maxima,
+        # not just the running maximum the gauge keeps. (The name says _max:
+        # this is the sweep's worst cell, not a per-cell distribution.)
+        m.histogram("con2prim.newton_iters_max").observe(sweep.max_iterations)
 
     def _maybe_inject_burst(
         self, interior_cons: np.ndarray, interior_prim: np.ndarray
@@ -239,18 +263,52 @@ class HydroPipeline:
         np.maximum(q[system.P], self.atmosphere.p_atmo, out=q[system.P])
         return q
 
-    def flux_divergence(self, prim: np.ndarray) -> np.ndarray:
-        """-div F over the interior; ghost entries of the result are zero."""
+    def flux_divergence(self, prim: np.ndarray, reuse: bool = False) -> np.ndarray:
+        """-div F over the interior; ghost entries of the result are zero.
+
+        With ``reuse=True`` the result is the workspace's ``dU`` buffer
+        (overwritten by the next reusing call) and every kernel stage runs
+        in preallocated buffers; the default allocates fresh arrays.
+        AMR refluxing stays safe under reuse: :attr:`last_face_fluxes`
+        always stores copies.
+        """
         grid, system = self.grid, self.system
-        dU = np.zeros((system.nvars,) + grid.shape_with_ghosts)
+        ws = self.workspace if reuse else None
+        if ws is not None:
+            dU = ws.dU
+            dU.fill(0.0)
+        else:
+            dU = np.zeros((system.nvars,) + grid.shape_with_ghosts)
         g = grid.n_ghost
         for axis in range(grid.ndim):
+            face_shape = (
+                ws.face_shape(axis)
+                if ws is not None
+                else (system.nvars,)
+                + tuple(
+                    grid.shape[ax] + 1 if ax == axis else grid.shape_with_ghosts[ax]
+                    for ax in range(grid.ndim)
+                )
+            )
             with self.timers("reconstruct"):
-                qL, qR = self.reconstruction.interface_states(prim, axis, g)
+                qL, qR = self.reconstruction.interface_states(
+                    prim,
+                    axis,
+                    g,
+                    out=(
+                        scratch_buf(ws, ("faces", axis, "L"), face_shape),
+                        scratch_buf(ws, ("faces", axis, "R"), face_shape),
+                    ),
+                    scratch=ws,
+                )
                 self.sanitize_face_states(qL)
                 self.sanitize_face_states(qR)
             with self.timers("riemann"):
-                F = self.riemann.flux(system, qL, qR, axis)
+                F = self.riemann.flux(
+                    system, qL, qR, axis,
+                    out=scratch_buf(ws, ("flux", axis), face_shape),
+                    scratch=ws,
+                )
             with self.timers("update"):
                 # Slice transverse axes to the interior, difference along axis.
                 Fm = np.moveaxis(F, axis + 1, -1)
@@ -261,22 +319,41 @@ class HydroPipeline:
                 Fm = Fm[tuple(sel)]
                 if self.store_fluxes:
                     self.last_face_fluxes[axis] = Fm.copy()
-                div = (Fm[..., 1:] - Fm[..., :-1]) / grid.dx[axis]
+                div = scratch_buf(ws, ("div", axis), Fm[..., 1:].shape)
+                np.subtract(Fm[..., 1:], Fm[..., :-1], out=div)
+                np.divide(div, grid.dx[axis], out=div)
                 target = np.moveaxis(grid.interior_of(dU), axis + 1, -1)
                 target -= div
         return dU
 
-    def rhs(self, cons: np.ndarray) -> np.ndarray:
-        """dU/dt for the SSP integrators (cons may be floored in place)."""
-        prim = self.recover_primitives(cons)
-        dU = self.flux_divergence(prim)
-        if self.source_fn is not None:
-            with self.timers("source"):
-                src = self.source_fn(
-                    self.system, self.grid, self.grid.interior_of(prim), self.time
-                )
-                self.grid.interior_of(dU)[...] += src
+    def apply_source(self, prim: np.ndarray, dU: np.ndarray, time: float | None = None):
+        """Add ``source_fn`` (evaluated at *time*, default :attr:`time`) to *dU*.
+
+        Shared by every driver (unigrid, distributed, AMR) so the stage-time
+        plumbing has one implementation.
+        """
+        if self.source_fn is None:
+            return dU
+        with self.timers("source"):
+            t = self.time if time is None else time
+            src = self.source_fn(
+                self.system, self.grid, self.grid.interior_of(prim), t
+            )
+            self.grid.interior_of(dU)[...] += src
         return dU
+
+    def rhs(self, cons: np.ndarray, reuse: bool = True) -> np.ndarray:
+        """dU/dt for the SSP integrators (cons may be floored in place).
+
+        By default the result lives in the pipeline workspace and is valid
+        until the next ``rhs``/``recover_primitives`` call — exactly the
+        lifetime the SSP integrators need, since each stage consumes the
+        previous rhs before requesting the next. Pass ``reuse=False`` (or
+        configure ``scratch_workspace=False``) for a caller-owned array.
+        """
+        prim = self.recover_primitives(cons, reuse=reuse)
+        dU = self.flux_divergence(prim, reuse=reuse)
+        return self.apply_source(prim, dU)
 
     def max_signal_speed(self, prim: np.ndarray, axis: int) -> float:
         return self.system.max_signal_speed(self.grid.interior_of(prim), axis)

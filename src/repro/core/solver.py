@@ -133,6 +133,10 @@ class Solver:
             t_final=t_final,
         )
 
+    def _set_stage_time(self, t: float) -> None:
+        """Stage-time hook for the integrator: source terms see t0 + c_i dt."""
+        self.pipeline.time = t
+
     def _check_dt(self, dt: float) -> None:
         if not np.isfinite(dt) or dt <= 0:
             raise NumericsError(
@@ -155,8 +159,10 @@ class Solver:
         if dt is None:
             dt = self.compute_dt(t_final)
         self._check_dt(dt)
-        self.pipeline.time = self.t
-        self.cons = self.integrator.step(self.cons, dt, self.pipeline.rhs)
+        self.cons = self.integrator.step(
+            self.cons, dt, self.pipeline.rhs,
+            t0=self.t, set_time=self._set_stage_time,
+        )
         self.t += dt
         self._prim_dirty = True
         self._check_finite()

@@ -13,6 +13,13 @@ from typing import Any, Sequence
 from ..utils.errors import ConfigurationError
 
 
+#: histograms renamed since older event streams were recorded; mapping the
+#: old name forward keeps archived --metrics-out files readable.
+#: ("con2prim.newton_iters" always observed the per-sweep *max* Newton
+#: iteration count, which is what the new name says.)
+_HISTOGRAM_RENAMES = {"con2prim.newton_iters": "con2prim.newton_iters_max"}
+
+
 def _format_cell(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:
@@ -101,6 +108,7 @@ class Report:
         # Histogram summaries are cumulative, so the last record has the
         # full-run distribution.
         for name, summ in sorted(steps[-1].get("histograms", {}).items()):
+            name = _HISTOGRAM_RENAMES.get(name, name)
             report.add_row(f"hist.{name}.count", summ.get("count", 0))
             report.add_row(f"hist.{name}.mean", float(summ.get("mean", 0.0)))
             report.add_row(f"hist.{name}.max", float(summ.get("max", 0.0)))

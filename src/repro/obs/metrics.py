@@ -149,9 +149,17 @@ def counter_deltas(new: dict, old: dict | None) -> dict[str, float]:
 
     Counters absent from *old* are treated as having been zero, so the
     first delta after an instrument appears reports its full value.
+
+    A counter whose *new* value is **smaller** than its *old* value can only
+    mean the registry was reset between the snapshots (counters are
+    monotone). The naive difference would be negative — and counters the
+    reset removed entirely would be dropped — silently corrupting per-step
+    deltas. Both cases re-baseline from zero: the delta is the counter's
+    full post-reset value.
     """
     prev = (old or {}).get("counters", {})
-    return {
-        name: value - prev.get(name, 0.0)
-        for name, value in new.get("counters", {}).items()
-    }
+    out = {}
+    for name, value in new.get("counters", {}).items():
+        base = prev.get(name, 0.0)
+        out[name] = value - base if value >= base else value
+    return out

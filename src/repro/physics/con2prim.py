@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from ..eos.base import EOS
 from ..utils.errors import RecoveryError
 from .srhd import SRHDSystem
@@ -65,23 +66,53 @@ class RecoveryStats:
         self.max_iterations = max(self.max_iterations, other.max_iterations)
 
 
-def _eval_state(eos: EOS, D, S2, tau, p):
+def _eval_state(eos: EOS, D, S2, tau, p, scratch=None, tag="c2p"):
     """Trial primitive state and EOS pressure residual at pressure *p*.
 
-    Returns (rho, eps, v2, residual). All inputs/outputs are arrays.
+    Returns (rho, eps, v2, residual). All inputs/outputs are arrays; the
+    outputs live in *scratch* buffers when a workspace is given (the
+    Newton hot loop), fresh arrays otherwise (the bisection cold path).
+    The in-place evaluation preserves the original operation order.
     """
-    Q = tau + D + p
-    v2 = np.clip(S2 / Q**2, 0.0, 1.0 - 1e-14)
-    W = 1.0 / np.sqrt(1.0 - v2)
-    rho = D / W
-    eps = np.maximum((Q * (1.0 - v2) - p) / rho - 1.0, 0.0)
-    residual = eos.pressure(rho, eps) - p
+    n = D.shape
+    # Q = tau + D + p
+    Q = scratch_buf(scratch, (tag, "Q"), n)
+    np.add(tau, D, out=Q)
+    np.add(Q, p, out=Q)
+    # v2 = clip(S2 / Q**2, 0, 1 - 1e-14)
+    v2 = scratch_buf(scratch, (tag, "v2"), n)
+    np.square(Q, out=v2)
+    np.divide(S2, v2, out=v2)
+    np.clip(v2, 0.0, 1.0 - 1e-14, out=v2)
+    # W = 1/sqrt(1 - v2); rho = D/W
+    W = scratch_buf(scratch, (tag, "W"), n)
+    np.subtract(1.0, v2, out=W)
+    np.sqrt(W, out=W)
+    np.divide(1.0, W, out=W)
+    rho = scratch_buf(scratch, (tag, "rho"), n)
+    np.divide(D, W, out=rho)
+    # eps = max((Q (1 - v2) - p)/rho - 1, 0)
+    eps = scratch_buf(scratch, (tag, "eps"), n)
+    np.subtract(1.0, v2, out=eps)
+    np.multiply(Q, eps, out=eps)
+    np.subtract(eps, p, out=eps)
+    np.divide(eps, rho, out=eps)
+    np.subtract(eps, 1.0, out=eps)
+    np.maximum(eps, 0.0, out=eps)
+    residual = scratch_buf(scratch, (tag, "res"), n)
+    np.subtract(eos.pressure(rho, eps), p, out=residual)
     return rho, eps, v2, residual
 
 
-def _p_lower_bracket(D, S2, tau, p_floor):
+def _p_lower_bracket(D, S2, tau, p_floor, scratch=None, tag="c2p"):
     """Smallest admissible pressure: keeps v < 1 with a safety margin."""
-    return np.maximum((1.0 + 1e-10) * (np.sqrt(S2) - tau - D), p_floor)
+    out = scratch_buf(scratch, (tag, "p_lo"), D.shape)
+    np.sqrt(S2, out=out)
+    np.subtract(out, tau, out=out)
+    np.subtract(out, D, out=out)
+    np.multiply(out, 1.0 + 1e-10, out=out)
+    np.maximum(out, p_floor, out=out)
+    return out
 
 
 def con_to_prim(
@@ -95,6 +126,8 @@ def con_to_prim(
     stats: RecoveryStats | None = None,
     failsafe_frac: float = 0.0,
     atmosphere: tuple[float, float] | None = None,
+    scratch=None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Invert conserved variables to primitives over a whole grid.
 
@@ -110,6 +143,13 @@ def con_to_prim(
         crude estimate is used otherwise.
     stats:
         Optional :class:`RecoveryStats` filled with convergence counters.
+    scratch:
+        Optional :class:`~repro.core.workspace.ScratchWorkspace`; the
+        Newton hot loop's flat temporaries then reuse preallocated
+        buffers. The bisection fallback (cold path, data-dependent
+        sizes) always allocates fresh. Results are bit-identical.
+    out:
+        Optional preallocated primitive array receiving the result.
     failsafe_frac, atmosphere:
         Bounded non-convergence failsafe.  When ``failsafe_frac > 0`` and
         ``atmosphere=(rho_atmo, p_atmo)`` is given, up to
@@ -137,21 +177,30 @@ def con_to_prim(
     shape = cons.shape[1:]
     D = cons[system.D].reshape(-1)
     tau = cons[system.TAU].reshape(-1)
-    S2 = np.zeros_like(D)
+    S2 = scratch_buf(scratch, ("c2p", "S2"), D.shape)
+    S2.fill(0.0)
+    sq = scratch_buf(scratch, ("c2p", "S2sq"), D.shape)
     for ax in range(system.ndim):
-        S2 += cons[system.S(ax)].reshape(-1) ** 2
+        np.square(cons[system.S(ax)].reshape(-1), out=sq)
+        S2 += sq
 
-    p_lo = _p_lower_bracket(D, S2, tau, p_floor)
+    p_lo = _p_lower_bracket(D, S2, tau, p_floor, scratch=scratch)
+    p = scratch_buf(scratch, ("c2p", "p"), D.shape)
     if p_guess is not None:
-        p = np.maximum(p_guess.reshape(-1).copy(), p_lo)
+        np.maximum(p_guess.reshape(-1), p_lo, out=p)
     else:
         # Gamma-law-flavoured seed: thermal pressure of order the kinetic gap.
-        p = np.maximum(np.abs(tau - np.sqrt(S2)) * 0.5 + p_floor, p_lo)
+        np.sqrt(S2, out=p)
+        np.subtract(tau, p, out=p)
+        np.abs(p, out=p)
+        np.multiply(p, 0.5, out=p)
+        np.add(p, p_floor, out=p)
+        np.maximum(p, p_lo, out=p)
 
     converged = np.zeros(D.shape, dtype=bool)
     newton_iters = 0
     for newton_iters in range(1, max_newton + 1):
-        rho, eps, v2, f = _eval_state(eos, D, S2, tau, p)
+        rho, eps, v2, f = _eval_state(eos, D, S2, tau, p, scratch=scratch)
         cs2 = np.clip(eos.sound_speed_sq(rho, np.maximum(eps, 1e-300)), 0.0, 1.0 - 1e-12)
         newly = np.abs(f) <= tol * np.maximum(p, p_floor)
         converged |= newly
@@ -251,12 +300,17 @@ def con_to_prim(
             indices=failed[:1024],
         )
 
-    rho, eps, v2, _ = _eval_state(eos, D, S2, tau, p)
-    Q = tau + D + p
-    prim = np.empty_like(cons)
+    rho, eps, v2, _ = _eval_state(eos, D, S2, tau, p, scratch=scratch)
+    Q = scratch_buf(scratch, ("c2p", "Qfin"), D.shape)
+    np.add(tau, D, out=Q)
+    np.add(Q, p, out=Q)
+    prim = np.empty_like(cons) if out is None else out
     prim[system.RHO] = rho.reshape(shape)
     for ax in range(system.ndim):
-        prim[system.V(ax)] = (cons[system.S(ax)].reshape(-1) / Q).reshape(shape)
+        np.divide(
+            cons[system.S(ax)].reshape(-1), Q, out=sq
+        )
+        prim[system.V(ax)] = sq.reshape(shape)
     prim[system.P] = p.reshape(shape)
 
     if failsafed:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from ..eos.base import EOS
 from ..utils.errors import ConfigurationError
 
@@ -88,12 +89,21 @@ class SRHDSystem:
 
     # -- kinematics ----------------------------------------------------------
 
-    def v_squared(self, prim: np.ndarray) -> np.ndarray:
-        """v^2 = sum_i v_i v_i (flat metric)."""
-        v2 = np.zeros_like(prim[0])
+    def v_squared(self, prim: np.ndarray, out=None, scratch=None, tag="v2") -> np.ndarray:
+        """v^2 = sum_i v_i v_i (flat metric).
+
+        With *out* the sum accumulates in place; *scratch* supplies the
+        per-component square buffer (see :mod:`repro.core.workspace`).
+        """
+        if out is None:
+            out = np.zeros_like(prim[0])
+        else:
+            out.fill(0.0)
+        t = scratch_buf(scratch, (tag, "sq"), prim.shape[1:])
         for ax in range(self.ndim):
-            v2 += prim[self.V(ax)] ** 2
-        return v2
+            np.square(prim[self.V(ax)], out=t)
+            out += t
+        return out
 
     def lorentz_factor(self, prim: np.ndarray) -> np.ndarray:
         """W = 1/sqrt(1 - v^2); raises on superluminal input."""
@@ -106,34 +116,72 @@ class SRHDSystem:
 
     # -- conversions ---------------------------------------------------------
 
-    def prim_to_con(self, prim: np.ndarray) -> np.ndarray:
-        """Map primitives [rho, v_i, p] to conserved [D, S_i, tau]."""
+    def prim_to_con(self, prim: np.ndarray, out=None, scratch=None, tag="p2c") -> np.ndarray:
+        """Map primitives [rho, v_i, p] to conserved [D, S_i, tau].
+
+        *out* receives the conserved state in place; *scratch* supplies the
+        intermediate buffers (Lorentz factor, enthalpy) so a steady-state
+        call allocates nothing. Results are bit-identical either way.
+        """
         rho = prim[self.RHO]
         p = prim[self.P]
-        W = self.lorentz_factor(prim)
+        cell = prim.shape[1:]
+        v2 = self.v_squared(
+            prim, out=scratch_buf(scratch, (tag, "v2"), cell), scratch=scratch, tag=tag
+        )
+        if np.any(v2 >= 1.0):
+            raise ConfigurationError(
+                f"superluminal primitive state: max v^2 = {v2.max():.6g}"
+            )
+        # W = 1/sqrt(1 - v2), computed in place in the same op order.
+        W = scratch_buf(scratch, (tag, "W"), cell)
+        np.subtract(1.0, v2, out=W)
+        np.sqrt(W, out=W)
+        np.divide(1.0, W, out=W)
         eps = self.eos.eps_from_pressure(rho, p)
-        h = 1.0 + eps + p / rho
-        rhohW2 = rho * h * W**2
-        cons = np.empty_like(prim)
-        cons[self.D] = rho * W
+        # h = 1 + eps + p/rho  ==  (1 + eps) + (p/rho)
+        h = scratch_buf(scratch, (tag, "h"), cell)
+        t = scratch_buf(scratch, (tag, "t"), cell)
+        np.divide(p, rho, out=h)
+        np.add(1.0, eps, out=t)
+        np.add(t, h, out=h)
+        # rhohW2 = (rho*h) * W**2
+        rhohW2 = scratch_buf(scratch, (tag, "rhw"), cell)
+        np.square(W, out=t)
+        np.multiply(rho, h, out=rhohW2)
+        np.multiply(rhohW2, t, out=rhohW2)
+        cons = np.empty_like(prim) if out is None else out
+        np.multiply(rho, W, out=cons[self.D])
         for ax in range(self.ndim):
-            cons[self.S(ax)] = rhohW2 * prim[self.V(ax)]
-        cons[self.TAU] = rhohW2 - p - cons[self.D]
+            np.multiply(rhohW2, prim[self.V(ax)], out=cons[self.S(ax)])
+        # tau = (rhohW2 - p) - D
+        np.subtract(rhohW2, p, out=cons[self.TAU])
+        cons[self.TAU] -= cons[self.D]
         return cons
 
     # -- fluxes and signal speeds ---------------------------------------------
 
-    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0) -> np.ndarray:
+    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0, out=None) -> np.ndarray:
         """Physical flux F^axis(U) evaluated from matching prim/cons states."""
         vk = prim[self.V(axis)]
         p = prim[self.P]
-        F = np.empty_like(cons)
-        F[self.D] = cons[self.D] * vk
+        F = np.empty_like(cons) if out is None else out
+        np.multiply(cons[self.D], vk, out=F[self.D])
         for ax in range(self.ndim):
-            F[self.S(ax)] = cons[self.S(ax)] * vk
+            np.multiply(cons[self.S(ax)], vk, out=F[self.S(ax)])
         F[self.S(axis)] += p
-        F[self.TAU] = cons[self.S(axis)] - cons[self.D] * vk
+        # tau flux: S_axis - D*vk, staged in the output row.
+        np.multiply(cons[self.D], vk, out=F[self.TAU])
+        np.subtract(cons[self.S(axis)], F[self.TAU], out=F[self.TAU])
         return F
+
+    def sound_speed_sq_into(self, prim: np.ndarray, out, scratch=None, tag="cs2") -> np.ndarray:
+        """:meth:`sound_speed_sq` writing its clipped result into *out*."""
+        rho = prim[self.RHO]
+        p = prim[self.P]
+        eps = self.eos.eps_from_pressure(rho, p)
+        np.clip(self.eos.sound_speed_sq(rho, eps), 0.0, 1.0 - 1e-12, out=out)
+        return out
 
     def sound_speed_sq(self, prim: np.ndarray) -> np.ndarray:
         rho = prim[self.RHO]
@@ -141,17 +189,52 @@ class SRHDSystem:
         eps = self.eos.eps_from_pressure(rho, p)
         return np.clip(self.eos.sound_speed_sq(rho, eps), 0.0, 1.0 - 1e-12)
 
-    def char_speeds(self, prim: np.ndarray, axis: int = 0):
-        """Fastest left/right characteristic speeds (lam_minus, lam_plus)."""
+    def char_speeds(self, prim: np.ndarray, axis: int = 0, out=None, scratch=None, tag="cs"):
+        """Fastest left/right characteristic speeds (lam_minus, lam_plus).
+
+        *out* is an optional ``(lam_minus, lam_plus)`` buffer pair;
+        *scratch* supplies the intermediates. The in-place evaluation
+        preserves the original operation order bit-for-bit.
+        """
         vk = prim[self.V(axis)]
-        v2 = self.v_squared(prim)
-        cs2 = self.sound_speed_sq(prim)
-        one_m_v2 = np.maximum(1.0 - v2, 1e-16)
-        disc = one_m_v2 * (1.0 - vk**2 - (v2 - vk**2) * cs2)
-        root = np.sqrt(np.maximum(disc, 0.0))
-        denom = 1.0 - v2 * cs2
-        lam_minus = (vk * (1.0 - cs2) - np.sqrt(cs2) * root) / denom
-        lam_plus = (vk * (1.0 - cs2) + np.sqrt(cs2) * root) / denom
+        cell = prim.shape[1:]
+        v2 = self.v_squared(
+            prim, out=scratch_buf(scratch, (tag, "v2"), cell), scratch=scratch, tag=tag
+        )
+        cs2 = self.sound_speed_sq_into(
+            prim, scratch_buf(scratch, (tag, "cs2"), cell), scratch=scratch, tag=tag
+        )
+        lam_minus, lam_plus = out if out is not None else (
+            np.empty(cell), np.empty(cell)
+        )
+        t1 = scratch_buf(scratch, (tag, "t1"), cell)
+        t2 = scratch_buf(scratch, (tag, "t2"), cell)
+        t3 = scratch_buf(scratch, (tag, "t3"), cell)
+        # disc = max(1 - v2, 1e-16) * ((1 - vk**2) - (v2 - vk**2) * cs2)
+        np.square(vk, out=t1)
+        np.subtract(v2, t1, out=t2)
+        np.multiply(t2, cs2, out=t2)
+        np.subtract(1.0, t1, out=t1)
+        np.subtract(t1, t2, out=t1)
+        np.subtract(1.0, v2, out=t3)
+        np.maximum(t3, 1e-16, out=t3)
+        np.multiply(t3, t1, out=t1)
+        # root = sqrt(max(disc, 0))
+        np.maximum(t1, 0.0, out=t1)
+        np.sqrt(t1, out=t1)
+        # denom = 1 - v2 * cs2
+        np.multiply(v2, cs2, out=t2)
+        np.subtract(1.0, t2, out=t2)
+        # a = vk * (1 - cs2); b = sqrt(cs2) * root
+        a = scratch_buf(scratch, (tag, "a"), cell)
+        np.subtract(1.0, cs2, out=a)
+        np.multiply(vk, a, out=a)
+        np.sqrt(cs2, out=t3)
+        np.multiply(t3, t1, out=t3)
+        np.subtract(a, t3, out=lam_minus)
+        np.divide(lam_minus, t2, out=lam_minus)
+        np.add(a, t3, out=lam_plus)
+        np.divide(lam_plus, t2, out=lam_plus)
         return lam_minus, lam_plus
 
     def max_signal_speed(self, prim: np.ndarray, axis: int | None = None) -> float:

@@ -83,40 +83,50 @@ class TracerSystem:
 
     # -- SRHDSystem interface -------------------------------------------------
 
-    def v_squared(self, prim):
+    def v_squared(self, prim, out=None, scratch=None, tag="v2"):
         """|v|^2 of the hydro sector (delegated)."""
-        return self.base.v_squared(self._hydro(prim))
+        return self.base.v_squared(self._hydro(prim), out=out, scratch=scratch, tag=tag)
 
     def lorentz_factor(self, prim):
         """Lorentz factor of the hydro sector (delegated)."""
         return self.base.lorentz_factor(self._hydro(prim))
 
-    def prim_to_con(self, prim: np.ndarray) -> np.ndarray:
+    def prim_to_con(self, prim: np.ndarray, out=None, scratch=None, tag="p2c") -> np.ndarray:
         """Hydro conversion plus D_Y = D * Y for every tracer."""
-        cons = np.empty_like(prim)
-        cons[: self.base.nvars] = self.base.prim_to_con(self._hydro(prim))
+        cons = np.empty_like(prim) if out is None else out
+        self.base.prim_to_con(
+            self._hydro(prim), out=cons[: self.base.nvars], scratch=scratch, tag=tag
+        )
         for m in range(self.n_tracers):
-            cons[self.Y(m)] = cons[self.D] * prim[self.Y(m)]
+            np.multiply(cons[self.D], prim[self.Y(m)], out=cons[self.Y(m)])
         return cons
 
-    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0) -> np.ndarray:
+    def flux(self, prim: np.ndarray, cons: np.ndarray, axis: int = 0, out=None) -> np.ndarray:
         """Hydro flux plus tracer advection fluxes D_Y v^k."""
-        F = np.empty_like(cons)
-        F[: self.base.nvars] = self.base.flux(
-            self._hydro(prim), self._hydro(cons), axis
+        F = np.empty_like(cons) if out is None else out
+        self.base.flux(
+            self._hydro(prim), self._hydro(cons), axis, out=F[: self.base.nvars]
         )
         vk = prim[self.V(axis)]
         for m in range(self.n_tracers):
-            F[self.Y(m)] = cons[self.Y(m)] * vk
+            np.multiply(cons[self.Y(m)], vk, out=F[self.Y(m)])
         return F
 
     def sound_speed_sq(self, prim):
         """Sound speed squared (tracers do not alter acoustics)."""
         return self.base.sound_speed_sq(self._hydro(prim))
 
-    def char_speeds(self, prim, axis=0):
+    def sound_speed_sq_into(self, prim, out, scratch=None, tag="cs2"):
+        """:meth:`sound_speed_sq` writing into *out* (delegated)."""
+        return self.base.sound_speed_sq_into(
+            self._hydro(prim), out, scratch=scratch, tag=tag
+        )
+
+    def char_speeds(self, prim, axis=0, out=None, scratch=None, tag="cs"):
         """Characteristic speeds (tracers ride the contact; unchanged)."""
-        return self.base.char_speeds(self._hydro(prim), axis)
+        return self.base.char_speeds(
+            self._hydro(prim), axis, out=out, scratch=scratch, tag=tag
+        )
 
     def max_signal_speed(self, prim, axis=None):
         """Largest |characteristic speed| (delegated)."""

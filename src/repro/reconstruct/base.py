@@ -29,7 +29,9 @@ class Reconstruction(ABC):
     #: formal order of accuracy in smooth regions
     order: int = 1
 
-    def interface_states(self, q: np.ndarray, axis: int, n_ghost: int):
+    def interface_states(
+        self, q: np.ndarray, axis: int, n_ghost: int, out=None, scratch=None
+    ):
         """Left/right states at the n+1 interior faces along *axis*.
 
         Parameters
@@ -41,6 +43,12 @@ class Reconstruction(ABC):
             Grid axis (0-based, excluding the variable axis).
         n_ghost:
             Ghost layers present in *q* along every axis.
+        out:
+            Optional preallocated ``(qL, qR)`` pair (face shape along
+            *axis*); the states are written in place and *out* returned.
+        scratch:
+            Optional :class:`~repro.core.workspace.ScratchWorkspace`
+            supplying the scheme's intermediate buffers.
 
         Returns
         -------
@@ -54,15 +62,28 @@ class Reconstruction(ABC):
                 f"grid has {n_ghost}"
             )
         work = np.moveaxis(q, axis + 1, -1)  # view
-        qL, qR = self._reconstruct_last_axis(work, n_ghost)
+        wout = None
+        if out is not None:
+            wout = (
+                np.moveaxis(out[0], axis + 1, -1),
+                np.moveaxis(out[1], axis + 1, -1),
+            )
+        qL, qR = self._reconstruct_last_axis(
+            work, n_ghost, out=wout, scratch=scratch, tag=(self.name, axis)
+        )
+        if out is not None:
+            return out
         return (
             np.moveaxis(qL, -1, axis + 1),
             np.moveaxis(qR, -1, axis + 1),
         )
 
     @abstractmethod
-    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
-        """Compute (qL, qR) with the working axis last."""
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int, out=None, scratch=None, tag=None):
+        """Compute (qL, qR) with the working axis last.
+
+        Schemes without a native in-place path may compute fresh arrays and
+        copy them into *out* — values are identical either way."""
 
     def __repr__(self):
         return f"<Reconstruction {self.name} (order {self.order})>"

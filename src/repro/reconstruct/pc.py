@@ -16,7 +16,12 @@ class PiecewiseConstant(Reconstruction):
     required_ghosts = 1
     order = 1
 
-    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int, out=None, scratch=None, tag=None):
+        if out is not None:
+            qL, qR = out
+            np.copyto(qL, cell_view(q, 0, g))
+            np.copyto(qR, cell_view(q, 1, g))
+            return qL, qR
         qL = cell_view(q, 0, g).copy()
         qR = cell_view(q, 1, g).copy()
         return qL, qR

@@ -42,7 +42,7 @@ class PPM(Reconstruction):
     required_ghosts = 3
     order = 3
 
-    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int, out=None, scratch=None, tag=None):
         def iface(offset):
             """4th-order interface value at face (offset) relative to each face.
 
@@ -71,4 +71,8 @@ class PPM(Reconstruction):
         _, qL = _monotonize(a_l, f_m, f_0.copy())
         # Monotonize in cell i+1 -> left edge is the face-R state.
         qR, _ = _monotonize(a_r, f_0.copy(), f_p)
+        if out is not None:
+            np.copyto(out[0], qL)
+            np.copyto(out[1], qR)
+            return out
         return qL, qR

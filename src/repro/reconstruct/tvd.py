@@ -4,48 +4,141 @@ Cell *i* gets a limited slope ``sigma_i`` from its neighbour differences;
 interface states are ``qL = q_i + sigma_i / 2`` and ``qR = q_{i+1} -
 sigma_{i+1} / 2``. Limiters: minmod, MC (monotonized central), van Leer,
 superbee — the standard menu in relativistic HRSC codes.
+
+Every limiter takes optional ``out``/``scratch``/``tag`` arguments and then
+runs fully in place (the hot path allocates nothing); without them the
+behaviour is the original allocate-per-call one. Both paths produce
+bit-identical values: the in-place forms replicate the original
+``np.where`` selections with masked ``np.copyto`` and preserve the
+operation order of every arithmetic expression. ``out`` must not alias the
+inputs.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from ..utils.errors import ConfigurationError
 from .base import Reconstruction, cell_view
 
 
-def minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Classic two-argument minmod."""
-    return np.where(a * b > 0.0, np.where(np.abs(a) < np.abs(b), a, b), 0.0)
+def minmod(a: np.ndarray, b: np.ndarray, out=None, scratch=None, tag="mm") -> np.ndarray:
+    """Classic two-argument minmod:
+    ``where(a*b > 0, where(|a| < |b|, a, b), 0)``."""
+    if out is None:
+        out = np.empty_like(np.asarray(a, dtype=float))
+    shape = out.shape
+    t = scratch_buf(scratch, (tag, "mm_t"), shape)
+    np.multiply(a, b, out=t)
+    pos = scratch_buf(scratch, (tag, "mm_pos"), shape, dtype=bool)
+    np.greater(t, 0.0, out=pos)
+    ta = scratch_buf(scratch, (tag, "mm_ta"), shape)
+    np.abs(a, out=ta)
+    np.abs(b, out=t)
+    lt = scratch_buf(scratch, (tag, "mm_lt"), shape, dtype=bool)
+    np.less(ta, t, out=lt)
+    np.copyto(out, b)
+    np.copyto(out, a, where=lt)
+    np.logical_not(pos, out=pos)
+    np.copyto(out, 0.0, where=pos)
+    return out
 
 
-def minmod3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+def minmod3(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, out=None, scratch=None, tag="m3"
+) -> np.ndarray:
     """Three-argument minmod (all same sign -> smallest magnitude, else 0)."""
-    same = (np.sign(a) == np.sign(b)) & (np.sign(b) == np.sign(c)) & (a != 0.0)
-    mag = np.minimum(np.abs(a), np.minimum(np.abs(b), np.abs(c)))
-    return np.where(same, np.sign(a) * mag, 0.0)
+    if out is None:
+        out = np.empty_like(np.asarray(a, dtype=float))
+    shape = out.shape
+    sa = scratch_buf(scratch, (tag, "m3_sa"), shape)
+    np.sign(a, out=sa)
+    t1 = scratch_buf(scratch, (tag, "m3_t1"), shape)
+    t2 = scratch_buf(scratch, (tag, "m3_t2"), shape)
+    same = scratch_buf(scratch, (tag, "m3_same"), shape, dtype=bool)
+    bt = scratch_buf(scratch, (tag, "m3_bt"), shape, dtype=bool)
+    # same = (sign(a) == sign(b)) & (sign(b) == sign(c)) & (a != 0)
+    np.sign(b, out=t1)
+    np.sign(c, out=t2)
+    np.equal(sa, t1, out=same)
+    np.equal(t1, t2, out=bt)
+    np.logical_and(same, bt, out=same)
+    np.not_equal(a, 0.0, out=bt)
+    np.logical_and(same, bt, out=same)
+    # mag = min(|a|, min(|b|, |c|))
+    np.abs(b, out=t1)
+    np.abs(c, out=t2)
+    np.minimum(t1, t2, out=t1)
+    np.abs(a, out=t2)
+    np.minimum(t2, t1, out=t1)
+    np.multiply(sa, t1, out=out)
+    np.logical_not(same, out=same)
+    np.copyto(out, 0.0, where=same)
+    return out
 
 
-def slope_minmod(dm: np.ndarray, dp: np.ndarray) -> np.ndarray:
-    return minmod(dm, dp)
+def slope_minmod(dm: np.ndarray, dp: np.ndarray, out=None, scratch=None, tag="mm"):
+    return minmod(dm, dp, out=out, scratch=scratch, tag=tag)
 
 
-def slope_mc(dm: np.ndarray, dp: np.ndarray) -> np.ndarray:
+def slope_mc(dm: np.ndarray, dp: np.ndarray, out=None, scratch=None, tag="mc"):
     """Monotonized central: minmod(2 dm, 2 dp, (dm + dp)/2)."""
-    return minmod3(2.0 * dm, 2.0 * dp, 0.5 * (dm + dp))
+    shape = np.asarray(dm).shape
+    a2 = scratch_buf(scratch, (tag, "mc_a"), shape)
+    b2 = scratch_buf(scratch, (tag, "mc_b"), shape)
+    cc = scratch_buf(scratch, (tag, "mc_c"), shape)
+    np.multiply(dm, 2.0, out=a2)
+    np.multiply(dp, 2.0, out=b2)
+    np.add(dm, dp, out=cc)
+    np.multiply(cc, 0.5, out=cc)
+    return minmod3(a2, b2, cc, out=out, scratch=scratch, tag=tag)
 
 
-def slope_vanleer(dm: np.ndarray, dp: np.ndarray) -> np.ndarray:
-    prod = dm * dp
-    denom = dm + dp
-    safe = (prod > 0.0) & (np.abs(denom) > 1e-300)
-    return np.where(safe, 2.0 * prod / np.where(safe, denom, 1.0), 0.0)
+def slope_vanleer(dm: np.ndarray, dp: np.ndarray, out=None, scratch=None, tag="vl"):
+    if out is None:
+        out = np.empty_like(np.asarray(dm, dtype=float))
+    shape = out.shape
+    prod = scratch_buf(scratch, (tag, "vl_p"), shape)
+    np.multiply(dm, dp, out=prod)
+    denom = scratch_buf(scratch, (tag, "vl_d"), shape)
+    np.add(dm, dp, out=denom)
+    safe = scratch_buf(scratch, (tag, "vl_safe"), shape, dtype=bool)
+    np.greater(prod, 0.0, out=safe)
+    t = scratch_buf(scratch, (tag, "vl_t"), shape)
+    np.abs(denom, out=t)
+    bt = scratch_buf(scratch, (tag, "vl_bt"), shape, dtype=bool)
+    np.greater(t, 1e-300, out=bt)
+    np.logical_and(safe, bt, out=safe)
+    # 2 prod / where(safe, denom, 1), zeroed outside the safe mask.
+    t.fill(1.0)
+    np.copyto(t, denom, where=safe)
+    np.multiply(prod, 2.0, out=prod)
+    np.divide(prod, t, out=out)
+    np.logical_not(safe, out=safe)
+    np.copyto(out, 0.0, where=safe)
+    return out
 
 
-def slope_superbee(dm: np.ndarray, dp: np.ndarray) -> np.ndarray:
-    s1 = minmod(2.0 * dm, dp)
-    s2 = minmod(dm, 2.0 * dp)
-    return np.where(np.abs(s1) > np.abs(s2), s1, s2)
+def slope_superbee(dm: np.ndarray, dp: np.ndarray, out=None, scratch=None, tag="sb"):
+    if out is None:
+        out = np.empty_like(np.asarray(dm, dtype=float))
+    shape = out.shape
+    d2 = scratch_buf(scratch, (tag, "sb_d2"), shape)
+    s1 = scratch_buf(scratch, (tag, "sb_s1"), shape)
+    np.multiply(dm, 2.0, out=d2)
+    minmod(d2, dp, out=s1, scratch=scratch, tag=(tag, "sb"))
+    np.multiply(dp, 2.0, out=d2)
+    s2 = scratch_buf(scratch, (tag, "sb_s2"), shape)
+    minmod(dm, d2, out=s2, scratch=scratch, tag=(tag, "sb"))
+    t1 = scratch_buf(scratch, (tag, "sb_t1"), shape)
+    np.abs(s1, out=t1)
+    np.abs(s2, out=d2)
+    gt = scratch_buf(scratch, (tag, "sb_gt"), shape, dtype=bool)
+    np.greater(t1, d2, out=gt)
+    np.copyto(out, s2)
+    np.copyto(out, s1, where=gt)
+    return out
 
 
 LIMITERS = {
@@ -71,15 +164,27 @@ class TVDSlope(Reconstruction):
         self.limiter = LIMITERS[limiter]
         self.name = limiter
 
-    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int, out=None, scratch=None, tag=None):
         # Slopes for the left cell (offset 0) and the right cell (offset 1)
         # of every face.  d{m,p} are backward/forward neighbour differences.
         cm1 = cell_view(q, -1, g)
         c0 = cell_view(q, 0, g)
         c1 = cell_view(q, 1, g)
         c2 = cell_view(q, 2, g)
-        sigma_l = self.limiter(c0 - cm1, c1 - c0)
-        sigma_r = self.limiter(c1 - c0, c2 - c1)
-        qL = c0 + 0.5 * sigma_l
-        qR = c1 - 0.5 * sigma_r
+        dm = np.subtract(c0, cm1, out=scratch_buf(scratch, (tag, "dm"), c0.shape))
+        d0 = np.subtract(c1, c0, out=scratch_buf(scratch, (tag, "d0"), c0.shape))
+        dp = np.subtract(c2, c1, out=scratch_buf(scratch, (tag, "dp"), c0.shape))
+        if out is not None:
+            qL, qR = out
+        else:
+            qL = np.empty(c0.shape)
+            qR = np.empty(c0.shape)
+        # The limited slopes land directly in the face-state outputs.
+        self.limiter(dm, d0, out=qL, scratch=scratch, tag=(tag, "lim"))
+        self.limiter(d0, dp, out=qR, scratch=scratch, tag=(tag, "lim"))
+        # qL = c0 + sigma_l / 2, qR = c1 - sigma_r / 2, staged in the outputs.
+        np.multiply(qL, 0.5, out=qL)
+        np.add(c0, qL, out=qL)
+        np.multiply(qR, 0.5, out=qR)
+        np.subtract(c1, qR, out=qR)
         return qL, qR

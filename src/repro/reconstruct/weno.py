@@ -77,7 +77,7 @@ class WENO5(Reconstruction):
     order = 5
     _biased = staticmethod(_weno5_biased)
 
-    def _reconstruct_last_axis(self, q: np.ndarray, g: int):
+    def _reconstruct_last_axis(self, q: np.ndarray, g: int, out=None, scratch=None, tag=None):
         # Left state at face k comes from cell i = g-1+k, biased rightward.
         qL = self._biased(
             cell_view(q, -2, g),
@@ -94,6 +94,10 @@ class WENO5(Reconstruction):
             cell_view(q, 0, g),
             cell_view(q, -1, g),
         )
+        if out is not None:
+            np.copyto(out[0], qL)
+            np.copyto(out[1], qR)
+            return out
         return qL, qR
 
 

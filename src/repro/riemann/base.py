@@ -4,6 +4,13 @@ A solver consumes the reconstructed primitive states on the two sides of
 each face and returns the numerical flux in the conserved convention
 ``(D, S_i, tau)``. Wave-speed estimates are the Davis bounds built from the
 characteristic speeds of both sides.
+
+All solvers evaluate through a single in-place code path: ``flux`` accepts
+an optional output buffer and a :class:`~repro.core.workspace.ScratchWorkspace`
+supplying every intermediate (conserved states, physical fluxes, wave
+speeds, combine temporaries). Without a workspace each intermediate is a
+fresh allocation — the original behaviour — and the two paths are
+bit-identical because they share the same operations in the same order.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from ..physics.srhd import SRHDSystem
 
 
@@ -26,27 +34,80 @@ class RiemannSolver(ABC):
         primL: np.ndarray,
         primR: np.ndarray,
         axis: int = 0,
+        out: np.ndarray | None = None,
+        scratch=None,
     ) -> np.ndarray:
-        """Numerical flux at faces with left/right primitive states."""
-        consL = system.prim_to_con(primL)
-        consR = system.prim_to_con(primR)
-        FL = system.flux(primL, consL, axis)
-        FR = system.flux(primR, consR, axis)
-        sL, sR = self.wave_speeds(system, primL, primR, axis)
-        return self._combine(system, primL, primR, consL, consR, FL, FR, sL, sR, axis)
+        """Numerical flux at faces with left/right primitive states.
+
+        Parameters
+        ----------
+        out:
+            Optional preallocated flux array (shape of *primL*).
+        scratch:
+            Optional :class:`~repro.core.workspace.ScratchWorkspace`; when
+            given, every intermediate lives in reused buffers keyed by this
+            solver's name and *axis*.
+        """
+        k = (self.name, axis)
+        consL = system.prim_to_con(
+            primL, out=scratch_buf(scratch, (k, "consL"), primL.shape),
+            scratch=scratch, tag=(k, "p2cL"),
+        )
+        consR = system.prim_to_con(
+            primR, out=scratch_buf(scratch, (k, "consR"), primR.shape),
+            scratch=scratch, tag=(k, "p2cR"),
+        )
+        FL = system.flux(
+            primL, consL, axis, out=scratch_buf(scratch, (k, "FL"), primL.shape)
+        )
+        FR = system.flux(
+            primR, consR, axis, out=scratch_buf(scratch, (k, "FR"), primR.shape)
+        )
+        sL, sR = self.wave_speeds(system, primL, primR, axis, scratch=scratch, tag=k)
+        if out is None:
+            out = np.empty_like(primL)
+        return self._combine(
+            system, primL, primR, consL, consR, FL, FR, sL, sR, axis,
+            out=out, scratch=scratch,
+        )
 
     @staticmethod
-    def wave_speeds(system: SRHDSystem, primL, primR, axis):
-        """Davis estimates: outermost characteristic speeds of both states."""
-        lamL_m, lamL_p = system.char_speeds(primL, axis)
-        lamR_m, lamR_p = system.char_speeds(primR, axis)
-        sL = np.minimum(lamL_m, lamR_m)
-        sR = np.maximum(lamL_p, lamR_p)
+    def wave_speeds(system: SRHDSystem, primL, primR, axis, scratch=None, tag="ws"):
+        """Davis estimates: outermost characteristic speeds of both states.
+
+        The returned arrays are owned by the caller (workspace buffers or
+        fresh allocations) and may be clobbered by ``_combine``.
+        """
+        cell = primL.shape[1:]
+        lamL_m, lamL_p = system.char_speeds(
+            primL, axis,
+            out=(
+                scratch_buf(scratch, (tag, "lamLm"), cell),
+                scratch_buf(scratch, (tag, "lamLp"), cell),
+            ),
+            scratch=scratch, tag=(tag, "csL"),
+        )
+        lamR_m, lamR_p = system.char_speeds(
+            primR, axis,
+            out=(
+                scratch_buf(scratch, (tag, "lamRm"), cell),
+                scratch_buf(scratch, (tag, "lamRp"), cell),
+            ),
+            scratch=scratch, tag=(tag, "csR"),
+        )
+        sL = np.minimum(lamL_m, lamR_m, out=lamL_m)
+        sR = np.maximum(lamL_p, lamR_p, out=lamL_p)
         return sL, sR
 
     @abstractmethod
-    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
-        """Assemble the numerical flux from states, fluxes and speeds."""
+    def _combine(
+        self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis,
+        out, scratch=None,
+    ):
+        """Assemble the numerical flux from states, fluxes and speeds into *out*.
+
+        ``sL``/``sR`` are scratch-owned and may be modified in place.
+        """
 
     def __repr__(self):
         return f"<RiemannSolver {self.name}>"

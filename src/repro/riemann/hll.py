@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from .base import RiemannSolver
 
 
@@ -12,14 +13,35 @@ class HLL(RiemannSolver):
 
     name = "hll"
 
-    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+    def _combine(
+        self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis,
+        out, scratch=None,
+    ):
+        k = (self.name, axis)
         # Clip the fan to include the interface so the standard single
         # expression applies everywhere (equivalent to the 3-branch form).
-        sL = np.minimum(sL, 0.0)
-        sR = np.maximum(sR, 0.0)
-        denom = sR - sL
+        np.minimum(sL, 0.0, out=sL)
+        np.maximum(sR, 0.0, out=sR)
+        denom = scratch_buf(scratch, (k, "denom"), sL.shape)
+        np.subtract(sR, sL, out=denom)
         # Degenerate fan (both speeds zero) only occurs for identical
         # quiescent states, where any consistent flux is exact.
-        safe = np.where(denom > 1e-300, denom, 1.0)
-        flux = (sR * FL - sL * FR + sL * sR * (consR - consL)) / safe
-        return np.where(denom > 1e-300, flux, FL)
+        mask = scratch_buf(scratch, (k, "mask"), sL.shape, dtype=bool)
+        np.greater(denom, 1e-300, out=mask)
+        safe = scratch_buf(scratch, (k, "safe"), sL.shape)
+        safe.fill(1.0)
+        np.copyto(safe, denom, where=mask)
+        # flux = (sR*FL - sL*FR + sL*sR*(consR - consL)) / safe
+        t = scratch_buf(scratch, (k, "t"), FL.shape)
+        tc = scratch_buf(scratch, (k, "tc"), sL.shape)
+        np.multiply(FL, sR, out=out)
+        np.multiply(FR, sL, out=t)
+        np.subtract(out, t, out=out)
+        np.multiply(sL, sR, out=tc)
+        np.subtract(consR, consL, out=t)
+        np.multiply(t, tc, out=t)
+        np.add(out, t, out=out)
+        np.divide(out, safe, out=out)
+        np.logical_not(mask, out=mask)
+        np.copyto(out, FL, where=mask)
+        return out

@@ -8,12 +8,17 @@ states satisfy exact jump conditions across the outer waves.
 Internally the solver works in the total-energy convention ``E = tau + D``
 (for which the energy flux is simply ``S_k``), converting back to the
 ``tau`` convention at the end.
+
+All arithmetic runs through preallocatable buffers (see
+:mod:`repro.core.workspace`) in the exact operation order of the original
+expression form, so results are bit-identical with or without a workspace.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from .base import RiemannSolver
 
 _SMALL = 1e-12
@@ -24,88 +29,181 @@ class HLLC(RiemannSolver):
 
     name = "hllc"
 
-    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
+    def _combine(
+        self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis,
+        out, scratch=None,
+    ):
         D, TAU = system.D, system.TAU
         Sx = system.S(axis)
+        k = (self.name, axis)
+        cell = sL.shape
 
-        sL0, sR0 = sL, sR  # unclipped speeds decide the supersonic sectors
-        sL = np.minimum(sL, -_SMALL)  # keep the fan open so divisions are safe
-        sR = np.maximum(sR, _SMALL)
-        dS = sR - sL
+        def cbuf(name):
+            return scratch_buf(scratch, (k, name), cell)
+
+        # Unclipped speeds (sL, sR) decide the supersonic sectors at the end;
+        # clipped copies keep the fan open so divisions are safe.
+        sLc = np.minimum(sL, -_SMALL, out=cbuf("sLc"))
+        sRc = np.maximum(sR, _SMALL, out=cbuf("sRc"))
+        dS = np.subtract(sRc, sLc, out=cbuf("dS"))
 
         # Total-energy convention: E = tau + D, F_E = F_tau + F_D = S_x flux.
-        EL = consL[TAU] + consL[D]
-        ER = consR[TAU] + consR[D]
-        FEL = FL[TAU] + FL[D]
-        FER = FR[TAU] + FR[D]
+        EL = np.add(consL[TAU], consL[D], out=cbuf("EL"))
+        ER = np.add(consR[TAU], consR[D], out=cbuf("ER"))
+        FEL = np.add(FL[TAU], FL[D], out=cbuf("FEL"))
+        FER = np.add(FR[TAU], FR[D], out=cbuf("FER"))
 
-        # HLL averages of (Sx, E) and their fluxes.
-        S_hll = (sR * consR[Sx] - sL * consL[Sx] + FL[Sx] - FR[Sx]) / dS
-        E_hll = (sR * ER - sL * EL + FEL - FER) / dS
-        FS_hll = (sR * FL[Sx] - sL * FR[Sx] + sL * sR * (consR[Sx] - consL[Sx])) / dS
-        FE_hll = (sR * FEL - sL * FER + sL * sR * (ER - EL)) / dS
+        t = cbuf("t")
+        t2 = cbuf("t2")
+
+        def hll_state(qL, qR, dst):
+            # (sR*qR - sL*qL) / dS with the flux-difference term added by caller
+            np.multiply(sRc, qR, out=dst)
+            np.multiply(sLc, qL, out=t)
+            np.subtract(dst, t, out=dst)
+            return dst
+
+        # HLL averages of (Sx, E) and their fluxes:
+        #   q_hll  = (sR qR - sL qL + FqL - FqR) / dS
+        #   Fq_hll = (sR FqL - sL FqR + sL sR (qR - qL)) / dS
+        S_hll = hll_state(consL[Sx], consR[Sx], cbuf("S_hll"))
+        np.add(S_hll, FL[Sx], out=S_hll)
+        np.subtract(S_hll, FR[Sx], out=S_hll)
+        np.divide(S_hll, dS, out=S_hll)
+
+        E_hll = hll_state(EL, ER, cbuf("E_hll"))
+        np.add(E_hll, FEL, out=E_hll)
+        np.subtract(E_hll, FER, out=E_hll)
+        np.divide(E_hll, dS, out=E_hll)
+
+        def hll_flux(FqL, FqR, qL, qR, dst):
+            np.multiply(sRc, FqL, out=dst)
+            np.multiply(sLc, FqR, out=t)
+            np.subtract(dst, t, out=dst)
+            np.multiply(sLc, sRc, out=t)
+            np.subtract(qR, qL, out=t2)
+            np.multiply(t, t2, out=t)
+            np.add(dst, t, out=dst)
+            np.divide(dst, dS, out=dst)
+            return dst
+
+        FS_hll = hll_flux(FL[Sx], FR[Sx], consL[Sx], consR[Sx], cbuf("FS_hll"))
+        FE_hll = hll_flux(FEL, FER, EL, ER, cbuf("FE_hll"))
 
         # Contact speed: FE lam^2 - (E + FS) lam + S = 0, causal (minus) root.
         # Written in Citardauq form lam = 2c / (-b + sqrt(b^2 - 4ac)): since
         # b = -(E + FS) < 0 the denominator never cancels, which keeps the
         # near-linear (FE -> 0) limit accurate to round-off.
         a = FE_hll
-        b = -(E_hll + FS_hll)
+        b = cbuf("b")
+        np.add(E_hll, FS_hll, out=b)
+        np.negative(b, out=b)
         c = S_hll
-        disc = np.sqrt(np.maximum(b * b - 4.0 * a * c, 0.0))
-        denom = -b + disc
-        lam_star = np.where(np.abs(denom) > _SMALL, 2.0 * c / np.where(
-            np.abs(denom) > _SMALL, denom, 1.0), 0.0)
-        lam_star = np.clip(lam_star, sL, sR)
+        # disc = sqrt(max(b*b - 4 a c, 0))
+        disc = cbuf("disc")
+        np.multiply(b, b, out=disc)
+        np.multiply(a, 4.0, out=t)
+        np.multiply(t, c, out=t)
+        np.subtract(disc, t, out=disc)
+        np.maximum(disc, 0.0, out=disc)
+        np.sqrt(disc, out=disc)
+        denom = cbuf("denom")
+        np.negative(b, out=denom)
+        np.add(denom, disc, out=denom)
+        # lam_star = where(|denom| > SMALL, 2c / where(|denom| > SMALL, denom, 1), 0)
+        mask = scratch_buf(scratch, (k, "mask"), cell, dtype=bool)
+        np.abs(denom, out=t)
+        np.greater(t, _SMALL, out=mask)
+        inner = cbuf("inner")
+        inner.fill(1.0)
+        np.copyto(inner, denom, where=mask)
+        lam_star = cbuf("lam_star")
+        np.multiply(c, 2.0, out=lam_star)
+        np.divide(lam_star, inner, out=lam_star)
+        np.logical_not(mask, out=mask)
+        np.copyto(lam_star, 0.0, where=mask)
+        np.clip(lam_star, sLc, sRc, out=lam_star)
 
-        # Star-region pressure from the contact conditions.
-        p_star = -FE_hll * lam_star + FS_hll
+        # Star-region pressure from the contact conditions:
+        # p* = -FE_hll lam* + FS_hll
+        p_star = cbuf("p_star")
+        np.negative(FE_hll, out=p_star)
+        np.multiply(p_star, lam_star, out=p_star)
+        np.add(p_star, FS_hll, out=p_star)
 
         # Variables beyond the hydro sector (passive tracers) behave like
         # transverse momenta across the outer waves: U* = U (s-v)/(s-lam*).
         hydro = {D, TAU} | {system.S(ax) for ax in range(system.ndim)}
         extras = [var for var in range(system.nvars) if var not in hydro]
 
-        flux = np.empty_like(FL)
+        smv = cbuf("smv")
+        smlam = cbuf("smlam")
+        factor = cbuf("factor")
+        D_star = cbuf("D_star")
+        E_star = cbuf("E_star")
+        Sx_star = cbuf("Sx_star")
+        FE_star = cbuf("FE_star")
+        flux_sides = (
+            scratch_buf(scratch, (k, "fluxL"), FL.shape),
+            scratch_buf(scratch, (k, "fluxR"), FL.shape),
+        )
         for side, (prim, cons, F, s, E, FE) in enumerate(
-            ((primL, consL, FL, sL, EL, FEL), (primR, consR, FR, sR, ER, FER))
+            ((primL, consL, FL, sLc, EL, FEL), (primR, consR, FR, sRc, ER, FER))
         ):
+            F_side = flux_sides[side]
             v = prim[system.V(axis)]
             p = prim[system.P]
-            factor = (s - v) / (s - lam_star)
+            np.subtract(s, v, out=smv)
+            np.subtract(s, lam_star, out=smlam)
+            np.divide(smv, smlam, out=factor)
             # Star state in (D, S_i, E) convention.
-            D_star = cons[D] * factor
-            E_star = (E * (s - v) + p_star * lam_star - p * v) / (s - lam_star)
-            S_star = {}
-            S_star[axis] = (cons[Sx] * (s - v) + p_star - p) / (s - lam_star)
-            for ax in range(system.ndim):
-                if ax != axis:
-                    S_star[ax] = cons[system.S(ax)] * factor
+            np.multiply(cons[D], factor, out=D_star)
+            # E* = (E (s-v) + p* lam* - p v) / (s - lam*)
+            np.multiply(E, smv, out=E_star)
+            np.multiply(p_star, lam_star, out=t)
+            np.add(E_star, t, out=E_star)
+            np.multiply(p, v, out=t)
+            np.subtract(E_star, t, out=E_star)
+            np.divide(E_star, smlam, out=E_star)
+            # S*_axis = (S_x (s-v) + p* - p) / (s - lam*)
+            np.multiply(cons[Sx], smv, out=Sx_star)
+            np.add(Sx_star, p_star, out=Sx_star)
+            np.subtract(Sx_star, p, out=Sx_star)
+            np.divide(Sx_star, smlam, out=Sx_star)
             # Flux across the outer wave: F* = F + s (U* - U).
-            F_side = np.empty_like(F)
-            F_side[D] = F[D] + s * (D_star - cons[D])
+            np.subtract(D_star, cons[D], out=t)
+            np.multiply(t, s, out=t)
+            np.add(F[D], t, out=F_side[D])
             for ax in range(system.ndim):
-                F_side[system.S(ax)] = F[system.S(ax)] + s * (
-                    S_star[ax] - cons[system.S(ax)]
-                )
+                if ax == axis:
+                    np.subtract(Sx_star, cons[Sx], out=t)
+                else:
+                    np.multiply(cons[system.S(ax)], factor, out=t)
+                    np.subtract(t, cons[system.S(ax)], out=t)
+                np.multiply(t, s, out=t)
+                np.add(F[system.S(ax)], t, out=F_side[system.S(ax)])
             for var in extras:
-                F_side[var] = F[var] + s * (cons[var] * factor - cons[var])
+                np.multiply(cons[var], factor, out=t)
+                np.subtract(t, cons[var], out=t)
+                np.multiply(t, s, out=t)
+                np.add(F[var], t, out=F_side[var])
             # Energy flux in E convention, then back to tau = E - D.
-            FE_star = FE + s * (E_star - E)
-            F_side[TAU] = FE_star - F_side[D]
-            if side == 0:
-                flux_L = F_side
-            else:
-                flux_R = F_side
+            np.subtract(E_star, E, out=t)
+            np.multiply(t, s, out=t)
+            np.add(FE, t, out=FE_star)
+            np.subtract(FE_star, F_side[D], out=F_side[TAU])
+        flux_L, flux_R = flux_sides
 
         # Select the sector containing the interface (xi = 0).
-        take_left = lam_star >= 0.0
+        np.greater_equal(lam_star, 0.0, out=mask)
         for var in range(system.nvars):
-            flux[var] = np.where(take_left, flux_L[var], flux_R[var])
+            np.copyto(out[var], flux_R[var])
+            np.copyto(out[var], flux_L[var], where=mask)
         # Supersonic cases: the fan does not straddle the interface.
-        pure_left = sL0 >= 0.0
-        pure_right = sR0 <= 0.0
+        np.greater_equal(sL, 0.0, out=mask)
         for var in range(system.nvars):
-            flux[var] = np.where(pure_left, FL[var], flux[var])
-            flux[var] = np.where(pure_right, FR[var], flux[var])
-        return flux
+            np.copyto(out[var], FL[var], where=mask)
+        np.less_equal(sR, 0.0, out=mask)
+        for var in range(system.nvars):
+            np.copyto(out[var], FR[var], where=mask)
+        return out

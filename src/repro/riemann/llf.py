@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.workspace import scratch_buf
 from .base import RiemannSolver
 
 
@@ -14,6 +15,20 @@ class LLF(RiemannSolver):
 
     name = "llf"
 
-    def _combine(self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis):
-        smax = np.maximum(np.abs(sL), np.abs(sR))
-        return 0.5 * (FL + FR) - 0.5 * smax * (consR - consL)
+    def _combine(
+        self, system, primL, primR, consL, consR, FL, FR, sL, sR, axis,
+        out, scratch=None,
+    ):
+        k = (self.name, axis)
+        # smax = max(|sL|, |sR|); the speed buffers are scratch-owned here.
+        np.abs(sL, out=sL)
+        np.abs(sR, out=sR)
+        smax = np.maximum(sL, sR, out=sL)
+        smax *= 0.5
+        diff = scratch_buf(scratch, (k, "diff"), FL.shape)
+        np.subtract(consR, consL, out=diff)
+        np.multiply(diff, smax, out=diff)
+        np.add(FL, FR, out=out)
+        out *= 0.5
+        np.subtract(out, diff, out=out)
+        return out

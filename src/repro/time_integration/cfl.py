@@ -13,6 +13,27 @@ from ..mesh.grid import Grid
 from ..physics.srhd import SRHDSystem
 from ..utils.errors import ConfigurationError
 
+#: remainders below this fraction of the CFL dt are absorbed by stretching
+#: the final step instead of taking a junk micro-step
+SLIVER_FRAC = 1e-6
+
+
+def clip_dt_to_final(dt: float, t: float | None, t_final: float | None) -> float:
+    """Clip *dt* so the run lands exactly on *t_final* — without slivers.
+
+    The naive clip ``dt = t_final - t`` can leave a remainder of order
+    ``1e-14 * t_final`` for the *next* step (a junk micro-step that then
+    pollutes the dt histogram and CFL accounting). Instead, whenever the
+    remaining time is within ``SLIVER_FRAC`` of one CFL step, this step is
+    stretched (by at most that fraction) to land on *t_final* directly.
+    """
+    if t is None or t_final is None:
+        return dt
+    remainder = t_final - t
+    if remainder <= dt * (1.0 + SLIVER_FRAC):
+        return remainder
+    return dt
+
 
 def compute_dt(
     system: SRHDSystem,
@@ -31,9 +52,7 @@ def compute_dt(
         raise ConfigurationError(f"cfl must be in (0, 1], got {cfl}")
     vmax = max_signal_per_axis(system, grid, prim)
     dt = dt_from_axis_maxima(grid, vmax, cfl)
-    if t is not None and t_final is not None and t + dt > t_final:
-        dt = t_final - t
-    return dt
+    return clip_dt_to_final(dt, t, t_final)
 
 
 def max_signal_per_axis(system: SRHDSystem, grid: Grid, prim: np.ndarray) -> list[float]:

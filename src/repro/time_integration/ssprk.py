@@ -19,15 +19,32 @@ RHS = Callable[[np.ndarray], np.ndarray]
 
 
 class TimeIntegrator(ABC):
-    """Base class: one full step of size dt from state U."""
+    """Base class: one full step of size dt from state U.
+
+    ``step`` accepts the step's start time *t0* and an optional *set_time*
+    callback invoked with the correct stage abscissa ``t0 + c_i dt``
+    immediately before each rhs evaluation — this is how time-dependent
+    source terms see per-stage times (evaluating every stage at ``t0``
+    silently degrades SSPRK2/3 to first order in the source).  The rhs
+    signature itself stays ``rhs(U)`` so state-only callers are unaffected.
+    """
 
     name = "abstract"
     order = 1
     stages = 1
+    #: stage abscissae c_i (fractions of dt), one per rhs evaluation
+    stage_fractions: tuple[float, ...] = (0.0,)
 
     @abstractmethod
-    def step(self, U: np.ndarray, dt: float, rhs: RHS) -> np.ndarray:
+    def step(
+        self, U: np.ndarray, dt: float, rhs: RHS, t0: float = 0.0, set_time=None
+    ) -> np.ndarray:
         """Return the state advanced by dt (input is not modified)."""
+
+
+def _stage(set_time, t: float) -> None:
+    if set_time is not None:
+        set_time(t)
 
 
 class ForwardEuler(TimeIntegrator):
@@ -36,8 +53,10 @@ class ForwardEuler(TimeIntegrator):
     name = "euler"
     order = 1
     stages = 1
+    stage_fractions = (0.0,)
 
-    def step(self, U, dt, rhs):
+    def step(self, U, dt, rhs, t0=0.0, set_time=None):
+        _stage(set_time, t0)
         return U + dt * rhs(U)
 
 
@@ -47,9 +66,12 @@ class SSPRK2(TimeIntegrator):
     name = "ssprk2"
     order = 2
     stages = 2
+    stage_fractions = (0.0, 1.0)
 
-    def step(self, U, dt, rhs):
+    def step(self, U, dt, rhs, t0=0.0, set_time=None):
+        _stage(set_time, t0)
         U1 = U + dt * rhs(U)
+        _stage(set_time, t0 + dt)
         return 0.5 * U + 0.5 * (U1 + dt * rhs(U1))
 
 
@@ -59,10 +81,14 @@ class SSPRK3(TimeIntegrator):
     name = "ssprk3"
     order = 3
     stages = 3
+    stage_fractions = (0.0, 1.0, 0.5)
 
-    def step(self, U, dt, rhs):
+    def step(self, U, dt, rhs, t0=0.0, set_time=None):
+        _stage(set_time, t0)
         U1 = U + dt * rhs(U)
+        _stage(set_time, t0 + dt)
         U2 = 0.75 * U + 0.25 * (U1 + dt * rhs(U1))
+        _stage(set_time, t0 + 0.5 * dt)
         return U / 3.0 + (2.0 / 3.0) * (U2 + dt * rhs(U2))
 
 

@@ -71,6 +71,21 @@ class TestMetricsPrimitives:
         # None previous snapshot: full values.
         assert counter_deltas(after, None) == {"a": 8, "b": 2}
 
+    def test_deltas_rebaseline_after_reset(self):
+        """A registry reset between snapshots must not produce negative or
+        dropped deltas: the counter re-baselines from zero and the delta is
+        its full post-reset value."""
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.counter("b").inc(3)
+        before = reg.snapshot()
+        reg.reset()
+        reg.counter("a").inc(2)
+        after = reg.snapshot()
+        deltas = counter_deltas(after, before)
+        assert deltas == {"a": 2, "b": 0}
+        assert all(v >= 0 for v in deltas.values())
+
     def test_reset(self):
         reg = MetricsRegistry()
         reg.counter("a").inc(5)
@@ -328,3 +343,23 @@ class TestMetricsReport:
         report = Report.from_metrics([{"event": "run_start"}])
         assert not report.rows
         assert any("no step records" in n for n in report.notes)
+
+    def test_renamed_histogram_readable_under_old_name(self):
+        """Archived streams recorded before the con2prim.newton_iters ->
+        con2prim.newton_iters_max rename still aggregate, under the new
+        name."""
+        records = [
+            {
+                "event": "step",
+                "t": 0.1,
+                "histograms": {
+                    "con2prim.newton_iters": {"count": 4, "mean": 2.0, "max": 5.0}
+                },
+            }
+        ]
+        report = Report.from_metrics(records)
+        names = report.column("metric")
+        assert "hist.con2prim.newton_iters_max.count" in names
+        assert "hist.con2prim.newton_iters.count" not in names
+        by_name = dict(zip(names, report.column("value")))
+        assert by_name["hist.con2prim.newton_iters_max.max"] == 5.0

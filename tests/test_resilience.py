@@ -516,8 +516,8 @@ class TestStepGuards:
         hists = solver.metrics.snapshot()["histograms"]
         assert hists["solver.dt"]["count"] == 2
         assert hists["solver.dt"]["max"] == pytest.approx(2e-4)
-        assert hists["con2prim.newton_iters"]["count"] >= 1
-        assert hists["con2prim.newton_iters"]["max"] >= 1
+        assert hists["con2prim.newton_iters_max"]["count"] >= 1
+        assert hists["con2prim.newton_iters_max"]["max"] >= 1
 
 
 # ---------------------------------------------------------------------------

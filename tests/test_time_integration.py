@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
 from repro.mesh.grid import Grid
 from repro.physics.initial_data import smooth_wave
 from repro.time_integration import (
@@ -12,6 +14,7 @@ from repro.time_integration import (
     compute_dt,
     make_integrator,
 )
+from repro.time_integration.cfl import SLIVER_FRAC, clip_dt_to_final
 from repro.utils.errors import ConfigurationError
 
 
@@ -61,6 +64,120 @@ class TestIntegratorOrders:
     def test_unknown_integrator(self):
         with pytest.raises(ConfigurationError):
             make_integrator("rk4")
+
+
+class TestStageTimes:
+    """Per-stage abscissae: time-dependent sources must see t0 + c_i dt."""
+
+    @pytest.mark.parametrize("name", sorted(INTEGRATORS))
+    def test_stage_abscissae_reported(self, name):
+        integ = make_integrator(name)
+        seen: list[float] = []
+        integ.step(np.array([1.0]), 0.25, lambda u: -u, t0=2.0, set_time=seen.append)
+        assert len(seen) == integ.stages
+        assert seen == pytest.approx([2.0 + c * 0.25 for c in integ.stage_fractions])
+
+    @pytest.mark.parametrize(
+        "name,min_order", [("euler", 1), ("ssprk2", 2), ("ssprk3", 3)]
+    )
+    def test_order_on_time_dependent_ode(self, name, min_order):
+        """u' = cos(t): the regression the stage-time plumbing fixes.
+
+        Evaluating every stage at t0 (the old behaviour) degrades SSPRK2/3
+        to first order here; with the correct abscissae SSPRK2 is the
+        trapezoid rule and SSPRK3 is Simpson's rule on pure-time rhs.
+        """
+        integ = make_integrator(name)
+        current = {"t": 0.0}
+        rhs = lambda u: np.array([np.cos(current["t"])])
+        set_time = lambda tau: current.__setitem__("t", tau)
+        errors = []
+        for n in (20, 40):
+            u = np.array([0.0])
+            dt = 1.0 / n
+            for i in range(n):
+                u = integ.step(u, dt, rhs, t0=i * dt, set_time=set_time)
+            errors.append(abs(u[0] - np.sin(1.0)))
+        order = np.log2(errors[0] / errors[1])
+        assert order > min_order - 0.4
+
+    @pytest.mark.parametrize("name,min_order", [("ssprk2", 2), ("ssprk3", 3)])
+    def test_solver_source_convergence(self, name, min_order):
+        """Full-solver temporal order on a time-dependent source term.
+
+        A uniform state at rest has exactly zero flux divergence, so a
+        spatially uniform source tau' = A cos(w t) isolates the temporal
+        error of the source integration: tau(t) = tau0 + (A/w) sin(w t).
+        """
+        A, w = 0.1, 4.0
+
+        def source(system, grid, prim, t):
+            src = np.zeros((system.nvars,) + grid.shape)
+            src[system.TAU] = A * np.cos(w * t)
+            return src
+
+        def run(n_steps):
+            system = SRHDSystem(IdealGasEOS(), ndim=1)
+            grid = Grid((16,), ((0.0, 1.0),))
+            prim0 = np.empty((3,) + grid.shape_with_ghosts)
+            prim0[0], prim0[1], prim0[2] = 1.0, 0.0, 1.0
+            solver = Solver(
+                system, grid, prim0,
+                SolverConfig(integrator=name),
+                make_boundaries("outflow"),
+                source_fn=source,
+            )
+            t_final, dt = 0.5, 0.5 / n_steps
+            for _ in range(n_steps):
+                solver.step(dt=dt)
+            tau0 = system.prim_to_con(prim0)[system.TAU].ravel()[0]
+            exact = tau0 + (A / w) * np.sin(w * t_final)
+            tau = grid.interior_of(solver.cons)[system.TAU]
+            return float(np.max(np.abs(tau - exact)))
+
+        errors = [run(16), run(32)]
+        order = np.log2(errors[0] / errors[1])
+        assert order > min_order - 0.4
+
+
+class TestSliverStep:
+    """clip_dt_to_final must stretch into t_final, never leave a sliver."""
+
+    def test_far_from_final_returns_dt(self):
+        assert clip_dt_to_final(0.1, 0.0, 1.0) == 0.1
+
+    def test_plain_clip_inside_final_step(self):
+        assert clip_dt_to_final(0.1, 0.95, 1.0) == pytest.approx(0.05)
+
+    def test_sliver_remainder_stretches_step(self):
+        """Remainder a hair past one dt: stretch now instead of taking a
+        ~1e-9 dt junk micro-step on the next call (the fixed regression)."""
+        dt = 0.1
+        t, t_final = 0.0, dt * (1.0 + 1e-8)
+        out = clip_dt_to_final(dt, t, t_final)
+        assert out == t_final - t
+        assert out > dt
+
+    def test_beyond_sliver_tolerance_not_stretched(self):
+        dt = 0.1
+        assert clip_dt_to_final(dt, 0.0, dt * (1.0 + 1e-3)) == dt
+
+    def test_no_final_time(self):
+        assert clip_dt_to_final(0.1, None, None) == 0.1
+        assert clip_dt_to_final(0.1, 0.0, None) == 0.1
+
+    def test_stretched_run_lands_exactly(self):
+        """Driving with a fixed dt whose last remainder is a sliver: the
+        run finishes in n steps with no micro-step appended."""
+        dt = 0.01
+        t_final = 10 * dt + dt * SLIVER_FRAC / 2
+        t, steps = 0.0, 0
+        while t < t_final * (1.0 - 1e-14):
+            t += clip_dt_to_final(dt, t, t_final)
+            steps += 1
+            assert steps <= 11
+        assert steps == 10
+        assert t == t_final
 
 
 class TestCFL:

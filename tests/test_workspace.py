@@ -1,0 +1,159 @@
+"""Scratch-workspace tests: buffer pool semantics and bit-exactness.
+
+The workspace optimization must be *invisible*: a run with
+``scratch_workspace=True`` (the default) produces bit-identical conserved
+states to the allocate-per-call path (``scratch_workspace=False``), and a
+reused workspace buffer never leaks state between rhs evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
+from repro.boundary import make_boundaries
+from repro.core.pipeline import HydroPipeline
+from repro.core.workspace import ScratchWorkspace, scratch_buf
+from repro.physics.initial_data import RP1, blast_wave_2d, shock_tube
+
+
+class TestScratchBuf:
+    def test_none_scratch_allocates_fresh(self):
+        a = scratch_buf(None, "x", (4,))
+        b = scratch_buf(None, "x", (4,))
+        assert a.shape == (4,)
+        assert a is not b
+
+    def test_workspace_caches_by_key_shape_dtype(self, grid1d, system1d):
+        ws = ScratchWorkspace(grid1d, system1d.nvars)
+        a = scratch_buf(ws, "x", (4,))
+        assert scratch_buf(ws, "x", (4,)) is a
+        assert scratch_buf(ws, "x", (5,)) is not a
+        assert scratch_buf(ws, "x", (4,), dtype=bool) is not a
+        assert scratch_buf(ws, "y", (4,)) is not a
+
+    def test_tuple_keys_coexist_per_axis(self, grid2d, system2d):
+        """Per-axis keys (the pipeline's convention) never thrash."""
+        ws = ScratchWorkspace(grid2d, system2d.nvars)
+        f0 = scratch_buf(ws, ("flux", 0), ws.face_shape(0))
+        f1 = scratch_buf(ws, ("flux", 1), ws.face_shape(1))
+        assert f0 is not f1
+        assert scratch_buf(ws, ("flux", 0), ws.face_shape(0)) is f0
+
+    def test_face_shape(self, grid2d, system2d):
+        ws = ScratchWorkspace(grid2d, system2d.nvars)
+        ng = grid2d.shape_with_ghosts
+        assert ws.face_shape(0) == (system2d.nvars, grid2d.shape[0] + 1, ng[1])
+        assert ws.face_shape(1) == (system2d.nvars, ng[0], grid2d.shape[1] + 1)
+
+    def test_accounting(self, grid1d, system1d):
+        ws = ScratchWorkspace(grid1d, system1d.nvars)
+        structural = ws.nbytes
+        assert ws.n_buffers == 2  # dU + prim
+        scratch_buf(ws, "x", (8,))
+        assert ws.n_buffers == 3
+        assert ws.nbytes == structural + 8 * 8
+        assert "ScratchWorkspace" in repr(ws)
+
+
+def _advance(make_system, make_prim, grid_args, config, n_steps):
+    system = make_system()
+    grid = Grid(*grid_args)
+    solver = Solver(
+        system, grid, make_prim(system, grid), config, make_boundaries("outflow")
+    )
+    for _ in range(n_steps):
+        solver.step()
+    return grid.interior_of(solver.cons).copy(), solver.t
+
+
+class TestWorkspaceBitExact:
+    """Workspace path vs fresh-allocation path: identical to the last bit."""
+
+    @pytest.mark.parametrize(
+        "riemann,recon",
+        [("hllc", "mc"), ("llf", "minmod"), ("hll", "weno5")],
+    )
+    def test_rp1_shock_tube(self, riemann, recon):
+        results = []
+        for ws in (True, False):
+            cfg = SolverConfig(
+                scratch_workspace=ws, riemann=riemann, reconstruction=recon
+            )
+            state, t = _advance(
+                lambda: SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1),
+                lambda s, g: shock_tube(s, g, RP1),
+                (((100,), ((0.0, 1.0),))),
+                cfg,
+                10,
+            )
+            results.append((state, t))
+        assert results[0][1] == results[1][1]
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+
+    def test_blast2d(self):
+        results = []
+        for ws in (True, False):
+            state, t = _advance(
+                lambda: SRHDSystem(IdealGasEOS(), ndim=2),
+                blast_wave_2d,
+                (((32, 32), ((0.0, 1.0), (0.0, 1.0)))),
+                SolverConfig(scratch_workspace=ws),
+                5,
+            )
+            results.append((state, t))
+        assert results[0][1] == results[1][1]
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+
+
+class TestWorkspaceReuse:
+    def _pipeline(self, ws=True):
+        system = SRHDSystem(IdealGasEOS(), ndim=2)
+        grid = Grid((24, 24), ((0.0, 1.0), (0.0, 1.0)))
+        pipe = HydroPipeline(
+            system, grid, make_boundaries("outflow"),
+            SolverConfig(scratch_workspace=ws),
+        )
+        prim0 = blast_wave_2d(system, grid)
+        return pipe, system.prim_to_con(prim0)
+
+    def test_rhs_reuse_is_stable(self):
+        """Repeated reusing rhs calls see no state leak between evaluations."""
+        pipe, cons = self._pipeline()
+        first = pipe.rhs(cons.copy()).copy()
+        again = pipe.rhs(cons.copy())
+        np.testing.assert_array_equal(first, again)
+
+    def test_reuse_matches_fresh(self):
+        pipe, cons = self._pipeline()
+        reused = pipe.rhs(cons.copy(), reuse=True).copy()
+        fresh = pipe.rhs(cons.copy(), reuse=False)
+        np.testing.assert_array_equal(reused, fresh)
+
+    def test_reuse_returns_workspace_buffers(self):
+        pipe, cons = self._pipeline()
+        dU = pipe.rhs(cons.copy(), reuse=True)
+        assert dU is pipe.workspace.dU
+        prim = pipe.recover_primitives(cons.copy(), reuse=True)
+        assert prim is pipe.workspace.prim
+        # The opt-out hands back caller-owned arrays.
+        assert pipe.rhs(cons.copy(), reuse=False) is not pipe.workspace.dU
+
+    def test_disabled_workspace(self):
+        pipe, cons = self._pipeline(ws=False)
+        assert pipe.workspace is None
+        dU = pipe.rhs(cons.copy())  # reuse=True falls back to fresh arrays
+        assert isinstance(dU, np.ndarray)
+
+    def test_amr_reflux_fluxes_survive_reuse(self):
+        """last_face_fluxes must stay valid after the buffers are reused."""
+        pipe, cons = self._pipeline()
+        pipe.store_fluxes = True
+        prim = pipe.recover_primitives(cons.copy(), reuse=True)
+        pipe.flux_divergence(prim, reuse=True)
+        ws = pipe.workspace
+        pool = [ws.dU, ws.prim, *ws._bufs.values()]
+        for F in pipe.last_face_fluxes.values():
+            # Stored as copies, never as views of reused workspace memory.
+            assert not any(np.shares_memory(F, b) for b in pool)
