@@ -88,6 +88,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max fraction of cells per con2prim sweep that may be "
         "atmosphere-reset instead of aborting the run (0 disables)",
     )
+    run.add_argument(
+        "--ranks",
+        type=int,
+        default=0,
+        metavar="P",
+        help="run on the distributed solver with P simulated ranks "
+        "(near-cubic process grid; 0 = single-grid solver)",
+    )
+    run.add_argument(
+        "--overlap",
+        action="store_true",
+        help="with --ranks: overlap halo exchanges with interior compute "
+        "(bit-identical to blocking; prints the comm.overlap.* summary)",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -111,9 +125,13 @@ def _cmd_run(args) -> int:
         reconstruction=args.reconstruction,
         riemann=args.riemann,
         failsafe_frac=args.failsafe_frac,
+        overlap_exchange=bool(args.overlap),
     )
     if args.checkpoint_every and not args.checkpoint:
         print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.overlap and not args.ranks:
+        print("error: --overlap requires --ranks", file=sys.stderr)
         return 2
     if args.problem in ("rp1", "rp2"):
         prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
@@ -139,6 +157,8 @@ def _cmd_run(args) -> int:
                 "cfl": args.cfl,
                 "reconstruction": args.reconstruction,
                 "riemann": args.riemann,
+                "ranks": args.ranks,
+                "overlap": bool(args.overlap),
             },
         )
 
@@ -148,24 +168,67 @@ def _cmd_run(args) -> int:
 
         fault_injector = FaultInjector(FaultPlan.load(args.faults))
 
-    solver = Solver(
-        system, grid, prim0, config, bcs,
-        recorder=recorder, fault_injector=fault_injector,
-    )
-    summary = solver.run(
-        t_final=t_final,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_path=args.checkpoint if args.checkpoint_every else None,
-    )
-    if recorder is not None:
-        recorder.finish(t_end=solver.t, conservation_drift=summary.conservation_drift)
-        recorder.close()
-    prim = solver.interior_primitives()
-    print(f"{args.problem}: t = {solver.t:.4f}, steps = {summary.steps}")
+    if args.ranks:
+        from .core.distributed import DistributedSolver
+        from .mesh.decomposition import choose_dims
+
+        halo_policy = None
+        if args.faults:
+            # Chaos runs over the distributed solver need the resilient
+            # exchange, or the first dropped halo message kills the run.
+            from .resilience import HaloRetryPolicy
+
+            halo_policy = HaloRetryPolicy()
+        solver = DistributedSolver(
+            system, grid, prim0, choose_dims(args.ranks, ndim),
+            config=config, boundaries=bcs, recorder=recorder,
+            fault_injector=fault_injector, halo_policy=halo_policy,
+        )
+        solver.run(
+            t_final=t_final,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint if args.checkpoint_every else None,
+        )
+        if recorder is not None:
+            recorder.finish(t_end=solver.t)
+            recorder.close()
+        prim = solver.gather_primitives()
+        steps = solver.steps
+        mode = "overlapped" if args.overlap else "blocking"
+        print(f"{args.problem}: t = {solver.t:.4f}, steps = {steps}")
+        print(f"  ranks     : {args.ranks} (dims {solver.decomp.dims}, {mode} exchange)")
+    else:
+        solver = Solver(
+            system, grid, prim0, config, bcs,
+            recorder=recorder, fault_injector=fault_injector,
+        )
+        summary = solver.run(
+            t_final=t_final,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint if args.checkpoint_every else None,
+        )
+        if recorder is not None:
+            recorder.finish(
+                t_end=solver.t, conservation_drift=summary.conservation_drift
+            )
+            recorder.close()
+        prim = solver.interior_primitives()
+        print(f"{args.problem}: t = {solver.t:.4f}, steps = {summary.steps}")
     print(f"  rho range : [{prim[system.RHO].min():.4g}, {prim[system.RHO].max():.4g}]")
     print(f"  max |v|   : {max(np.abs(prim[system.V(ax)]).max() for ax in range(ndim)):.4f}")
-    drift = summary.conservation_drift
-    print(f"  mass drift: {drift['mass']:.2e}")
+    if not args.ranks:
+        drift = summary.conservation_drift
+        print(f"  mass drift: {drift['mass']:.2e}")
+    if args.overlap:
+        snap = solver.metrics.snapshot()["counters"]
+        modeled = snap.get("comm.overlap.modeled_comm_s", 0.0)
+        hidden = snap.get("comm.overlap.hidden_s", 0.0)
+        frac = hidden / modeled if modeled > 0 else 1.0
+        print(f"  overlap   : hidden {frac:.1%} of modeled comm "
+              f"({snap.get('comm.overlap.exchanges', 0):g} exchanges)")
+        for name in sorted(snap):
+            if name.startswith("comm.overlap."):
+                print(f"    {name}: {snap[name]:g}")
     if args.faults:
         snap = solver.metrics.snapshot()["counters"]
         resilience = {k: v for k, v in sorted(snap.items()) if k.startswith("resilience.")}
@@ -186,9 +249,14 @@ def _cmd_run(args) -> int:
         save_solution(args.snapshot, grid, prim, solver.t, names)
         print(f"  snapshot  : {args.snapshot}")
     if args.checkpoint:
-        from .io import save_checkpoint
+        if args.ranks:
+            from .io.checkpoint import save_distributed_checkpoint
 
-        save_checkpoint(solver, args.checkpoint)
+            save_distributed_checkpoint(solver, args.checkpoint)
+        else:
+            from .io import save_checkpoint
+
+            save_checkpoint(solver, args.checkpoint)
         print(f"  checkpoint: {args.checkpoint}")
     if args.metrics_out:
         from .harness.report import Report

@@ -3,14 +3,24 @@
 An in-process stand-in for MPI: :class:`SimCommunicator` provides tagged
 point-to-point and collective operations with full traffic accounting,
 :func:`exchange_halos` implements the nearest-neighbour ghost exchange over
-a :class:`~repro.mesh.decomposition.CartesianDecomposition`, and
-:class:`LinkModel` (Hockney alpha-beta) converts logged traffic into
+a :class:`~repro.mesh.decomposition.CartesianDecomposition` (with a split
+:func:`post_halos`/:func:`complete_halos` pair for comm/compute overlap),
+and :class:`LinkModel` (Hockney alpha-beta) converts logged traffic into
 simulated wire time for the scaling experiments.
 """
 
 from .communicator import SimCommunicator, TrafficLog
-from .costs import PRESETS, LinkModel, make_link
-from .halo import exchange_halos, halo_bytes_per_step
+from .costs import PRESETS, LinkModel, halo_exchange_time, make_link
+from .halo import (
+    HaloHandle,
+    complete_halos,
+    exchange_halos,
+    face_slices,
+    halo_bytes_per_step,
+    post_halos,
+    rhs_regions,
+    split_axis_regions,
+)
 
 __all__ = [
     "SimCommunicator",
@@ -18,6 +28,13 @@ __all__ = [
     "LinkModel",
     "PRESETS",
     "make_link",
+    "halo_exchange_time",
     "exchange_halos",
+    "post_halos",
+    "complete_halos",
+    "HaloHandle",
+    "face_slices",
+    "split_axis_regions",
+    "rhs_regions",
     "halo_bytes_per_step",
 ]

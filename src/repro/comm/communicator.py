@@ -117,6 +117,24 @@ class SimCommunicator:
             )
         return box.popleft()
 
+    def traffic_marker(self) -> tuple[int, int, int]:
+        """Opaque snapshot of the traffic log (bytes, messages, collectives).
+
+        Pair with :meth:`bytes_since`/:meth:`messages_since` to attribute
+        wire traffic to a region of code (e.g. halo retransmissions) without
+        resetting the shared log.
+        """
+        log = self.traffic
+        return (log.n_bytes, log.n_messages, log.n_collectives)
+
+    def bytes_since(self, marker: tuple[int, int, int]) -> int:
+        """Bytes sent since *marker* was taken."""
+        return self.traffic.n_bytes - marker[0]
+
+    def messages_since(self, marker: tuple[int, int, int]) -> int:
+        """Point-to-point messages sent since *marker* was taken."""
+        return self.traffic.n_messages - marker[1]
+
     def pending(self) -> int:
         """Number of messages posted but not yet received."""
         return sum(len(b) for b in self._mailboxes.values())

@@ -44,6 +44,24 @@ class LinkModel:
         return steps * self.transfer_time(n_bytes)
 
 
+def halo_exchange_time(
+    link: LinkModel, posted: "list[tuple[int, int]]"
+) -> float:
+    """Modeled wire time of one posted halo exchange.
+
+    *posted* is the ``(dest_rank, nbytes)`` message list of a
+    :class:`repro.comm.halo.HaloHandle`.  Each destination drains its
+    incoming messages serially (every message pays Hockney latency +
+    bandwidth time); destinations progress concurrently, so the exchange
+    completes when the slowest receiver finishes.  This is the in-flight
+    time the overlapped solver tries to hide behind interior compute.
+    """
+    per_dest: dict[int, float] = {}
+    for dest, nbytes in posted:
+        per_dest[dest] = per_dest.get(dest, 0.0) + link.transfer_time(nbytes)
+    return max(per_dest.values(), default=0.0)
+
+
 #: common link presets (rounded to era-plausible values)
 PRESETS = {
     "infiniband-fdr": LinkModel(latency_s=1.5e-6, bandwidth_Bps=6.0e9),

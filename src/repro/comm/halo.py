@@ -32,9 +32,16 @@ def _crc(payload: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(payload).tobytes())
 
 
-def _face_slices(ndim: int, axis: int, side: int, n_ghost: int, n_interior: int):
+def face_slices(ndim: int, axis: int, side: int, n_ghost: int, n_interior: int):
     """(send-strip, recv-ghost) index tuples along one axis, including the
-    leading variable axis."""
+    leading variable axis.
+
+    The send strip is the ``n_ghost``-deep slab of *interior* cells touching
+    the face; the recv slab is the ghost layer on the same side.  Both keep
+    the full (ghost-padded) transverse extent, so per-axis recv slabs tile
+    the ghost region exactly: a ghost cell is covered once per axis on which
+    its coordinate is in a ghost range (property-tested).
+    """
 
     def along(sl):
         idx = [slice(None)] * (ndim + 1)
@@ -51,29 +58,88 @@ def _face_slices(ndim: int, axis: int, side: int, n_ghost: int, n_interior: int)
     return send, recv
 
 
+_face_slices = face_slices
+
+
+def split_axis_regions(
+    n: int, n_ghost: int, low_nbr: bool, high_nbr: bool
+) -> tuple[tuple[int, int], list[tuple[int, int]]]:
+    """Core/strip split of one axis's interior cell range ``[0, n)``.
+
+    Returns ``(core, strips)`` in interior coordinates: *core* is the
+    ``(lo, hi)`` range whose RHS needs no halo data along this axis (its
+    reconstruction stencil reads only owned cells, or wall ghosts that the
+    physical boundary conditions filled before the exchange), and *strips*
+    are the halo-dependent ranges next to neighboured faces.  Core and
+    strips tile ``[0, n)`` with no gap or overlap (property-tested); thin
+    patches (``n`` too small to leave a core) collapse to one merged strip
+    so no cell is ever updated twice.
+    """
+    g = n_ghost
+    sl = g if low_nbr else 0
+    sh = g if high_nbr else 0
+    if n - sl - sh <= 0:
+        if sl or sh:
+            return (0, 0), [(0, n)]
+        return (0, n), []
+    strips = []
+    if sl:
+        strips.append((0, sl))
+    if sh:
+        strips.append((n - sh, n))
+    return (sl, n - sh), strips
+
+
+def rhs_regions(decomp: CartesianDecomposition, rank: int):
+    """Per-axis ``(core, strips)`` decomposition of one rank's interior.
+
+    This is what the overlapped solver evaluates: every axis's core region
+    before halos land, its strips after.
+    """
+    g = decomp.global_grid.n_ghost
+    sub = decomp.subgrid(rank)
+    out = []
+    for axis in range(decomp.global_grid.ndim):
+        out.append(
+            split_axis_regions(
+                sub.shape[axis],
+                g,
+                decomp.neighbor(rank, axis, 0) is not None,
+                decomp.neighbor(rank, axis, 1) is not None,
+            )
+        )
+    return out
+
+
 def _post_strip(
     decomp, comm, states, sender: int, dest: int, axis: int, side: int,
     g: int, checksum: bool,
-) -> None:
+) -> list[tuple[int, int]]:
     """Post *sender*'s face strip toward *dest* (side is the sender's side).
 
     With *checksum*, a CRC32 of the payload rides alongside on a shifted
     tag; checksum messages are not injectable, so a corrupted data message
     is always detectable against its (intact) checksum.
+
+    Returns the posted ``(dest, nbytes)`` messages so overlap accounting
+    can price the exchange without re-deriving strip sizes.
     """
     ndim = decomp.global_grid.ndim
     n = decomp.subgrid(sender).shape[axis]
-    send, _ = _face_slices(ndim, axis, side, g, n)
+    send, _ = face_slices(ndim, axis, side, g, n)
     tag = axis * 2 + side  # tag encodes (axis, direction of travel)
     payload = states[sender][send]
     comm.send(sender, dest, payload, tag=tag)
+    posted = [(dest, payload.nbytes)]
     if checksum:
+        crc = np.array([_crc(payload)], dtype=np.int64)
         comm.send(
-            sender, dest,
-            np.array([_crc(payload)], dtype=np.int64),
+            sender, dest, crc,
             tag=tag + CHECKSUM_TAG_OFFSET,
             injectable=False,
         )
+        posted.append((dest, crc.nbytes))
+    return posted
 
 
 def _recv_reliable(
@@ -114,7 +180,14 @@ def _recv_reliable(
         if metrics is not None:
             metrics.counter("resilience.halo_retries").inc()
             metrics.histogram("resilience.halo_retry_backoff_s").observe(delay)
-        _post_strip(decomp, comm, states, nbr, rank, axis, 1 - side, g, True)
+        reposted = _post_strip(decomp, comm, states, nbr, rank, axis, 1 - side, g, True)
+        if metrics is not None:
+            # Retransmissions are extra wire traffic on top of the analytic
+            # halo_bytes_per_step model; keeping them on their own counter
+            # lets the byte-accounting tests reconcile the two exactly.
+            metrics.counter("resilience.halo_retransmit_bytes").inc(
+                sum(nbytes for _, nbytes in reposted)
+            )
     raise CommunicationError(
         f"halo message rank {nbr} -> {rank} (axis {axis}, side {side}) lost "
         f"after {policy.max_attempts} attempts"
@@ -188,6 +261,120 @@ def exchange_halos(
                     # with the opposite side on the sender.
                     states[rank][recv] = comm.recv(nbr, rank, tag=axis * 2 + (1 - side))
 
+    if resilient:
+        stale = comm.discard_pending()
+        if stale and metrics is not None:
+            metrics.counter("resilience.halo_stale_discarded").inc(stale)
+
+
+class HaloHandle:
+    """In-flight overlapped halo exchange (returned by :func:`post_halos`).
+
+    Holds everything :func:`complete_halos` needs to drain the ghosts, plus
+    the posted ``(dest, nbytes)`` message list the overlap cost model prices
+    with :func:`repro.comm.costs.halo_exchange_time`.
+    """
+
+    __slots__ = (
+        "decomp", "comm", "states", "policy", "metrics", "posted", "completed",
+    )
+
+    def __init__(self, decomp, comm, states, policy, metrics, posted):
+        self.decomp = decomp
+        self.comm = comm
+        self.states = states
+        self.policy = policy
+        self.metrics = metrics
+        self.posted = posted
+        self.completed = False
+
+    @property
+    def posted_bytes(self) -> int:
+        return sum(nbytes for _, nbytes in self.posted)
+
+
+def post_halos(
+    decomp: CartesianDecomposition,
+    comm: SimCommunicator,
+    states: dict[int, np.ndarray],
+    policy: "HaloRetryPolicy | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> HaloHandle:
+    """Post every rank's face strips for *all* axes and return immediately.
+
+    This is the send half of the overlapped exchange: unlike the blocking
+    dimension-by-dimension sweep of :func:`exchange_halos` (which posts
+    axis ``k`` only after axis ``k-1``'s ghosts landed, so corner data
+    propagates), every strip is posted from the pre-exchange state.  Ghost
+    *corners* therefore receive the sender's stale transverse ghosts
+    instead of corner-propagated values.  That is safe for the RHS because
+    per-axis reconstruction gives the update a plus-shaped stencil — corner
+    ghosts are only ever read into transverse ghost-row face values that the
+    divergence discards — which is exactly what makes the overlapped solver
+    bit-identical to the blocking one (tested).  Callers that *do* need
+    corner-consistent ghosts (e.g. diagnostics) must use
+    :func:`exchange_halos`.
+
+    The exchange counts as one fault-injection epoch
+    (``fault_injector.begin_exchange``), same as a blocking exchange.
+    """
+    if comm.size != decomp.size:
+        raise CommunicationError(
+            f"communicator size {comm.size} != decomposition size {decomp.size}"
+        )
+    ndim = decomp.global_grid.ndim
+    g = decomp.global_grid.n_ghost
+    resilient = policy is not None
+    if comm.fault_injector is not None:
+        comm.fault_injector.begin_exchange()
+    posted: list[tuple[int, int]] = []
+    for axis in range(ndim):
+        for rank in range(decomp.size):
+            for side in (0, 1):
+                nbr = decomp.neighbor(rank, axis, side)
+                if nbr is None:
+                    continue
+                posted += _post_strip(
+                    decomp, comm, states, rank, nbr, axis, side, g, resilient
+                )
+    return HaloHandle(decomp, comm, states, policy, metrics, posted)
+
+
+def complete_halos(handle: HaloHandle) -> None:
+    """Drain an exchange started by :func:`post_halos` into the ghost slabs.
+
+    Receives follow the same deterministic (axis, rank, side) order as the
+    blocking sweep.  Nothing is re-posted here — the only sends are the
+    retransmissions the resilient receive itself requests, which keep their
+    own byte accounting (``resilience.halo_retransmit_bytes``) so the
+    ``halo_bytes_per_step`` model still reconciles exactly with measured
+    ``comm.halo_bytes``.  With a retry policy, leftover duplicates are
+    purged afterwards exactly as in the blocking path.
+    """
+    if handle.completed:
+        raise CommunicationError("overlapped halo exchange already completed")
+    decomp, comm, states = handle.decomp, handle.comm, handle.states
+    policy, metrics = handle.policy, handle.metrics
+    ndim = decomp.global_grid.ndim
+    g = decomp.global_grid.n_ghost
+    resilient = policy is not None
+    for axis in range(ndim):
+        for rank in range(decomp.size):
+            sub = decomp.subgrid(rank)
+            n = sub.shape[axis]
+            for side in (0, 1):
+                nbr = decomp.neighbor(rank, axis, side)
+                if nbr is None:
+                    continue
+                _, recv = face_slices(ndim, axis, side, g, n)
+                if resilient:
+                    states[rank][recv] = _recv_reliable(
+                        decomp, comm, states, nbr, rank, axis, side, g,
+                        policy, metrics,
+                    )
+                else:
+                    states[rank][recv] = comm.recv(nbr, rank, tag=axis * 2 + (1 - side))
+    handle.completed = True
     if resilient:
         stale = comm.discard_pending()
         if stale and metrics is not None:

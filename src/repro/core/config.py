@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..comm.costs import PRESETS as LINK_PRESETS
 from ..reconstruct import SCHEMES
 from ..riemann import SOLVERS
 from ..time_integration.ssprk import INTEGRATORS
@@ -47,5 +48,20 @@ class SolverConfig(ParameterSet):
         doc="preallocate a per-pipeline scratch workspace and run the hot-path "
         "kernels in place (bit-identical to the fresh-allocation path; "
         "disable to force fresh arrays everywhere)",
+    )
+    overlap_exchange = param(
+        False,
+        bool,
+        doc="DistributedSolver only: post halo sends up front, evaluate the "
+        "interior RHS while the exchange is in flight, then finish the "
+        "boundary strips once halos land (bit-identical to the blocking "
+        "path; emits comm.overlap.* metrics)",
+    )
+    overlap_link = param(
+        "infiniband-fdr",
+        str,
+        choices=tuple(sorted(LINK_PRESETS)),
+        doc="link preset pricing the modeled in-flight exchange time behind "
+        "the comm.overlap.* hidden/exposed split",
     )
     max_steps = param(1_000_000, int, lambda v: v > 0, "hard step-count limit")

@@ -263,6 +263,102 @@ class HydroPipeline:
         np.maximum(q[system.P], self.atmosphere.p_atmo, out=q[system.P])
         return q
 
+    def begin_flux_divergence(self, reuse: bool = False) -> np.ndarray:
+        """Zeroed divergence accumulator for a (possibly region-split)
+        evaluation; ghost entries stay zero throughout."""
+        if reuse and self.workspace is not None:
+            dU = self.workspace.dU
+            dU.fill(0.0)
+            return dU
+        return np.zeros((self.system.nvars,) + self.grid.shape_with_ghosts)
+
+    def flux_divergence_region(
+        self, prim: np.ndarray, axis: int, lo: int, hi: int, reuse: bool = False
+    ) -> np.ndarray:
+        """Flux divergence along *axis* for interior cells ``[lo, hi)``.
+
+        The slab handed to reconstruction keeps the full (ghosted)
+        transverse extent and spans ghosted coordinates ``[lo, hi + 2g)``
+        along *axis*, so every face value is produced by exactly the same
+        elementwise operations as the full sweep — a region's divergence is
+        bit-identical to the matching slice of the whole-axis result.  That
+        is the property the overlapped solver's interior/strip split rests
+        on: the core region (``lo >= g`` from any neighboured face) reads no
+        halo ghosts at all.
+
+        Returns the divergence shaped ``(nvars, *transverse_interior,
+        hi - lo)`` with the working axis moved last; hand it to
+        :meth:`accumulate_divergence`.  With ``reuse=True`` the result lives
+        in a workspace buffer keyed by ``(axis, lo, hi)`` and survives until
+        the same region is evaluated again.
+        """
+        grid, system = self.grid, self.system
+        ws = self.workspace if reuse else None
+        g = grid.n_ghost
+        full_axis = (lo, hi) == (0, grid.shape[axis])
+        slab_idx = [slice(None)] * (grid.ndim + 1)
+        slab_idx[axis + 1] = slice(lo, hi + 2 * g)
+        slab = prim[tuple(slab_idx)]
+        face_shape = (
+            ws.region_face_shape(axis, hi - lo)
+            if ws is not None
+            else (system.nvars,)
+            + tuple(
+                hi - lo + 1 if ax == axis else grid.shape_with_ghosts[ax]
+                for ax in range(grid.ndim)
+            )
+        )
+        with self.timers("reconstruct"):
+            qL, qR = self.reconstruction.interface_states(
+                slab,
+                axis,
+                g,
+                out=(
+                    scratch_buf(ws, ("faces", axis, "L", lo, hi), face_shape),
+                    scratch_buf(ws, ("faces", axis, "R", lo, hi), face_shape),
+                ),
+                scratch=ws,
+            )
+            self.sanitize_face_states(qL)
+            self.sanitize_face_states(qR)
+        with self.timers("riemann"):
+            F = self.riemann.flux(
+                system, qL, qR, axis,
+                out=scratch_buf(ws, ("flux", axis, lo, hi), face_shape),
+                scratch=ws,
+            )
+        with self.timers("update"):
+            # Slice transverse axes to the interior, difference along axis.
+            Fm = np.moveaxis(F, axis + 1, -1)
+            sel = [slice(None)]
+            for ax in range(grid.ndim):
+                if ax != axis:
+                    sel.append(slice(g, g + grid.shape[ax]))
+            Fm = Fm[tuple(sel)]
+            if self.store_fluxes and full_axis:
+                self.last_face_fluxes[axis] = Fm.copy()
+            div = scratch_buf(ws, ("div", axis, lo, hi), Fm[..., 1:].shape)
+            np.subtract(Fm[..., 1:], Fm[..., :-1], out=div)
+            np.divide(div, grid.dx[axis], out=div)
+        return div
+
+    def accumulate_divergence(
+        self, dU: np.ndarray, axis: int, lo: int, hi: int, div: np.ndarray
+    ) -> None:
+        """Subtract a region's divergence (from
+        :meth:`flux_divergence_region`) into *dU*.
+
+        Callers that split an axis into regions must apply *all* of a cell's
+        axis contributions in ascending axis order — the overlapped solver
+        defers every accumulation to one sorted pass — because with three or
+        more terms (3-D) floating-point accumulation order changes the
+        result bitwise.
+        """
+        idx = [slice(None)] * (self.grid.ndim + 1)
+        idx[axis + 1] = slice(lo, hi)
+        target = np.moveaxis(self.grid.interior_of(dU)[tuple(idx)], axis + 1, -1)
+        target -= div
+
     def flux_divergence(self, prim: np.ndarray, reuse: bool = False) -> np.ndarray:
         """-div F over the interior; ghost entries of the result are zero.
 
@@ -272,58 +368,11 @@ class HydroPipeline:
         AMR refluxing stays safe under reuse: :attr:`last_face_fluxes`
         always stores copies.
         """
-        grid, system = self.grid, self.system
-        ws = self.workspace if reuse else None
-        if ws is not None:
-            dU = ws.dU
-            dU.fill(0.0)
-        else:
-            dU = np.zeros((system.nvars,) + grid.shape_with_ghosts)
-        g = grid.n_ghost
-        for axis in range(grid.ndim):
-            face_shape = (
-                ws.face_shape(axis)
-                if ws is not None
-                else (system.nvars,)
-                + tuple(
-                    grid.shape[ax] + 1 if ax == axis else grid.shape_with_ghosts[ax]
-                    for ax in range(grid.ndim)
-                )
-            )
-            with self.timers("reconstruct"):
-                qL, qR = self.reconstruction.interface_states(
-                    prim,
-                    axis,
-                    g,
-                    out=(
-                        scratch_buf(ws, ("faces", axis, "L"), face_shape),
-                        scratch_buf(ws, ("faces", axis, "R"), face_shape),
-                    ),
-                    scratch=ws,
-                )
-                self.sanitize_face_states(qL)
-                self.sanitize_face_states(qR)
-            with self.timers("riemann"):
-                F = self.riemann.flux(
-                    system, qL, qR, axis,
-                    out=scratch_buf(ws, ("flux", axis), face_shape),
-                    scratch=ws,
-                )
-            with self.timers("update"):
-                # Slice transverse axes to the interior, difference along axis.
-                Fm = np.moveaxis(F, axis + 1, -1)
-                sel = [slice(None)]
-                for ax in range(grid.ndim):
-                    if ax != axis:
-                        sel.append(slice(g, g + grid.shape[ax]))
-                Fm = Fm[tuple(sel)]
-                if self.store_fluxes:
-                    self.last_face_fluxes[axis] = Fm.copy()
-                div = scratch_buf(ws, ("div", axis), Fm[..., 1:].shape)
-                np.subtract(Fm[..., 1:], Fm[..., :-1], out=div)
-                np.divide(div, grid.dx[axis], out=div)
-                target = np.moveaxis(grid.interior_of(dU), axis + 1, -1)
-                target -= div
+        dU = self.begin_flux_divergence(reuse)
+        for axis in range(self.grid.ndim):
+            n = self.grid.shape[axis]
+            div = self.flux_divergence_region(prim, axis, 0, n, reuse=reuse)
+            self.accumulate_divergence(dU, axis, 0, n, div)
         return dU
 
     def apply_source(self, prim: np.ndarray, dU: np.ndarray, time: float | None = None):

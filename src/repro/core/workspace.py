@@ -78,8 +78,17 @@ class ScratchWorkspace:
     def face_shape(self, axis: int) -> tuple[int, ...]:
         """Shape of a reconstructed face-state array along *axis*:
         ``n + 1`` faces on the working axis, ghosts kept elsewhere."""
+        return self.region_face_shape(axis, self.grid.shape[axis])
+
+    def region_face_shape(self, axis: int, n_cells: int) -> tuple[int, ...]:
+        """Face-state shape for an *n_cells*-wide sub-region along *axis*
+        (``n_cells + 1`` faces on the working axis, ghosts kept elsewhere).
+
+        The overlapped solver's interior/strip sweeps request these; region
+        widths are fixed per decomposition, so the buffer pool stays bounded.
+        """
         shape = list(self.grid.shape_with_ghosts)
-        shape[axis] = self.grid.shape[axis] + 1
+        shape[axis] = int(n_cells) + 1
         return (self.nvars,) + tuple(shape)
 
     @property

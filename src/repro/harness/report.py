@@ -103,6 +103,15 @@ class Report:
             report.add_row(f"counter.{name}", counters[name])
         for name in sorted(comm):
             report.add_row(f"comm.{name}", comm[name])
+        # Derived overlap summary: whole-run hidden-comm fraction from the
+        # summed comm.overlap.* counters (the per-step gauge only shows the
+        # last exchange).
+        modeled = counters.get("comm.overlap.modeled_comm_s", 0.0)
+        if modeled > 0:
+            report.add_row(
+                "comm.overlap.hidden_frac",
+                counters.get("comm.overlap.hidden_s", 0.0) / modeled,
+            )
         for name, val in sorted(steps[-1].get("gauges", {}).items()):
             report.add_row(f"gauge.{name}", val)
         # Histogram summaries are cumulative, so the last record has the

@@ -15,6 +15,7 @@ from .events import (
     EventSink,
     JsonlEventSink,
     TeeSink,
+    canonical_stream,
     read_events,
     steps_of,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "StepRecorder",
     "TeeSink",
+    "canonical_stream",
     "counter_deltas",
     "read_events",
     "steps_of",

@@ -100,3 +100,58 @@ def read_events(path) -> list[dict]:
 def steps_of(records) -> list[dict]:
     """The ``step`` records of an event stream, in order."""
     return [r for r in records if r.get("event") == "step"]
+
+
+#: metric-name suffixes that mark wall-clock-derived values (never stable
+#: run to run, so excluded from golden streams)
+_TIMING_SUFFIXES = ("_s", "_seconds", "_frac")
+
+
+def _is_timing_metric(name: str) -> bool:
+    return name.endswith(_TIMING_SUFFIXES)
+
+
+def _filter_metrics(mapping: dict) -> dict:
+    return {k: v for k, v in mapping.items() if not _is_timing_metric(k)}
+
+
+def canonical_stream(records) -> str:
+    """Deterministic JSONL projection of an event stream for golden tests.
+
+    Keeps everything that is a pure function of the numerics — the
+    ``run_start`` metadata, per-step ``step``/``t``/``dt``, counter deltas,
+    gauges, histogram summaries, and the ``comm`` byte accounting — and
+    drops every wall-clock-derived field: ``wall_seconds``,
+    ``kernel_seconds``, and any metric whose name ends in ``_s``,
+    ``_seconds``, or ``_frac``.  Rendered with sorted keys, the result is
+    byte-stable across runs of the same build, so committed fixtures catch
+    metric renames, schema drift, and numerical regressions loudly.
+    """
+    lines = []
+    for r in records:
+        event = r.get("event")
+        if event == "step":
+            proj = {
+                "schema": r.get("schema"),
+                "event": event,
+                "source": r.get("source"),
+                "step": r.get("step"),
+                "t": r.get("t"),
+                "dt": r.get("dt"),
+                "counters": _filter_metrics(r.get("counters", {})),
+                "gauges": _filter_metrics(r.get("gauges", {})),
+                "histograms": _filter_metrics(r.get("histograms", {})),
+            }
+            if "comm" in r:
+                proj["comm"] = r["comm"]
+        else:
+            proj = {
+                k: v
+                for k, v in r.items()
+                if k not in ("wall_seconds", "kernel_seconds_total")
+                and not (isinstance(v, (int, float)) and _is_timing_metric(k))
+            }
+            if "counters_total" in proj:
+                proj["counters_total"] = _filter_metrics(proj["counters_total"])
+        lines.append(json.dumps(proj, sort_keys=True))
+    return "\n".join(lines) + "\n"

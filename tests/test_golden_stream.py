@@ -1,0 +1,148 @@
+"""Golden-stream regression tests: committed fixtures pin the numerics.
+
+Two fixtures live in ``tests/golden/``:
+
+``rp1_l1_golden.json``
+    Relative L1(rho) errors of the RP1 shock tube against the exact
+    Riemann solution, per (riemann, reconstruction) combo.  Compared for
+    *exact* float equality — any change to the numerical kernels that
+    shifts a single bit of the solution fails here first.
+
+``blast2d_stream_golden.jsonl``
+    The canonical projection (:func:`repro.obs.canonical_stream`) of a
+    short overlapped 2-D blast run's StepRecorder stream — counters,
+    gauges, histogram summaries, and comm byte accounting with all
+    wall-clock-derived fields removed.  Compared byte-for-byte, so metric
+    renames, schema drift, and stream regressions fail loudly.
+
+Regenerate both (after an *intentional* change) with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import relative_l1_error
+from repro.boundary import make_boundaries
+from repro.core import Solver, SolverConfig
+from repro.core.distributed import DistributedSolver
+from repro.eos import IdealGasEOS
+from repro.mesh.grid import Grid
+from repro.obs import BufferSink, StepRecorder, canonical_stream
+from repro.physics.exact_riemann import ExactRiemannSolver
+from repro.physics.initial_data import SHOCK_TUBES, blast_wave_2d, shock_tube
+from repro.physics.srhd import SRHDSystem
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+#: (riemann, reconstruction) combos pinned by the RP1 golden fixture
+RP1_COMBOS = (("hllc", "mc"), ("hll", "minmod"), ("llf", "superbee"))
+
+
+def _rp1_l1_errors() -> dict[str, float]:
+    prob = SHOCK_TUBES["RP1"]
+    out = {}
+    for riemann, reconstruction in RP1_COMBOS:
+        system = SRHDSystem(IdealGasEOS(gamma=prob.gamma), ndim=1)
+        grid = Grid((64,), ((0.0, 1.0),))
+        solver = Solver(
+            system, grid, shock_tube(system, grid, prob),
+            SolverConfig(cfl=0.4, riemann=riemann, reconstruction=reconstruction),
+            make_boundaries("outflow"),
+        )
+        solver.run(t_final=0.1)
+        rho = solver.interior_primitives()[system.RHO]
+        rho_exact, _, _ = ExactRiemannSolver(
+            prob.left, prob.right, prob.gamma
+        ).solution_on_grid(grid.coords(0), solver.t, prob.x0)
+        out[f"{riemann}/{reconstruction}"] = float(
+            relative_l1_error(rho, rho_exact)
+        )
+    return out
+
+
+def _blast2d_stream() -> str:
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    grid = Grid((12, 12), ((0.0, 1.0), (0.0, 1.0)))
+    sink = BufferSink()
+    recorder = StepRecorder(
+        sink,
+        meta={"problem": "blast2d", "n": 12, "dims": [2, 2], "overlap": True},
+    )
+    solver = DistributedSolver(
+        system, grid, blast_wave_2d(system, grid), (2, 2),
+        config=SolverConfig(cfl=0.4, overlap_exchange=True),
+        recorder=recorder,
+    )
+    solver.run(t_final=0.1, max_steps=6)
+    recorder.finish(t_end=solver.t)
+    return canonical_stream(sink.records)
+
+
+class TestRP1Golden:
+    PATH = GOLDEN_DIR / "rp1_l1_golden.json"
+
+    def test_l1_errors_match_golden_exactly(self):
+        errors = _rp1_l1_errors()
+        if REGEN:
+            self.PATH.write_text(json.dumps(errors, indent=2, sort_keys=True) + "\n")
+        golden = json.loads(self.PATH.read_text())
+        assert set(errors) == set(golden)
+        for combo, value in errors.items():
+            # Exact equality: JSON round-trips doubles losslessly, and the
+            # solver is deterministic — a one-ulp drift is a real change.
+            assert value == golden[combo], (
+                f"{combo}: L1 {value!r} != golden {golden[combo]!r} "
+                f"(rel diff {abs(value - golden[combo]) / golden[combo]:.2e}); "
+                "regenerate with REPRO_REGEN_GOLDEN=1 only if intentional"
+            )
+
+    def test_errors_are_sane(self):
+        golden = json.loads(self.PATH.read_text())
+        for combo, value in golden.items():
+            assert 0.0 < value < 0.5, (combo, value)
+
+
+class TestBlast2DStreamGolden:
+    PATH = GOLDEN_DIR / "blast2d_stream_golden.jsonl"
+
+    def test_stream_matches_golden_bytes(self):
+        stream = _blast2d_stream()
+        if REGEN:
+            self.PATH.write_text(stream)
+        golden = self.PATH.read_text()
+        if stream != golden:
+            got = stream.splitlines()
+            want = golden.splitlines()
+            for i, (a, b) in enumerate(zip(got, want)):
+                assert a == b, (
+                    f"stream line {i + 1} diverges from golden\n"
+                    f"  got : {a}\n  want: {b}\n"
+                    "regenerate with REPRO_REGEN_GOLDEN=1 only if intentional"
+                )
+            raise AssertionError(
+                f"stream has {len(got)} lines, golden has {len(want)}"
+            )
+
+    def test_canonical_stream_has_no_timing_fields(self):
+        stream = self.PATH.read_text()
+        records = [json.loads(line) for line in stream.splitlines()]
+        assert records[0]["event"] == "run_start"
+        assert records[-1]["event"] == "run_end"
+        steps = [r for r in records if r["event"] == "step"]
+        assert len(steps) == 6
+        for r in steps:
+            assert "wall_seconds" not in r and "kernel_seconds" not in r
+            for name in list(r["counters"]) + list(r["gauges"]):
+                assert not name.endswith(("_s", "_seconds", "_frac")), name
+            # The overlap counters that *are* deterministic stay pinned.
+            assert r["counters"]["comm.overlap.exchanges"] == 3
+            assert r["comm"]["halo_bytes"] > 0
+
+    def test_stream_is_reproducible_within_session(self):
+        assert _blast2d_stream() == _blast2d_stream()

@@ -93,6 +93,110 @@ class TestHaloExchangeProperty:
             np.testing.assert_array_equal(states[rank], snapshot[rank])
 
 
+class TestFaceStripSlicing:
+    """Properties of the halo face-strip geometry used by the overlapped
+    exchange: posted strips tile the ghost region exactly, region splits
+    tile the interior, and a single-rank periodic exchange reproduces
+    wrap-around (np.roll) neighbourhoods."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        g=st.integers(min_value=1, max_value=3),
+        low=st.booleans(),
+        high=st.booleans(),
+    )
+    def test_axis_regions_tile_interior(self, n, g, low, high):
+        from repro.comm.halo import split_axis_regions
+
+        core, strips = split_axis_regions(n, g, low, high)
+        ranges = sorted([core, *strips])
+        covered = []
+        for lo, hi in ranges:
+            assert 0 <= lo <= hi <= n
+            covered.extend(range(lo, hi))
+        # No gap, no overlap: together the ranges are exactly [0, n).
+        assert covered == list(range(n))
+        if low and high and n - 2 * g <= 0:
+            assert core == (0, 0) and strips == [(0, n)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ndim=st.integers(min_value=1, max_value=3),
+        g=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_strips_tile_ghost_region_exactly(self, ndim, g, seed):
+        from repro.comm.halo import face_slices
+
+        rng = np.random.default_rng(seed)
+        # A patch must hold at least n_ghost cells per axis to source its
+        # face strips from interior data (any valid decomposition does).
+        shape = tuple(int(n) for n in rng.integers(g, g + 8, size=ndim))
+        ghosted = tuple(n + 2 * g for n in shape)
+        count = np.zeros((1,) + ghosted, dtype=int)
+        for axis in range(ndim):
+            for side in (0, 1):
+                send, recv = face_slices(ndim, axis, side, g, shape[axis])
+                # Posted strips are interior cells only.
+                lo = send[axis + 1].start
+                hi = send[axis + 1].stop
+                assert g <= lo and hi <= shape[axis] + g
+                count[recv] += 1
+        # A cell is covered once per axis on which its coordinate lies in
+        # a ghost range — faces once, edges twice, corners ndim times —
+        # and interior cells are never touched: exact tiling per axis.
+        idx = np.indices(ghosted)
+        expected = np.zeros(ghosted, dtype=int)
+        for axis in range(ndim):
+            coord = idx[axis]
+            expected += ((coord < g) | (coord >= shape[axis] + g)).astype(int)
+        np.testing.assert_array_equal(count[0], expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ndim=st.integers(min_value=1, max_value=2),
+        n=st.integers(min_value=3, max_value=10),
+        g=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_single_rank_periodic_equals_roll(self, ndim, n, g, seed):
+        """On one periodic rank the blocking exchange fills every ghost
+        (corners included) with the wrap-around value — equivalently
+        np.roll / np.pad(mode="wrap") of the interior. The overlapped
+        exchange guarantees the same on the plus-shaped region only (the
+        part the RHS reads); corners deliberately carry pre-exchange data."""
+        from repro.comm.halo import complete_halos, post_halos
+
+        assume(n >= g)
+        shape = (n,) * ndim
+        grid = Grid(shape, ((0.0, 1.0),) * ndim, n_ghost=g)
+        decomp = CartesianDecomposition(grid, (1,) * ndim, periodic=(True,) * ndim)
+        rng = np.random.default_rng(seed)
+        interior = rng.normal(size=(1,) + shape)
+        wrapped = np.pad(interior, [(0, 0)] + [(g, g)] * ndim, mode="wrap")
+
+        def fresh_state():
+            arr = grid.allocate(1)
+            grid.interior_of(arr)[...] = interior
+            return {0: arr}
+
+        states = fresh_state()
+        exchange_halos(decomp, SimCommunicator(1), states)
+        np.testing.assert_array_equal(states[0], wrapped)
+
+        states = fresh_state()
+        comm = SimCommunicator(1)
+        handle = post_halos(decomp, comm, states)
+        complete_halos(handle)
+        idx = np.indices(wrapped.shape[1:])
+        ghost_axes = sum(
+            ((idx[ax] < g) | (idx[ax] >= n + g)).astype(int) for ax in range(ndim)
+        )
+        plus = ghost_axes <= 1  # interior + face ghosts, corners excluded
+        np.testing.assert_array_equal(states[0][:, plus], wrapped[:, plus])
+
+
 class TestRecoveryAcrossEOS:
     @settings(max_examples=30, deadline=None)
     @given(
