@@ -102,6 +102,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --ranks: overlap halo exchanges with interior compute "
         "(bit-identical to blocking; prints the comm.overlap.* summary)",
     )
+    run.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="distributed execution backend: 'serial' simulates all ranks "
+        "in one process, 'process' runs each rank as a worker process over "
+        "shared memory (bit-identical results, real parallel wall-clock)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="P",
+        help="with --executor process: number of worker processes (one per "
+        "rank of the decomposition)",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -126,12 +142,32 @@ def _cmd_run(args) -> int:
         riemann=args.riemann,
         failsafe_frac=args.failsafe_frac,
         overlap_exchange=bool(args.overlap),
+        executor=args.executor,
     )
     if args.checkpoint_every and not args.checkpoint:
         print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
         return 2
-    if args.overlap and not args.ranks:
-        print("error: --overlap requires --ranks", file=sys.stderr)
+    n_ranks = args.ranks
+    if args.executor == "process":
+        if args.workers < 1:
+            print("error: --executor process requires --workers >= 1",
+                  file=sys.stderr)
+            return 2
+        if args.ranks and args.ranks != args.workers:
+            print("error: --ranks and --workers disagree; with --executor "
+                  "process give just --workers", file=sys.stderr)
+            return 2
+        if args.checkpoint or args.checkpoint_every:
+            print("error: checkpointing is not supported on the process "
+                  "executor; use --executor serial", file=sys.stderr)
+            return 2
+        n_ranks = args.workers
+    elif args.workers:
+        print("error: --workers requires --executor process", file=sys.stderr)
+        return 2
+    if args.overlap and not n_ranks:
+        print("error: --overlap requires --ranks (or --executor process "
+              "with --workers)", file=sys.stderr)
         return 2
     if args.problem in ("rp1", "rp2"):
         prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
@@ -157,8 +193,9 @@ def _cmd_run(args) -> int:
                 "cfl": args.cfl,
                 "reconstruction": args.reconstruction,
                 "riemann": args.riemann,
-                "ranks": args.ranks,
+                "ranks": n_ranks,
                 "overlap": bool(args.overlap),
+                "executor": args.executor,
             },
         )
 
@@ -168,8 +205,8 @@ def _cmd_run(args) -> int:
 
         fault_injector = FaultInjector(FaultPlan.load(args.faults))
 
-    if args.ranks:
-        from .core.distributed import DistributedSolver
+    if n_ranks:
+        from .core.parallel import make_distributed_solver
         from .mesh.decomposition import choose_dims
 
         halo_policy = None
@@ -179,8 +216,8 @@ def _cmd_run(args) -> int:
             from .resilience import HaloRetryPolicy
 
             halo_policy = HaloRetryPolicy()
-        solver = DistributedSolver(
-            system, grid, prim0, choose_dims(args.ranks, ndim),
+        solver = make_distributed_solver(
+            system, grid, prim0, choose_dims(n_ranks, ndim),
             config=config, boundaries=bcs, recorder=recorder,
             fault_injector=fault_injector, halo_policy=halo_policy,
         )
@@ -196,7 +233,8 @@ def _cmd_run(args) -> int:
         steps = solver.steps
         mode = "overlapped" if args.overlap else "blocking"
         print(f"{args.problem}: t = {solver.t:.4f}, steps = {steps}")
-        print(f"  ranks     : {args.ranks} (dims {solver.decomp.dims}, {mode} exchange)")
+        print(f"  ranks     : {n_ranks} (dims {solver.decomp.dims}, "
+              f"{mode} exchange, {args.executor} executor)")
     else:
         solver = Solver(
             system, grid, prim0, config, bcs,
@@ -216,7 +254,7 @@ def _cmd_run(args) -> int:
         print(f"{args.problem}: t = {solver.t:.4f}, steps = {summary.steps}")
     print(f"  rho range : [{prim[system.RHO].min():.4g}, {prim[system.RHO].max():.4g}]")
     print(f"  max |v|   : {max(np.abs(prim[system.V(ax)]).max() for ax in range(ndim)):.4f}")
-    if not args.ranks:
+    if not n_ranks:
         drift = summary.conservation_drift
         print(f"  mass drift: {drift['mass']:.2e}")
     if args.overlap:
@@ -235,6 +273,8 @@ def _cmd_run(args) -> int:
         print(f"  faults    : {args.faults}")
         for name, value in resilience.items():
             print(f"    {name}: {value:g}")
+    if args.executor == "process":
+        solver.close()  # shut workers down, release shared memory
     if args.problem in ("rp1", "rp2"):
         from .physics.exact_riemann import ExactRiemannSolver
 
@@ -249,7 +289,7 @@ def _cmd_run(args) -> int:
         save_solution(args.snapshot, grid, prim, solver.t, names)
         print(f"  snapshot  : {args.snapshot}")
     if args.checkpoint:
-        if args.ranks:
+        if n_ranks:
             from .io.checkpoint import save_distributed_checkpoint
 
             save_distributed_checkpoint(solver, args.checkpoint)

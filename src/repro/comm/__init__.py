@@ -11,6 +11,7 @@ simulated wire time for the scaling experiments.
 
 from .communicator import SimCommunicator, TrafficLog
 from .costs import PRESETS, LinkModel, halo_exchange_time, make_link
+from .shm import ShmChannel, ShmCommunicator, channel_capacities
 from .halo import (
     HaloHandle,
     complete_halos,
@@ -25,6 +26,9 @@ from .halo import (
 __all__ = [
     "SimCommunicator",
     "TrafficLog",
+    "ShmCommunicator",
+    "ShmChannel",
+    "channel_capacities",
     "LinkModel",
     "PRESETS",
     "make_link",

@@ -113,7 +113,7 @@ def rhs_regions(decomp: CartesianDecomposition, rank: int):
 
 def _post_strip(
     decomp, comm, states, sender: int, dest: int, axis: int, side: int,
-    g: int, checksum: bool,
+    g: int, checksum: bool, schedule=None, metrics=None,
 ) -> list[tuple[int, int]]:
     """Post *sender*'s face strip toward *dest* (side is the sender's side).
 
@@ -121,30 +121,83 @@ def _post_strip(
     tag; checksum messages are not injectable, so a corrupted data message
     is always detectable against its (intact) checksum.
 
+    With a *schedule* (process backend), faults are pre-decided by the
+    :class:`~repro.resilience.oracle.FaultOracle` rather than by an
+    injector inside the communicator: every attempt for this message
+    slot — the original send plus the retransmissions the receiver will
+    request — is posted up front, each with its decided fate, and each
+    injected fault is counted on *metrics* exactly as the serial
+    injector would have.
+
     Returns the posted ``(dest, nbytes)`` messages so overlap accounting
-    can price the exchange without re-deriving strip sizes.
+    can price the exchange without re-deriving strip sizes.  Scheduled
+    retransmission attempts are excluded from the return value: serially
+    they are posted later, inside the resilient receive, and accounted
+    on ``resilience.halo_retransmit_bytes`` by the receiver.
     """
     ndim = decomp.global_grid.ndim
     n = decomp.subgrid(sender).shape[axis]
     send, _ = face_slices(ndim, axis, side, g, n)
     tag = axis * 2 + side  # tag encodes (axis, direction of travel)
     payload = states[sender][send]
-    comm.send(sender, dest, payload, tag=tag)
-    posted = [(dest, payload.nbytes)]
-    if checksum:
-        crc = np.array([_crc(payload)], dtype=np.int64)
+    if schedule is None:
+        comm.send(sender, dest, payload, tag=tag)
+        posted = [(dest, payload.nbytes)]
+        if checksum:
+            crc = np.array([_crc(payload)], dtype=np.int64)
+            comm.send(
+                sender, dest, crc,
+                tag=tag + CHECKSUM_TAG_OFFSET,
+                injectable=False,
+            )
+            posted.append((dest, crc.nbytes))
+        return posted
+    posted = []
+    crc = np.array([_crc(payload)], dtype=np.int64) if checksum else None
+    for attempt, (kind, scale) in enumerate(
+        schedule.pop_attempts(sender, dest, tag)
+    ):
+        if kind is not None and metrics is not None:
+            metrics.counter(f"resilience.fault.halo_{kind}").inc()
         comm.send(
-            sender, dest, crc,
-            tag=tag + CHECKSUM_TAG_OFFSET,
-            injectable=False,
+            sender, dest, payload, tag=tag,
+            fault=(kind, scale) if kind is not None else None,
         )
-        posted.append((dest, crc.nbytes))
+        if attempt == 0:
+            posted.append((dest, payload.nbytes))
+        if checksum:
+            comm.send(
+                sender, dest, crc,
+                tag=tag + CHECKSUM_TAG_OFFSET,
+                injectable=False,
+            )
+            if attempt == 0:
+                posted.append((dest, crc.nbytes))
     return posted
+
+
+def _retransmit_nbytes(decomp, states, nbr: int, rank: int, axis: int,
+                       g: int) -> list[tuple[int, int]]:
+    """Accounting stub for a scheduled retransmission (data + checksum).
+
+    On the process backend the receiver cannot re-post the sender's
+    strip — the sender already posted every scheduled attempt — but the
+    serial path charges retransmissions to the receiver's
+    ``resilience.halo_retransmit_bytes``, so the same byte totals are
+    derived analytically from the sender's subgrid shape.
+    """
+    cells = g
+    for ax, n in enumerate(decomp.subgrid(nbr).shape):
+        if ax != axis:
+            cells *= n + 2 * g
+    arr = states[rank]
+    return [(rank, cells * arr.shape[0] * arr.itemsize), (rank, 8)]
 
 
 def _recv_reliable(
     decomp, comm, states, nbr: int, rank: int, axis: int, side: int, g: int,
     policy: "HaloRetryPolicy", metrics: "MetricsRegistry | None",
+    schedule=None,
 ) -> np.ndarray:
     """Receive one halo message with checksum verification and retry.
 
@@ -180,7 +233,12 @@ def _recv_reliable(
         if metrics is not None:
             metrics.counter("resilience.halo_retries").inc()
             metrics.histogram("resilience.halo_retry_backoff_s").observe(delay)
-        reposted = _post_strip(decomp, comm, states, nbr, rank, axis, 1 - side, g, True)
+        if schedule is not None:
+            reposted = _retransmit_nbytes(decomp, states, nbr, rank, axis, g)
+        else:
+            reposted = _post_strip(
+                decomp, comm, states, nbr, rank, axis, 1 - side, g, True
+            )
         if metrics is not None:
             # Retransmissions are extra wire traffic on top of the analytic
             # halo_bytes_per_step model; keeping them on their own counter
@@ -200,8 +258,17 @@ def exchange_halos(
     states: dict[int, np.ndarray],
     policy: "HaloRetryPolicy | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    schedule=None,
 ) -> None:
     """Fill ghost layers of every rank's ghosted state array in place.
+
+    *states* may hold a subset of the decomposition's ranks: the process
+    backend calls this per worker with only its own rank, posting and
+    draining that rank's faces while its neighbours do the same in their
+    processes.  With an oracle *schedule*
+    (:class:`~repro.resilience.oracle.ExchangeSchedule`), faults are
+    applied sender-side from the pre-decided plan instead of through a
+    communicator-attached injector.
 
     Parameters
     ----------
@@ -233,17 +300,24 @@ def exchange_halos(
     resilient = policy is not None
     if comm.fault_injector is not None:
         comm.fault_injector.begin_exchange()
+    begin_epoch = getattr(comm, "begin_exchange_epoch", None)
+    if begin_epoch is not None:
+        begin_epoch()
+    ranks = sorted(states)
 
     for axis in range(ndim):
-        # Phase 1: all ranks post their face strips.
-        for rank in range(decomp.size):
+        # Phase 1: all present ranks post their face strips.
+        for rank in ranks:
             for side in (0, 1):
                 nbr = decomp.neighbor(rank, axis, side)
                 if nbr is None:
                     continue
-                _post_strip(decomp, comm, states, rank, nbr, axis, side, g, resilient)
-        # Phase 2: all ranks drain their ghosts.
-        for rank in range(decomp.size):
+                _post_strip(
+                    decomp, comm, states, rank, nbr, axis, side, g, resilient,
+                    schedule=schedule, metrics=metrics,
+                )
+        # Phase 2: all present ranks drain their ghosts.
+        for rank in ranks:
             sub = decomp.subgrid(rank)
             n = sub.shape[axis]
             for side in (0, 1):
@@ -254,7 +328,7 @@ def exchange_halos(
                 if resilient:
                     states[rank][recv] = _recv_reliable(
                         decomp, comm, states, nbr, rank, axis, side, g,
-                        policy, metrics,
+                        policy, metrics, schedule=schedule,
                     )
                 else:
                     # The message from nbr travelling toward us was tagged
@@ -276,16 +350,19 @@ class HaloHandle:
     """
 
     __slots__ = (
-        "decomp", "comm", "states", "policy", "metrics", "posted", "completed",
+        "decomp", "comm", "states", "policy", "metrics", "posted", "schedule",
+        "completed",
     )
 
-    def __init__(self, decomp, comm, states, policy, metrics, posted):
+    def __init__(self, decomp, comm, states, policy, metrics, posted,
+                 schedule=None):
         self.decomp = decomp
         self.comm = comm
         self.states = states
         self.policy = policy
         self.metrics = metrics
         self.posted = posted
+        self.schedule = schedule
         self.completed = False
 
     @property
@@ -299,6 +376,7 @@ def post_halos(
     states: dict[int, np.ndarray],
     policy: "HaloRetryPolicy | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    schedule=None,
 ) -> HaloHandle:
     """Post every rank's face strips for *all* axes and return immediately.
 
@@ -327,17 +405,21 @@ def post_halos(
     resilient = policy is not None
     if comm.fault_injector is not None:
         comm.fault_injector.begin_exchange()
+    begin_epoch = getattr(comm, "begin_exchange_epoch", None)
+    if begin_epoch is not None:
+        begin_epoch()
     posted: list[tuple[int, int]] = []
     for axis in range(ndim):
-        for rank in range(decomp.size):
+        for rank in sorted(states):
             for side in (0, 1):
                 nbr = decomp.neighbor(rank, axis, side)
                 if nbr is None:
                     continue
                 posted += _post_strip(
-                    decomp, comm, states, rank, nbr, axis, side, g, resilient
+                    decomp, comm, states, rank, nbr, axis, side, g, resilient,
+                    schedule=schedule, metrics=metrics,
                 )
-    return HaloHandle(decomp, comm, states, policy, metrics, posted)
+    return HaloHandle(decomp, comm, states, policy, metrics, posted, schedule)
 
 
 def complete_halos(handle: HaloHandle) -> None:
@@ -359,7 +441,7 @@ def complete_halos(handle: HaloHandle) -> None:
     g = decomp.global_grid.n_ghost
     resilient = policy is not None
     for axis in range(ndim):
-        for rank in range(decomp.size):
+        for rank in sorted(states):
             sub = decomp.subgrid(rank)
             n = sub.shape[axis]
             for side in (0, 1):
@@ -370,7 +452,7 @@ def complete_halos(handle: HaloHandle) -> None:
                 if resilient:
                     states[rank][recv] = _recv_reliable(
                         decomp, comm, states, nbr, rank, axis, side, g,
-                        policy, metrics,
+                        policy, metrics, schedule=handle.schedule,
                     )
                 else:
                     states[rank][recv] = comm.recv(nbr, rank, tag=axis * 2 + (1 - side))

@@ -1,0 +1,508 @@
+"""Shared-memory transport for the process-parallel backend.
+
+``ShmCommunicator`` exposes the same point-to-point/collective surface
+as :class:`repro.comm.communicator.SimCommunicator`, but messages cross
+real process boundaries through ``multiprocessing.shared_memory`` ring
+buffers instead of in-process mailboxes.  One single-producer /
+single-consumer ring exists per *directed* rank pair that can ever talk
+(halo neighbours plus the rank-0 star used by collectives), so no locks
+are needed: the writer only advances ``head``, the reader only advances
+``tail``, and the payload bytes are fully written before ``head`` is
+published.
+
+Bit-exactness with the serial path is the design constraint that shapes
+everything here:
+
+* ``allreduce`` funnels every contribution to rank 0, stacks them in
+  rank order, and applies the same ``np.stack(...)`` + reduction as
+  ``SimCommunicator.allreduce`` — so the reduced bytes are identical.
+* Fault injection is *pre-decided* by a rank-local
+  :class:`repro.resilience.oracle.FaultOracle`; the sender applies the
+  decided ``(kind, scale)`` at ``send`` time.  A dropped message posts a
+  **tombstone** record so the receiver unblocks and raises the same
+  "no pending message" error the serial mailbox would.
+* Every data record carries the halo-exchange **epoch** it was posted
+  in, so ``discard_pending`` (the post-resilient-exchange stale sweep)
+  drops exactly the records the serial global sweep would: entries from
+  this epoch or earlier, counting only real data (tombstones are a
+  transport artifact and never existed serially).
+
+Substrate-level measurements (real bytes moved, send-block and
+recv-wait seconds) are recorded under ``comm.shm.*``; those names are
+excluded from the canonical golden stream because they describe the
+transport, not the numerics.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..utils.errors import CommunicationError
+from .communicator import SimCommunicator, TrafficLog
+
+_REDUCTIONS = SimCommunicator._REDUCTIONS
+
+#: bytes reserved at the front of each segment for the ring control block
+CTRL_BYTES = 64
+#: int64 words in a record header:
+#: [rec_len, payload_nbytes, epoch, tag, flag, dtype_code, ndim]
+HEADER_WORDS = 7
+HEADER_BYTES = HEADER_WORDS * 8
+
+FLAG_DATA = 0
+FLAG_TOMBSTONE = 1
+
+#: epoch stamped on control-plane (collective) records; never discarded
+EPOCH_CONTROL = 2**62
+#: tags at or above this are control-plane (collectives), not halo traffic
+CONTROL_TAG_BASE = 2000
+TAG_REDUCE = 2001
+TAG_RESULT = 2002
+TAG_BCAST = 2003
+TAG_GATHER = 2004
+
+_DTYPE_BY_CODE = {0: np.dtype(np.float64), 1: np.dtype(np.int64)}
+_CODE_BY_DTYPE = {dt: code for code, dt in _DTYPE_BY_CODE.items()}
+
+
+class _Ring:
+    """Single-producer single-consumer byte ring over a shared buffer.
+
+    ``head`` and ``tail`` are monotonically increasing logical byte
+    offsets (never wrapped), so ``head - tail`` is the bytes in flight
+    and ``head % capacity`` the physical write position.  The producer
+    writes the record bytes first and publishes ``head`` last; on the
+    strongly-ordered stores numpy does over shared memory this is
+    enough for the consumer to never observe a half-written record.
+    """
+
+    def __init__(self, buf, capacity: int):
+        self.capacity = int(capacity)
+        self._head = np.frombuffer(buf, dtype=np.int64, count=1, offset=0)
+        self._tail = np.frombuffer(buf, dtype=np.int64, count=1, offset=8)
+        self._data = np.frombuffer(
+            buf, dtype=np.uint8, count=self.capacity, offset=CTRL_BYTES
+        )
+
+    def release(self) -> None:
+        """Drop the numpy views so the segment can be closed."""
+        self._head = None
+        self._tail = None
+        self._data = None
+
+    # -- byte-level helpers (wraparound-aware) ---------------------------
+    def _write(self, pos: int, raw: bytes) -> None:
+        n = len(raw)
+        p = pos % self.capacity
+        first = min(n, self.capacity - p)
+        self._data[p:p + first] = np.frombuffer(raw[:first], dtype=np.uint8)
+        if n > first:
+            self._data[: n - first] = np.frombuffer(raw[first:], dtype=np.uint8)
+
+    def _read(self, pos: int, n: int) -> bytes:
+        p = pos % self.capacity
+        first = min(n, self.capacity - p)
+        out = self._data[p:p + first].tobytes()
+        if n > first:
+            out += self._data[: n - first].tobytes()
+        return out
+
+    # -- record API ------------------------------------------------------
+    def push(self, epoch: int, tag: int, flag: int, payload,
+             timeout_s: float = 120.0) -> float:
+        """Append one record; returns seconds blocked waiting for space."""
+        if payload is None:
+            pbytes = b""
+            shape: tuple[int, ...] = ()
+            code = 0
+        else:
+            arr = np.ascontiguousarray(payload)
+            code = _CODE_BY_DTYPE[arr.dtype]
+            pbytes = arr.tobytes()
+            shape = arr.shape
+        body = np.asarray(shape, dtype=np.int64).tobytes() + pbytes
+        raw_len = HEADER_BYTES + len(body)
+        rec_len = raw_len + ((-raw_len) % 8)
+        if rec_len > self.capacity:
+            raise CommunicationError(
+                f"record of {rec_len} bytes exceeds ring capacity {self.capacity}"
+            )
+        header = np.array(
+            [rec_len, len(pbytes), epoch, tag, flag, code, len(shape)],
+            dtype=np.int64,
+        )
+        raw = header.tobytes() + body + b"\x00" * (rec_len - raw_len)
+        blocked = 0.0
+        start = None
+        delay = 5e-5
+        while True:
+            head = int(self._head[0])
+            if self.capacity - (head - int(self._tail[0])) >= rec_len:
+                break
+            now = time.perf_counter()
+            if start is None:
+                start = now
+            elif now - start > timeout_s:
+                raise CommunicationError(
+                    f"shared-memory ring full for {timeout_s:g}s "
+                    f"(capacity {self.capacity}, record {rec_len} bytes)"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2.0, 1e-3)
+        if start is not None:
+            blocked = time.perf_counter() - start
+        self._write(head, raw)
+        self._head[0] = head + rec_len  # publish after the payload bytes
+        return blocked
+
+    def pop(self):
+        """Non-blocking: ``None`` or ``(epoch, tag, flag, payload)``."""
+        tail = int(self._tail[0])
+        if int(self._head[0]) == tail:
+            return None
+        header = np.frombuffer(self._read(tail, HEADER_BYTES), dtype=np.int64)
+        rec_len, pnbytes, epoch, tag, flag, code, ndim = (int(v) for v in header)
+        offset = tail + HEADER_BYTES
+        shape: tuple[int, ...] = ()
+        if ndim:
+            shape = tuple(
+                int(v)
+                for v in np.frombuffer(self._read(offset, ndim * 8), dtype=np.int64)
+            )
+            offset += ndim * 8
+        payload = None
+        if flag == FLAG_DATA:
+            payload = (
+                np.frombuffer(self._read(offset, pnbytes), dtype=_DTYPE_BY_CODE[code])
+                .reshape(shape)
+                .copy()
+            )
+        self._tail[0] = tail + rec_len  # release after the payload copy
+        return epoch, tag, flag, payload
+
+
+class ShmChannel:
+    """One directed shared-memory ring between a fixed (src, dest) pair."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.capacity = int(capacity)
+        self.owner = owner
+        self.ring = _Ring(shm.buf, self.capacity)
+
+    @classmethod
+    def create(cls, capacity: int) -> "ShmChannel":
+        shm = shared_memory.SharedMemory(create=True, size=CTRL_BYTES + int(capacity))
+        shm.buf[:CTRL_BYTES] = b"\x00" * CTRL_BYTES
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "ShmChannel":
+        # On CPython < 3.13 merely attaching re-registers the segment with
+        # the (shared, deduplicating) resource tracker; the creating parent
+        # unlinks exactly once, so no per-attach unregister is needed — an
+        # explicit one here would double-remove and spam tracker KeyErrors.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, owner=False)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        self.ring.release()
+        self._shm.close()
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+
+def strip_nbytes(decomp, rank: int, axis: int, n_ghost: int, nvars: int,
+                 itemsize: int = 8) -> int:
+    """Payload bytes of one ghosted face strip sent by ``rank`` along ``axis``."""
+    shape = decomp.subgrid(rank).shape
+    cells = n_ghost
+    for ax, n in enumerate(shape):
+        if ax != axis:
+            cells *= n + 2 * n_ghost
+    return cells * nvars * itemsize
+
+
+def channel_capacities(decomp, nvars: int, n_ghost: int, policy=None,
+                       itemsize: int = 8) -> dict:
+    """Ring capacity (bytes) for every directed channel a run can use.
+
+    Halo channels are sized for every face strip a rank can post to a
+    given neighbour per exchange, times the worst-case retransmission
+    count, times a two-epoch lookahead (a fast sender may enter the next
+    exchange while its neighbour is still draining this one, but can
+    never get further ahead: completing exchange ``e+1`` needs receives
+    that need the slow rank's ``e`` posts).  Collective channels form a
+    star around rank 0 and carry only tiny reduction payloads.
+    """
+    attempts = (policy.max_attempts if policy is not None else 1) + 1
+    caps: dict = {}
+    for src in range(decomp.size):
+        for axis in range(decomp.global_grid.ndim):
+            for side in (0, 1):
+                dest = decomp.neighbor(src, axis, side)
+                if dest is None:
+                    continue
+                payload = strip_nbytes(decomp, src, axis, n_ghost, nvars, itemsize)
+                # data record + crc record, generous per-record overhead
+                per_attempt = (payload + 256) + 256
+                caps[(src, dest)] = caps.get((src, dest), 0) + per_attempt * attempts
+    for pair in list(caps):
+        caps[pair] = 4 * caps[pair] + 65536
+    for r in range(1, decomp.size):
+        caps.setdefault((r, 0), 0)
+        caps.setdefault((0, r), 0)
+        caps[(r, 0)] = max(caps[(r, 0)], 65536)
+        caps[(0, r)] = max(caps[(0, r)], 65536)
+    return caps
+
+
+class ShmCommunicator:
+    """Rank-local communicator over shared-memory rings.
+
+    Mirrors the :class:`SimCommunicator` surface used by the halo layer
+    and the distributed solver, but from the perspective of a single
+    rank: ``send`` requires ``src == rank``, ``recv`` requires
+    ``dest == rank``, and ``allreduce`` takes only this rank's
+    contribution while returning the bit-identical serial reduction.
+    """
+
+    def __init__(self, rank: int, size: int, writers: dict, readers: dict,
+                 metrics=None, barrier=None, timeout_s: float = 120.0):
+        self.rank = int(rank)
+        self.size = int(size)
+        self._writers = writers  # {dest: ShmChannel}
+        self._readers = readers  # {src: ShmChannel}
+        self.traffic = TrafficLog()
+        self.fault_injector = None  # faults are oracle-driven, not comm-driven
+        self.metrics = metrics
+        self._barrier = barrier
+        self.timeout_s = float(timeout_s)
+        self._epoch = 0
+        self._pending: dict = {}  # {(src, tag): deque of (epoch, flag, payload)}
+
+    # -- metrics helpers -------------------------------------------------
+    def _count(self, name: str, value=1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(value)
+
+    # -- epochs ----------------------------------------------------------
+    def begin_exchange_epoch(self) -> None:
+        """Called by the halo layer at the start of every exchange."""
+        self._epoch += 1
+
+    # -- point to point --------------------------------------------------
+    def send(self, src: int, dest: int, data, tag: int = 0,
+             injectable: bool = True, fault=None) -> None:
+        if src != self.rank:
+            raise CommunicationError(
+                f"rank {self.rank} cannot send on behalf of rank {src}"
+            )
+        if dest not in self._writers:
+            raise CommunicationError(f"no channel from rank {src} to rank {dest}")
+        payload = np.ascontiguousarray(data)
+        # Traffic is logged before injection, exactly like the serial path.
+        self.traffic.record(src, dest, payload.nbytes)
+        self._count("comm.shm.messages")
+        self._count("comm.shm.bytes", payload.nbytes)
+        epoch = EPOCH_CONTROL if tag >= CONTROL_TAG_BASE else self._epoch
+        ring = self._writers[dest].ring
+        kind = fault[0] if fault is not None else None
+        if kind == "drop":
+            # A tombstone stands in for the serial "never buffered"
+            # outcome: the receiver unblocks and sees an empty mailbox.
+            blocked = ring.push(epoch, tag, FLAG_TOMBSTONE, None, self.timeout_s)
+        elif kind == "corrupt":
+            from ..resilience.faults import corrupt_payload
+
+            blocked = ring.push(
+                epoch, tag, FLAG_DATA,
+                corrupt_payload(payload, fault[1]), self.timeout_s,
+            )
+        elif kind == "duplicate":
+            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
+            blocked += ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
+        else:
+            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
+        if blocked > 0.0 and self.metrics is not None:
+            self.metrics.counter("comm.shm.send_block_s").inc(blocked)
+
+    def _drain(self, src: int) -> int:
+        """Move every available record from ``src``'s ring into pending."""
+        ring = self._readers[src].ring
+        moved = 0
+        while True:
+            rec = ring.pop()
+            if rec is None:
+                return moved
+            epoch, tag, flag, payload = rec
+            self._pending.setdefault((src, tag), []).append((epoch, flag, payload))
+            moved += 1
+
+    def recv(self, src: int, dest: int | None = None, tag: int = 0):
+        if dest is None:
+            dest = self.rank
+        if dest != self.rank:
+            raise CommunicationError(
+                f"rank {self.rank} cannot recv on behalf of rank {dest}"
+            )
+        if src not in self._readers:
+            raise CommunicationError(f"no channel from rank {src} to rank {dest}")
+        key = (src, tag)
+        start = None
+        delay = 5e-5
+        while True:
+            box = self._pending.get(key)
+            if box:
+                epoch, flag, payload = box.pop(0)
+                if start is not None and self.metrics is not None:
+                    self.metrics.counter("comm.shm.recv_wait_s").inc(
+                        time.perf_counter() - start
+                    )
+                if flag == FLAG_TOMBSTONE:
+                    raise CommunicationError(
+                        f"no pending message src={src} dest={dest} tag={tag}"
+                    )
+                return payload
+            if self._drain(src):
+                continue
+            now = time.perf_counter()
+            if start is None:
+                start = now
+            elif now - start > self.timeout_s:
+                raise CommunicationError(
+                    f"rank {self.rank}: timed out after {self.timeout_s:g}s "
+                    f"waiting for message src={src} dest={dest} tag={tag}"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2.0, 1e-3)
+
+    # -- mailbox management ----------------------------------------------
+    def pending(self) -> int:
+        """Locally visible undelivered messages (drains the rings first)."""
+        for src in self._readers:
+            self._drain(src)
+        return sum(len(box) for box in self._pending.values())
+
+    def discard_pending(self) -> int:
+        """Drop stale halo records from this epoch or earlier.
+
+        Matches the serial global sweep after a resilient exchange:
+        control-plane records and records already posted for a *future*
+        epoch (by a neighbour that raced ahead) are kept, and only real
+        data counts toward the discard total — tombstones never existed
+        in the serial mailboxes.
+        """
+        for src in self._readers:
+            self._drain(src)
+        discarded = 0
+        for key, box in self._pending.items():
+            _, tag = key
+            if tag >= CONTROL_TAG_BASE:
+                continue
+            kept = []
+            for epoch, flag, payload in box:
+                if epoch <= self._epoch:
+                    if flag == FLAG_DATA:
+                        discarded += 1
+                else:
+                    kept.append((epoch, flag, payload))
+            box[:] = kept
+        return discarded
+
+    # -- traffic markers (same surface as SimCommunicator) ---------------
+    def traffic_marker(self):
+        log = self.traffic
+        return (log.n_bytes, log.n_messages, log.n_collectives)
+
+    def bytes_since(self, marker) -> int:
+        return self.traffic.n_bytes - marker[0]
+
+    def messages_since(self, marker) -> int:
+        return self.traffic.n_messages - marker[1]
+
+    # -- collectives -----------------------------------------------------
+    def _send_control(self, dest: int, data, tag: int) -> None:
+        ring = self._writers[dest].ring
+        blocked = ring.push(
+            EPOCH_CONTROL, tag, FLAG_DATA, np.ascontiguousarray(data), self.timeout_s
+        )
+        if blocked > 0.0 and self.metrics is not None:
+            self.metrics.counter("comm.shm.send_block_s").inc(blocked)
+
+    def allreduce(self, contributions: dict, op: str = "sum") -> dict:
+        """Reduce this rank's contribution; returns ``{rank: result}``.
+
+        Rank 0 gathers every contribution over the collective star,
+        stacks them **in rank order**, and applies the same reduction as
+        the serial communicator, so the result bytes are identical on
+        every rank.
+        """
+        if op not in _REDUCTIONS:
+            raise CommunicationError(f"unknown reduction {op!r}")
+        if set(contributions) != {self.rank}:
+            raise CommunicationError(
+                f"rank {self.rank} allreduce requires exactly its own "
+                f"contribution, got ranks {sorted(contributions)}"
+            )
+        self.traffic.n_collectives += 1
+        local = np.asarray(contributions[self.rank])
+        if self.size == 1:
+            result = _REDUCTIONS[op](np.stack([local]), axis=0)
+            return {self.rank: result.copy()}
+        if self.rank == 0:
+            parts = [local]
+            for r in range(1, self.size):
+                parts.append(np.asarray(self.recv(r, tag=TAG_REDUCE)))
+            result = _REDUCTIONS[op](np.stack(parts), axis=0)
+            for r in range(1, self.size):
+                self._send_control(r, result, TAG_RESULT)
+        else:
+            self._send_control(0, local, TAG_REDUCE)
+            result = self.recv(0, tag=TAG_RESULT)
+        return {self.rank: np.asarray(result).copy()}
+
+    def broadcast(self, root_value, root: int = 0):
+        """Broadcast from ``root`` (must be 0: channels form a rank-0 star)."""
+        if root != 0:
+            raise CommunicationError("shared-memory broadcast requires root=0")
+        if self.size == 1:
+            return np.asarray(root_value).copy()
+        if self.rank == 0:
+            value = np.asarray(root_value)
+            for r in range(1, self.size):
+                self._send_control(r, value, TAG_BCAST)
+            return value.copy()
+        return self.recv(0, tag=TAG_BCAST)
+
+    def gather(self, contribution, root: int = 0):
+        """Gather to ``root`` (must be 0); returns the list there, else None."""
+        if root != 0:
+            raise CommunicationError("shared-memory gather requires root=0")
+        if self.rank == 0:
+            parts = [np.asarray(contribution).copy()]
+            for r in range(1, self.size):
+                parts.append(np.asarray(self.recv(r, tag=TAG_GATHER)))
+            return parts
+        self._send_control(0, contribution, TAG_GATHER)
+        return None
+
+    def barrier(self) -> None:
+        if self._barrier is None:
+            return
+        start = time.perf_counter()
+        self._barrier.wait(self.timeout_s)
+        if self.metrics is not None:
+            self.metrics.counter("comm.shm.barrier_wait_s").inc(
+                time.perf_counter() - start
+            )

@@ -3,6 +3,7 @@
 from .config import SolverConfig
 from .diagnostics import ConservedTotals, RunSummary
 from .distributed import DistributedSolver
+from .parallel import ProcessSolver, make_distributed_solver
 from .pipeline import HydroPipeline
 from .solver import Solver
 
@@ -10,6 +11,8 @@ __all__ = [
     "SolverConfig",
     "Solver",
     "DistributedSolver",
+    "ProcessSolver",
+    "make_distributed_solver",
     "HydroPipeline",
     "ConservedTotals",
     "RunSummary",

@@ -64,4 +64,21 @@ class SolverConfig(ParameterSet):
         doc="link preset pricing the modeled in-flight exchange time behind "
         "the comm.overlap.* hidden/exposed split",
     )
+    executor = param(
+        "serial",
+        str,
+        choices=("serial", "process"),
+        doc="distributed execution backend: 'serial' runs all ranks in one "
+        "process (SPMD-by-phases over SimCommunicator), 'process' runs each "
+        "rank as a persistent worker process over shared-memory rings "
+        "(bit-identical results, real wall-clock parallelism)",
+    )
+    c2p_tuned = param(
+        False,
+        bool,
+        doc="enable the counter-driven con2prim tuning: pressure-positivity-"
+        "preserving initial guess plus Newton damping adapted from the "
+        "previous sweeps' unbracketed/max-iteration statistics (changes "
+        "iteration counts, not converged results beyond tolerance)",
+    )
     max_steps = param(1_000_000, int, lambda v: v > 0, "hard step-count limit")

@@ -1,0 +1,842 @@
+"""Process-parallel execution backend: one worker process per rank.
+
+:class:`ProcessSolver` presents the same driver surface as
+:class:`~repro.core.distributed.DistributedSolver`, but each rank of the
+Cartesian decomposition runs in its own persistent worker process
+(spawned once, stepped in lockstep through a barrier), exchanging halos
+over the :class:`~repro.comm.shm.ShmCommunicator` shared-memory rings.
+Wall-clock time therefore actually drops with worker count — this is
+the measured counterpart of the Hockney-priced scaling model.
+
+Bit-exactness with the serial path is a hard invariant, held by
+construction:
+
+* every worker mirrors the serial per-rank constructor and step
+  sequence exactly (same recovery, exchange, integrator, and guard
+  calls, in the same order, on the same bytes);
+* the global CFL reduction funnels through rank 0 and replays the
+  serial ``np.stack`` + reduction, so dt is bitwise equal;
+* fault injection and retry decisions are derived rank-locally from the
+  shared seeds via :class:`~repro.resilience.oracle.FaultOracle` and
+  :class:`~repro.resilience.oracle.RankStridedFaultInjector`, so seeded
+  chaos plans strike the identical messages and sweeps.
+
+Observability: each worker runs its own
+:class:`~repro.obs.StepRecorder` into a buffer; the parent merges the
+per-rank shards into one stream (counters summed, gauges maxed,
+histograms combined) that canonicalizes byte-for-byte equal to the
+serial stream, and forwards it to the caller's recorder via
+:meth:`StepRecorder.emit_step`.  Real transport measurements land under
+``comm.shm.*``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..boundary.conditions import BoundarySet, InteriorFace, make_boundaries
+from ..comm.costs import halo_exchange_time, make_link
+from ..comm.halo import (
+    complete_halos,
+    exchange_halos,
+    halo_bytes_per_step,
+    post_halos,
+    rhs_regions,
+)
+from ..comm.shm import ShmChannel, ShmCommunicator, channel_capacities
+from ..mesh.decomposition import CartesianDecomposition
+from ..mesh.grid import Grid
+from ..obs.events import BufferSink
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import StepRecorder
+from ..physics.srhd import SRHDSystem
+from ..resilience.oracle import FaultOracle, RankStridedFaultInjector
+from ..time_integration.cfl import (
+    clip_dt_to_final,
+    dt_from_axis_maxima,
+    max_signal_per_axis,
+)
+from ..time_integration.ssprk import make_integrator
+from ..utils.errors import ConfigurationError, NumericsError, WorkerError
+from ..utils.timers import TimerRegistry
+from .config import SolverConfig
+from .distributed import DistributedSolver
+from .pipeline import HydroPipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.recorder import StepRecorder as _StepRecorder  # noqa: F401
+    from ..resilience.faults import FaultPlan
+    from ..resilience.policies import HaloRetryPolicy
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything one worker needs to rebuild its rank (picklable)."""
+
+    rank: int
+    size: int
+    system: SRHDSystem
+    global_grid: Grid
+    dims: tuple
+    periodic: tuple
+    config: SolverConfig
+    wall_bcs: BoundarySet
+    part: np.ndarray  # this rank's interior primitive patch
+    plan: "FaultPlan | None"
+    policy: "HaloRetryPolicy | None"
+    source_fn: object
+    channels: dict  # {(src, dest): (shm_name, capacity)} touching this rank
+    comm_timeout_s: float
+    barrier_timeout_s: float
+
+
+class _RankWorker:
+    """One rank of the decomposition, living inside a worker process.
+
+    Mirrors :class:`DistributedSolver`'s per-rank construction and step
+    sequence exactly — any ordering drift here breaks bit-exactness, so
+    changes to the serial solver must be reflected in this class (the
+    serial-vs-process test matrix enforces it).
+    """
+
+    def __init__(self, spec: _WorkerSpec, barrier):
+        self.rank = spec.rank
+        self.spec = spec
+        system = spec.system
+        self.system = system
+        self.global_grid = spec.global_grid
+        self.config = spec.config
+        self.decomp = CartesianDecomposition(
+            spec.global_grid, spec.dims, periodic=spec.periodic
+        )
+        writers = {}
+        readers = {}
+        self._channels = []
+        for (src, dest), (name, cap) in spec.channels.items():
+            ch = ShmChannel.attach(name, cap)
+            self._channels.append(ch)
+            if src == self.rank:
+                writers[dest] = ch
+            if dest == self.rank:
+                readers[src] = ch
+        self.timers = TimerRegistry()
+        self.metrics = MetricsRegistry()
+        self.comm = ShmCommunicator(
+            self.rank, spec.size, writers, readers,
+            metrics=self.metrics, barrier=barrier,
+            timeout_s=spec.comm_timeout_s,
+        )
+        self.policy = spec.policy
+        self.oracle = (
+            FaultOracle(spec.plan, self.decomp, spec.policy)
+            if spec.plan is not None
+            else None
+        )
+        injector = (
+            RankStridedFaultInjector(
+                spec.plan, self.rank, spec.size, metrics=self.metrics
+            )
+            if spec.plan is not None
+            else None
+        )
+        self._barrier = barrier
+        self._barrier_timeout = spec.barrier_timeout_s
+
+        interior = InteriorFace()
+        faces = {}
+        for axis in range(self.global_grid.ndim):
+            for side in (0, 1):
+                if self.decomp.neighbor(self.rank, axis, side) is not None:
+                    faces[(axis, side)] = interior
+                else:
+                    faces[(axis, side)] = spec.wall_bcs.condition(axis, side)
+        self.subgrid = self.decomp.subgrid(self.rank)
+        self.pipeline = HydroPipeline(
+            system,
+            self.subgrid,
+            BoundarySet(faces=faces),
+            self.config,
+            timers=self.timers,
+            metrics=self.metrics,
+            fault_injector=injector,
+        )
+        self.pipeline.source_fn = spec.source_fn
+
+        prim = self.subgrid.allocate(system.nvars)
+        self.subgrid.interior_of(prim)[...] = spec.part
+        self.pipeline.boundaries.apply(system, self.subgrid, prim)
+        self._exchange(prim)
+        self.pipeline.atmosphere.apply_prim(system, prim)
+        self.cons = system.prim_to_con(prim)
+        self._prims_cache: np.ndarray | None = prim
+        self.integrator = make_integrator(self.config.integrator)
+        self.t = 0.0
+        self.steps = 0
+        self.halo_bytes_per_exchange = sum(
+            halo_bytes_per_step(self.decomp, system.nvars).values()
+        )
+        self._traffic_prev = self.comm.traffic_marker()
+
+        self.overlap = bool(self.config.overlap_exchange)
+        self._link = make_link(self.config.overlap_link)
+        self._regions = rhs_regions(self.decomp, self.rank)
+        interior_cells = strip_cells = 0
+        for axis, (core, strips) in enumerate(self._regions):
+            transverse = int(np.prod(self.subgrid.shape)) // self.subgrid.shape[axis]
+            interior_cells += (core[1] - core[0]) * transverse
+            strip_cells += sum(hi - lo for lo, hi in strips) * transverse
+        # This rank's share only: summed over workers these counters equal
+        # the serial solver's global overlap_cell_counts.
+        self.overlap_cell_counts = (interior_cells, strip_cells)
+        self.overlap_log: list[dict] = []
+        self._recorder = StepRecorder(BufferSink())
+        self._process_t0 = time.process_time()
+
+    # -- serial-mirror helpers -------------------------------------------
+    def _exchange(self, prim: np.ndarray) -> None:
+        schedule = (
+            self.oracle.next_exchange(overlapped=False)
+            if self.oracle is not None
+            else None
+        )
+        exchange_halos(
+            self.decomp,
+            self.comm,
+            {self.rank: prim},
+            policy=self.policy,
+            metrics=self.metrics,
+            schedule=schedule,
+        )
+
+    def _recover_and_exchange(
+        self, cons: np.ndarray, use_cache: bool = False, reuse: bool = False
+    ) -> np.ndarray:
+        if use_cache and self._prims_cache is not None:
+            return self._prims_cache
+        prim = self.pipeline.recover_primitives(cons, reuse=reuse)
+        self._exchange(prim)
+        return prim
+
+    def _rhs(self, cons: np.ndarray) -> np.ndarray:
+        if self.overlap:
+            return self._rhs_overlapped(cons)
+        prim = self._recover_and_exchange(cons, reuse=True)
+        dU = self.pipeline.flux_divergence(prim, reuse=True)
+        return self.pipeline.apply_source(prim, dU)
+
+    def _rhs_overlapped(self, cons: np.ndarray) -> np.ndarray:
+        prim = self.pipeline.recover_primitives(cons, reuse=True)
+        schedule = (
+            self.oracle.next_exchange(overlapped=True)
+            if self.oracle is not None
+            else None
+        )
+        handle = post_halos(
+            self.decomp, self.comm, {self.rank: prim},
+            policy=self.policy, metrics=self.metrics, schedule=schedule,
+        )
+        t0 = time.perf_counter()
+        divs: list = []
+        for axis, (core, _strips) in enumerate(self._regions):
+            lo, hi = core
+            if hi > lo:
+                divs.append(
+                    (axis, lo, hi,
+                     self.pipeline.flux_divergence_region(
+                         prim, axis, lo, hi, reuse=True))
+                )
+        interior_s = time.perf_counter() - t0
+        complete_halos(handle)
+        t1 = time.perf_counter()
+        for axis, (_core, strips) in enumerate(self._regions):
+            for lo, hi in strips:
+                divs.append(
+                    (axis, lo, hi,
+                     self.pipeline.flux_divergence_region(
+                         prim, axis, lo, hi, reuse=True))
+                )
+        dU = self.pipeline.begin_flux_divergence(reuse=True)
+        for axis, lo, hi, div in sorted(divs, key=lambda e: e[0]):
+            self.pipeline.accumulate_divergence(dU, axis, lo, hi, div)
+        out = self.pipeline.apply_source(prim, dU)
+        strip_s = time.perf_counter() - t1
+        self._record_overlap(handle, interior_s, strip_s)
+        return out
+
+    def _record_overlap(self, handle, interior_s: float, strip_s: float) -> None:
+        m = self.metrics
+        modeled = halo_exchange_time(self._link, handle.posted)
+        hidden = min(modeled, interior_s)
+        exposed = modeled - hidden
+        interior_cells, strip_cells = self.overlap_cell_counts
+        if self.rank == 0:
+            # Serially this is one global counter per exchange; merged
+            # worker counters are summed, so only one rank may own it.
+            m.counter("comm.overlap.exchanges").inc()
+        m.counter("comm.overlap.modeled_comm_s").inc(modeled)
+        m.counter("comm.overlap.hidden_s").inc(hidden)
+        m.counter("comm.overlap.exposed_s").inc(exposed)
+        m.counter("comm.overlap.interior_seconds").inc(interior_s)
+        m.counter("comm.overlap.strip_seconds").inc(strip_s)
+        m.counter("comm.overlap.interior_cells").inc(interior_cells)
+        m.counter("comm.overlap.strip_cells").inc(strip_cells)
+        m.gauge("comm.overlap.hidden_frac").set(
+            hidden / modeled if modeled > 0 else 1.0
+        )
+        self.overlap_log.append(
+            {
+                "exchange": len(self.overlap_log) + 1,
+                "modeled_comm_s": modeled,
+                "hidden_s": hidden,
+                "exposed_s": exposed,
+                "interior_s": interior_s,
+                "strip_s": strip_s,
+                "posted_messages": len(handle.posted),
+                "posted_bytes": handle.posted_bytes,
+            }
+        )
+
+    def compute_dt(self, t_final: float | None = None) -> float:
+        prim = self._recover_and_exchange(self.cons, use_cache=True)
+        local = np.asarray(max_signal_per_axis(self.system, self.subgrid, prim))
+        vmax = self.comm.allreduce({self.rank: local}, op="max")[self.rank]
+        dt = dt_from_axis_maxima(self.global_grid, vmax, self.config.cfl)
+        return clip_dt_to_final(dt, self.t, t_final)
+
+    def _set_stage_time(self, t: float) -> None:
+        self.pipeline.time = t
+
+    def _check_dt(self, dt: float) -> None:
+        if not np.isfinite(dt) or dt <= 0:
+            raise NumericsError(
+                f"invalid time step dt={dt!r} at t={self.t:g} (step {self.steps + 1})"
+            )
+
+    def _check_finite(self) -> None:
+        bad = ~np.isfinite(self.cons)
+        if bad.any():
+            var, *cell = (int(i) for i in np.argwhere(bad)[0])
+            raise NumericsError(
+                f"non-finite conserved state after step {self.steps} "
+                f"at t={self.t:g}: rank {self.rank}, variable {var}, "
+                f"cell {tuple(cell)}"
+            )
+
+    def _traffic_delta(self) -> dict:
+        now = self.comm.traffic_marker()
+        prev, self._traffic_prev = self._traffic_prev, now
+        return {
+            "halo_bytes": now[0] - prev[0],
+            "messages": now[1] - prev[1],
+            "collectives": now[2] - prev[2],
+            "halo_bytes_model_per_exchange": self.halo_bytes_per_exchange,
+        }
+
+    def step(self, dt: float | None = None, t_final: float | None = None):
+        self._barrier.wait(self._barrier_timeout)
+        wall0 = time.perf_counter()
+        if dt is None:
+            dt = self.compute_dt(t_final)
+        self._check_dt(dt)
+        advanced = self.integrator.step(
+            self.cons, dt, self._rhs,
+            t0=self.t, set_time=self._set_stage_time,
+        )
+        self.cons = advanced
+        self._prims_cache = None
+        self.t += dt
+        self.steps += 1
+        self._check_finite()
+        if self.rank == 0:
+            # One global observation per step, exactly like the serial
+            # shared registry.
+            self.metrics.histogram("solver.dt").observe(dt)
+        self._recorder.record_step(
+            step=self.steps,
+            t=self.t,
+            dt=dt,
+            wall_seconds=time.perf_counter() - wall0,
+            timers=self.timers,
+            metrics=self.metrics,
+            comm=self._traffic_delta(),
+            rank=self.rank,
+        )
+        return dt, self._recorder.sink.records.pop()
+
+    def interior_primitives(self) -> np.ndarray:
+        prim = self._recover_and_exchange(self.cons)
+        return self.subgrid.interior_of(prim).copy()
+
+    def snapshot(self) -> dict:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "timers": {name: t.elapsed for name, t in self.timers.items()},
+            "process_seconds": time.process_time() - self._process_t0,
+        }
+
+    def close(self) -> None:
+        for ch in self._channels:
+            try:
+                ch.close()
+            except Exception:
+                pass
+
+
+def _worker_main(spec: _WorkerSpec, conn, barrier) -> None:
+    worker = None
+    try:
+        worker = _RankWorker(spec, barrier)
+        conn.send(("ready", spec.rank))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "step":
+                dt, record = worker.step(dt=msg[1], t_final=msg[2])
+                conn.send(
+                    ("step_done", spec.rank, dt, worker.t, worker.steps, record)
+                )
+            elif cmd == "gather_prims":
+                conn.send(("prims", spec.rank, worker.interior_primitives()))
+            elif cmd == "gather_cons":
+                conn.send(("cons", spec.rank, worker.cons.copy()))
+            elif cmd == "snapshot":
+                conn.send(("snap", spec.rank, worker.snapshot()))
+            elif cmd == "shutdown":
+                conn.send(("bye", spec.rank))
+                return
+            else:
+                raise WorkerError(f"unknown worker command {cmd!r}")
+    except BaseException as exc:  # forward everything; the parent decides
+        try:
+            conn.send(
+                ("error", spec.rank, f"{type(exc).__name__}: {exc}",
+                 traceback.format_exc())
+            )
+        except Exception:
+            pass
+    finally:
+        if worker is not None:
+            worker.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+def _merge_histograms(into: dict, name: str, summary: dict) -> None:
+    if summary.get("count", 0) == 0:
+        into.setdefault(
+            name, {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        )
+        return
+    cur = into.get(name)
+    if cur is None or cur.get("count", 0) == 0:
+        into[name] = dict(summary)
+        return
+    count = cur["count"] + summary["count"]
+    total = cur["sum"] + summary["sum"]
+    into[name] = {
+        "count": count,
+        "sum": total,
+        "min": min(cur["min"], summary["min"]),
+        "max": max(cur["max"], summary["max"]),
+        "mean": total / count,
+    }
+
+
+def merge_step_records(shards: list[dict]) -> dict:
+    """Merge per-rank step-record shards into one global step record.
+
+    Counters and kernel seconds sum across ranks, gauges take the max
+    (every canonical gauge is a running maximum), histogram summaries
+    combine exactly (all canonical observations are integer-valued, so
+    the float sums re-associate without rounding), and the comm block
+    sums bytes/messages while collectives — counted once per rank — take
+    the max.  The result is byte-identical, after canonicalization, to
+    the record the serial solver would have emitted for the same step.
+    """
+    base = shards[0]
+    for s in shards[1:]:
+        if (s["step"], s["t"], s["dt"]) != (base["step"], base["t"], base["dt"]):
+            raise WorkerError(
+                f"worker shards diverged at step {base['step']}: "
+                f"rank {s.get('rank')} reported "
+                f"(step={s['step']}, t={s['t']!r}, dt={s['dt']!r})"
+            )
+    merged = {
+        "step": base["step"],
+        "t": base["t"],
+        "dt": base["dt"],
+        "wall_seconds": max(s.get("wall_seconds", 0.0) for s in shards),
+        "kernel_seconds": {},
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for s in shards:
+        for name, seconds in s.get("kernel_seconds", {}).items():
+            merged["kernel_seconds"][name] = (
+                merged["kernel_seconds"].get(name, 0.0) + seconds
+            )
+        for name, delta in s.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + delta
+        for name, value in s.get("gauges", {}).items():
+            cur = merged["gauges"].get(name)
+            merged["gauges"][name] = value if cur is None else max(cur, value)
+        for name, summary in s.get("histograms", {}).items():
+            _merge_histograms(merged["histograms"], name, summary)
+    if any("comm" in s for s in shards):
+        comms = [s["comm"] for s in shards if "comm" in s]
+        merged["comm"] = {
+            "halo_bytes": sum(c.get("halo_bytes", 0) for c in comms),
+            "messages": sum(c.get("messages", 0) for c in comms),
+            "collectives": max(c.get("collectives", 0) for c in comms),
+            "halo_bytes_model_per_exchange": comms[0].get(
+                "halo_bytes_model_per_exchange", 0
+            ),
+        }
+    return merged
+
+
+def _merge_metric_snapshots(snaps: list[dict]) -> dict:
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    for snap in snaps:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            cur = gauges.get(name)
+            gauges[name] = value if cur is None else max(cur, value)
+        for name, summary in snap.get("histograms", {}).items():
+            _merge_histograms(histograms, name, summary)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+class _MergedMetrics:
+    """Read-only metrics facade over the workers' registries."""
+
+    def __init__(self, solver: "ProcessSolver"):
+        self._solver = solver
+
+    def snapshot(self) -> dict:
+        return _merge_metric_snapshots(
+            [s["metrics"] for s in self._solver.worker_snapshots()]
+        )
+
+
+class ProcessSolver:
+    """Drive one :class:`_RankWorker` process per rank in lockstep.
+
+    Same constructor surface as :class:`DistributedSolver` (the
+    ``fault_injector``'s plan is shipped to the workers and replayed
+    rank-locally; the injector object itself stays untouched in the
+    parent).  ``step``/``run``/``gather_primitives`` match the serial
+    driver; periodic checkpointing is not supported on this backend.
+    """
+
+    def __init__(
+        self,
+        system: SRHDSystem,
+        global_grid: Grid,
+        initial_prim: np.ndarray,
+        dims,
+        config: SolverConfig | None = None,
+        boundaries: BoundarySet | None = None,
+        periodic=None,
+        recorder: "StepRecorder | None" = None,
+        fault_injector=None,
+        halo_policy: "HaloRetryPolicy | None" = None,
+        source_fn=None,
+        comm_timeout_s: float = 120.0,
+        step_timeout_s: float = 600.0,
+        ready_timeout_s: float = 180.0,
+    ):
+        if system.ndim != global_grid.ndim:
+            raise ConfigurationError("system/grid dimensionality mismatch")
+        self.system = system
+        self.global_grid = global_grid
+        self.config = config or SolverConfig()
+        wall_bcs = boundaries or make_boundaries("outflow")
+        if periodic is None:
+            periodic = tuple(
+                wall_bcs.condition(ax, 0).name == "periodic"
+                for ax in range(global_grid.ndim)
+            )
+        self.decomp = CartesianDecomposition(global_grid, dims, periodic=periodic)
+        self.recorder = recorder
+        self.halo_policy = halo_policy
+        plan = fault_injector.plan if fault_injector is not None else None
+        self.t = 0.0
+        self.steps = 0
+        self.step_timeout_s = float(step_timeout_s)
+        self.halo_bytes_per_exchange = sum(
+            halo_bytes_per_step(self.decomp, system.nvars).values()
+        )
+        self.metrics = _MergedMetrics(self)
+        self._closed = False
+        self._last_record: dict | None = None
+
+        parts = self.decomp.scatter(global_grid.interior_of(initial_prim))
+        caps = channel_capacities(
+            self.decomp, system.nvars, global_grid.n_ghost, policy=halo_policy
+        )
+        self._channels: dict = {}
+        for pair, cap in caps.items():
+            self._channels[pair] = ShmChannel.create(cap)
+
+        ctx = mp.get_context("spawn")
+        self._barrier = ctx.Barrier(self.size)
+        self._procs: dict[int, mp.Process] = {}
+        self._conns: dict = {}
+        try:
+            for rank in range(self.size):
+                spec = _WorkerSpec(
+                    rank=rank,
+                    size=self.size,
+                    system=system,
+                    global_grid=global_grid,
+                    dims=tuple(self.decomp.dims),
+                    periodic=tuple(periodic),
+                    config=self.config,
+                    wall_bcs=wall_bcs,
+                    part=np.ascontiguousarray(parts[rank]),
+                    plan=plan,
+                    policy=halo_policy,
+                    source_fn=source_fn,
+                    channels={
+                        pair: (ch.name, ch.capacity)
+                        for pair, ch in self._channels.items()
+                        if rank in pair
+                    },
+                    comm_timeout_s=float(comm_timeout_s),
+                    barrier_timeout_s=float(step_timeout_s),
+                )
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(spec, child_conn, self._barrier),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs[rank] = proc
+                self._conns[rank] = parent_conn
+            self._collect("ready", timeout_s=float(ready_timeout_s))
+        except BaseException:
+            self._abort()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.decomp.size
+
+    def _abort(self) -> None:
+        """Tear everything down after a failure (idempotent)."""
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for ch in self._channels.values():
+            try:
+                ch.close()
+            except Exception:
+                pass
+        self._channels = {}
+        self._closed = True
+
+    def _collect(self, expect: str, timeout_s: float | None = None) -> dict:
+        """Wait for one reply of kind *expect* from every worker."""
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else self.step_timeout_s
+        )
+        replies: dict = {}
+        pending = set(self._procs)
+        while pending:
+            for rank in sorted(pending):
+                conn, proc = self._conns[rank], self._procs[rank]
+                msg = None
+                try:
+                    if conn.poll(0.02):
+                        msg = conn.recv()
+                except (EOFError, OSError):
+                    self._abort()
+                    raise WorkerError(
+                        f"worker rank {rank}: connection lost mid-run"
+                    ) from None
+                if msg is not None:
+                    if msg[0] == "error":
+                        _, bad_rank, desc, tb = msg
+                        self._abort()
+                        raise WorkerError(
+                            f"worker rank {bad_rank} failed: {desc}\n{tb}"
+                        )
+                    if msg[0] != expect:
+                        self._abort()
+                        raise WorkerError(
+                            f"worker rank {rank}: expected {expect!r} reply, "
+                            f"got {msg[0]!r}"
+                        )
+                    replies[rank] = msg
+                    pending.discard(rank)
+                elif not proc.is_alive():
+                    self._abort()
+                    raise WorkerError(
+                        f"worker rank {rank} died unexpectedly "
+                        f"(exit code {proc.exitcode})"
+                    )
+            if pending and time.monotonic() > deadline:
+                self._abort()
+                raise WorkerError(
+                    f"timed out waiting for worker rank(s) {sorted(pending)}"
+                )
+        return replies
+
+    def _command_all(self, *msg) -> None:
+        if self._closed:
+            raise WorkerError("process solver already shut down")
+        for rank in range(self.size):
+            try:
+                self._conns[rank].send(tuple(msg))
+            except (BrokenPipeError, OSError):
+                self._abort()
+                raise WorkerError(
+                    f"worker rank {rank}: cannot send command "
+                    f"(process {'alive' if self._procs[rank].is_alive() else 'dead'})"
+                ) from None
+
+    # -- driver surface --------------------------------------------------
+    def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        wall0 = time.perf_counter()
+        self._command_all("step", dt, t_final)
+        replies = self._collect("step_done")
+        shards = []
+        dt0 = t0 = steps0 = None
+        for rank in range(self.size):
+            _, _r, w_dt, w_t, w_steps, record = replies[rank]
+            if rank == 0:
+                dt0, t0, steps0 = w_dt, w_t, w_steps
+            elif (w_dt, w_t, w_steps) != (dt0, t0, steps0):
+                self._abort()
+                raise WorkerError(
+                    f"worker rank {rank} diverged from rank 0: "
+                    f"(dt, t, steps) = {(w_dt, w_t, w_steps)!r} "
+                    f"!= {(dt0, t0, steps0)!r}"
+                )
+            shards.append(record)
+        self.t = t0
+        self.steps = steps0
+        merged = merge_step_records(shards)
+        merged["wall_seconds"] = time.perf_counter() - wall0
+        self._last_record = merged
+        if self.recorder is not None:
+            self.recorder.emit_step(merged)
+        return dt0
+
+    def run(
+        self,
+        t_final: float,
+        max_steps: int | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+    ) -> None:
+        if checkpoint_every:
+            raise ConfigurationError(
+                "the process executor does not support periodic checkpointing; "
+                "use executor='serial' for checkpointed chaos runs"
+            )
+        limit = max_steps if max_steps is not None else self.config.max_steps
+        while self.t < t_final * (1.0 - 1e-14) and self.steps < limit:
+            self.step(t_final=t_final)
+
+    def gather_primitives(self) -> np.ndarray:
+        self._command_all("gather_prims")
+        replies = self._collect("prims")
+        parts = {rank: replies[rank][2] for rank in range(self.size)}
+        return self.decomp.gather(parts, self.system.nvars)
+
+    def gather_cons(self) -> dict[int, np.ndarray]:
+        """Every rank's full ghosted conserved array (bit-exactness tests)."""
+        self._command_all("gather_cons")
+        replies = self._collect("cons")
+        return {rank: replies[rank][2] for rank in range(self.size)}
+
+    def worker_snapshots(self) -> list[dict]:
+        """Per-rank ``{metrics, timers, process_seconds}`` snapshots."""
+        self._command_all("snapshot")
+        replies = self._collect("snap")
+        return [replies[rank][2] for rank in range(self.size)]
+
+    def close(self) -> None:
+        """Shut the workers down and release the shared-memory segments."""
+        if self._closed:
+            return
+        try:
+            self._command_all("shutdown")
+            self._collect("bye", timeout_s=30.0)
+        except WorkerError:
+            pass  # _collect already aborted
+        finally:
+            for proc in self._procs.values():
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for conn in self._conns.values():
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for ch in self._channels.values():
+                try:
+                    ch.close()
+                except Exception:
+                    pass
+            self._channels = {}
+            self._closed = True
+
+    def __enter__(self) -> "ProcessSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_distributed_solver(
+    system: SRHDSystem,
+    global_grid: Grid,
+    initial_prim: np.ndarray,
+    dims,
+    config: SolverConfig | None = None,
+    **kwargs,
+):
+    """Build the distributed solver selected by ``config.executor``.
+
+    ``"serial"`` returns the in-process :class:`DistributedSolver`,
+    ``"process"`` the multi-core :class:`ProcessSolver` — same surface,
+    bit-identical results.
+    """
+    cfg = config or SolverConfig()
+    if cfg.executor == "process":
+        return ProcessSolver(
+            system, global_grid, initial_prim, dims, config=cfg, **kwargs
+        )
+    kwargs.pop("comm_timeout_s", None)
+    kwargs.pop("step_timeout_s", None)
+    kwargs.pop("ready_timeout_s", None)
+    return DistributedSolver(
+        system, global_grid, initial_prim, dims, config=cfg, **kwargs
+    )

@@ -81,6 +81,12 @@ class HydroPipeline:
         if fault_injector is not None and fault_injector.metrics is None:
             fault_injector.metrics = self.metrics
         self.recovery_stats = RecoveryStats()
+        #: counter-driven con2prim tuning (config.c2p_tuned): positivity-
+        #: preserving cold-start seeding, plus Newton damping adapted from
+        #: this pipeline's own accumulated sweep statistics.  The stats are
+        #: pipeline-local (per rank), so serial and process executors make
+        #: identical damping decisions.
+        self._c2p_tuned = bool(getattr(config, "c2p_tuned", False))
         #: preallocated kernel buffers for the hot path (one per pipeline, so
         #: per-rank and per-AMR-block reuse is safe); None disables reuse.
         self.workspace = (
@@ -125,6 +131,15 @@ class HydroPipeline:
             if p_guess is not None and p_guess.shape != interior_cons.shape[1:]:
                 p_guess = None
             sweep = RecoveryStats()
+            damping = 1.0
+            if self._c2p_tuned and (
+                self.recovery_stats.n_unbracketed > 0
+                or self.recovery_stats.max_iterations >= 50
+            ):
+                # Earlier sweeps hit the pathological tail (no sign change,
+                # or Newton budget exhausted): halve the step from here on.
+                damping = 0.5
+                self.metrics.counter("con2prim.damped_sweeps").inc()
             try:
                 interior_prim = con_to_prim(
                     system,
@@ -136,6 +151,8 @@ class HydroPipeline:
                     atmosphere=(self.atmosphere.rho_atmo, self.atmosphere.p_atmo),
                     scratch=ws,
                     out=scratch_buf(ws, ("pipe", "interior_prim"), interior_cons.shape),
+                    positivity_guess=self._c2p_tuned,
+                    newton_damping=damping,
                 )
                 if self.fault_injector is not None:
                     self._maybe_inject_burst(interior_cons, interior_prim)

@@ -74,14 +74,22 @@ class Report:
         (mixed ``run_start``/``step``/``run_end``); only ``step`` records
         contribute. Kernel seconds, counters, and communication fields are
         summed over steps; gauges report their final value.
+
+        Multi-rank streams — per-rank shards carrying a ``rank`` field,
+        possibly interleaved in arrival order — are handled by a stable
+        sort on ``(step, rank)``: the step count is the number of distinct
+        steps, sums run over every shard, and gauges/histograms aggregate
+        each rank's final record (max / combined).
         """
         steps = [r for r in records if r.get("event") == "step"]
         report = cls(experiment, title, headers=("metric", "value"))
         if not steps:
             report.add_note("no step records")
             return report
+        steps.sort(key=lambda r: (r.get("step", 0), r.get("rank", 0)))
+        n_ranks = len({r.get("rank", 0) for r in steps})
         source = steps[0].get("source", "measured")
-        report.add_row("steps", len(steps))
+        report.add_row("steps", len({r.get("step", 0) for r in steps}))
         report.add_row("t_end", float(steps[-1].get("t", 0.0)))
         report.add_row(
             "wall_seconds", sum(float(s.get("wall_seconds", 0.0)) for s in steps)
@@ -112,16 +120,81 @@ class Report:
                 "comm.overlap.hidden_frac",
                 counters.get("comm.overlap.hidden_s", 0.0) / modeled,
             )
-        for name, val in sorted(steps[-1].get("gauges", {}).items()):
+        # Gauges and histogram summaries are cumulative, so each rank's
+        # last record carries that rank's full-run state; aggregate the
+        # finals across ranks (max for gauges, exact combine for
+        # histogram summaries).
+        finals: dict[Any, dict] = {}
+        for s in steps:
+            finals[s.get("rank", 0)] = s
+        gauges: dict[str, float] = {}
+        hists: dict[str, dict] = {}
+        for s in finals.values():
+            for name, val in s.get("gauges", {}).items():
+                gauges[name] = max(gauges[name], val) if name in gauges else val
+            for name, summ in s.get("histograms", {}).items():
+                name = _HISTOGRAM_RENAMES.get(name, name)
+                if summ.get("count", 0) == 0:
+                    hists.setdefault(name, dict(summ))
+                    continue
+                cur = hists.get(name)
+                if cur is None or cur.get("count", 0) == 0:
+                    hists[name] = dict(summ)
+                    continue
+                count = cur["count"] + summ["count"]
+                total = cur.get("sum", 0.0) + summ.get("sum", 0.0)
+                hists[name] = {
+                    "count": count,
+                    "sum": total,
+                    "min": min(cur["min"], summ["min"]),
+                    "max": max(cur["max"], summ["max"]),
+                    "mean": total / count,
+                }
+        for name, val in sorted(gauges.items()):
             report.add_row(f"gauge.{name}", val)
-        # Histogram summaries are cumulative, so the last record has the
-        # full-run distribution.
-        for name, summ in sorted(steps[-1].get("histograms", {}).items()):
-            name = _HISTOGRAM_RENAMES.get(name, name)
+        for name, summ in sorted(hists.items()):
             report.add_row(f"hist.{name}.count", summ.get("count", 0))
             report.add_row(f"hist.{name}.mean", float(summ.get("mean", 0.0)))
             report.add_row(f"hist.{name}.max", float(summ.get("max", 0.0)))
         report.add_note(f"source: {source}")
+        if n_ranks > 1:
+            report.add_note(f"aggregated over {n_ranks} rank shards")
+        return report
+
+    @classmethod
+    def diff_metrics(
+        cls,
+        measured: Sequence[dict],
+        modelled: Sequence[dict],
+        experiment: str = "metrics-diff",
+        title: str = "measured vs modelled",
+    ) -> "Report":
+        """Side-by-side diff of a measured and a modelled event stream.
+
+        Both inputs are record lists as loaded by
+        :func:`repro.obs.read_events`; each is aggregated with
+        :meth:`from_metrics` and joined on the metric name.  The ``ratio``
+        column is measured/modelled where both sides are nonzero numbers
+        (blank otherwise), so systematic model error shows up as a column
+        of ratios far from 1.
+        """
+        left = cls.from_metrics(measured)
+        right = cls.from_metrics(modelled)
+        lvals = dict(zip(left.column("metric"), left.column("value")))
+        rvals = dict(zip(right.column("metric"), right.column("value")))
+        report = cls(
+            experiment, title, headers=("metric", "measured", "modelled", "ratio")
+        )
+        for name in sorted(set(lvals) | set(rvals)):
+            m, d = lvals.get(name), rvals.get(name)
+            ratio = ""
+            if (
+                isinstance(m, (int, float))
+                and isinstance(d, (int, float))
+                and d not in (0, 0.0)
+            ):
+                ratio = float(m) / float(d)
+            report.add_row(name, "" if m is None else m, "" if d is None else d, ratio)
         return report
 
     def __str__(self) -> str:

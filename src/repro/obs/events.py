@@ -106,9 +106,14 @@ def steps_of(records) -> list[dict]:
 #: run to run, so excluded from golden streams)
 _TIMING_SUFFIXES = ("_s", "_seconds", "_frac")
 
+#: metric-name prefixes that describe the transport substrate rather than
+#: the numerics (e.g. real shared-memory bytes/waits of the process
+#: backend) — excluded so serial and process streams canonicalize equal
+_SUBSTRATE_PREFIXES = ("comm.shm.",)
+
 
 def _is_timing_metric(name: str) -> bool:
-    return name.endswith(_TIMING_SUFFIXES)
+    return name.endswith(_TIMING_SUFFIXES) or name.startswith(_SUBSTRATE_PREFIXES)
 
 
 def _filter_metrics(mapping: dict) -> dict:

@@ -92,6 +92,29 @@ class StepRecorder:
         self.steps_recorded += 1
         self._emit("step", **record, **extra)
 
+    def emit_step(self, record: dict, **extra) -> None:
+        """Emit an already-built ``step`` record (merged worker shards).
+
+        The process backend computes per-step deltas inside each worker
+        and merges the shards in the parent; this entry point emits the
+        merged record while keeping the recorder's cumulative state
+        (timer and counter totals) consistent, so :meth:`finish` reports
+        the same run totals as a serially recorded stream.
+        """
+        for name, seconds in record.get("kernel_seconds", {}).items():
+            self._prev_timers[name] = self._prev_timers.get(name, 0.0) + seconds
+        prev = self._prev_metrics or {}
+        counters = dict(prev.get("counters", {}))
+        for name, delta in record.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + delta
+        self._prev_metrics = {
+            "counters": counters,
+            "gauges": dict(record.get("gauges", {})),
+            "histograms": dict(record.get("histograms", {})),
+        }
+        self.steps_recorded += 1
+        self._emit("step", **record, **extra)
+
     def finish(self, **summary) -> None:
         """Emit the ``run_end`` record with cumulative totals."""
         self._emit(

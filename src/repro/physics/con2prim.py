@@ -128,6 +128,8 @@ def con_to_prim(
     atmosphere: tuple[float, float] | None = None,
     scratch=None,
     out: np.ndarray | None = None,
+    positivity_guess: bool = False,
+    newton_damping: float = 1.0,
 ) -> np.ndarray:
     """Invert conserved variables to primitives over a whole grid.
 
@@ -150,6 +152,21 @@ def con_to_prim(
         sizes) always allocates fresh. Results are bit-identical.
     out:
         Optional preallocated primitive array receiving the result.
+    positivity_guess:
+        Cold-start seeding only (ignored when *p_guess* is given): seed
+        the Newton iteration with the EOS pressure of the trial state
+        evaluated at the lower admissibility bracket.  The clamped
+        ``eps >= 0`` keeps that pressure nonnegative by construction, and
+        on atmosphere-dominated grids it starts at the right magnitude
+        (~``p_atmo``) where the kinetic-gap estimate overshoots by many
+        orders — which is what sends those cells into the bisection
+        fallback.  The same seed tightens the bisection bracket for any
+        stragglers (``hi`` scales with the seed).
+    newton_damping:
+        Scale factor on the Newton step (1.0 = undamped; bit-identical
+        to the historical iteration).  Values below 1 trade iterations
+        for robustness when sweeps report unbracketed cells or exhausted
+        Newton budgets.
     failsafe_frac, atmosphere:
         Bounded non-convergence failsafe.  When ``failsafe_frac > 0`` and
         ``atmosphere=(rho_atmo, p_atmo)`` is given, up to
@@ -188,6 +205,15 @@ def con_to_prim(
     p = scratch_buf(scratch, ("c2p", "p"), D.shape)
     if p_guess is not None:
         np.maximum(p_guess.reshape(-1), p_lo, out=p)
+    elif positivity_guess:
+        # Positivity-preserving seed: evaluate the trial state at the lower
+        # admissibility bracket, where the clamped eps >= 0 guarantees a
+        # nonnegative EOS pressure; residual + base = p_EOS(rho0, eps0).
+        np.maximum(p_lo, p_floor, out=p)
+        _, _, _, f0 = _eval_state(eos, D, S2, tau, p, scratch=scratch)
+        np.add(p, f0, out=p)
+        np.maximum(p, p_lo, out=p)
+        np.maximum(p, p_floor, out=p)
     else:
         # Gamma-law-flavoured seed: thermal pressure of order the kinetic gap.
         np.sqrt(S2, out=p)
@@ -208,7 +234,9 @@ def con_to_prim(
             break
         dfdp = v2 * cs2 - 1.0  # strictly negative
         step = f / dfdp
-        p_new = p - step
+        # Multiplying by a damping of exactly 1.0 is an IEEE identity, so
+        # the undamped iteration stays bit-identical to the historical one.
+        p_new = p - newton_damping * step
         # Keep the iterate inside the admissible region.
         p_new = np.maximum(p_new, 0.5 * (p + p_lo))
         p = np.where(converged, p, p_new)

@@ -23,7 +23,9 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     HaloFault,
+    corrupt_payload,
 )
+from .oracle import ExchangeSchedule, FaultOracle, RankStridedFaultInjector
 from .policies import (
     HaloRetryPolicy,
     RestartPolicy,
@@ -37,6 +39,10 @@ __all__ = [
     "DeviceFault",
     "Con2PrimFault",
     "FaultInjector",
+    "corrupt_payload",
+    "ExchangeSchedule",
+    "FaultOracle",
+    "RankStridedFaultInjector",
     "HaloRetryPolicy",
     "blocking_retry_policy",
     "RestartPolicy",

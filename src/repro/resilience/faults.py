@@ -39,6 +39,19 @@ HALO_FAULT_KINDS = ("drop", "duplicate", "corrupt")
 DEVICE_FAULT_KINDS = ("fail", "straggle")
 
 
+def corrupt_payload(payload: np.ndarray, scale: float) -> np.ndarray:
+    """The canonical in-flight corruption: perturb ~4 evenly spread entries.
+
+    Shared by the serial injector and the shared-memory sender so a
+    corrupted strip is bit-identical on both substrates.
+    """
+    corrupted = np.array(payload, copy=True)
+    flat = corrupted.reshape(-1)
+    stride = max(1, flat.size // 4)
+    flat[::stride] += scale * (1.0 + np.abs(flat[::stride]))
+    return corrupted
+
+
 @dataclass(frozen=True)
 class HaloFault:
     """One fault on a halo message.
@@ -235,14 +248,13 @@ class FaultInjector:
         self._message = 0
         return self._exchange
 
-    def on_send(
-        self, src: int, dest: int, tag: int, payload: np.ndarray
-    ) -> tuple[str, np.ndarray]:
-        """Decide the fate of one injectable message.
+    def decide(self, src: int, dest: int, tag: int) -> tuple[str | None, float]:
+        """Advance the message counter and decide one message's fate.
 
-        Returns ``(action, payload)`` where action is ``"deliver"``,
-        ``"drop"``, ``"duplicate"``, or ``"corrupt"`` (payload already
-        corrupted in the last case).
+        Returns ``(kind, scale)`` with kind in ``HALO_FAULT_KINDS`` or
+        ``None`` for clean delivery.  Pure plan/seed state transition —
+        no metrics are recorded, so the fault oracle for the process
+        backend can replay the identical decision sequence off-line.
         """
         msg_idx = self._message
         self._message += 1
@@ -271,17 +283,23 @@ class FaultInjector:
                     if draw < acc:
                         kind, scale = name, 10.0
                         break
+        return kind, scale
 
+    def on_send(
+        self, src: int, dest: int, tag: int, payload: np.ndarray
+    ) -> tuple[str, np.ndarray]:
+        """Decide the fate of one injectable message.
+
+        Returns ``(action, payload)`` where action is ``"deliver"``,
+        ``"drop"``, ``"duplicate"``, or ``"corrupt"`` (payload already
+        corrupted in the last case).
+        """
+        kind, scale = self.decide(src, dest, tag)
         if kind is None:
             return "deliver", payload
         self._count(f"resilience.fault.halo_{kind}")
         if kind == "corrupt":
-            corrupted = np.array(payload, copy=True)
-            flat = corrupted.reshape(-1)
-            flat[:: max(1, flat.size // 4)] += scale * (
-                1.0 + np.abs(flat[:: max(1, flat.size // 4)])
-            )
-            return "corrupt", corrupted
+            return "corrupt", corrupt_payload(payload, scale)
         return kind, payload
 
     # -- con2prim ------------------------------------------------------------

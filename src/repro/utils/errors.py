@@ -56,5 +56,9 @@ class CommunicationError(ReproError):
     """Simulated communicator misuse (bad rank, mismatched message, ...)."""
 
 
+class WorkerError(ReproError):
+    """A process-backend worker failed or died; the message names the rank."""
+
+
 class CodegenError(ReproError):
     """Kernel generation or verification failure."""

@@ -363,3 +363,75 @@ class TestMetricsReport:
         assert "hist.con2prim.newton_iters.count" not in names
         by_name = dict(zip(names, report.column("value")))
         assert by_name["hist.con2prim.newton_iters_max.max"] == 5.0
+
+
+class TestMultiRankReport:
+    """Report.from_metrics over interleaved per-rank shards (the process
+    executor's raw, unmerged streams) and the measured-vs-modelled diff."""
+
+    def _shard(self, rank, step, counter, gauge):
+        return {
+            "event": "step", "rank": rank, "step": step,
+            "t": 0.05 * step, "dt": 0.05, "wall_seconds": 0.1,
+            "kernel_seconds": {"rhs": 1.0},
+            "counters": {"con2prim.cells": counter},
+            "gauges": {"con2prim.max_newton_iters": gauge},
+            "histograms": {
+                "con2prim.newton_iters_max": {
+                    "count": step, "sum": float(gauge * step),
+                    "min": 1.0, "max": float(gauge), "mean": float(gauge),
+                }
+            },
+        }
+
+    def test_interleaved_ranks_aggregate(self):
+        # Arrival order scrambled across ranks and steps on purpose.
+        records = [
+            self._shard(1, 1, 10, 4.0),
+            self._shard(0, 1, 12, 6.0),
+            self._shard(1, 2, 10, 5.0),
+            self._shard(0, 2, 12, 6.0),
+        ]
+        report = Report.from_metrics(records)
+        by_name = dict(zip(report.column("metric"), report.column("value")))
+        assert by_name["steps"] == 2  # distinct steps, not shard count
+        assert by_name["counter.con2prim.cells"] == 44  # summed over shards
+        assert by_name["kernel.rhs [s]"] == 4.0
+        # Gauges: max over each rank's *final* record.
+        assert by_name["gauge.con2prim.max_newton_iters"] == 6.0
+        # Histograms: the two final shards combine exactly.
+        assert by_name["hist.con2prim.newton_iters_max.count"] == 4
+        assert by_name["hist.con2prim.newton_iters_max.max"] == 6.0
+        assert any("2 rank shards" in n for n in report.notes)
+
+    def test_single_rank_stream_unchanged(self):
+        records = [self._shard(0, 1, 10, 4.0), self._shard(0, 2, 10, 5.0)]
+        report = Report.from_metrics(records)
+        by_name = dict(zip(report.column("metric"), report.column("value")))
+        assert by_name["steps"] == 2
+        assert not any("rank shards" in n for n in report.notes)
+
+    def test_diff_metrics_ratio(self):
+        measured = [
+            {"event": "step", "step": 1, "t": 0.1, "wall_seconds": 2.0,
+             "kernel_seconds": {"compute": 1.5},
+             "counters": {"scaling.nodes": 4}},
+        ]
+        modelled = [
+            {"event": "step", "step": 1, "t": 0.1, "wall_seconds": 1.0,
+             "kernel_seconds": {"compute": 1.0},
+             "counters": {"scaling.nodes": 4}},
+        ]
+        report = Report.diff_metrics(measured, modelled)
+        assert list(report.headers) == ["metric", "measured", "modelled", "ratio"]
+        rows = {r[0]: r for r in report.rows}
+        assert rows["wall_seconds"][3] == pytest.approx(2.0)
+        assert rows["kernel.compute [s]"][3] == pytest.approx(1.5)
+        assert rows["counter.scaling.nodes"][3] == pytest.approx(1.0)
+
+    def test_diff_metrics_identical_streams_are_all_ones(self):
+        stream = [self._shard(0, 1, 10, 4.0), self._shard(0, 2, 10, 5.0)]
+        report = Report.diff_metrics(stream, stream)
+        for row in report.rows:
+            if isinstance(row[3], float):
+                assert row[3] == 1.0

@@ -1,0 +1,415 @@
+"""Serial-vs-process bit-exactness for the multi-core execution backend.
+
+The contract of :class:`repro.core.parallel.ProcessSolver` is that every
+decomposition, exchange mode, and seeded fault plan produces *bit-identical*
+results to the in-process :class:`DistributedSolver` — same conserved bytes
+on every rank, same dt sequence, and the same canonical metrics stream after
+the per-rank shards are merged.  These tests are strict byte comparisons,
+not tolerances.
+
+The spawn-based workers re-import this module by file path, so everything
+at module level must be import-safe (it is: plain defs and constants).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.shm import (
+    FLAG_DATA,
+    FLAG_TOMBSTONE,
+    ShmChannel,
+    channel_capacities,
+)
+from repro.core.config import SolverConfig
+from repro.core.distributed import DistributedSolver
+from repro.core.parallel import (
+    ProcessSolver,
+    make_distributed_solver,
+    merge_step_records,
+)
+from repro.eos import IdealGasEOS
+from repro.mesh.grid import Grid
+from repro.obs import BufferSink, StepRecorder, canonical_stream
+from repro.physics.initial_data import SHOCK_TUBES, blast_wave_2d, shock_tube
+from repro.physics.srhd import SRHDSystem
+from repro.resilience.faults import (
+    Con2PrimFault,
+    FaultInjector,
+    FaultPlan,
+    HaloFault,
+)
+from repro.resilience.policies import HaloRetryPolicy
+from repro.utils.errors import CommunicationError, ConfigurationError, WorkerError
+
+
+def _rp1_setup(n=32):
+    system = SRHDSystem(IdealGasEOS(gamma=SHOCK_TUBES["RP1"].gamma), ndim=1)
+    grid = Grid((n,), ((0.0, 1.0),))
+    return system, grid, shock_tube(system, grid, SHOCK_TUBES["RP1"])
+
+
+def _blast2d_setup(n=12):
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    return system, grid, blast_wave_2d(system, grid)
+
+
+def _smooth3d_setup(n=8):
+    system = SRHDSystem(IdealGasEOS(), ndim=3)
+    grid = Grid((n,) * 3, ((0.0, 1.0),) * 3)
+    shape = grid.shape_with_ghosts
+    prim = np.empty((system.nvars,) + shape)
+    x = np.linspace(0, 2 * np.pi, shape[0])[:, None, None]
+    y = np.linspace(0, 2 * np.pi, shape[1])[None, :, None]
+    z = np.linspace(0, 2 * np.pi, shape[2])[None, None, :]
+    prim[system.RHO] = 1.0 + 0.3 * np.sin(x) * np.cos(y) * np.cos(z)
+    prim[system.P] = 1.0 + 0.2 * np.cos(x + y + z)
+    prim[system.V(0)] = 0.2 * np.sin(y)
+    prim[system.V(1)] = 0.2 * np.sin(z)
+    prim[system.V(2)] = 0.2 * np.sin(x)
+    return system, grid, prim
+
+
+def _run_serial(setup, dims, steps, *, plan=None, policy=None, meta=None, **cfg):
+    system, grid, prim0 = setup
+    sink = BufferSink()
+    recorder = StepRecorder(sink, meta=meta or {})
+    solver = DistributedSolver(
+        system, grid, prim0.copy(), dims,
+        config=SolverConfig(cfl=0.4, **cfg),
+        recorder=recorder,
+        fault_injector=FaultInjector(plan) if plan is not None else None,
+        halo_policy=policy,
+    )
+    solver.run(t_final=1.0, max_steps=steps)
+    recorder.finish(t_end=solver.t)
+    return solver, sink
+
+
+def _run_process(setup, dims, steps, *, plan=None, policy=None, meta=None, **cfg):
+    """Run the process backend; returns everything needed for comparison
+    (the solver is closed before returning)."""
+    system, grid, prim0 = setup
+    sink = BufferSink()
+    recorder = StepRecorder(sink, meta=meta or {})
+    with ProcessSolver(
+        system, grid, prim0.copy(), dims,
+        config=SolverConfig(cfl=0.4, executor="process", **cfg),
+        recorder=recorder,
+        fault_injector=FaultInjector(plan) if plan is not None else None,
+        halo_policy=policy,
+    ) as solver:
+        solver.run(t_final=1.0, max_steps=steps)
+        recorder.finish(t_end=solver.t)
+        out = {
+            "t": solver.t,
+            "steps": solver.steps,
+            "cons": solver.gather_cons(),
+            "prims": solver.gather_primitives(),
+            "counters": solver.metrics.snapshot()["counters"],
+            "sink": sink,
+        }
+    return out
+
+
+def _assert_bitexact(serial, sink, proc):
+    assert serial.t == proc["t"] and serial.steps == proc["steps"]
+    for rank in range(serial.size):
+        assert serial.cons[rank].tobytes() == proc["cons"][rank].tobytes(), (
+            f"rank {rank} conserved state diverged"
+        )
+    assert serial.gather_primitives().tobytes() == proc["prims"].tobytes()
+    a, b = canonical_stream(sink.records), canonical_stream(proc["sink"].records)
+    assert a == b, "canonical metrics streams differ:\n" + "\n".join(
+        f"-{x}\n+{y}" for x, y in zip(a.splitlines(), b.splitlines()) if x != y
+    )
+
+
+META = {"problem": "bitexact", "suite": "parallel"}
+
+
+class TestBitExactness:
+    """The serial-vs-process matrix: geometry x overlap x faults."""
+
+    def test_1d_two_ranks(self):
+        setup = _rp1_setup()
+        serial, sink = _run_serial(setup, (2,), 4, meta=META)
+        proc = _run_process(setup, (2,), 4, meta=META)
+        _assert_bitexact(serial, sink, proc)
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_2d_four_ranks(self, overlap):
+        setup = _blast2d_setup()
+        kw = dict(meta=META, overlap_exchange=overlap)
+        serial, sink = _run_serial(setup, (2, 2), 3, **kw)
+        proc = _run_process(setup, (2, 2), 3, **kw)
+        _assert_bitexact(serial, sink, proc)
+
+    def test_3d_two_ranks(self):
+        setup = _smooth3d_setup()
+        serial, sink = _run_serial(setup, (2, 1, 1), 2, meta=META)
+        proc = _run_process(setup, (2, 1, 1), 2, meta=META)
+        _assert_bitexact(serial, sink, proc)
+
+    def test_riemann_limiter_combo(self):
+        setup = _rp1_setup()
+        kw = dict(meta=META, riemann="hll", reconstruction="superbee")
+        serial, sink = _run_serial(setup, (2,), 3, **kw)
+        proc = _run_process(setup, (2,), 3, **kw)
+        _assert_bitexact(serial, sink, proc)
+
+
+def _fault_plan():
+    return FaultPlan(
+        seed=11,
+        halo=[
+            HaloFault(kind="drop", exchange=2, message=3),
+            HaloFault(kind="duplicate", exchange=4, message=1),
+            HaloFault(kind="corrupt", exchange=5, message=0),
+        ],
+        con2prim=[Con2PrimFault(sweep=3, n_cells=4)],
+    )
+
+
+class TestFaultBitExactness:
+    """Rank-local fault/retry decisions replay the serial injector's global
+    schedule: the same plan strikes the same logical messages and cells on
+    both backends, recoveries included."""
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_faulted_run_matches_serial(self, overlap):
+        setup = _blast2d_setup()
+        kw = dict(
+            meta=META, overlap_exchange=overlap, failsafe_frac=0.2,
+            plan=_fault_plan(), policy=HaloRetryPolicy(max_attempts=4),
+        )
+        serial, sink = _run_serial(setup, (2, 2), 4, **kw)
+        proc = _run_process(setup, (2, 2), 4, **kw)
+        _assert_bitexact(serial, sink, proc)
+        snap = serial.metrics.snapshot()["counters"]
+        for name in (
+            "resilience.fault.halo_drop",
+            "resilience.fault.halo_duplicate",
+            "resilience.fault.halo_corrupt",
+            "resilience.halo_retries",
+            "resilience.failsafe_cells",
+        ):
+            assert snap[name] > 0, name
+            assert proc["counters"][name] == snap[name], name
+
+    def test_duplicate_without_policy_keeps_serial_stale_semantics(self):
+        """A duplicate with no retry policy leaves a stale copy pending; the
+        serial mailbox hands it to the *next* exchange in FIFO order, and
+        the shm ring must reproduce exactly that (wrong-but-deterministic)
+        consumption — this is what the cross-epoch FIFO exists for."""
+        plan = FaultPlan(
+            seed=7, halo=[HaloFault(kind="duplicate", exchange=1, message=2)]
+        )
+        setup = _blast2d_setup()
+        serial, sink = _run_serial(setup, (2, 2), 3, meta=META, plan=plan)
+        proc = _run_process(setup, (2, 2), 3, meta=META, plan=plan)
+        _assert_bitexact(serial, sink, proc)
+        assert proc["counters"]["resilience.fault.halo_duplicate"] == 1
+
+    def test_policy_purges_stale_duplicate(self):
+        """With a retry policy the completed exchange purges the stale
+        copy — counted identically on both backends."""
+        plan = FaultPlan(
+            seed=7, halo=[HaloFault(kind="duplicate", exchange=1, message=2)]
+        )
+        setup = _blast2d_setup()
+        kw = dict(meta=META, plan=plan, policy=HaloRetryPolicy(max_attempts=4))
+        serial, sink = _run_serial(setup, (2, 2), 3, **kw)
+        proc = _run_process(setup, (2, 2), 3, **kw)
+        _assert_bitexact(serial, sink, proc)
+        snap = serial.metrics.snapshot()["counters"]
+        assert snap["resilience.halo_stale_discarded"] >= 1
+        assert (
+            proc["counters"]["resilience.halo_stale_discarded"]
+            == snap["resilience.halo_stale_discarded"]
+        )
+
+    def test_fatal_drop_without_policy(self):
+        """An unrecovered drop kills the run on both backends with the same
+        underlying missing-message error."""
+        plan = FaultPlan(
+            seed=1, halo=[HaloFault(kind="drop", exchange=1, message=0)]
+        )
+        setup = _rp1_setup()
+        with pytest.raises(CommunicationError) as serr:
+            _run_serial(setup, (2,), 3, meta=META, plan=plan)
+        system, grid, prim0 = setup
+        with pytest.raises(WorkerError) as perr:
+            with ProcessSolver(
+                system, grid, prim0.copy(), (2,),
+                config=SolverConfig(cfl=0.4),
+                fault_injector=FaultInjector(plan),
+            ) as solver:
+                solver.run(t_final=1.0, max_steps=3)
+        # The worker-side traceback names the identical serial error.
+        assert str(serr.value) in str(perr.value)
+
+
+class TestWorkerFailure:
+    def test_killed_worker_raises_named_workererror(self):
+        system, grid, prim0 = _rp1_setup()
+        solver = ProcessSolver(
+            system, grid, prim0, (2,),
+            config=SolverConfig(cfl=0.4),
+            step_timeout_s=60.0,
+        )
+        try:
+            solver.step()
+            victim = 1
+            os.kill(solver._procs[victim].pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while solver._procs[victim].is_alive():
+                assert time.monotonic() < deadline, "SIGKILL did not land"
+                time.sleep(0.01)
+            with pytest.raises(WorkerError, match=r"rank 1"):
+                solver.step()
+            # The failed step already tore the backend down; close() must
+            # still be a clean no-op.
+            solver.close()
+        finally:
+            solver.close()
+
+    def test_checkpointing_rejected(self):
+        system, grid, prim0 = _rp1_setup()
+        with ProcessSolver(
+            system, grid, prim0, (2,), config=SolverConfig(cfl=0.4)
+        ) as solver:
+            with pytest.raises(ConfigurationError, match="checkpoint"):
+                solver.run(t_final=0.1, checkpoint_every=2)
+
+
+class TestMakeDistributedSolver:
+    def test_dispatch(self):
+        system, grid, prim0 = _rp1_setup()
+        serial = make_distributed_solver(
+            system, grid, prim0, (2,), config=SolverConfig(executor="serial")
+        )
+        assert isinstance(serial, DistributedSolver)
+        proc = make_distributed_solver(
+            system, grid, prim0, (2,),
+            config=SolverConfig(executor="process"),
+            step_timeout_s=60.0,
+        )
+        try:
+            assert isinstance(proc, ProcessSolver)
+            assert proc.size == serial.size == 2
+        finally:
+            proc.close()
+
+
+class TestShmChannel:
+    """Unit tests for the SPSC ring under the communicator."""
+
+    def test_push_pop_roundtrip_and_wraparound(self):
+        payload = np.arange(6, dtype=np.float64)
+        ch = ShmChannel.create(capacity=4096)
+        try:
+            for epoch in range(50):  # ~50 records through a 4 KiB ring
+                ch.ring.push(epoch, tag=epoch % 5, flag=FLAG_DATA,
+                             payload=payload * epoch, timeout_s=1.0)
+                rec = ch.ring.pop()
+                assert rec is not None
+                got_epoch, tag, flag, data = rec
+                assert (got_epoch, tag, flag) == (epoch, epoch % 5, FLAG_DATA)
+                np.testing.assert_array_equal(data, payload * epoch)
+            assert ch.ring.pop() is None
+        finally:
+            ch.close()
+
+    def test_tombstone_flag_carries_no_payload_semantics(self):
+        ch = ShmChannel.create(capacity=1024)
+        try:
+            ch.ring.push(3, tag=7, flag=FLAG_TOMBSTONE,
+                         payload=np.zeros(1), timeout_s=1.0)
+            epoch, tag, flag, _ = ch.ring.pop()
+            assert (epoch, tag, flag) == (3, 7, FLAG_TOMBSTONE)
+        finally:
+            ch.close()
+
+    def test_full_ring_times_out(self):
+        ch = ShmChannel.create(capacity=256)
+        payload = np.zeros(16)  # one 192-byte record; two exceed the ring
+        try:
+            ch.ring.push(0, tag=0, flag=FLAG_DATA, payload=payload,
+                         timeout_s=1.0)
+            with pytest.raises(CommunicationError, match="full"):
+                ch.ring.push(1, tag=0, flag=FLAG_DATA, payload=payload,
+                             timeout_s=0.05)
+            # Draining frees the space again.
+            assert ch.ring.pop() is not None
+            ch.ring.push(1, tag=0, flag=FLAG_DATA, payload=payload,
+                         timeout_s=1.0)
+        finally:
+            ch.close()
+
+    def test_channel_capacities_cover_every_neighbour_pair(self):
+        from repro.mesh.decomposition import CartesianDecomposition
+
+        grid = Grid((12, 12), ((0.0, 1.0), (0.0, 1.0)))
+        decomp = CartesianDecomposition(grid, (2, 2))
+        caps = channel_capacities(decomp, nvars=5, n_ghost=3)
+        # Directed channels: both orientations of every adjacent pair.
+        for src, dest in caps:
+            assert (dest, src) in caps
+        assert all(cap > 0 for cap in caps.values())
+
+
+class TestMergeStepRecords:
+    def _shard(self, rank, counters, gauges=None, hist_count=1):
+        return {
+            "schema": 1,
+            "event": "step",
+            "source": "measured",
+            "rank": rank,
+            "step": 5,
+            "t": 0.25,
+            "dt": 0.05,
+            "wall_seconds": 0.1 * (rank + 1),
+            "kernel_seconds": {"rhs": 1.0, "con2prim": 0.5},
+            "counters": counters,
+            "gauges": gauges or {},
+            "histograms": {
+                "con2prim.newton_iters_max": {
+                    "count": hist_count, "sum": 4.0 * hist_count,
+                    "min": 4.0, "max": 4.0, "mean": 4.0,
+                }
+            },
+            "comm": {"halo_bytes": 100, "messages": 2, "collectives": 3,
+                     "halo_bytes_model_per_exchange": 100},
+        }
+
+    def test_merge_sums_counters_and_maxes_gauges(self):
+        merged = merge_step_records([
+            self._shard(0, {"con2prim.cells": 10.0},
+                        gauges={"con2prim.max_newton_iters": 3.0}),
+            self._shard(1, {"con2prim.cells": 14.0},
+                        gauges={"con2prim.max_newton_iters": 7.0}),
+        ])
+        assert merged["counters"]["con2prim.cells"] == 24.0
+        assert merged["gauges"]["con2prim.max_newton_iters"] == 7.0
+        assert merged["kernel_seconds"]["rhs"] == 2.0
+        assert merged["comm"]["halo_bytes"] == 200
+        assert merged["comm"]["messages"] == 4
+        assert merged["comm"]["collectives"] == 3  # max, not sum
+        assert merged["comm"]["halo_bytes_model_per_exchange"] == 100
+        hist = merged["histograms"]["con2prim.newton_iters_max"]
+        assert hist["count"] == 2 and hist["mean"] == 4.0
+        assert "rank" not in merged
+
+    def test_merge_rejects_diverged_shards(self):
+        a = self._shard(0, {})
+        b = self._shard(1, {})
+        b["dt"] = 0.06
+        with pytest.raises(WorkerError, match="diverg"):
+            merge_step_records([a, b])

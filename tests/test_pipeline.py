@@ -216,3 +216,51 @@ class TestRecoveryInstrumentation:
         assert pipeline.recovery_stats.n_failed == 2
         assert pipeline.timers["con2prim"].aborted == 1
         assert pipeline.timers["con2prim"].count == 0
+
+
+class TestTunedRecovery:
+    """config.c2p_tuned: the positivity seed is always on, and Newton
+    damping engages only after the pipeline's own running stats report
+    stress (unbracketed cells or a saturated iteration budget) — a
+    rank-local decision, identical on the serial and process executors."""
+
+    def _tuned_pipeline(self, system1d):
+        grid = Grid((32,), ((0.0, 1.0),))
+        return HydroPipeline(
+            system1d, grid, make_boundaries("periodic"),
+            SolverConfig(cfl=0.4, c2p_tuned=True),
+        )
+
+    def test_unstressed_sweep_is_undamped(self, system1d):
+        pipeline = self._tuned_pipeline(system1d)
+        prim = smooth_wave(system1d, pipeline.grid)
+        out = pipeline.recover_primitives(system1d.prim_to_con(prim))
+        assert np.all(np.isfinite(out))
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap.get("con2prim.damped_sweeps", 0) == 0
+
+    def test_stressed_stats_trigger_damping(self, system1d):
+        pipeline = self._tuned_pipeline(system1d)
+        prim = smooth_wave(system1d, pipeline.grid)
+        cons = system1d.prim_to_con(prim)
+        pipeline.recovery_stats.n_unbracketed = 1  # as a hard sweep would
+        out = pipeline.recover_primitives(cons)
+        assert np.all(np.isfinite(out))
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap["con2prim.damped_sweeps"] == 1
+
+    def test_saturated_newton_budget_triggers_damping(self, system1d):
+        pipeline = self._tuned_pipeline(system1d)
+        prim = smooth_wave(system1d, pipeline.grid)
+        cons = system1d.prim_to_con(prim)
+        pipeline.recovery_stats.max_iterations = 50
+        pipeline.recover_primitives(cons)
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap["con2prim.damped_sweeps"] == 1
+
+    def test_untuned_pipeline_never_damps(self, pipeline, system1d):
+        prim = smooth_wave(system1d, pipeline.grid)
+        pipeline.recovery_stats.n_unbracketed = 1
+        pipeline.recover_primitives(system1d.prim_to_con(prim))
+        snap = pipeline.metrics.snapshot()["counters"]
+        assert snap.get("con2prim.damped_sweeps", 0) == 0

@@ -20,6 +20,7 @@ from repro.mesh.grid import Grid
 from repro.physics.con2prim import con_to_prim
 from repro.physics.exact_riemann import ExactRiemannSolver, RiemannState
 from repro.physics.srhd import SRHDSystem
+from repro.utils.errors import ConfigurationError
 
 
 class TestHaloExchangeProperty:
@@ -249,7 +250,14 @@ class TestExactRiemannProperties:
         the wave-frame bounds, and waves ordered left-to-right."""
         left = RiemannState(rho_l, v_l, p_l)
         right = RiemannState(rho_r, v_r, p_r)
-        ex = ExactRiemannSolver(left, right)
+        try:
+            ex = ExactRiemannSolver(left, right)
+        except ConfigurationError as err:
+            # Receding low-pressure states can form vacuum (e.g. cold
+            # fast-separating inputs), which the exact solver documents
+            # as out of scope — not an admissible problem, so skip it.
+            assume("vacuum" not in str(err))
+            raise
         assert ex.p_star > 0
         assert abs(ex.v_star) < 1.0
         lkind, lhead, ltail = ex._left_wave
