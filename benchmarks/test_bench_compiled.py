@@ -1,0 +1,223 @@
+"""Compiled-kernel benchmark (BENCH_compiled.json).
+
+Times the same 2-D blast evolution under each kernel target — handwritten
+``numpy``, SymPy-generated ``flat``, and cffi-compiled ``cext`` — on the
+serial solver and on the 4-worker process executor.  The comparison basis
+is CPU seconds per step (``time.process_time``, per-worker critical path
+on the process backend), which is robust against host oversubscription in
+CI containers; wall time is reported alongside.
+
+The run doubles as an end-to-end parity check: all targets must land on
+the same solution (numpy within a tight tolerance, flat vs cext
+bit-identical — the C emitter prints the same CSE'd expression tree).
+
+Smoke mode (REPRO_BENCH_SMOKE=1) shrinks grid/steps; layout is identical.
+When no C toolchain is available the cext rows are omitted and the
+speedup assertions are skipped — the fallback path itself is covered by
+the test suite.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.boundary import make_boundaries
+from repro.codegen import cext_available
+from repro.core import SolverConfig
+from repro.core.parallel import ProcessSolver
+from repro.core.solver import Solver
+from repro.eos import IdealGasEOS
+from repro.harness import Report
+from repro.mesh.decomposition import choose_dims
+from repro.mesh.grid import Grid
+from repro.physics.initial_data import blast_wave_2d
+from repro.physics.srhd import SRHDSystem
+
+from .conftest import RESULTS_DIR, emit
+
+
+def _setup(n):
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    return system, grid, blast_wave_2d(system, grid)
+
+
+def _serial_case(target: str, n: int, n_steps: int) -> dict:
+    system, grid, prim = _setup(n)
+    solver = Solver(
+        system,
+        grid,
+        prim,
+        SolverConfig(cfl=0.4, kernel_target=target),
+        make_boundaries("outflow"),
+    )
+    # Warm-up step: generates/compiles/loads kernels, allocates scratch.
+    solver.run(t_final=1.0, max_steps=1)
+    cpu0, wall0 = time.process_time(), time.perf_counter()
+    solver.run(t_final=1.0, max_steps=1 + n_steps)
+    cpu_s = time.process_time() - cpu0
+    wall_s = time.perf_counter() - wall0
+    return {
+        "target": target,
+        "steps": n_steps,
+        "cpu_s": cpu_s,
+        "wall_s": wall_s,
+        "cpu_per_step": cpu_s / n_steps,
+        "prims": grid.interior_of(solver.primitives()).copy(),
+    }
+
+
+def _process_case(target: str, n: int, n_steps: int, workers: int = 4) -> dict:
+    system, grid, prim = _setup(n)
+    dims = choose_dims(workers, 2)
+    with ProcessSolver(
+        system, grid, prim, dims,
+        config=SolverConfig(cfl=0.4, executor="process", kernel_target=target),
+    ) as solver:
+        solver.step()  # warm-up: per-worker kernel build/load
+        snaps0 = solver.worker_snapshots()
+        wall0 = time.perf_counter()
+        solver.run(t_final=1.0, max_steps=1 + n_steps)
+        wall_s = time.perf_counter() - wall0
+        snaps1 = solver.worker_snapshots()
+        prims = solver.gather_primitives().copy()
+    cpu_s = max(
+        s1["process_seconds"] - s0["process_seconds"]
+        for s0, s1 in zip(snaps0, snaps1)
+    )
+    return {
+        "target": target,
+        "workers": workers,
+        "steps": n_steps,
+        "cpu_s": cpu_s,
+        "wall_s": wall_s,
+        "cpu_per_step": cpu_s / n_steps,
+        "prims": prims,
+    }
+
+
+def _best_per_target(reps: int, targets, case_fn, *args) -> dict:
+    """Best (min CPU) of *reps* measurements per target.
+
+    Reps are interleaved round-robin across targets rather than run
+    back-to-back, so slow drift on an oversubscribed CI host (another
+    container waking up mid-benchmark) penalizes every target equally
+    instead of whichever one happened to run last.  Taking the minimum
+    then discards the scheduling noise.  All reps of a target are
+    bit-identical by construction, which doubles as a determinism check.
+    """
+    best: dict[str, dict] = {}
+    for _ in range(reps):
+        for t in targets:
+            cand = case_fn(t, *args)
+            cur = best.get(t)
+            if cur is None:
+                best[t] = cand
+            else:
+                assert cand["prims"].tobytes() == cur["prims"].tobytes(), (
+                    f"{t}: repeated run was not bit-identical"
+                )
+                if cand["cpu_per_step"] < cur["cpu_per_step"]:
+                    best[t] = cand
+    for case in best.values():
+        case["reps"] = reps
+    return best
+
+
+def test_bench_compiled_kernels():
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    n, n_steps, reps = (24, 3, 2) if smoke else (64, 12, 4)
+    workers = 4
+    have_cext = cext_available(ndim=2)
+    targets = ("numpy", "flat", "cext") if have_cext else ("numpy", "flat")
+
+    serial = _best_per_target(reps, targets, _serial_case, n, n_steps)
+    proc = _best_per_target(reps, targets, _process_case, n, n_steps, workers)
+
+    # Parity: every target lands on the same blast solution.
+    ref = serial["numpy"]["prims"]
+    for t in targets[1:]:
+        assert np.allclose(serial[t]["prims"], ref, rtol=1e-11, atol=1e-13), (
+            f"serial {t} solution diverged from numpy"
+        )
+    if have_cext:
+        # Same expression tree, same per-op rounding: flat == cext bitwise.
+        assert (
+            serial["flat"]["prims"].tobytes() == serial["cext"]["prims"].tobytes()
+        )
+    for t in targets:
+        # Each target is serial-vs-process bit-exact (4-worker decomposition).
+        assert proc[t]["prims"].tobytes() == serial[t]["prims"].tobytes(), (
+            f"{t}: process-executor solution diverged from serial"
+        )
+
+    report = Report(
+        experiment="BENCH-compiled",
+        title=f"kernel-target rhs cost, {n}x{n} blast, {n_steps} steps",
+        headers=[
+            "target", "serial_cpu_per_step", "serial_speedup",
+            "proc_cpu_per_step", "proc_speedup",
+        ],
+    )
+    base_s = serial["numpy"]["cpu_per_step"]
+    base_p = proc["numpy"]["cpu_per_step"]
+    for t in targets:
+        report.add_row(
+            t,
+            serial[t]["cpu_per_step"],
+            base_s / serial[t]["cpu_per_step"],
+            proc[t]["cpu_per_step"],
+            base_p / proc[t]["cpu_per_step"],
+        )
+    if not have_cext:
+        report.add_note("no C toolchain: cext rows omitted")
+    emit(report)
+
+    result = {
+        "experiment": "compiled kernel target comparison",
+        "grid": [n, n],
+        "steps": n_steps,
+        "workers": workers,
+        "smoke": smoke,
+        "cext_available": have_cext,
+        "serial": {
+            t: {k: v for k, v in c.items() if k != "prims"}
+            for t, c in serial.items()
+        },
+        "process": {
+            t: {k: v for k, v in c.items() if k != "prims"}
+            for t, c in proc.items()
+        },
+    }
+    for arm, cases in (("serial", serial), ("process", proc)):
+        base = cases["numpy"]["cpu_per_step"]
+        for t, c in cases.items():
+            result[arm][t]["speedup_vs_numpy"] = base / c["cpu_per_step"]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_compiled.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\ncompiled-kernel benchmark -> {path}")
+
+    if not have_cext:
+        pytest.skip("no C toolchain: speedup assertions skipped")
+    if smoke:
+        # Smoke windows are ~10 ms of CPU — too short for a strict win to
+        # be reproducible on a shared CI core.  Bound the damage instead;
+        # the full-size run asserts the strict speedup.
+        assert (
+            serial["cext"]["cpu_per_step"]
+            < serial["numpy"]["cpu_per_step"] * 1.5
+        )
+        assert proc["cext"]["cpu_per_step"] < proc["numpy"]["cpu_per_step"] * 1.5
+        return
+    # The point of the compiled target: strictly faster than the numpy
+    # path on both executors.
+    assert serial["cext"]["cpu_per_step"] < serial["numpy"]["cpu_per_step"], (
+        "cext not faster than numpy on the serial solver"
+    )
+    assert proc["cext"]["cpu_per_step"] < proc["numpy"]["cpu_per_step"], (
+        "cext not faster than numpy on the process executor"
+    )

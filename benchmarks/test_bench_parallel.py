@@ -17,6 +17,13 @@ CPU curve at the same rank counts.  Two speedup bases are reported:
     worker, so it measures the backend's actual scalability — parallel
     overheads included — independently of host oversubscription.
 
+The measured sweep is additionally distilled into per-size
+:class:`~repro.harness.scaling.StepCost` records and exported as a
+``source: "measured"`` event stream, diffed against the E6 (strong) and
+E7 (weak) modelled streams with :meth:`Report.diff_metrics` — the ratio
+column in the emitted diff tables is the model error, and it lands in
+the JSON artifact for CI trending.
+
 Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the grid, steps,
 and worker counts; the JSON artifact layout is identical.
 """
@@ -31,18 +38,23 @@ from repro.core import SolverConfig
 from repro.core.parallel import ProcessSolver
 from repro.eos import IdealGasEOS
 from repro.harness import Report, experiment_e6_strong_scaling
-from repro.mesh.decomposition import choose_dims
+from repro.harness.calibrate import calibrated_cost_model
+from repro.harness.scaling import StepCost, strong_scaling, weak_scaling
+from repro.mesh.decomposition import CartesianDecomposition, choose_dims
 from repro.mesh.grid import Grid
 from repro.physics.initial_data import blast_wave_2d
 from repro.physics.srhd import SRHDSystem
+from repro.runtime.cluster import cpu_cluster
+from repro.runtime.trace import scaling_to_metrics_records
 
 from .conftest import RESULTS_DIR, emit
 
 
-def _measured_case(n: int, workers: int, n_steps: int) -> dict:
+def _measured_case(shape: tuple[int, int], workers: int, n_steps: int) -> dict:
     system = SRHDSystem(IdealGasEOS(), ndim=2)
-    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    grid = Grid(shape, ((0.0, 1.0), (0.0, 1.0)))
     dims = choose_dims(workers, 2)
+    decomp = CartesianDecomposition(grid, dims)
     with ProcessSolver(
         system, grid, blast_wave_2d(system, grid), dims,
         config=SolverConfig(cfl=0.4, executor="process"),
@@ -56,12 +68,43 @@ def _measured_case(n: int, workers: int, n_steps: int) -> dict:
     return {
         "workers": workers,
         "dims": list(dims),
+        "grid": list(shape),
         "steps": steps,
         "wall_s": wall_s,
         "cpu_critical_s": max(s["process_seconds"] for s in snaps),
         "cpu_total_s": sum(s["process_seconds"] for s in snaps),
+        # Critical-path seconds inside the timed hydro kernels (the rest
+        # of the wall time is comm + sync + untimed overhead).
+        "kernel_critical_s": max(sum(s["timers"].values()) for s in snaps),
+        "local_cells_max": max(
+            decomp.local_cells(r) for r in range(len(snaps))
+        ),
         "prims": prims,
     }
+
+
+def _measured_step_costs(runs: list[dict]) -> list[StepCost]:
+    """Distill measured runs into the modelled sweeps' StepCost shape.
+
+    Per step on the critical path: ``compute_s`` is the timed hydro-kernel
+    time, the remaining wall time is attributed to the halo/sync phase
+    (the measured analogue of the model's exposed-communication term).
+    """
+    costs = []
+    for run in runs:
+        total = run["wall_s"] / run["steps"]
+        compute = min(run["kernel_critical_s"] / run["steps"], total)
+        costs.append(
+            StepCost(
+                n_nodes=run["workers"],
+                local_cells_max=run["local_cells_max"],
+                compute_s=compute,
+                halo_s=total - compute,
+                allreduce_s=0.0,
+                total_s=total,
+            )
+        )
+    return costs
 
 
 def test_bench_parallel_strong_scaling():
@@ -70,7 +113,7 @@ def test_bench_parallel_strong_scaling():
     worker_counts = (1, 2) if smoke else (1, 2, 4, 8)
     host_cpus = os.cpu_count() or 1
 
-    runs = [_measured_case(n, w, n_steps) for w in worker_counts]
+    runs = [_measured_case((n, n), w, n_steps) for w in worker_counts]
     base_wall = runs[0]["wall_s"]
     base_cpu = runs[0]["cpu_critical_s"]
     for run in runs:
@@ -117,6 +160,35 @@ def test_bench_parallel_strong_scaling():
     report.add_note(f"host_cpus={host_cpus}, speedup_basis={basis}")
     emit(report)
 
+    # Measured-vs-modelled diff: distill the measured sweep into StepCost
+    # records, export both sides in the event schema, and join on metric
+    # name — the ratio column is the model error (E6 CPU arm).
+    measured_stream = scaling_to_metrics_records(
+        _measured_step_costs(runs),
+        meta={"experiment": "BENCH-parallel", "grid_shape": [n, n]},
+        source="measured",
+    )
+    model = calibrated_cost_model()
+    modelled_stream = scaling_to_metrics_records(
+        strong_scaling(
+            Grid((n, n), ((0.0, 1.0), (0.0, 1.0))),
+            worker_counts,
+            lambda p: cpu_cluster(p, model),
+            model,
+            prefer_gpu=False,
+        ),
+        meta={"experiment": "E6", "grid_shape": [n, n]},
+    )
+    diff = Report.diff_metrics(
+        measured_stream,
+        modelled_stream,
+        experiment="BENCH-parallel vs E6",
+        title="measured process-executor strong scaling vs modelled CPU curve",
+    )
+    diff.add_note("ratio = measured/modelled; systematic model error is a "
+                  "column of ratios far from 1")
+    emit(diff)
+
     result = {
         "experiment": "measured multi-core strong scaling",
         "grid": [n, n],
@@ -128,6 +200,10 @@ def test_bench_parallel_strong_scaling():
         "runs": runs,
         "modelled_e6_cpu_speedup": {
             str(w): modelled_speedup[w] for w in worker_counts
+        },
+        "model_diff_e6": {
+            "headers": list(diff.headers),
+            "rows": [list(r) for r in diff.rows],
         },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -150,3 +226,84 @@ def test_bench_parallel_strong_scaling():
         assert runs[-1]["cpu_critical_s"] < base_cpu, (
             f"{runs[-1]['workers']} workers did not reduce per-rank CPU time"
         )
+
+
+def test_bench_parallel_weak_scaling_model_diff():
+    """Measured weak scaling (fixed per-worker grid) vs the E7 CPU model.
+
+    Grows the global grid with the worker count so each rank keeps the
+    same local block, runs the real process backend, and diffs the
+    measured per-size StepCost stream against the E7 modelled stream at
+    the same sizes.  Reported (BENCH_parallel_weak.json), not asserted:
+    the interesting output is the ratio column.
+    """
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    cells_per_worker_axis, n_steps = (12, 2) if smoke else (32, 4)
+    worker_counts = (1, 2) if smoke else (1, 2, 4)
+
+    runs = []
+    for w in worker_counts:
+        dims = choose_dims(w, 2)
+        shape = (
+            cells_per_worker_axis * dims[0],
+            cells_per_worker_axis * dims[1],
+        )
+        runs.append(_measured_case(shape, w, n_steps))
+    for run in runs:
+        run.pop("prims")
+
+    measured_stream = scaling_to_metrics_records(
+        _measured_step_costs(runs),
+        meta={
+            "experiment": "BENCH-parallel-weak",
+            "cells_per_worker_axis": cells_per_worker_axis,
+        },
+        source="measured",
+    )
+    model = calibrated_cost_model()
+    modelled_stream = scaling_to_metrics_records(
+        weak_scaling(
+            cells_per_worker_axis,
+            worker_counts,
+            lambda p: cpu_cluster(p, model),
+            model,
+            prefer_gpu=False,
+        ),
+        meta={
+            "experiment": "E7",
+            "cells_per_worker_axis": cells_per_worker_axis,
+        },
+    )
+    diff = Report.diff_metrics(
+        measured_stream,
+        modelled_stream,
+        experiment="BENCH-parallel vs E7",
+        title="measured process-executor weak scaling vs modelled CPU curve",
+    )
+    diff.add_note("ratio = measured/modelled; fixed per-worker block of "
+                  f"{cells_per_worker_axis}^2 cells")
+    emit(diff)
+
+    result = {
+        "experiment": "measured multi-core weak scaling vs E7 model",
+        "cells_per_worker_axis": cells_per_worker_axis,
+        "steps": n_steps,
+        "smoke": smoke,
+        "runs": runs,
+        "model_diff_e7": {
+            "headers": list(diff.headers),
+            "rows": [list(r) for r in diff.rows],
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_parallel_weak.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nweak-scaling model diff -> {path}")
+
+    # Structural sanity: the join produced overlapping metrics with real
+    # ratios (model error may be large; it must at least be computable).
+    ratios = [
+        row for row in diff.rows
+        if isinstance(row[3], float) and str(row[0]).startswith("kernel.")
+    ]
+    assert ratios, "diff produced no measured/modelled kernel ratios"

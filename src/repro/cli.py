@@ -118,6 +118,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --executor process: number of worker processes (one per "
         "rank of the decomposition)",
     )
+    run.add_argument(
+        "--kernel-target",
+        choices=("numpy", "flat", "cext"),
+        default="numpy",
+        help="codegen target for the hot kernels: 'numpy' handwritten "
+        "reference (default), 'flat' SymPy-generated SoA kernels, 'cext' "
+        "cffi-compiled C kernels (falls back to 'flat' with a warning when "
+        "no C toolchain is available)",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -143,6 +152,7 @@ def _cmd_run(args) -> int:
         failsafe_frac=args.failsafe_frac,
         overlap_exchange=bool(args.overlap),
         executor=args.executor,
+        kernel_target=args.kernel_target,
     )
     if args.checkpoint_every and not args.checkpoint:
         print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
@@ -156,10 +166,6 @@ def _cmd_run(args) -> int:
         if args.ranks and args.ranks != args.workers:
             print("error: --ranks and --workers disagree; with --executor "
                   "process give just --workers", file=sys.stderr)
-            return 2
-        if args.checkpoint or args.checkpoint_every:
-            print("error: checkpointing is not supported on the process "
-                  "executor; use --executor serial", file=sys.stderr)
             return 2
         n_ranks = args.workers
     elif args.workers:
@@ -196,6 +202,7 @@ def _cmd_run(args) -> int:
                 "ranks": n_ranks,
                 "overlap": bool(args.overlap),
                 "executor": args.executor,
+                "kernel_target": args.kernel_target,
             },
         )
 
@@ -273,8 +280,6 @@ def _cmd_run(args) -> int:
         print(f"  faults    : {args.faults}")
         for name, value in resilience.items():
             print(f"    {name}: {value:g}")
-    if args.executor == "process":
-        solver.close()  # shut workers down, release shared memory
     if args.problem in ("rp1", "rp2"):
         from .physics.exact_riemann import ExactRiemannSolver
 
@@ -298,6 +303,9 @@ def _cmd_run(args) -> int:
 
             save_checkpoint(solver, args.checkpoint)
         print(f"  checkpoint: {args.checkpoint}")
+    if args.executor == "process":
+        # Workers must stay up through the final checkpoint gather above.
+        solver.close()  # shut workers down, release shared memory
     if args.metrics_out:
         from .harness.report import Report
         from .obs import read_events

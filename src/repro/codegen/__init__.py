@@ -2,29 +2,37 @@
 
 Write the SRHD equations once (:class:`SRHDSymbols`), emit per-architecture
 kernels (:class:`KernelGenerator`: ``numpy`` host flavour, ``flat`` SoA
-accelerator flavour), compile and cache them (:func:`load_kernel`), and
-verify every generated kernel against the handwritten reference
+accelerator flavour, ``cext`` compiled-C flavour), compile and cache them
+(:func:`load_kernel`, :mod:`repro.codegen.cext`), and verify every
+generated kernel against the handwritten reference
 (:func:`verify_kernels`).
 """
 
 from .cache import (
+    ALL_TARGETS,
     cache_size,
     clear_cache,
     load_kernel,
     run_flat_kernel,
     verify_kernels,
 )
+from .cext import cext_available, load_cext_module
 from .generator import KernelGenerator
 from .symbols import SRHDSymbols
-from .system import GeneratedSRHDSystem
+from .system import CompiledSRHDSystem, GeneratedSRHDSystem, make_kernel_system
 
 __all__ = [
     "SRHDSymbols",
     "KernelGenerator",
     "GeneratedSRHDSystem",
+    "CompiledSRHDSystem",
+    "make_kernel_system",
     "load_kernel",
     "run_flat_kernel",
     "verify_kernels",
     "clear_cache",
     "cache_size",
+    "cext_available",
+    "load_cext_module",
+    "ALL_TARGETS",
 ]

@@ -1,14 +1,23 @@
 """Compilation and caching of generated kernels.
 
 Generated source is executed into a private namespace (the Python analogue
-of nvcc + dlopen) and memoized per (ndim, kind, axis, target). A verifier
-cross-checks every generated kernel against the handwritten
+of nvcc + dlopen) and memoized **by source hash**: every
+:func:`load_kernel` call regenerates the source from the symbolic spec and
+keys the compiled function on ``sha256(source)``, so editing
+``symbols.py``/``generator.py`` (or monkeypatching the spec, as the
+regression tests do) can never serve a stale kernel.  The compiled
+``cext`` target gets the same treatment one layer down, in
+:mod:`repro.codegen.cext`, where the on-disk artifact name embeds a hash
+of the C source plus the toolchain fingerprint.
+
+A verifier cross-checks every generated kernel against the handwritten
 :class:`~repro.physics.srhd.SRHDSystem` reference — the guardrail any code
 generator needs.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable
 
 import numpy as np
@@ -18,21 +27,45 @@ from ..physics.srhd import SRHDSystem
 from ..utils.errors import CodegenError
 from .generator import KernelGenerator
 
-_cache: dict[tuple, Callable] = {}
+_cache: dict[tuple[str, str], Callable] = {}
+
+#: number of exec-compilations this process performed (test hook)
+compile_count = 0
+
+
+def source_fingerprint(source: str) -> str:
+    """The cache key of one kernel's generated source."""
+    return hashlib.sha256(source.encode()).hexdigest()
 
 
 def load_kernel(kind: str, ndim: int, axis: int = 0, target: str = "numpy") -> Callable:
-    """Get (generating + compiling if needed) a kernel function."""
-    key = (kind, ndim, axis, target)
+    """Get (generating + compiling if needed) a kernel function.
+
+    The source is regenerated on every call and the compiled function is
+    memoized by its hash — a change in the generator or the symbolic spec
+    is picked up immediately, at the cost of re-printing a few small SymPy
+    expressions per call.
+    """
+    global compile_count
+    if target == "cext":
+        # Compiled kernels live in a shared library with a different calling
+        # convention; repro.codegen.cext wraps them in flat-compatible
+        # callables and owns the artifact cache.
+        from .cext import load_cext_kernel
+
+        return load_cext_kernel(kind, ndim, axis)
+    gen = KernelGenerator(ndim)
+    source = gen.generate(kind, axis, target)
+    name = gen.kernel_name(kind, axis, target)
+    key = (name, source_fingerprint(source))
     if key not in _cache:
-        gen = KernelGenerator(ndim)
-        source = gen.generate(kind, axis, target)
         namespace: dict = {}
         try:
-            exec(compile(source, f"<generated {key}>", "exec"), namespace)
+            exec(compile(source, f"<generated {name}>", "exec"), namespace)
         except SyntaxError as exc:  # pragma: no cover - generator bug guard
             raise CodegenError(f"generated source failed to compile: {exc}") from exc
-        _cache[key] = namespace[gen.kernel_name(kind, axis, target)]
+        compile_count += 1
+        _cache[key] = namespace[name]
     return _cache[key]
 
 
@@ -49,7 +82,8 @@ def run_flat_kernel(kernel: Callable, prim: np.ndarray, n_out: int, gamma: float
 
     Splits ``prim`` into per-variable flat views (zero-copy), allocates flat
     outputs, and restacks the result — the host-side marshalling a real GPU
-    launch performs.
+    launch performs.  Works unchanged for the compiled ``cext`` wrappers,
+    which share the flat calling convention.
     """
     shape = prim.shape[1:]
     ins = [prim[i].reshape(-1) for i in range(prim.shape[0])]
@@ -58,61 +92,96 @@ def run_flat_kernel(kernel: Callable, prim: np.ndarray, n_out: int, gamma: float
     return np.stack([o.reshape(shape) for o in outs])
 
 
-def verify_kernels(ndim: int, gamma: float = 5.0 / 3.0, n_samples: int = 256,
-                   rtol: float = 1e-12, seed: int = 7) -> dict[str, float]:
-    """Compare every generated kernel against the handwritten reference.
+#: All kernel targets, in emission order.
+ALL_TARGETS = ("numpy", "flat", "cext")
 
-    Returns the max relative deviation per kernel; raises
-    :class:`CodegenError` if any exceeds *rtol*.
-    """
-    rng = np.random.default_rng(seed)
-    system = SRHDSystem(IdealGasEOS(gamma=gamma), ndim=ndim)
+
+def _sample_states(system: SRHDSystem, n_samples: int, rng) -> np.ndarray:
     prim = np.empty((system.nvars, n_samples))
     prim[system.RHO] = rng.uniform(0.1, 10.0, n_samples)
     budget = rng.uniform(0, 0.9**2, n_samples)
-    direction = rng.normal(size=(ndim, n_samples))
+    direction = rng.normal(size=(system.ndim, n_samples))
     direction /= np.maximum(np.sqrt((direction**2).sum(axis=0)), 1e-12)
-    for ax in range(ndim):
+    for ax in range(system.ndim):
         prim[system.V(ax)] = direction[ax] * np.sqrt(budget)
     prim[system.P] = rng.uniform(0.01, 10.0, n_samples)
+    return prim
+
+
+def verify_kernels(
+    ndim: int,
+    gamma: float = 5.0 / 3.0,
+    n_samples: int = 256,
+    rtol: float = 1e-12,
+    seed: int = 7,
+    targets: tuple[str, ...] | None = None,
+    con2prim_rtol: float = 1e-10,
+) -> dict[str, float]:
+    """Compare every generated kernel against the handwritten reference.
+
+    *targets* defaults to ``("numpy", "flat")`` plus ``"cext"`` whenever the
+    compiled target is actually buildable here — pass an explicit tuple to
+    force (or forbid) it.  For ``cext`` the fused con2prim Newton kernel is
+    additionally checked by running a full
+    :func:`~repro.physics.con2prim.con_to_prim` recovery through
+    :class:`~repro.codegen.system.CompiledSRHDSystem` and comparing the
+    recovered primitives at *con2prim_rtol* (the inversion is iterative, so
+    its tolerance is its convergence tolerance, not machine epsilon).
+
+    Returns the max relative deviation per kernel; raises
+    :class:`CodegenError` if any exceeds its tolerance.
+    """
+    if targets is None:
+        from .cext import cext_available
+
+        targets = ("numpy", "flat") + (("cext",) if cext_available(ndim) else ())
+
+    rng = np.random.default_rng(seed)
+    system = SRHDSystem(IdealGasEOS(gamma=gamma), ndim=ndim)
+    prim = _sample_states(system, n_samples, rng)
 
     cons_ref = system.prim_to_con(prim)
     deviations: dict[str, float] = {}
 
-    def check(name, got, ref):
+    def check(name, got, ref, tol=rtol):
         scale = np.maximum(np.abs(ref), 1e-30)
         dev = float(np.max(np.abs(got - ref) / scale))
         deviations[name] = dev
-        if dev > rtol:
-            raise CodegenError(f"kernel {name} deviates by {dev:.3e} (> {rtol:.0e})")
+        if dev > tol:
+            raise CodegenError(f"kernel {name} deviates by {dev:.3e} (> {tol:.0e})")
 
-    for target in ("numpy", "flat"):
-        # prim_to_con
+    for target in targets:
+        k = load_kernel("prim_to_con", ndim, 0, target)
         if target == "numpy":
-            k = load_kernel("prim_to_con", ndim, 0, target)
             got = k(prim, np.empty_like(cons_ref), gamma)
         else:
-            k = load_kernel("prim_to_con", ndim, 0, target)
             got = run_flat_kernel(k, prim, system.nvars, gamma)
         check(f"prim_to_con/{target}", got, cons_ref)
 
         for axis in range(ndim):
             F_ref = system.flux(prim, cons_ref, axis)
+            k = load_kernel("flux", ndim, axis, target)
             if target == "numpy":
-                k = load_kernel("flux", ndim, axis, target)
                 got = k(prim, np.empty_like(F_ref), gamma)
             else:
-                k = load_kernel("flux", ndim, axis, target)
                 got = run_flat_kernel(k, prim, system.nvars, gamma)
             check(f"flux{axis}/{target}", got, F_ref)
 
             lam_ref = np.stack(system.char_speeds(prim, axis))
+            k = load_kernel("char_speeds", ndim, axis, target)
             if target == "numpy":
-                k = load_kernel("char_speeds", ndim, axis, target)
                 got = k(prim, np.empty_like(lam_ref), gamma)
             else:
-                k = load_kernel("char_speeds", ndim, axis, target)
                 got = run_flat_kernel(k, prim, 2, gamma)
             check(f"char_speeds{axis}/{target}", got, lam_ref)
+
+        if target == "cext":
+            from ..physics.con2prim import con_to_prim
+            from .system import CompiledSRHDSystem
+
+            compiled = CompiledSRHDSystem(gamma=gamma, ndim=ndim)
+            prim_ref = con_to_prim(system, cons_ref.copy())
+            prim_got = con_to_prim(compiled, cons_ref.copy())
+            check(f"con2prim/{target}", prim_got, prim_ref, tol=con2prim_rtol)
 
     return deviations

@@ -1,6 +1,6 @@
 """Kernel source generation from the symbolic SRHD specification.
 
-Two targets model the two architectures of a heterogeneous node:
+Three targets model the architectures of a heterogeneous node:
 
 - ``numpy`` — the host CPU flavour: one function over a stacked state array
   ``prim[(nvars, ...)]``, vectorized whole-array expressions.
@@ -9,6 +9,11 @@ Two targets model the two architectures of a heterogeneous node:
   CUDA kernel receives raw device pointers. On this substrate it still
   executes through NumPy, but it exercises the same generation path and
   data layout a GPU emitter uses.
+- ``cext`` — genuinely compiled C: the same CSE'd expressions printed
+  through SymPy's C99 printer into a per-cell loop with SoA pointer
+  arguments, built into a shared library by :mod:`repro.codegen.cext`.
+  The per-cell loop body is exactly the flat target's data layout, so the
+  two differ only in who runs the loop (the C compiler vs. NumPy).
 
 Common subexpression elimination (``sympy.cse``) is applied before
 printing, exactly as production generators do to keep register pressure and
@@ -18,12 +23,71 @@ redundant transcendentals down.
 from __future__ import annotations
 
 import sympy as sp
+from sympy.printing.c import C99CodePrinter
 from sympy.printing.numpy import NumPyPrinter
 
 from ..utils.errors import CodegenError
 from .symbols import SRHDSymbols
 
-_TARGETS = ("numpy", "flat")
+_TARGETS = ("numpy", "flat", "cext")
+
+#: Name of the fused conservative-to-primitive Newton kernel in the
+#: compiled module (the one kernel not generated from the symbolic spec:
+#: it is an iterative loop, not an expression list, so it is emitted from
+#: a template that mirrors the vectorized Python iteration line by line).
+CON2PRIM_KERNEL = "con2prim_newton_cext"
+
+#: C template of the fused con2prim Newton loop.  Operation order matches
+#: :func:`repro.physics.con2prim.con_to_prim`'s vectorized Newton phase
+#: exactly (same clips, same damped step, same convergence test), so when
+#: compiled without FP contraction the compiled iteration is bit-identical
+#: to the NumPy one.  ``S2`` arrives precomputed, which keeps the kernel
+#: ndim-independent.  Returns the largest per-cell iteration count.
+_CON2PRIM_C = """\
+long %(name)s(long n,
+              const double* in_D, const double* in_S2, const double* in_tau,
+              double* p, const double* p_lo,
+              unsigned char* converged, int* iters,
+              double gamma, double tol, double p_floor,
+              int max_newton, double damping)
+{
+    long iters_max = 0;
+    for (long i = 0; i < n; ++i) {
+        const double D = in_D[i];
+        const double S2 = in_S2[i];
+        const double tau = in_tau[i];
+        const double plo = p_lo[i];
+        double pi = p[i];
+        int conv = 0;
+        int it = 0;
+        for (it = 1; it <= max_newton; ++it) {
+            const double Q = tau + D + pi;
+            double v2 = S2 / (Q * Q);
+            v2 = fmin(fmax(v2, 0.0), 1.0 - 1e-14);
+            const double W = 1.0 / sqrt(1.0 - v2);
+            const double rho = D / W;
+            double eps = (Q * (1.0 - v2) - pi) / rho - 1.0;
+            eps = fmax(eps, 0.0);
+            const double f = (gamma - 1.0) * rho * eps - pi;
+            if (fabs(f) <= tol * fmax(pi, p_floor)) { conv = 1; break; }
+            const double epsc = fmax(eps, 1e-300);
+            const double p_th = (gamma - 1.0) * rho * epsc;
+            const double h = 1.0 + epsc + p_th / rho;
+            double cs2 = gamma * p_th / (rho * h);
+            cs2 = fmin(fmax(cs2, 0.0), 1.0 - 1e-12);
+            const double dfdp = v2 * cs2 - 1.0;
+            const double step = f / dfdp;
+            pi = fmax(pi - damping * step, 0.5 * (pi + plo));
+        }
+        if (it > max_newton) it = max_newton;
+        p[i] = pi;
+        converged[i] = (unsigned char) conv;
+        iters[i] = it;
+        if (it > iters_max) iters_max = it;
+    }
+    return iters_max;
+}
+"""
 
 
 def _print_expressions(names, exprs, printer):
@@ -51,9 +115,16 @@ class KernelGenerator:
         return f"{kind}{suffix}_{self.ndim}d_{target}"
 
     def generate(self, kind: str, axis: int = 0, target: str = "numpy") -> str:
-        """Return the complete Python source of one kernel function."""
+        """Return the complete source of one kernel function.
+
+        For the ``numpy`` and ``flat`` targets this is Python source; for
+        ``cext`` it is the C function body that
+        :func:`repro.codegen.cext.load_cext_module` compiles.
+        """
         if target not in _TARGETS:
             raise CodegenError(f"unknown target {target!r}; choose from {_TARGETS}")
+        if target == "cext":
+            return self.generate_c(kind, axis)
         sym = self.symbols
         exprs = sym.expressions(kind, axis)
         in_names = sym.input_names()
@@ -91,13 +162,20 @@ class KernelGenerator:
             lines.append(f"    return {ret}")
         return "\n".join(lines) + "\n"
 
+    def default_kinds_axes(self) -> list[tuple[str, int]]:
+        """Every (kind, axis) pair a solver for this ndim needs."""
+        kinds_axes = [("prim_to_con", 0)]
+        for ax in range(self.ndim):
+            kinds_axes.append(("flux", ax))
+            kinds_axes.append(("char_speeds", ax))
+        return kinds_axes
+
     def generate_module(self, kinds_axes=None, target: str = "numpy") -> str:
         """Source for a whole kernel module (all kinds, all axes)."""
         if kinds_axes is None:
-            kinds_axes = [("prim_to_con", 0)]
-            for ax in range(self.ndim):
-                kinds_axes.append(("flux", ax))
-                kinds_axes.append(("char_speeds", ax))
+            kinds_axes = self.default_kinds_axes()
+        if target == "cext":
+            return self.generate_c_module(kinds_axes)
         header = (
             '"""Auto-generated SRHD kernels — do not edit.\n\n'
             f"ndim={self.ndim}, target={target}. Generated by "
@@ -105,3 +183,72 @@ class KernelGenerator:
         )
         bodies = [self.generate(kind, axis, target) for kind, axis in kinds_axes]
         return header + "\n".join(bodies)
+
+    # -- C target ------------------------------------------------------------
+
+    def c_signature(self, kind: str, axis: int = 0) -> str:
+        """The C declaration of one generated kernel (cffi ``cdef`` form)."""
+        sym = self.symbols
+        name = self.kernel_name(kind, axis, "cext")
+        args = ["long n"]
+        args += [f"const double* in_{v}" for v in sym.input_names()]
+        args += [f"double* out_{o}" for o in sym.output_names(kind, axis)]
+        args.append("double gamma")
+        return f"void {name}({', '.join(args)})"
+
+    def generate_c(self, kind: str, axis: int = 0) -> str:
+        """C source of one kernel: a per-cell loop over SoA pointers."""
+        sym = self.symbols
+        exprs = sym.expressions(kind, axis)
+        out_names = sym.output_names(kind, axis)
+        printer = C99CodePrinter()
+        replacements, reduced = sp.cse(exprs, symbols=sp.numbered_symbols("t_"))
+        lines = [
+            self.c_signature(kind, axis),
+            "{",
+            "    for (long i = 0; i < n; ++i) {",
+        ]
+        for var in sym.input_names():
+            lines.append(f"        const double {var} = in_{var}[i];")
+        for tmp, expr in replacements:
+            lines.append(f"        const double {tmp} = {printer.doprint(expr)};")
+        for out, expr in zip(out_names, reduced):
+            lines.append(f"        out_{out}[i] = {printer.doprint(expr)};")
+        lines += ["    }", "}"]
+        return "\n".join(lines) + "\n"
+
+    def con2prim_c_signature(self) -> str:
+        """C declaration of the fused con2prim Newton kernel."""
+        return (
+            f"long {CON2PRIM_KERNEL}(long n, const double* in_D, "
+            "const double* in_S2, const double* in_tau, double* p, "
+            "const double* p_lo, unsigned char* converged, int* iters, "
+            "double gamma, double tol, double p_floor, int max_newton, "
+            "double damping)"
+        )
+
+    def generate_c_con2prim(self) -> str:
+        """C source of the fused con2prim Newton kernel (template)."""
+        return _CON2PRIM_C % {"name": CON2PRIM_KERNEL}
+
+    def generate_c_module(self, kinds_axes=None) -> str:
+        """Complete C source of the compiled-kernel module for this ndim."""
+        if kinds_axes is None:
+            kinds_axes = self.default_kinds_axes()
+        header = (
+            "/* Auto-generated SRHD kernels -- do not edit.\n"
+            f" * ndim={self.ndim}, target=cext. "
+            "Generated by repro.codegen.KernelGenerator. */\n"
+            "#include <math.h>\n"
+        )
+        bodies = [self.generate_c(kind, axis) for kind, axis in kinds_axes]
+        bodies.append(self.generate_c_con2prim())
+        return header + "\n" + "\n".join(bodies)
+
+    def c_declarations(self, kinds_axes=None) -> str:
+        """cffi ``cdef`` declarations matching :meth:`generate_c_module`."""
+        if kinds_axes is None:
+            kinds_axes = self.default_kinds_axes()
+        decls = [self.c_signature(kind, axis) + ";" for kind, axis in kinds_axes]
+        decls.append(self.con2prim_c_signature() + ";")
+        return "\n".join(decls) + "\n"

@@ -73,6 +73,17 @@ class SolverConfig(ParameterSet):
         "rank as a persistent worker process over shared-memory rings "
         "(bit-identical results, real wall-clock parallelism)",
     )
+    kernel_target = param(
+        "numpy",
+        str,
+        choices=("numpy", "flat", "cext"),
+        doc="codegen target for the hot kernels (prim_to_con/flux/"
+        "char_speeds and the fused con2prim Newton loop): 'numpy' keeps the "
+        "handwritten reference kernels (golden-pinned default), 'flat' runs "
+        "the SymPy-generated SoA kernels through NumPy, 'cext' runs the "
+        "cffi-compiled C module (falls back to 'flat' with a logged warning "
+        "when no C toolchain is available)",
+    )
     c2p_tuned = param(
         False,
         bool,

@@ -461,6 +461,15 @@ class DistributedSolver:
 
                 save_distributed_checkpoint(self, checkpoint_path)
 
+    def checkpoint_shards(self) -> dict[int, tuple[np.ndarray, np.ndarray | None]]:
+        """Per-rank ``(ghosted cons, con2prim cache)`` — the payload of one
+        distributed checkpoint (same accessor the process executor streams
+        from its workers, so both write identical archives)."""
+        return {
+            rank: (self.cons[rank], self.pipelines[rank]._p_cache)
+            for rank in range(self.size)
+        }
+
     def gather_primitives(self) -> np.ndarray:
         """Global interior primitive field assembled from all ranks."""
         prims = self._recover_and_exchange(self.cons)

@@ -53,7 +53,7 @@ from ..comm.shm import ShmChannel, ShmCommunicator, channel_capacities
 from ..mesh.decomposition import CartesianDecomposition
 from ..mesh.grid import Grid
 from ..obs.events import BufferSink
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, merge_histogram_summaries
 from ..obs.recorder import StepRecorder
 from ..physics.srhd import SRHDSystem
 from ..resilience.oracle import FaultOracle, RankStridedFaultInjector
@@ -380,6 +380,19 @@ class _RankWorker:
             "process_seconds": time.process_time() - self._process_t0,
         }
 
+    def checkpoint_state(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """This rank's checkpoint shard: ghosted cons + con2prim cache."""
+        p_cache = self.pipeline._p_cache
+        return self.cons.copy(), None if p_cache is None else p_cache.copy()
+
+    def restore_state(self, cons, p_cache, t: float, steps: int) -> None:
+        """Install a checkpoint shard verbatim (bit-exact restart)."""
+        self.cons = np.array(cons)
+        self.pipeline._p_cache = None if p_cache is None else np.array(p_cache)
+        self._prims_cache = None
+        self.t = float(t)
+        self.steps = int(steps)
+
     def close(self) -> None:
         for ch in self._channels:
             try:
@@ -407,6 +420,12 @@ def _worker_main(spec: _WorkerSpec, conn, barrier) -> None:
                 conn.send(("cons", spec.rank, worker.cons.copy()))
             elif cmd == "snapshot":
                 conn.send(("snap", spec.rank, worker.snapshot()))
+            elif cmd == "checkpoint":
+                cons, p_cache = worker.checkpoint_state()
+                conn.send(("ckpt", spec.rank, cons, p_cache))
+            elif cmd == "restore":
+                worker.restore_state(msg[1], msg[2], msg[3], msg[4])
+                conn.send(("restored", spec.rank))
             elif cmd == "shutdown":
                 conn.send(("bye", spec.rank))
                 return
@@ -430,24 +449,7 @@ def _worker_main(spec: _WorkerSpec, conn, barrier) -> None:
 
 
 def _merge_histograms(into: dict, name: str, summary: dict) -> None:
-    if summary.get("count", 0) == 0:
-        into.setdefault(
-            name, {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
-        )
-        return
-    cur = into.get(name)
-    if cur is None or cur.get("count", 0) == 0:
-        into[name] = dict(summary)
-        return
-    count = cur["count"] + summary["count"]
-    total = cur["sum"] + summary["sum"]
-    into[name] = {
-        "count": count,
-        "sum": total,
-        "min": min(cur["min"], summary["min"]),
-        "max": max(cur["max"], summary["max"]),
-        "mean": total / count,
-    }
+    into[name] = merge_histogram_summaries(into.get(name), summary)
 
 
 def merge_step_records(shards: list[dict]) -> dict:
@@ -520,14 +522,32 @@ def _merge_metric_snapshots(snaps: list[dict]) -> dict:
 
 
 class _MergedMetrics:
-    """Read-only metrics facade over the workers' registries."""
+    """Metrics facade over the workers' registries.
+
+    Reads merge all worker snapshots; writes (``counter``/``gauge``/
+    ``histogram``) land in a small parent-side registry that is folded
+    into the merged snapshot — that is where run-loop instruments like
+    ``resilience.restarts`` go, since the parent has no registry of its
+    own and the workers' are out of reach between steps.
+    """
 
     def __init__(self, solver: "ProcessSolver"):
         self._solver = solver
+        self._local = MetricsRegistry()
+
+    def counter(self, name: str):
+        return self._local.counter(name)
+
+    def gauge(self, name: str):
+        return self._local.gauge(name)
+
+    def histogram(self, name: str):
+        return self._local.histogram(name)
 
     def snapshot(self) -> dict:
         return _merge_metric_snapshots(
             [s["metrics"] for s in self._solver.worker_snapshots()]
+            + [self._local.snapshot()]
         )
 
 
@@ -537,8 +557,9 @@ class ProcessSolver:
     Same constructor surface as :class:`DistributedSolver` (the
     ``fault_injector``'s plan is shipped to the workers and replayed
     rank-locally; the injector object itself stays untouched in the
-    parent).  ``step``/``run``/``gather_primitives`` match the serial
-    driver; periodic checkpointing is not supported on this backend.
+    parent).  ``step``/``run``/``gather_primitives``/checkpointing match
+    the serial driver: workers stream their shards to the parent, which
+    writes the identical distributed checkpoint format.
     """
 
     def __init__(
@@ -753,14 +774,25 @@ class ProcessSolver:
         checkpoint_every: int = 0,
         checkpoint_path=None,
     ) -> None:
-        if checkpoint_every:
-            raise ConfigurationError(
-                "the process executor does not support periodic checkpointing; "
-                "use executor='serial' for checkpointed chaos runs"
-            )
+        """Advance to *t_final*, checkpointing every N steps when asked.
+
+        The workers stream their interior state (ghosted conserved arrays
+        plus con2prim warm-start caches) to the parent, which writes the
+        same distributed checkpoint format as the serial executor —
+        bit-identical shards, so a run may checkpoint under one executor
+        and restart under the other (see
+        :func:`repro.io.checkpoint.load_distributed_checkpoint`).
+        """
+        if checkpoint_every and checkpoint_path is None:
+            raise ConfigurationError("checkpoint_every requires a checkpoint_path")
         limit = max_steps if max_steps is not None else self.config.max_steps
         while self.t < t_final * (1.0 - 1e-14) and self.steps < limit:
             self.step(t_final=t_final)
+            if checkpoint_every and self.steps % checkpoint_every == 0:
+                # Deferred import: repro.io imports this module's siblings.
+                from ..io.checkpoint import save_distributed_checkpoint
+
+                save_distributed_checkpoint(self, checkpoint_path)
 
     def gather_primitives(self) -> np.ndarray:
         self._command_all("gather_prims")
@@ -779,6 +811,30 @@ class ProcessSolver:
         self._command_all("snapshot")
         replies = self._collect("snap")
         return [replies[rank][2] for rank in range(self.size)]
+
+    def checkpoint_shards(self) -> dict[int, tuple[np.ndarray, np.ndarray | None]]:
+        """Per-rank ``(ghosted cons, con2prim cache)`` streamed from the
+        workers — the payload of one distributed checkpoint."""
+        self._command_all("checkpoint")
+        replies = self._collect("ckpt")
+        return {rank: (replies[rank][2], replies[rank][3]) for rank in range(self.size)}
+
+    def restore_state(self, t: float, steps: int, shards: dict) -> None:
+        """Install checkpointed per-rank state into the workers verbatim."""
+        if self._closed:
+            raise WorkerError("process solver already shut down")
+        for rank in range(self.size):
+            cons, p_cache = shards[rank]
+            try:
+                self._conns[rank].send(("restore", cons, p_cache, t, steps))
+            except (BrokenPipeError, OSError):
+                self._abort()
+                raise WorkerError(
+                    f"worker rank {rank}: cannot send restore command"
+                ) from None
+        self._collect("restored")
+        self.t = float(t)
+        self.steps = int(steps)
 
     def close(self) -> None:
         """Shut the workers down and release the shared-memory segments."""

@@ -57,6 +57,15 @@ class HydroPipeline:
         metrics: MetricsRegistry | None = None,
         fault_injector=None,
     ):
+        target = getattr(config, "kernel_target", "numpy")
+        if target != "numpy":
+            # Resolved here (not at the solver layer) so every driver —
+            # serial, distributed, process-worker, AMR — hits the selected
+            # kernels through the one construction point.  Imported lazily:
+            # the default numpy path must not pay the SymPy import.
+            from ..codegen.system import make_kernel_system
+
+            system = make_kernel_system(system, target)
         self.system = system
         self.grid = grid
         self.boundaries = boundaries

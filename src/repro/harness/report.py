@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..obs.metrics import merge_histogram_summaries
 from ..utils.errors import ConfigurationError
 
 
@@ -134,28 +135,18 @@ class Report:
                 gauges[name] = max(gauges[name], val) if name in gauges else val
             for name, summ in s.get("histograms", {}).items():
                 name = _HISTOGRAM_RENAMES.get(name, name)
-                if summ.get("count", 0) == 0:
-                    hists.setdefault(name, dict(summ))
-                    continue
-                cur = hists.get(name)
-                if cur is None or cur.get("count", 0) == 0:
-                    hists[name] = dict(summ)
-                    continue
-                count = cur["count"] + summ["count"]
-                total = cur.get("sum", 0.0) + summ.get("sum", 0.0)
-                hists[name] = {
-                    "count": count,
-                    "sum": total,
-                    "min": min(cur["min"], summ["min"]),
-                    "max": max(cur["max"], summ["max"]),
-                    "mean": total / count,
-                }
+                hists[name] = merge_histogram_summaries(hists.get(name), summ)
         for name, val in sorted(gauges.items()):
             report.add_row(f"gauge.{name}", val)
         for name, summ in sorted(hists.items()):
             report.add_row(f"hist.{name}.count", summ.get("count", 0))
             report.add_row(f"hist.{name}.mean", float(summ.get("mean", 0.0)))
             report.add_row(f"hist.{name}.max", float(summ.get("max", 0.0)))
+            # Tail quantiles from the bucketed summary; older archived
+            # streams carry no buckets, where the quantile degrades to max.
+            if summ.get("buckets") or summ.get("nonpos"):
+                report.add_row(f"hist.{name}.p50", float(summ.get("p50", 0.0)))
+                report.add_row(f"hist.{name}.p99", float(summ.get("p99", 0.0)))
         report.add_note(f"source: {source}")
         if n_ranks > 1:
             report.add_note(f"aggregated over {n_ranks} rank shards")

@@ -115,12 +115,16 @@ def load_checkpoint(path, system, boundaries=None) -> Solver:
     return solver
 
 
-def save_distributed_checkpoint(solver: DistributedSolver, path) -> None:
+def save_distributed_checkpoint(solver, path) -> None:
     """Write a distributed solver's full state to *path* (.npz).
 
     Stores one ghosted conserved array per rank plus each rank pipeline's
     con2prim warm-start cache, so the restarted evolution stays bit-identical
-    to an uninterrupted one.
+    to an uninterrupted one.  Works for both executors: *solver* may be a
+    :class:`~repro.core.distributed.DistributedSolver` or a
+    :class:`~repro.core.parallel.ProcessSolver` (whose workers stream their
+    shards to the parent through ``checkpoint_shards``); given the same
+    trajectory both write bit-identical archive entries.
     """
     meta = {
         "format": FORMAT_VERSION,
@@ -133,10 +137,11 @@ def save_distributed_checkpoint(solver: DistributedSolver, path) -> None:
         "config": solver.config.to_dict(),
         "ndim": solver.system.ndim,
     }
+    shards = solver.checkpoint_shards()
     arrays = {}
     for rank in range(solver.size):
-        arrays[f"rank_{rank}"] = solver.cons[rank]
-        p_cache = solver.pipelines[rank]._p_cache
+        cons, p_cache = shards[rank]
+        arrays[f"rank_{rank}"] = cons
         if p_cache is not None:
             arrays[f"pcache_{rank}"] = p_cache
     np.savez_compressed(path, meta=json.dumps(meta), **arrays)
@@ -148,14 +153,22 @@ def load_distributed_checkpoint(
     boundaries=None,
     fault_injector=None,
     halo_policy=None,
-) -> DistributedSolver:
-    """Reconstruct a :class:`DistributedSolver` from a checkpoint.
+):
+    """Reconstruct a distributed solver from a checkpoint.
 
     As with the other loaders, physics and boundary conditions are code and
     come from the caller; geometry, process-grid shape, configuration, time,
     and per-rank conserved states come from the archive.  Resilience hooks
     (*fault_injector*, *halo_policy*) are fresh objects supplied by the
     caller — fault plans are replayed from the restart point, not resumed.
+
+    The execution backend follows the checkpointed ``config.executor``: a
+    run checkpointed under ``executor="process"`` restarts as a
+    :class:`~repro.core.parallel.ProcessSolver` (fresh workers, shards
+    installed verbatim), anything else as a
+    :class:`DistributedSolver` — which is what lets
+    :func:`repro.resilience.run_with_restart` drive chaos runs on either
+    backend through the same loader.
     """
     with np.load(path, allow_pickle=False) as data:
         meta = json.loads(str(data["meta"]))
@@ -174,23 +187,47 @@ def load_distributed_checkpoint(
         grid = _grid_from_meta(meta["grid"])
         config = SolverConfig(**meta["config"])
         prim_placeholder = _quiescent_prim(system, grid)
-        solver = DistributedSolver(
+        shards = {}
+        for rank in range(int(np.prod(meta["dims"]))):
+            pcache = f"pcache_{rank}"
+            shards[rank] = (
+                np.array(data[f"rank_{rank}"]),
+                np.array(data[pcache]) if pcache in data else None,
+            )
+
+    if getattr(config, "executor", "serial") == "process":
+        # Deferred import: repro.core.parallel imports this module lazily.
+        from ..core.parallel import ProcessSolver
+
+        solver = ProcessSolver(
             system,
             grid,
             prim_placeholder,
             tuple(meta["dims"]),
-            config,
-            boundaries,
+            config=config,
+            boundaries=boundaries,
             periodic=tuple(meta["periodic"]),
             fault_injector=fault_injector,
             halo_policy=halo_policy,
         )
-        for rank in range(solver.size):
-            solver.cons[rank] = np.array(data[f"rank_{rank}"])
-            pcache = f"pcache_{rank}"
-            solver.pipelines[rank]._p_cache = (
-                np.array(data[pcache]) if pcache in data else None
-            )
+        solver.restore_state(meta["t"], meta["steps"], shards)
+        return solver
+
+    solver = DistributedSolver(
+        system,
+        grid,
+        prim_placeholder,
+        tuple(meta["dims"]),
+        config,
+        boundaries,
+        periodic=tuple(meta["periodic"]),
+        fault_injector=fault_injector,
+        halo_policy=halo_policy,
+    )
+    for rank in range(solver.size):
+        cons, p_cache = shards[rank]
+        solver.cons[rank] = cons
+        solver.pipelines[rank]._p_cache = p_cache
     solver._prims_cache = None
     solver.t = meta["t"]
     solver.steps = meta["steps"]

@@ -19,7 +19,15 @@ from .events import (
     read_events,
     steps_of,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, counter_deltas
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_deltas,
+    merge_histogram_summaries,
+    summary_quantile,
+)
 from .recorder import StepRecorder
 
 __all__ = [
@@ -35,6 +43,8 @@ __all__ = [
     "TeeSink",
     "canonical_stream",
     "counter_deltas",
+    "merge_histogram_summaries",
+    "summary_quantile",
     "read_events",
     "steps_of",
 ]

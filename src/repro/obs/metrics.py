@@ -7,19 +7,133 @@ kinds cover the measurement needs of a CLUSTER-style systems study:
   floored to atmosphere);
 - :class:`Gauge` — last-written values (current dt, deepest Newton
   iteration count of the latest sweep);
-- :class:`Histogram` — streaming min/max/mean/count over observations
-  (per-step wall times, message sizes).
+- :class:`Histogram` — streaming min/max/mean/count plus log-spaced
+  buckets over observations (per-step dt, per-sweep Newton iteration
+  maxima, message sizes), so tail quantiles (p50/p99) survive without
+  storing samples.
 
 A :class:`MetricsRegistry` names and owns instruments; snapshots are plain
 dicts so per-step *deltas* (what the structured-event recorder emits) are a
 dictionary subtraction away.
+
+Histogram summaries are *mergeable*: bucket counts are integers, so
+combining per-rank summaries with :func:`merge_histogram_summaries`
+reproduces exactly the summary a single shared registry would have
+produced — the property the process executor's bit-exactness contract
+rests on.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..utils.errors import ConfigurationError
+
+#: log2 bucket resolution: 4 buckets per octave keeps any quantile's
+#: bucket-edge representative within ~19% of the true sample value.
+BUCKETS_PER_OCTAVE = 4
+
+
+def bucket_index(value: float) -> int:
+    """Bucket of a positive observation: smallest i with 2**(i/B) >= value."""
+    return math.ceil(BUCKETS_PER_OCTAVE * math.log2(value))
+
+
+def bucket_edge(index: int) -> float:
+    """Upper edge (inclusive) of bucket *index*."""
+    return 2.0 ** (index / BUCKETS_PER_OCTAVE)
+
+
+def empty_histogram_summary() -> dict:
+    return {
+        "count": 0,
+        "sum": 0.0,
+        "min": 0.0,
+        "max": 0.0,
+        "mean": 0.0,
+        "p50": 0.0,
+        "p99": 0.0,
+        "nonpos": 0,
+        "buckets": {},
+    }
+
+
+def _quantile(
+    q: float, count: int, nonpos: int, buckets: dict, vmin: float, vmax: float
+) -> float:
+    """The q-quantile as a bucket upper edge, clamped to [vmin, vmax].
+
+    Observations <= 0 (the ``nonpos`` bucket) sort below every log bucket
+    and are represented by the sample minimum.  Bucket keys may be ints
+    (live registry) or strings (JSON round-trip); both are accepted.
+    """
+    if count <= 0:
+        return 0.0
+    rank = min(max(math.ceil(q * count), 1), count)
+    if rank <= nonpos:
+        return min(vmin, 0.0)
+    acc = nonpos
+    for idx in sorted(int(k) for k in buckets):
+        acc += buckets[idx] if idx in buckets else buckets[str(idx)]
+        if rank <= acc:
+            return min(max(bucket_edge(idx), vmin), vmax)
+    return vmax
+
+
+def summary_quantile(summary: dict, q: float) -> float:
+    """Quantile of a stored histogram summary (JSON round-trip safe)."""
+    return _quantile(
+        q,
+        summary.get("count", 0),
+        summary.get("nonpos", 0),
+        summary.get("buckets", {}),
+        summary.get("min", 0.0),
+        summary.get("max", 0.0),
+    )
+
+
+def merge_histogram_summaries(cur: dict | None, new: dict | None) -> dict:
+    """Combine two histogram summaries exactly.
+
+    Bucket counts are integers, so the merged summary is bit-identical to
+    the one a single registry observing both sample streams would emit
+    (float ``sum`` re-association is exact for the canonical
+    integer-valued observations).  Either side may be ``None`` or empty.
+    """
+    if new is None or new.get("count", 0) == 0:
+        new = None
+    if cur is None or cur.get("count", 0) == 0:
+        cur = None
+    if cur is None and new is None:
+        return empty_histogram_summary()
+    if cur is None or new is None:
+        src = cur if new is None else new
+        out = dict(src)
+        out["buckets"] = {str(k): v for k, v in src.get("buckets", {}).items()}
+        return out
+    count = cur["count"] + new["count"]
+    total = cur["sum"] + new["sum"]
+    vmin = min(cur["min"], new["min"])
+    vmax = max(cur["max"], new["max"])
+    nonpos = cur.get("nonpos", 0) + new.get("nonpos", 0)
+    buckets: dict[str, int] = {
+        str(k): v for k, v in cur.get("buckets", {}).items()
+    }
+    for k, v in new.get("buckets", {}).items():
+        key = str(k)
+        buckets[key] = buckets.get(key, 0) + v
+    return {
+        "count": count,
+        "sum": total,
+        "min": vmin,
+        "max": vmax,
+        "mean": total / count,
+        "p50": _quantile(0.5, count, nonpos, buckets, vmin, vmax),
+        "p99": _quantile(0.99, count, nonpos, buckets, vmin, vmax),
+        "nonpos": nonpos,
+        "buckets": dict(sorted(buckets.items(), key=lambda kv: int(kv[0]))),
+    }
 
 
 @dataclass
@@ -60,13 +174,22 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of observed samples (no bucket storage)."""
+    """Streaming summary of observed samples.
+
+    Alongside count/sum/min/max, observations land in log-spaced buckets
+    (:data:`BUCKETS_PER_OCTAVE` per power of two, keyed by integer bucket
+    index) so the summary can answer tail-quantile questions — what a mean
+    over thousands of steps hides.  Observations <= 0 (or non-finite) are
+    pooled in a single ``nonpos`` underflow bucket below every log bucket.
+    """
 
     name: str = ""
     count: int = 0
     total: float = 0.0
     vmin: float = field(default=float("inf"))
     vmax: float = field(default=float("-inf"))
+    nonpos: int = 0
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -74,18 +197,39 @@ class Histogram:
         self.total += value
         self.vmin = min(self.vmin, value)
         self.vmax = max(self.vmax, value)
+        if value > 0.0 and math.isfinite(value):
+            idx = bucket_index(value)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        else:
+            self.nonpos += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0..1) from the bucket counts; see module docs."""
+        return _quantile(
+            q, self.count, self.nonpos, self.buckets,
+            self.vmin if self.count else 0.0,
+            self.vmax if self.count else 0.0,
+        )
+
     def summary(self) -> dict:
+        if not self.count:
+            return empty_histogram_summary()
         return {
             "count": self.count,
             "sum": self.total,
-            "min": self.vmin if self.count else 0.0,
-            "max": self.vmax if self.count else 0.0,
+            "min": self.vmin,
+            "max": self.vmax,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "nonpos": self.nonpos,
+            # str keys so a live summary equals its JSON round-trip.
+            "buckets": {str(k): v for k in sorted(self.buckets)
+                        if (v := self.buckets[k])},
         }
 
     def reset(self) -> None:
@@ -93,6 +237,8 @@ class Histogram:
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self.nonpos = 0
+        self.buckets = {}
 
 
 class MetricsRegistry:

@@ -223,23 +223,38 @@ def con_to_prim(
         np.add(p, p_floor, out=p)
         np.maximum(p, p_lo, out=p)
 
-    converged = np.zeros(D.shape, dtype=bool)
-    newton_iters = 0
-    for newton_iters in range(1, max_newton + 1):
-        rho, eps, v2, f = _eval_state(eos, D, S2, tau, p, scratch=scratch)
-        cs2 = np.clip(eos.sound_speed_sq(rho, np.maximum(eps, 1e-300)), 0.0, 1.0 - 1e-12)
-        newly = np.abs(f) <= tol * np.maximum(p, p_floor)
-        converged |= newly
-        if converged.all():
-            break
-        dfdp = v2 * cs2 - 1.0  # strictly negative
-        step = f / dfdp
-        # Multiplying by a damping of exactly 1.0 is an IEEE identity, so
-        # the undamped iteration stays bit-identical to the historical one.
-        p_new = p - newton_damping * step
-        # Keep the iterate inside the admissible region.
-        p_new = np.maximum(p_new, 0.5 * (p + p_lo))
-        p = np.where(converged, p, p_new)
+    fused = getattr(system, "c2p_newton", None)
+    if fused is not None:
+        # Compiled per-cell Newton (the cext target's fused kernel). The C
+        # loop mirrors the vectorized iteration below operation for
+        # operation — same clips, same damped step, same convergence test —
+        # so compiled and interpreted sweeps agree to the solver tolerance
+        # (bit-exactly when the kernel was built without FP contraction).
+        converged, newton_iters = fused(
+            D, S2, tau, p, p_lo,
+            tol=tol, p_floor=p_floor, max_newton=max_newton,
+            damping=newton_damping,
+        )
+    else:
+        converged = np.zeros(D.shape, dtype=bool)
+        newton_iters = 0
+        for newton_iters in range(1, max_newton + 1):
+            rho, eps, v2, f = _eval_state(eos, D, S2, tau, p, scratch=scratch)
+            cs2 = np.clip(
+                eos.sound_speed_sq(rho, np.maximum(eps, 1e-300)), 0.0, 1.0 - 1e-12
+            )
+            newly = np.abs(f) <= tol * np.maximum(p, p_floor)
+            converged |= newly
+            if converged.all():
+                break
+            dfdp = v2 * cs2 - 1.0  # strictly negative
+            step = f / dfdp
+            # Multiplying by a damping of exactly 1.0 is an IEEE identity, so
+            # the undamped iteration stays bit-identical to the historical one.
+            p_new = p - newton_damping * step
+            # Keep the iterate inside the admissible region.
+            p_new = np.maximum(p_new, 0.5 * (p + p_lo))
+            p = np.where(converged, p, p_new)
 
     n_bisect = 0
     n_unbracketed = 0

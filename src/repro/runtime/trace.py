@@ -153,17 +153,21 @@ def to_metrics_records(timeline: Timeline, meta: dict | None = None) -> list[dic
     ]
 
 
-def scaling_to_metrics_records(costs, meta: dict | None = None) -> list[dict]:
+def scaling_to_metrics_records(
+    costs, meta: dict | None = None, source: str = "modelled"
+) -> list[dict]:
     """Export a scaling sweep (list of ``StepCost``) in the event schema.
 
-    One modelled ``step`` record per cluster size: ``wall_seconds`` is the
-    modelled step time, ``kernel_seconds`` splits it into the
-    compute/halo/allreduce phases, and the counters carry the geometry
-    (node count, max local cells).  A measured strong-scaling run at the
-    same sizes diffs against this stream row for row (see
+    One ``step`` record per cluster size: ``wall_seconds`` is the step
+    time, ``kernel_seconds`` splits it into the compute/halo/allreduce
+    phases, and the counters carry the geometry (node count, max local
+    cells).  *source* tags the stream: the analytic model exports with the
+    default ``"modelled"``, while a real scaling run distilled into the
+    same :class:`~repro.harness.scaling.StepCost` shape exports with
+    ``source="measured"`` — the two then diff row for row (see
     :meth:`repro.harness.Report.diff_metrics`).
     """
-    common = {"schema": SCHEMA_VERSION, "source": "modelled"}
+    common = {"schema": SCHEMA_VERSION, "source": source}
     records = [
         {
             **common,

@@ -173,6 +173,248 @@ class TestGeneratedSystemInSolver:
             system.prim_to_con(np.array([[1.0], [1.5], [1.0]]))
 
 
+class TestCrossTargetParity:
+    """Property tests: randomized states through every target, including the
+    hostile corners — near-luminal velocities (Lorentz factors in the
+    hundreds) and low-pressure atmosphere states."""
+
+    N = 512
+
+    @staticmethod
+    def _hostile_prim(system, n, rng):
+        """Random admissible states spanning three regimes: generic,
+        near-luminal (|v| up to 1 - 1e-6), and cold atmosphere."""
+        prim = np.empty((system.nvars, n))
+        prim[system.RHO] = 10.0 ** rng.uniform(-6.0, 1.0, n)
+        regime = rng.integers(0, 3, n)
+        speed = np.where(
+            regime == 1,
+            1.0 - 10.0 ** rng.uniform(-6.0, -3.0, n),
+            rng.uniform(0.0, 0.9, n),
+        )
+        direction = rng.normal(size=(system.ndim, n))
+        direction /= np.maximum(
+            np.sqrt((direction**2).sum(axis=0)), 1e-300
+        )
+        for ax in range(system.ndim):
+            prim[system.V(ax)] = direction[ax] * speed
+        prim[system.P] = np.where(
+            regime == 2,
+            10.0 ** rng.uniform(-12.0, -8.0, n),
+            10.0 ** rng.uniform(-2.0, 1.0, n),
+        )
+        return prim
+
+    @pytest.mark.parametrize("ndim", [1, 2])
+    def test_algebraic_kernels_agree_across_targets(self, ndim, rng):
+        from repro.codegen import cext_available
+
+        gamma = 5.0 / 3.0
+        system = SRHDSystem(IdealGasEOS(gamma=gamma), ndim=ndim)
+        prim = self._hostile_prim(system, self.N, rng)
+        cons = system.prim_to_con(prim)
+        have_cext = cext_available(ndim)
+
+        cases = [("prim_to_con", 0, cons, system.nvars)]
+        for ax in range(ndim):
+            cases.append(("flux", ax, system.flux(prim, cons, ax), system.nvars))
+            cases.append(
+                ("char_speeds", ax, np.stack(system.char_speeds(prim, ax)), 2)
+            )
+        for kind, axis, ref, n_out in cases:
+            k_np = load_kernel(kind, ndim, axis, "numpy")
+            got_np = k_np(prim, np.empty((n_out, self.N)), gamma)
+            np.testing.assert_allclose(
+                got_np, ref, rtol=1e-9, atol=1e-12,
+                err_msg=f"{kind}{axis}/numpy vs handwritten",
+            )
+            k_flat = load_kernel(kind, ndim, axis, "flat")
+            got_flat = run_flat_kernel(k_flat, prim, n_out, gamma)
+            np.testing.assert_allclose(
+                got_flat, ref, rtol=1e-9, atol=1e-12,
+                err_msg=f"{kind}{axis}/flat vs handwritten",
+            )
+            if have_cext:
+                k_c = load_kernel(kind, ndim, axis, "cext")
+                got_c = run_flat_kernel(k_c, prim, n_out, gamma)
+                # Same CSE'd expression tree, contraction disabled: the C
+                # kernels reproduce the flat target bit for bit.
+                assert got_c.tobytes() == got_flat.tobytes(), (
+                    f"{kind}{axis}: cext differs bitwise from flat"
+                )
+
+    @pytest.mark.parametrize("ndim", [1, 2])
+    def test_con2prim_recovery_compiled_matches_reference(self, ndim, rng):
+        from repro.codegen import cext_available
+        from repro.codegen.system import CompiledSRHDSystem
+        from repro.physics.con2prim import con_to_prim
+
+        if not cext_available(ndim):
+            pytest.skip("no C toolchain: compiled con2prim unavailable")
+        gamma = 5.0 / 3.0
+        system = SRHDSystem(IdealGasEOS(gamma=gamma), ndim=ndim)
+        # Recovery regime: fast but sub-0.99 flow, pressures down to 1e-8
+        # (the full near-luminal corner is the algebraic kernels' job; the
+        # Newton solve itself is exercised to its convergence tolerance).
+        prim = self._hostile_prim(system, self.N, rng)
+        for ax in range(ndim):
+            prim[system.V(ax)] *= 0.99 / (1.0 + 1e-12)
+        prim[system.P] = np.maximum(prim[system.P], 1e-8)
+        cons = system.prim_to_con(prim)
+
+        recovered_ref = con_to_prim(system, cons.copy())
+        compiled = CompiledSRHDSystem(gamma=gamma, ndim=ndim)
+        recovered_c = con_to_prim(compiled, cons.copy())
+        np.testing.assert_allclose(
+            recovered_c, recovered_ref, rtol=1e-8, atol=1e-12
+        )
+        # And both land back on the state we started from.
+        np.testing.assert_allclose(recovered_ref, prim, rtol=1e-6, atol=1e-10)
+
+    @pytest.mark.parametrize("ndim", [1, 2])
+    def test_verify_kernels_covers_cext(self, ndim):
+        from repro.codegen import cext_available
+
+        if not cext_available(ndim):
+            pytest.skip("no C toolchain")
+        # Default tolerance is 1e-12; verify_kernels raises on violation.
+        deviations = verify_kernels(ndim)
+        assert any(k.endswith("/cext") for k in deviations)
+        assert "con2prim/cext" in deviations
+
+
+class TestCacheInvalidation:
+    """A changed symbolic spec or emitter must never serve a stale kernel:
+    the in-process cache keys on the source hash, the cext artifact on the
+    C source + toolchain fingerprint."""
+
+    def test_spec_change_recompiles_interpreted_kernel(self, monkeypatch, rng):
+        from repro.codegen import cache as cache_mod
+
+        clear_cache()
+        k1 = load_kernel("flux", ndim=1, axis=0)
+        n0 = cache_mod.compile_count
+        assert load_kernel("flux", ndim=1, axis=0) is k1
+        assert cache_mod.compile_count == n0  # unchanged source: cache hit
+
+        orig = SRHDSymbols.expressions
+
+        def doubled(self, kind, axis=0):
+            return [2 * e for e in orig(self, kind, axis)]
+
+        monkeypatch.setattr(SRHDSymbols, "expressions", doubled)
+        k2 = load_kernel("flux", ndim=1, axis=0)
+        assert cache_mod.compile_count == n0 + 1, (
+            "mutated spec did not trigger a recompile"
+        )
+        assert k2 is not k1
+        system = SRHDSystem(IdealGasEOS(gamma=1.4), ndim=1)
+        prim = random_prim(system, (32,), rng)
+        a = k1(prim, np.empty_like(prim), 1.4)
+        b = k2(prim, np.empty_like(prim), 1.4)
+        np.testing.assert_allclose(b, 2 * a, rtol=1e-13)
+
+        monkeypatch.undo()
+        # Original spec again: its hash is still cached, no third compile.
+        assert load_kernel("flux", ndim=1, axis=0) is k1
+        assert cache_mod.compile_count == n0 + 1
+
+    def test_cext_artifact_key_tracks_source_and_toolchain(self, monkeypatch):
+        from repro.codegen import cext as cext_mod
+
+        try:
+            name1, _, _ = cext_mod.module_spec(1)
+        except CodegenError:
+            pytest.skip("no cffi: cext key unavailable")
+
+        orig = KernelGenerator.generate_c_module
+        monkeypatch.setattr(
+            KernelGenerator,
+            "generate_c_module",
+            lambda self, kinds_axes=None: orig(self, kinds_axes) + "\n/* v2 */\n",
+        )
+        name2, _, _ = cext_mod.module_spec(1)
+        assert name2 != name1, "emitter change did not change the artifact key"
+        monkeypatch.undo()
+
+        monkeypatch.setattr(
+            cext_mod, "toolchain_fingerprint", lambda: "cc=other-compiler"
+        )
+        name3, _, _ = cext_mod.module_spec(1)
+        assert name3 != name1, "toolchain change did not change the artifact key"
+
+    def test_cext_spec_change_rebuilds_artifact(self, monkeypatch, tmp_path):
+        from repro.codegen import cext as cext_mod
+
+        if not cext_mod.cext_available(1):
+            pytest.skip("no C toolchain")
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        cext_mod.clear_modules()
+        # A minimal one-kernel module keeps the two builds cheap.
+        kinds_axes = [("prim_to_con", 0)]
+        n0 = cext_mod.build_count
+        cext_mod.load_cext_module(1, kinds_axes)
+        assert cext_mod.build_count == n0 + 1
+        cext_mod.load_cext_module(1, kinds_axes)  # in-process handle
+        assert cext_mod.build_count == n0 + 1
+        cext_mod.clear_modules()
+        cext_mod.load_cext_module(1, kinds_axes)  # disk artifact hit
+        assert cext_mod.build_count == n0 + 1
+
+        orig = KernelGenerator.generate_c_module
+        monkeypatch.setattr(
+            KernelGenerator,
+            "generate_c_module",
+            lambda self, ka=None: orig(self, ka) + "\n/* spec v2 */\n",
+        )
+        cext_mod.load_cext_module(1, kinds_axes)  # new hash: full rebuild
+        assert cext_mod.build_count == n0 + 2
+        cext_mod.clear_modules()
+
+
+class TestNoToolchainFallback:
+    """REPRO_CEXT_DISABLE=1 models the no-toolchain host: the cext target
+    must degrade to 'flat' with a logged warning, never fail the run."""
+
+    def test_disable_env_forces_flat_fallback(self, monkeypatch):
+        import logging
+
+        from repro.codegen import cext as cext_mod
+        from repro.codegen.system import GeneratedSRHDSystem, make_kernel_system
+
+        monkeypatch.setenv(cext_mod.DISABLE_ENV, "1")
+        assert not cext_mod.cext_available(1)
+
+        records: list[logging.LogRecord] = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        log = logging.getLogger("repro.codegen.system")
+        log.addHandler(handler)
+        try:
+            system = SRHDSystem(IdealGasEOS(gamma=1.4), ndim=1)
+            resolved = make_kernel_system(system, "cext")
+        finally:
+            log.removeHandler(handler)
+        assert isinstance(resolved, GeneratedSRHDSystem)
+        assert resolved.target == "flat"
+        assert any("falling back" in r.getMessage() for r in records)
+
+    def test_disabled_cext_still_solves(self, monkeypatch):
+        from repro import Grid, Solver, SolverConfig
+        from repro.codegen import cext as cext_mod
+        from repro.physics.initial_data import RP1, shock_tube
+
+        monkeypatch.setenv(cext_mod.DISABLE_ENV, "1")
+        system = SRHDSystem(IdealGasEOS(gamma=RP1.gamma), ndim=1)
+        grid = Grid((32,), ((0.0, 1.0),))
+        solver = Solver(
+            system, grid, shock_tube(system, grid, RP1),
+            SolverConfig(cfl=0.4, kernel_target="cext"),
+        )
+        solver.run(t_final=0.05)
+        assert np.all(np.isfinite(solver.interior_primitives()))
+
+
 class TestCache:
     def test_kernels_are_cached(self):
         clear_cache()

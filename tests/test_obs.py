@@ -53,6 +53,52 @@ class TestMetricsPrimitives:
         assert s["min"] == 1.0 and s["max"] == 3.0
         assert s["mean"] == pytest.approx(2.0)
 
+    def test_histogram_quantiles_from_buckets(self):
+        h = MetricsRegistry().histogram("iters")
+        for v in range(1, 101):  # 1..100, uniform
+            h.observe(float(v))
+        s = h.summary()
+        # Bucket edges are 2**(i/4): the p50/p99 representatives sit within
+        # one bucket width (~19%) of the true sample quantiles.
+        assert 50.0 <= s["p50"] <= 50.0 * 2 ** 0.25
+        assert 99.0 <= s["p99"] <= s["max"]
+        assert s["nonpos"] == 0
+        assert sum(s["buckets"].values()) == 100
+        # JSON round-trip preserves the summary exactly (str bucket keys).
+        import json
+
+        assert json.loads(json.dumps(s)) == s
+
+    def test_histogram_nonpositive_bucket(self):
+        h = MetricsRegistry().histogram("x")
+        for v in (-1.0, 0.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["nonpos"] == 2
+        assert s["p50"] == -1.0  # rank 2 of 3 is still in the underflow pool
+        assert s["p99"] == 4.0
+
+    def test_histogram_merge_matches_single_registry(self):
+        from repro.obs import merge_histogram_summaries, summary_quantile
+
+        a = MetricsRegistry().histogram("h")
+        b = MetricsRegistry().histogram("h")
+        whole = MetricsRegistry().histogram("h")
+        samples = [float((7 * k) % 23 + 1) for k in range(200)]
+        for v in samples[:90]:
+            a.observe(v)
+        for v in samples[90:]:
+            b.observe(v)
+        for v in samples:
+            whole.observe(v)
+        merged = merge_histogram_summaries(a.summary(), b.summary())
+        assert merged == whole.summary()
+        assert summary_quantile(merged, 0.99) == merged["p99"]
+        # Empty sides are identity elements.
+        empty = MetricsRegistry().histogram("e").summary()
+        assert merge_histogram_summaries(empty, merged) == merged
+        assert merge_histogram_summaries(None, None) == empty
+
     def test_kind_collision_rejected(self):
         reg = MetricsRegistry()
         reg.counter("x")

@@ -35,7 +35,7 @@ from repro.core.parallel import (
 )
 from repro.eos import IdealGasEOS
 from repro.mesh.grid import Grid
-from repro.obs import BufferSink, StepRecorder, canonical_stream
+from repro.obs import BufferSink, MetricsRegistry, StepRecorder, canonical_stream
 from repro.physics.initial_data import SHOCK_TUBES, blast_wave_2d, shock_tube
 from repro.physics.srhd import SRHDSystem
 from repro.resilience.faults import (
@@ -44,7 +44,15 @@ from repro.resilience.faults import (
     FaultPlan,
     HaloFault,
 )
-from repro.resilience.policies import HaloRetryPolicy
+from repro.io.checkpoint import (
+    load_distributed_checkpoint,
+    save_distributed_checkpoint,
+)
+from repro.resilience.policies import (
+    HaloRetryPolicy,
+    RestartPolicy,
+    run_with_restart,
+)
 from repro.utils.errors import CommunicationError, ConfigurationError, WorkerError
 
 
@@ -280,13 +288,129 @@ class TestWorkerFailure:
         finally:
             solver.close()
 
-    def test_checkpointing_rejected(self):
+    def test_checkpointing_requires_path(self):
         system, grid, prim0 = _rp1_setup()
         with ProcessSolver(
             system, grid, prim0, (2,), config=SolverConfig(cfl=0.4)
         ) as solver:
-            with pytest.raises(ConfigurationError, match="checkpoint"):
+            with pytest.raises(ConfigurationError, match="checkpoint_path"):
                 solver.run(t_final=0.1, checkpoint_every=2)
+
+
+def _npz_entries(path):
+    """Every archive entry as raw bytes (meta compared as its json string)."""
+    with np.load(path, allow_pickle=False) as data:
+        return {
+            name: str(data[name]) if name == "meta" else data[name].tobytes()
+            for name in data.files
+        }
+
+
+class TestProcessCheckpointing:
+    """executor="process" checkpoints: same format, same bytes, restartable."""
+
+    CFG = dict(cfl=0.4, executor="process")
+
+    def test_checkpoint_bit_identical_to_serial(self, tmp_path):
+        # Same config on both solvers (DistributedSolver ignores the
+        # executor field) so the checkpoint meta matches byte-for-byte too.
+        setup = _blast2d_setup()
+        system, grid, prim0 = setup
+        serial = DistributedSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**self.CFG)
+        )
+        serial.run(
+            t_final=1.0, max_steps=6,
+            checkpoint_every=3, checkpoint_path=tmp_path / "serial.npz",
+        )
+        with ProcessSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**self.CFG)
+        ) as proc:
+            proc.run(
+                t_final=1.0, max_steps=6,
+                checkpoint_every=3, checkpoint_path=tmp_path / "process.npz",
+            )
+        a = _npz_entries(tmp_path / "serial.npz")
+        b = _npz_entries(tmp_path / "process.npz")
+        assert set(a) == set(b)
+        for name in a:
+            assert a[name] == b[name], f"checkpoint entry {name} differs"
+
+    def test_restart_continues_bit_exactly(self, tmp_path):
+        setup = _blast2d_setup()
+        system, grid, prim0 = setup
+        path = tmp_path / "ck.npz"
+        with ProcessSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**self.CFG)
+        ) as first:
+            first.run(
+                t_final=1.0, max_steps=4, checkpoint_every=4, checkpoint_path=path
+            )
+        resumed = load_distributed_checkpoint(path, system)
+        assert isinstance(resumed, ProcessSolver)
+        assert resumed.steps == 4
+        with resumed:
+            resumed.run(t_final=1.0, max_steps=7)
+            prims = resumed.gather_primitives()
+            t, steps = resumed.t, resumed.steps
+        with ProcessSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**self.CFG)
+        ) as clean:
+            clean.run(t_final=1.0, max_steps=7)
+            assert (t, steps) == (clean.t, clean.steps)
+            assert prims.tobytes() == clean.gather_primitives().tobytes()
+
+    def test_manual_save_matches_run_loop_save(self, tmp_path):
+        # save_distributed_checkpoint works on a live ProcessSolver outside
+        # the run loop (streaming shards through checkpoint_shards).
+        system, grid, prim0 = _rp1_setup()
+        with ProcessSolver(
+            system, grid, prim0.copy(), (2,), config=SolverConfig(**self.CFG)
+        ) as solver:
+            solver.run(
+                t_final=1.0, max_steps=2,
+                checkpoint_every=2, checkpoint_path=tmp_path / "loop.npz",
+            )
+            save_distributed_checkpoint(solver, tmp_path / "manual.npz")
+        a = _npz_entries(tmp_path / "loop.npz")
+        b = _npz_entries(tmp_path / "manual.npz")
+        assert a == b
+
+    def test_chaos_restart_matches_uninterrupted(self, tmp_path):
+        # An injected con2prim burst floods the failsafe budget mid-run;
+        # run_with_restart reloads the last checkpoint as a fresh
+        # ProcessSolver and the recovered trajectory is bit-identical to
+        # one that never crashed.
+        path = tmp_path / "chaos.npz"
+        cfg = dict(self.CFG, failsafe_frac=0.01)
+        setup = _blast2d_setup()
+        system, grid, prim0 = setup
+        plan = FaultPlan(con2prim=[Con2PrimFault(sweep=65, n_cells=64)])
+        solver = ProcessSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**cfg),
+            fault_injector=FaultInjector(plan),
+        )
+        registry = MetricsRegistry()
+        final, restarts = run_with_restart(
+            solver,
+            t_final=1.0,
+            policy=RestartPolicy(checkpoint_path=path, checkpoint_every=2),
+            loader=lambda p: load_distributed_checkpoint(p, system),
+            metrics=registry,
+            max_steps=8,
+        )
+        assert restarts == 1
+        assert isinstance(final, ProcessSolver)
+        assert registry.snapshot()["counters"]["resilience.restarts"] == 1
+        with final:
+            prims = final.gather_primitives()
+            t, steps = final.t, final.steps
+        with ProcessSolver(
+            system, grid, prim0.copy(), (2, 2), config=SolverConfig(**cfg)
+        ) as clean:
+            clean.run(t_final=1.0, max_steps=8)
+            assert (t, steps) == (clean.t, clean.steps)
+            assert prims.tobytes() == clean.gather_primitives().tobytes()
 
 
 class TestMakeDistributedSolver:
