@@ -119,6 +119,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "rank of the decomposition)",
     )
     run.add_argument(
+        "--max-rank-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --executor process: supervise the workers and respawn "
+        "crashed or hung ranks in-run, up to N respawns (bit-identical "
+        "recovery from the last consistent step snapshot)",
+    )
+    run.add_argument(
+        "--degrade",
+        action="store_true",
+        help="with --max-rank-restarts: when the respawn budget is "
+        "exhausted, degrade gracefully to the serial executor from the "
+        "last snapshot instead of failing the run",
+    )
+    run.add_argument(
         "--kernel-target",
         choices=("numpy", "flat", "cext"),
         default="numpy",
@@ -175,6 +191,14 @@ def _cmd_run(args) -> int:
         print("error: --overlap requires --ranks (or --executor process "
               "with --workers)", file=sys.stderr)
         return 2
+    if args.max_rank_restarts is not None and args.executor != "process":
+        print("error: --max-rank-restarts requires --executor process",
+              file=sys.stderr)
+        return 2
+    if args.degrade and args.max_rank_restarts is None:
+        print("error: --degrade requires --max-rank-restarts",
+              file=sys.stderr)
+        return 2
     if args.problem in ("rp1", "rp2"):
         prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
         bcs = make_boundaries("outflow")
@@ -223,16 +247,39 @@ def _cmd_run(args) -> int:
             from .resilience import HaloRetryPolicy
 
             halo_policy = HaloRetryPolicy()
+        supervision = None
+        if args.max_rank_restarts is not None:
+            from .resilience import SupervisionPolicy
+
+            supervision = SupervisionPolicy(
+                max_rank_restarts=args.max_rank_restarts,
+                degrade=bool(args.degrade),
+            )
         solver = make_distributed_solver(
             system, grid, prim0, choose_dims(n_ranks, ndim),
             config=config, boundaries=bcs, recorder=recorder,
             fault_injector=fault_injector, halo_policy=halo_policy,
+            supervision=supervision,
         )
-        solver.run(
-            t_final=t_final,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=args.checkpoint if args.checkpoint_every else None,
-        )
+        sup_info = None
+        if supervision is not None and config.executor == "process":
+            from .core.parallel import run_supervised
+
+            solver, sup_info = run_supervised(
+                solver, t_final,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=(
+                    args.checkpoint if args.checkpoint_every else None
+                ),
+            )
+        else:
+            solver.run(
+                t_final=t_final,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=(
+                    args.checkpoint if args.checkpoint_every else None
+                ),
+            )
         if recorder is not None:
             recorder.finish(t_end=solver.t)
             recorder.close()
@@ -242,6 +289,10 @@ def _cmd_run(args) -> int:
         print(f"{args.problem}: t = {solver.t:.4f}, steps = {steps}")
         print(f"  ranks     : {n_ranks} (dims {solver.decomp.dims}, "
               f"{mode} exchange, {args.executor} executor)")
+        if sup_info is not None:
+            state = "degraded to serial" if sup_info["degraded"] else "held"
+            print(f"  supervise : {state}, "
+                  f"{sup_info['worker_restarts']} rank respawn(s)")
     else:
         solver = Solver(
             system, grid, prim0, config, bcs,
@@ -303,8 +354,9 @@ def _cmd_run(args) -> int:
 
             save_checkpoint(solver, args.checkpoint)
         print(f"  checkpoint: {args.checkpoint}")
-    if args.executor == "process":
+    if args.executor == "process" and hasattr(solver, "close"):
         # Workers must stay up through the final checkpoint gather above.
+        # (After a degraded run the solver is serial and has no workers.)
         solver.close()  # shut workers down, release shared memory
     if args.metrics_out:
         from .harness.report import Report

@@ -189,7 +189,23 @@ def load_cext_module(ndim: int, kinds_axes=None):
         if not path.exists():
             _log.info("building cext kernel module %s", name)
             _build(name, source, cdef, path)
-        module = _import_artifact(name, path)
+        try:
+            module = _import_artifact(name, path)
+        except Exception as exc:
+            # A truncated or corrupt cached artifact (torn copy, partial
+            # disk, bit rot) fails at dlopen: evict it and rebuild once
+            # instead of crashing — same graceful posture as the
+            # no-toolchain fallback.
+            _log.warning(
+                "cached cext artifact %s unloadable (%s); evicting and "
+                "rebuilding", path, exc,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            _build(name, source, cdef, path)
+            module = _import_artifact(name, path)
         _modules[name] = module
     return module.ffi, module.lib
 

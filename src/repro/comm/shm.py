@@ -36,6 +36,7 @@ transport, not the numerics.
 from __future__ import annotations
 
 import time
+from collections import defaultdict
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -112,7 +113,7 @@ class _Ring:
 
     # -- record API ------------------------------------------------------
     def push(self, epoch: int, tag: int, flag: int, payload,
-             timeout_s: float = 120.0) -> float:
+             timeout_s: float = 120.0, probe=None) -> float:
         """Append one record; returns seconds blocked waiting for space."""
         if payload is None:
             pbytes = b""
@@ -142,6 +143,8 @@ class _Ring:
             head = int(self._head[0])
             if self.capacity - (head - int(self._tail[0])) >= rec_len:
                 break
+            if probe is not None:
+                probe()  # raises promptly if the reader died or we quiesced
             now = time.perf_counter()
             if start is None:
                 start = now
@@ -222,6 +225,188 @@ class ShmChannel:
         self._shm = None
 
 
+#: SupervisionBoard rank-status values
+STATUS_UP = 0
+STATUS_DEAD = 1
+
+
+class SupervisionBoard:
+    """Lock-free shared-memory control block for supervised execution.
+
+    One int64 word array shared by the parent and every rank process::
+
+        [abort_epoch, status[0..size), arrive[0..size), heartbeat[0..size)]
+
+    Every word has exactly one writer at any time (the parent for
+    ``abort_epoch``/``status``; rank *r* for ``arrive[r]``/``heartbeat[r]``),
+    so no locks exist anywhere — which is the point: a SIGKILL'd worker
+    can never die holding one.  This replaces ``multiprocessing.Barrier``
+    for step synchronization (a rank killed inside ``Barrier.wait`` leaves
+    its internal lock state broken) and replaces pipe heartbeats (a
+    heartbeat writer blocked on a full pipe would wedge the reply path).
+
+    Parent-side operations: :meth:`mark_dead` / :meth:`revive` /
+    :meth:`abort` / :meth:`reset_barrier` / :meth:`heartbeat_age_s` /
+    :meth:`touch`.  Worker-side: :meth:`beat`, :meth:`wait` (the step
+    barrier), :meth:`check` (the fast-fail probe used by the comm layer),
+    and :meth:`rebaseline` after a supervised restore.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 rank: int | None, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.size = int(size)
+        self._rank = rank
+        self.owner = owner
+        words = np.frombuffer(shm.buf, dtype=np.int64, count=1 + 3 * self.size)
+        self._abort = words[0:1]
+        self._status = words[1:1 + self.size]
+        self._arrive = words[1 + self.size:1 + 2 * self.size]
+        self._beats = words[1 + 2 * self.size:1 + 3 * self.size]
+        self._abort_base = int(self._abort[0])
+        self._gen = 0
+
+    @classmethod
+    def create(cls, size: int) -> "SupervisionBoard":
+        nbytes = (1 + 3 * int(size)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        shm.buf[:nbytes] = b"\x00" * nbytes
+        board = cls(shm, size, rank=None, owner=True)
+        now = time.monotonic_ns()
+        for r in range(board.size):
+            board._beats[r] = now
+        return board
+
+    @classmethod
+    def attach(cls, name: str, size: int, rank: int | None = None
+               ) -> "SupervisionBoard":
+        return cls(shared_memory.SharedMemory(name=name), size, rank, owner=False)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        self._abort = self._status = self._arrive = self._beats = None
+        self._shm.close()
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    # -- parent side -----------------------------------------------------
+    def mark_dead(self, rank: int) -> None:
+        self._status[rank] = STATUS_DEAD
+
+    def revive(self, rank: int) -> None:
+        self._status[rank] = STATUS_UP
+        self._beats[rank] = time.monotonic_ns()
+
+    def abort(self) -> None:
+        """Bump the abort epoch: every blocked wait/probe raises promptly."""
+        self._abort[0] = int(self._abort[0]) + 1
+
+    def reset_barrier(self) -> None:
+        """Zero the arrive slots; workers re-baseline their generation."""
+        for r in range(self.size):
+            self._arrive[r] = 0
+
+    def touch(self, rank: int) -> None:
+        """Seed ``rank``'s heartbeat (parent, at spawn time)."""
+        self._beats[rank] = time.monotonic_ns()
+
+    def heartbeat_age_s(self, rank: int) -> float:
+        return (time.monotonic_ns() - int(self._beats[rank])) / 1e9
+
+    # -- worker side -----------------------------------------------------
+    def is_dead(self, rank: int) -> bool:
+        return int(self._status[rank]) == STATUS_DEAD
+
+    def beat(self) -> None:
+        self._beats[self._rank] = time.monotonic_ns()
+
+    def rebaseline(self) -> None:
+        """Adopt the current abort epoch and barrier generation as clean.
+
+        Called after a supervised restore (and implicitly at attach): the
+        abort that quiesced the previous step is spent, and the parent has
+        zeroed the arrive slots.
+        """
+        self._abort_base = int(self._abort[0])
+        self._gen = 0
+
+    def check(self, peer: int | None = None) -> None:
+        """Raise :class:`CommunicationError` if quiesced or ``peer`` died."""
+        if int(self._abort[0]) > self._abort_base:
+            raise CommunicationError(
+                f"rank {self._rank}: step aborted by supervisor (quiesce)"
+            )
+        if peer is not None and int(self._status[peer]) == STATUS_DEAD:
+            raise CommunicationError(
+                f"rank {self._rank}: peer rank {peer} is dead"
+            )
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Crash-tolerant step barrier across all ranks.
+
+        Each rank publishes a monotonically increasing generation in its
+        own arrive slot and spins until every slot has reached it.  A
+        supervisor abort (or a peer marked dead) breaks the wait with a
+        :class:`CommunicationError` instead of deadlocking.
+        """
+        self._gen += 1
+        gen = self._gen
+        self._arrive[self._rank] = gen
+        start = None
+        delay = 5e-5
+        while True:
+            if int(self._arrive.min()) >= gen:
+                return
+            self.check()
+            dead = [r for r in range(self.size) if self.is_dead(r)]
+            if dead:
+                raise CommunicationError(
+                    f"rank {self._rank}: barrier broken, dead ranks {dead}"
+                )
+            now = time.perf_counter()
+            if start is None:
+                start = now
+            elif timeout is not None and now - start > timeout:
+                raise CommunicationError(
+                    f"rank {self._rank}: barrier timed out after {timeout:g}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2.0, 1e-3)
+
+
+def sweep_segments(names) -> list[str]:
+    """Force-unlink shared-memory segments that may have leaked.
+
+    Workers unlink nothing (the creating parent owns every segment), and
+    the parent's clean ``close()`` unlinks via the live handles — but a
+    parent that is tearing down after SIGKILL'ing workers, or that
+    recreated rings mid-run, may hold names whose handles are gone.  This
+    sweep attaches purely to unlink, ignoring segments already removed.
+    Returns the names actually unlinked.
+    """
+    swept = []
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - platform-specific attach errors
+            continue
+        try:
+            seg.close()
+            seg.unlink()
+            swept.append(name)
+        except FileNotFoundError:  # pragma: no cover - unlinked concurrently
+            pass
+    return swept
+
+
 def strip_nbytes(decomp, rank: int, axis: int, n_ghost: int, nvars: int,
                  itemsize: int = 8) -> int:
     """Payload bytes of one ghosted face strip sent by ``rank`` along ``axis``."""
@@ -278,7 +463,8 @@ class ShmCommunicator:
     """
 
     def __init__(self, rank: int, size: int, writers: dict, readers: dict,
-                 metrics=None, barrier=None, timeout_s: float = 120.0):
+                 metrics=None, barrier=None, timeout_s: float = 120.0,
+                 board: SupervisionBoard | None = None):
         self.rank = int(rank)
         self.size = int(size)
         self._writers = writers  # {dest: ShmChannel}
@@ -287,6 +473,7 @@ class ShmCommunicator:
         self.fault_injector = None  # faults are oracle-driven, not comm-driven
         self.metrics = metrics
         self._barrier = barrier
+        self._board = board
         self.timeout_s = float(timeout_s)
         self._epoch = 0
         self._pending: dict = {}  # {(src, tag): deque of (epoch, flag, payload)}
@@ -295,6 +482,17 @@ class ShmCommunicator:
     def _count(self, name: str, value=1) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc(value)
+
+    # -- supervision probes ----------------------------------------------
+    def _check_peer(self, peer: int | None = None) -> None:
+        if self._board is not None:
+            self._board.check(peer)
+
+    def _probe_for(self, peer: int):
+        if self._board is None:
+            return None
+        board = self._board
+        return lambda: board.check(peer)
 
     # -- epochs ----------------------------------------------------------
     def begin_exchange_epoch(self) -> None:
@@ -317,23 +515,26 @@ class ShmCommunicator:
         self._count("comm.shm.bytes", payload.nbytes)
         epoch = EPOCH_CONTROL if tag >= CONTROL_TAG_BASE else self._epoch
         ring = self._writers[dest].ring
+        probe = self._probe_for(dest)
         kind = fault[0] if fault is not None else None
         if kind == "drop":
             # A tombstone stands in for the serial "never buffered"
             # outcome: the receiver unblocks and sees an empty mailbox.
-            blocked = ring.push(epoch, tag, FLAG_TOMBSTONE, None, self.timeout_s)
+            blocked = ring.push(
+                epoch, tag, FLAG_TOMBSTONE, None, self.timeout_s, probe
+            )
         elif kind == "corrupt":
             from ..resilience.faults import corrupt_payload
 
             blocked = ring.push(
                 epoch, tag, FLAG_DATA,
-                corrupt_payload(payload, fault[1]), self.timeout_s,
+                corrupt_payload(payload, fault[1]), self.timeout_s, probe,
             )
         elif kind == "duplicate":
-            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
-            blocked += ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
+            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s, probe)
+            blocked += ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s, probe)
         else:
-            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s)
+            blocked = ring.push(epoch, tag, FLAG_DATA, payload, self.timeout_s, probe)
         if blocked > 0.0 and self.metrics is not None:
             self.metrics.counter("comm.shm.send_block_s").inc(blocked)
 
@@ -376,6 +577,10 @@ class ShmCommunicator:
                 return payload
             if self._drain(src):
                 continue
+            # Fast-fail: a dead peer can never deliver, and a supervisor
+            # abort means this step is being rolled back — raise promptly
+            # instead of spinning out the full timeout.
+            self._check_peer(src)
             now = time.perf_counter()
             if start is None:
                 start = now
@@ -420,6 +625,48 @@ class ShmCommunicator:
             box[:] = kept
         return discarded
 
+    # -- supervised recovery ---------------------------------------------
+    def rebind_channel(self, src: int, dest: int, channel: "ShmChannel") -> None:
+        """Swap in a freshly created ring for one directed pair.
+
+        Used after a rank respawn: the parent recreates every ring that
+        touched the dead rank and survivors re-attach.  The old channel's
+        handle is closed (the parent owns the unlink).
+        """
+        pool = self._writers if src == self.rank else self._readers
+        peer = dest if src == self.rank else src
+        old = pool.get(peer)
+        if old is not None:
+            old.close()
+        pool[peer] = channel
+
+    def traffic_state(self) -> tuple:
+        """Serializable snapshot of the traffic log (for rollback)."""
+        log = self.traffic
+        return (log.n_messages, log.n_bytes, log.n_collectives,
+                dict(log.by_pair))
+
+    def reset_after_failure(self, epoch: int, traffic: tuple) -> None:
+        """Roll the communicator back to a clean step boundary.
+
+        Drops every queued and in-flight record (stale after the
+        supervisor's rollback), restores the exchange epoch and traffic
+        log captured by the matching snapshot, and re-baselines the
+        supervision board so the quiescing abort is considered spent.
+        """
+        self._pending.clear()
+        for ch in self._readers.values():
+            while ch.ring.pop() is not None:
+                pass
+        self._epoch = int(epoch)
+        log = self.traffic
+        log.n_messages, log.n_bytes, log.n_collectives = (
+            int(traffic[0]), int(traffic[1]), int(traffic[2])
+        )
+        log.by_pair = defaultdict(int, traffic[3])
+        if self._board is not None:
+            self._board.rebaseline()
+
     # -- traffic markers (same surface as SimCommunicator) ---------------
     def traffic_marker(self):
         log = self.traffic
@@ -435,7 +682,8 @@ class ShmCommunicator:
     def _send_control(self, dest: int, data, tag: int) -> None:
         ring = self._writers[dest].ring
         blocked = ring.push(
-            EPOCH_CONTROL, tag, FLAG_DATA, np.ascontiguousarray(data), self.timeout_s
+            EPOCH_CONTROL, tag, FLAG_DATA, np.ascontiguousarray(data),
+            self.timeout_s, self._probe_for(dest),
         )
         if blocked > 0.0 and self.metrics is not None:
             self.metrics.counter("comm.shm.send_block_s").inc(blocked)

@@ -28,11 +28,27 @@ histograms combined) that canonicalizes byte-for-byte equal to the
 serial stream, and forwards it to the caller's recorder via
 :meth:`StepRecorder.emit_step`.  Real transport measurements land under
 ``comm.shm.*``.
+
+Supervision: with a :class:`~repro.resilience.policies.SupervisionPolicy`
+the parent becomes a supervisor.  Workers publish heartbeats into a
+lock-free :class:`~repro.comm.shm.SupervisionBoard`; the parent
+classifies failures (crash via ``is_alive()``/pipe EOF, hang via
+heartbeat staleness), quiesces the surviving ranks at the last completed
+step boundary, respawns the dead rank over freshly recreated shm rings,
+and rolls *every* rank back to the last consistent in-memory snapshot —
+the recovered run is bit-identical to a fault-free one, canonical
+record stream included.  A bounded restart budget with exponential
+backoff guards against crash loops; on exhaustion
+:func:`run_supervised` can degrade gracefully to the serial
+:class:`DistributedSolver` from the last snapshot.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -49,7 +65,13 @@ from ..comm.halo import (
     post_halos,
     rhs_regions,
 )
-from ..comm.shm import ShmChannel, ShmCommunicator, channel_capacities
+from ..comm.shm import (
+    ShmChannel,
+    ShmCommunicator,
+    SupervisionBoard,
+    channel_capacities,
+    sweep_segments,
+)
 from ..mesh.decomposition import CartesianDecomposition
 from ..mesh.grid import Grid
 from ..obs.events import BufferSink
@@ -63,7 +85,13 @@ from ..time_integration.cfl import (
     max_signal_per_axis,
 )
 from ..time_integration.ssprk import make_integrator
-from ..utils.errors import ConfigurationError, NumericsError, WorkerError
+from ..utils.errors import (
+    ConfigurationError,
+    NumericsError,
+    ReproError,
+    SupervisionExhausted,
+    WorkerError,
+)
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
 from .distributed import DistributedSolver
@@ -72,7 +100,7 @@ from .pipeline import HydroPipeline
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.recorder import StepRecorder as _StepRecorder  # noqa: F401
     from ..resilience.faults import FaultPlan
-    from ..resilience.policies import HaloRetryPolicy
+    from ..resilience.policies import HaloRetryPolicy, SupervisionPolicy
 
 
 @dataclass
@@ -94,6 +122,11 @@ class _WorkerSpec:
     channels: dict  # {(src, dest): (shm_name, capacity)} touching this rank
     comm_timeout_s: float
     barrier_timeout_s: float
+    board_name: str
+    heartbeat_interval_s: float
+    #: respawned ranks skip the collective priming exchange — their state
+    #: is installed via ``restore_full`` before they ever step.
+    defer_init: bool = False
 
 
 class _RankWorker:
@@ -105,7 +138,7 @@ class _RankWorker:
     serial-vs-process test matrix enforces it).
     """
 
-    def __init__(self, spec: _WorkerSpec, barrier):
+    def __init__(self, spec: _WorkerSpec, board: SupervisionBoard):
         self.rank = spec.rank
         self.spec = spec
         system = spec.system
@@ -129,8 +162,8 @@ class _RankWorker:
         self.metrics = MetricsRegistry()
         self.comm = ShmCommunicator(
             self.rank, spec.size, writers, readers,
-            metrics=self.metrics, barrier=barrier,
-            timeout_s=spec.comm_timeout_s,
+            metrics=self.metrics, barrier=board,
+            timeout_s=spec.comm_timeout_s, board=board,
         )
         self.policy = spec.policy
         self.oracle = (
@@ -145,8 +178,11 @@ class _RankWorker:
             if spec.plan is not None
             else None
         )
-        self._barrier = barrier
+        self._barrier = board
         self._barrier_timeout = spec.barrier_timeout_s
+        #: ordered ``overlapped`` flags of every oracle consultation — the
+        #: replay tape a supervised restore rewinds the oracle with.
+        self._oracle_calls: list[bool] = []
 
         interior = InteriorFace()
         faces = {}
@@ -171,7 +207,10 @@ class _RankWorker:
         prim = self.subgrid.allocate(system.nvars)
         self.subgrid.interior_of(prim)[...] = spec.part
         self.pipeline.boundaries.apply(system, self.subgrid, prim)
-        self._exchange(prim)
+        if not spec.defer_init:
+            # The priming exchange is collective; a respawned rank builds
+            # alone and receives its real state via ``restore_full``.
+            self._exchange(prim)
         self.pipeline.atmosphere.apply_prim(system, prim)
         self.cons = system.prim_to_con(prim)
         self._prims_cache: np.ndarray | None = prim
@@ -205,6 +244,7 @@ class _RankWorker:
             if self.oracle is not None
             else None
         )
+        self._oracle_calls.append(False)
         exchange_halos(
             self.decomp,
             self.comm,
@@ -237,6 +277,7 @@ class _RankWorker:
             if self.oracle is not None
             else None
         )
+        self._oracle_calls.append(True)
         handle = post_halos(
             self.decomp, self.comm, {self.rank: prim},
             policy=self.policy, metrics=self.metrics, schedule=schedule,
@@ -393,6 +434,73 @@ class _RankWorker:
         self.t = float(t)
         self.steps = int(steps)
 
+    # -- supervision -----------------------------------------------------
+    def supervision_state(self) -> dict:
+        """Everything needed to roll this rank back to this step boundary.
+
+        The snapshot is complete with respect to observable behavior —
+        physics arrays, warm-start caches, metrics/timer/recorder
+        baselines, communicator epoch + traffic accounting, and the
+        fault-replay position — so a rank restored from it re-executes
+        the following steps bit-identically, emitted records included.
+        """
+        p_cache = self.pipeline._p_cache
+        injector = self.pipeline.fault_injector
+        return {
+            "cons": self.cons.copy(),
+            "p_cache": None if p_cache is None else p_cache.copy(),
+            "prims_cache": (
+                None if self._prims_cache is None else self._prims_cache.copy()
+            ),
+            "t": self.t,
+            "steps": self.steps,
+            "metrics": self.metrics.snapshot(),
+            "timers": self.timers.state(),
+            "recorder": self._recorder.state(),
+            "traffic": self.comm.traffic_state(),
+            "traffic_prev": tuple(self._traffic_prev),
+            "epoch": self.comm._epoch,
+            "oracle_calls": list(self._oracle_calls),
+            "injector_sweep": None if injector is None else injector._sweep,
+            "overlap_log": [dict(e) for e in self.overlap_log],
+        }
+
+    def restore_supervision_state(self, state: dict) -> None:
+        """Roll back to *state* (a step boundary) after a rank failure.
+
+        Besides the physics arrays this rewinds the fault oracle and the
+        con2prim injector, and resets the communicator: pending messages
+        are dropped, epoch and traffic counters restored, and the
+        supervision board re-baselined — so the replayed steps are
+        indistinguishable from a fault-free run.
+        """
+        self.cons = np.array(state["cons"])
+        p_cache = state["p_cache"]
+        self.pipeline._p_cache = None if p_cache is None else np.array(p_cache)
+        prims = state["prims_cache"]
+        self._prims_cache = None if prims is None else np.array(prims)
+        self.t = float(state["t"])
+        self.steps = int(state["steps"])
+        self.metrics.restore(state["metrics"])
+        self.timers.restore(state["timers"])
+        self._recorder.restore_state(state["recorder"])
+        self._oracle_calls = list(state["oracle_calls"])
+        if self.oracle is not None:
+            self.oracle.rewind(self._oracle_calls)
+        injector = self.pipeline.fault_injector
+        if injector is not None and state["injector_sweep"] is not None:
+            injector._sweep = int(state["injector_sweep"])
+        self.overlap_log = [dict(e) for e in state["overlap_log"]]
+        self.comm.reset_after_failure(state["epoch"], state["traffic"])
+        self._traffic_prev = tuple(state["traffic_prev"])
+
+    def rebind(self, channels: dict) -> None:
+        """Attach freshly recreated shm rings (a peer was respawned)."""
+        for (src, dest), (name, cap) in channels.items():
+            ch = ShmChannel.attach(name, cap)
+            self._channels.append(ch)
+            self.comm.rebind_channel(src, dest, ch)
+
     def close(self) -> None:
         for ch in self._channels:
             try:
@@ -401,47 +509,103 @@ class _RankWorker:
                 pass
 
 
-def _worker_main(spec: _WorkerSpec, conn, barrier) -> None:
+def _worker_main(spec: _WorkerSpec, conn) -> None:
     worker = None
+    board = None
+    hb_stop = threading.Event()
+    hb_thread = None
+    send_lock = threading.Lock()
+
+    def _send(msg):
+        with send_lock:
+            conn.send(msg)
+
     try:
-        worker = _RankWorker(spec, barrier)
-        conn.send(("ready", spec.rank))
+        board = SupervisionBoard.attach(spec.board_name, spec.size,
+                                        rank=spec.rank)
+        board.beat()
+
+        def _heartbeat():
+            try:
+                while not hb_stop.wait(spec.heartbeat_interval_s):
+                    board.beat()
+            except Exception:  # board unmapped during teardown
+                pass
+
+        hb_thread = threading.Thread(
+            target=_heartbeat, name=f"heartbeat-{spec.rank}", daemon=True
+        )
+        hb_thread.start()
+        worker = _RankWorker(spec, board)
+        _send(("ready", spec.rank))
         while True:
             msg = conn.recv()
+            board.beat()
             cmd = msg[0]
             if cmd == "step":
-                dt, record = worker.step(dt=msg[1], t_final=msg[2])
-                conn.send(
-                    ("step_done", spec.rank, dt, worker.t, worker.steps, record)
+                try:
+                    dt, record = worker.step(dt=msg[1], t_final=msg[2])
+                except ReproError as exc:
+                    # Recoverable under supervision: report the failed
+                    # step and stay in the command loop so the parent can
+                    # roll this rank back and retry.  Without supervision
+                    # the parent maps this onto the same fatal error the
+                    # pre-supervision protocol raised.
+                    _send(
+                        ("step_failed", spec.rank,
+                         f"{type(exc).__name__}: {exc}",
+                         traceback.format_exc())
+                    )
+                    continue
+                state = worker.supervision_state() if msg[3] else None
+                _send(
+                    ("step_done", spec.rank, dt, worker.t, worker.steps,
+                     record, state)
                 )
             elif cmd == "gather_prims":
-                conn.send(("prims", spec.rank, worker.interior_primitives()))
+                _send(("prims", spec.rank, worker.interior_primitives()))
             elif cmd == "gather_cons":
-                conn.send(("cons", spec.rank, worker.cons.copy()))
+                _send(("cons", spec.rank, worker.cons.copy()))
             elif cmd == "snapshot":
-                conn.send(("snap", spec.rank, worker.snapshot()))
+                _send(("snap", spec.rank, worker.snapshot()))
+            elif cmd == "sup_state":
+                _send(("sup_state_done", spec.rank, worker.supervision_state()))
+            elif cmd == "rebind":
+                worker.rebind(msg[1])
+                _send(("rebound", spec.rank))
+            elif cmd == "restore_full":
+                worker.restore_supervision_state(msg[1])
+                _send(("restored_full", spec.rank))
             elif cmd == "checkpoint":
                 cons, p_cache = worker.checkpoint_state()
-                conn.send(("ckpt", spec.rank, cons, p_cache))
+                _send(("ckpt", spec.rank, cons, p_cache))
             elif cmd == "restore":
                 worker.restore_state(msg[1], msg[2], msg[3], msg[4])
-                conn.send(("restored", spec.rank))
+                _send(("restored", spec.rank))
             elif cmd == "shutdown":
-                conn.send(("bye", spec.rank))
+                _send(("bye", spec.rank))
                 return
             else:
                 raise WorkerError(f"unknown worker command {cmd!r}")
     except BaseException as exc:  # forward everything; the parent decides
         try:
-            conn.send(
+            _send(
                 ("error", spec.rank, f"{type(exc).__name__}: {exc}",
                  traceback.format_exc())
             )
         except Exception:
             pass
     finally:
+        hb_stop.set()
+        if hb_thread is not None:
+            hb_thread.join(timeout=1.0)
         if worker is not None:
             worker.close()
+        if board is not None:
+            try:
+                board.close()
+            except Exception:
+                pass
         try:
             conn.close()
         except Exception:
@@ -551,6 +715,25 @@ class _MergedMetrics:
         )
 
 
+class _RankFailureSignal(Exception):
+    """Internal: one or more ranks failed during a supervised step.
+
+    Carries the classification the supervisor needs: ``failures`` maps
+    rank to ``(kind, detail)`` with kind ``"crash"`` or ``"hang"``;
+    ``step_failed`` maps rank to ``(description, traceback)`` for ranks
+    that reported a :class:`ReproError` and are still alive; ``replies``
+    are step replies already received; ``pending`` are commanded ranks
+    that have not yet come to rest.
+    """
+
+    def __init__(self, failures, step_failed, replies, pending):
+        super().__init__(f"rank failures: {sorted(failures)}")
+        self.failures = dict(failures)
+        self.step_failed = dict(step_failed)
+        self.replies = dict(replies)
+        self.pending = set(pending)
+
+
 class ProcessSolver:
     """Drive one :class:`_RankWorker` process per rank in lockstep.
 
@@ -560,6 +743,11 @@ class ProcessSolver:
     parent).  ``step``/``run``/``gather_primitives``/checkpointing match
     the serial driver: workers stream their shards to the parent, which
     writes the identical distributed checkpoint format.
+
+    Pass a :class:`~repro.resilience.policies.SupervisionPolicy` as
+    ``supervision`` to enable in-run rank recovery: crashed or hung
+    workers are respawned and every rank rolled back to the last
+    consistent snapshot, bit-identically (see the module docstring).
     """
 
     def __init__(
@@ -578,6 +766,7 @@ class ProcessSolver:
         comm_timeout_s: float = 120.0,
         step_timeout_s: float = 600.0,
         ready_timeout_s: float = 180.0,
+        supervision: "SupervisionPolicy | None" = None,
     ):
         if system.ndim != global_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
@@ -601,63 +790,146 @@ class ProcessSolver:
             halo_bytes_per_step(self.decomp, system.nvars).values()
         )
         self.metrics = _MergedMetrics(self)
+        self.supervision = supervision
+        self._plan = plan
+        for fault in getattr(plan, "processes", None) or ():
+            if fault.rank >= self.decomp.size:
+                raise ConfigurationError(
+                    f"process fault targets rank {fault.rank} but the "
+                    f"decomposition has only {self.decomp.size} ranks"
+                )
         self._closed = False
         self._last_record: dict | None = None
+        self._wall_bcs = wall_bcs
+        self._periodic = tuple(periodic)
+        self._source_fn = source_fn
+        self._comm_timeout_s = float(comm_timeout_s)
+        self._ready_timeout_s = float(ready_timeout_s)
+        self._heartbeat_interval_s = (
+            supervision.heartbeat_interval_s if supervision is not None else 0.25
+        )
+        #: last consistent per-rank supervision snapshot (rollback point)
+        self._snapshot: dict | None = None
+        #: steps already emitted to the caller's recorder — replayed
+        #: steps below this mark regenerate records but never re-emit
+        self._emitted = 0
+        self._restarts_used = 0
+        self._restart_rounds = 0
+        self._process_faults_fired: set[int] = set()
+        #: parent-side counter totals already folded into step records
+        self._local_prev: dict = {}
 
         parts = self.decomp.scatter(global_grid.interior_of(initial_prim))
+        self._parts = {r: np.ascontiguousarray(p) for r, p in parts.items()}
         caps = channel_capacities(
             self.decomp, system.nvars, global_grid.n_ghost, policy=halo_policy
         )
+        self._caps = dict(caps)
+        #: every shm segment name this run ever created — swept on
+        #: teardown so SIGKILL'd workers cannot leak /dev/shm entries
+        self._segments: list[str] = []
         self._channels: dict = {}
         for pair, cap in caps.items():
-            self._channels[pair] = ShmChannel.create(cap)
+            ch = ShmChannel.create(cap)
+            self._channels[pair] = ch
+            self._segments.append(ch.name)
 
-        ctx = mp.get_context("spawn")
-        self._barrier = ctx.Barrier(self.size)
+        self._ctx = mp.get_context("spawn")
+        self._board = SupervisionBoard.create(self.size)
+        self._segments.append(self._board.name)
         self._procs: dict[int, mp.Process] = {}
         self._conns: dict = {}
         try:
             for rank in range(self.size):
-                spec = _WorkerSpec(
-                    rank=rank,
-                    size=self.size,
-                    system=system,
-                    global_grid=global_grid,
-                    dims=tuple(self.decomp.dims),
-                    periodic=tuple(periodic),
-                    config=self.config,
-                    wall_bcs=wall_bcs,
-                    part=np.ascontiguousarray(parts[rank]),
-                    plan=plan,
-                    policy=halo_policy,
-                    source_fn=source_fn,
-                    channels={
-                        pair: (ch.name, ch.capacity)
-                        for pair, ch in self._channels.items()
-                        if rank in pair
-                    },
-                    comm_timeout_s=float(comm_timeout_s),
-                    barrier_timeout_s=float(step_timeout_s),
-                )
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(spec, child_conn, self._barrier),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs[rank] = proc
-                self._conns[rank] = parent_conn
-            self._collect("ready", timeout_s=float(ready_timeout_s))
+                self._spawn(rank)
+            self._collect("ready", timeout_s=self._ready_timeout_s)
+            if supervision is not None:
+                self._snapshot = self._gather_supervision_state()
         except BaseException:
             self._abort()
             raise
+
+    def _make_spec(self, rank: int, defer_init: bool = False) -> _WorkerSpec:
+        return _WorkerSpec(
+            rank=rank,
+            size=self.size,
+            system=self.system,
+            global_grid=self.global_grid,
+            dims=tuple(self.decomp.dims),
+            periodic=self._periodic,
+            config=self.config,
+            wall_bcs=self._wall_bcs,
+            part=self._parts[rank],
+            plan=self._plan,
+            policy=self.halo_policy,
+            source_fn=self._source_fn,
+            channels={
+                pair: (ch.name, ch.capacity)
+                for pair, ch in self._channels.items()
+                if rank in pair
+            },
+            comm_timeout_s=self._comm_timeout_s,
+            barrier_timeout_s=self.step_timeout_s,
+            board_name=self._board.name,
+            heartbeat_interval_s=self._heartbeat_interval_s,
+            defer_init=defer_init,
+        )
+
+    def _spawn(self, rank: int, defer_init: bool = False) -> None:
+        spec = self._make_spec(rank, defer_init=defer_init)
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(spec, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[rank] = proc
+        self._conns[rank] = parent_conn
+
+    def _gather_supervision_state(self) -> dict:
+        self._command_all("sup_state")
+        replies = self._collect("sup_state_done")
+        return {
+            "t": self.t,
+            "steps": self.steps,
+            "states": {r: replies[r][2] for r in range(self.size)},
+        }
 
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         return self.decomp.size
+
+    @property
+    def restarts_used(self) -> int:
+        """Rank respawns spent so far (supervised runs only)."""
+        return self._restarts_used
+
+    @property
+    def steps_emitted(self) -> int:
+        """Highest step number already emitted to the caller's recorder."""
+        return self._emitted
+
+    def _release_segments(self) -> None:
+        """Close + unlink every shm segment this run owns, then sweep.
+
+        SIGKILL'd workers never run their ``close()``; segments recreated
+        mid-recovery may have no live parent handle either.  The sweep
+        attaches purely to unlink, so nothing lingers in ``/dev/shm``.
+        """
+        for ch in self._channels.values():
+            try:
+                ch.close()
+            except Exception:
+                pass
+        self._channels = {}
+        if getattr(self, "_board", None) is not None:
+            try:
+                self._board.close()
+            except Exception:
+                pass
+            self._board = None
+        sweep_segments(self._segments)
 
     def _abort(self) -> None:
         """Tear everything down after a failure (idempotent)."""
@@ -671,21 +943,36 @@ class ProcessSolver:
                 conn.close()
             except Exception:
                 pass
-        for ch in self._channels.values():
-            try:
-                ch.close()
-            except Exception:
-                pass
-        self._channels = {}
+        self._release_segments()
         self._closed = True
 
-    def _collect(self, expect: str, timeout_s: float | None = None) -> dict:
-        """Wait for one reply of kind *expect* from every worker."""
-        deadline = time.monotonic() + (
-            timeout_s if timeout_s is not None else self.step_timeout_s
-        )
+    def _collect(
+        self,
+        expect: str,
+        timeout_s: float | None = None,
+        ranks=None,
+        mode: str = "strict",
+    ) -> dict:
+        """Wait for one reply of kind *expect* from every worker.
+
+        *mode* selects the failure posture:
+
+        - ``"strict"`` (default): any anomaly aborts the run and raises
+          :class:`WorkerError` — the unsupervised behavior.
+        - ``"signal"``: raise :class:`_RankFailureSignal` on the first
+          detected crash, hang (heartbeat staleness), or step failure,
+          leaving the solver up so :meth:`_recover` can run.
+        - ``"quiesce"``: drain replies after an abort was broadcast —
+          ``step_failed`` replies count as quiesced, crashes and hangs
+          accumulate, and the signal is raised only at the end.
+        """
+        timeout = timeout_s if timeout_s is not None else self.step_timeout_s
+        deadline = time.monotonic() + timeout
         replies: dict = {}
-        pending = set(self._procs)
+        failures: dict = {}
+        step_failed: dict = {}
+        pending = set(self._procs if ranks is None else ranks)
+        sup = self.supervision
         while pending:
             for rank in sorted(pending):
                 conn, proc = self._conns[rank], self._procs[rank]
@@ -694,6 +981,10 @@ class ProcessSolver:
                     if conn.poll(0.02):
                         msg = conn.recv()
                 except (EOFError, OSError):
+                    if mode != "strict":
+                        failures[rank] = ("crash", "connection lost mid-run")
+                        pending.discard(rank)
+                        continue
                     self._abort()
                     raise WorkerError(
                         f"worker rank {rank}: connection lost mid-run"
@@ -701,6 +992,20 @@ class ProcessSolver:
                 if msg is not None:
                     if msg[0] == "error":
                         _, bad_rank, desc, tb = msg
+                        if mode != "strict":
+                            failures[rank] = ("crash", desc)
+                            pending.discard(rank)
+                            continue
+                        self._abort()
+                        raise WorkerError(
+                            f"worker rank {bad_rank} failed: {desc}\n{tb}"
+                        )
+                    if msg[0] == "step_failed":
+                        _, bad_rank, desc, tb = msg
+                        if mode != "strict":
+                            step_failed[rank] = (desc, tb)
+                            pending.discard(rank)
+                            continue
                         self._abort()
                         raise WorkerError(
                             f"worker rank {bad_rank} failed: {desc}\n{tb}"
@@ -714,40 +1019,103 @@ class ProcessSolver:
                     replies[rank] = msg
                     pending.discard(rank)
                 elif not proc.is_alive():
-                    self._abort()
-                    raise WorkerError(
-                        f"worker rank {rank} died unexpectedly "
-                        f"(exit code {proc.exitcode})"
+                    if mode != "strict":
+                        failures[rank] = (
+                            "crash", f"exit code {proc.exitcode}"
+                        )
+                        pending.discard(rank)
+                    else:
+                        self._abort()
+                        raise WorkerError(
+                            f"worker rank {rank} died unexpectedly "
+                            f"(exit code {proc.exitcode})"
+                        )
+                elif (
+                    mode != "strict"
+                    and sup is not None
+                    and self._board.heartbeat_age_s(rank) > sup.hang_timeout_s
+                ):
+                    failures[rank] = (
+                        "hang",
+                        f"heartbeat stale for "
+                        f"{self._board.heartbeat_age_s(rank):.1f}s",
                     )
+                    pending.discard(rank)
+            if mode == "signal" and (failures or step_failed):
+                raise _RankFailureSignal(failures, step_failed, replies, pending)
             if pending and time.monotonic() > deadline:
+                if mode != "strict":
+                    for rank in pending:
+                        failures[rank] = (
+                            "hang", f"no reply within {timeout:.1f}s"
+                        )
+                    raise _RankFailureSignal(
+                        failures, step_failed, replies, set()
+                    )
                 self._abort()
                 raise WorkerError(
                     f"timed out waiting for worker rank(s) {sorted(pending)}"
                 )
+        if mode == "quiesce" and failures:
+            raise _RankFailureSignal(failures, step_failed, replies, set())
         return replies
 
-    def _command_all(self, *msg) -> None:
+    def _command_all(self, *msg, mode: str = "strict") -> None:
         if self._closed:
             raise WorkerError("process solver already shut down")
+        failures: dict = {}
+        sent: set = set()
         for rank in range(self.size):
             try:
                 self._conns[rank].send(tuple(msg))
+                sent.add(rank)
             except (BrokenPipeError, OSError):
+                if mode == "signal":
+                    failures[rank] = ("crash", "cannot send command")
+                    continue
                 self._abort()
                 raise WorkerError(
                     f"worker rank {rank}: cannot send command "
                     f"(process {'alive' if self._procs[rank].is_alive() else 'dead'})"
                 ) from None
+        if failures:
+            raise _RankFailureSignal(failures, {}, {}, sent)
 
     # -- driver surface --------------------------------------------------
     def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        """Advance all ranks one step, recovering failures when supervised.
+
+        Under supervision a detected crash or hang triggers
+        :meth:`_recover` — the run rolls back to the last consistent
+        snapshot and replays forward; replayed steps regenerate their
+        records but are not re-emitted, so the caller's recorder stream
+        stays identical to a fault-free run.
+        """
+        if self.supervision is None:
+            return self._step_once(dt, t_final)
+        target = self.steps + 1
+        last_dt = 0.0
+        while self.steps < target:
+            try:
+                last_dt = self._step_once(dt, t_final)
+            except _RankFailureSignal as sig:
+                self._recover(sig)
+        return last_dt
+
+    def _step_once(self, dt, t_final) -> float:
         wall0 = time.perf_counter()
-        self._command_all("step", dt, t_final)
-        replies = self._collect("step_done")
+        sup = self.supervision
+        step_no = self.steps + 1
+        want_state = bool(sup is not None and step_no % sup.snapshot_every == 0)
+        mode = "strict" if sup is None else "signal"
+        self._command_all("step", dt, t_final, want_state, mode=mode)
+        self._fire_process_faults(step_no)
+        replies = self._collect("step_done", mode=mode)
         shards = []
+        states: dict = {}
         dt0 = t0 = steps0 = None
         for rank in range(self.size):
-            _, _r, w_dt, w_t, w_steps, record = replies[rank]
+            _, _r, w_dt, w_t, w_steps, record, state = replies[rank]
             if rank == 0:
                 dt0, t0, steps0 = w_dt, w_t, w_steps
             elif (w_dt, w_t, w_steps) != (dt0, t0, steps0):
@@ -758,14 +1126,240 @@ class ProcessSolver:
                     f"!= {(dt0, t0, steps0)!r}"
                 )
             shards.append(record)
+            if state is not None:
+                states[rank] = state
         self.t = t0
         self.steps = steps0
+        if want_state and len(states) == self.size:
+            self._snapshot = {"t": t0, "steps": steps0, "states": states}
         merged = merge_step_records(shards)
         merged["wall_seconds"] = time.perf_counter() - wall0
         self._last_record = merged
-        if self.recorder is not None:
-            self.recorder.emit_step(merged)
+        if self.steps > self._emitted:
+            if sup is not None:
+                self._attach_parent_counters(merged)
+            self._emitted = self.steps
+            if self.recorder is not None:
+                self.recorder.emit_step(merged)
         return dt0
+
+    def _attach_parent_counters(self, merged: dict) -> None:
+        """Fold parent-side counter deltas into an outgoing step record.
+
+        Supervision counters (``resilience.worker_restarts``,
+        ``supervision.*``) live in the parent's local registry — the
+        workers never see them.  Folding the deltas into the next emitted
+        record surfaces them in the JSONL stream and in
+        ``Report.from_metrics`` exactly like worker counters; the
+        canonicalizer excludes them, so bit-exactness is untouched.
+        """
+        totals = self.metrics._local.snapshot()["counters"]
+        for name, total in totals.items():
+            delta = total - self._local_prev.get(name, 0)
+            if delta:
+                merged["counters"][name] = (
+                    merged["counters"].get(name, 0) + delta
+                )
+        self._local_prev = dict(totals)
+
+    def _emit_supervision_event(self, action: str, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.emit_event("supervision", action=action, **fields)
+
+    def _fire_process_faults(self, step_no: int) -> None:
+        """Deliver planned ``kill_rank``/``hang_rank`` faults as signals."""
+        faults = getattr(self._plan, "processes", None) if self._plan else None
+        if not faults:
+            return
+        for idx, fault in enumerate(faults):
+            if idx in self._process_faults_fired or fault.step != step_no:
+                continue
+            self._process_faults_fired.add(idx)
+            proc = self._procs.get(fault.rank)
+            if proc is None or proc.pid is None or not proc.is_alive():
+                continue
+            signo = (
+                signal.SIGKILL if fault.kind == "kill_rank" else signal.SIGSTOP
+            )
+            try:
+                os.kill(proc.pid, signo)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                continue
+            self.metrics.counter(f"supervision.injected_{fault.kind}").inc()
+            self._emit_supervision_event(
+                "inject", fault=fault.kind, rank=fault.rank, step=step_no
+            )
+
+    def _reap(self, rank: int) -> None:
+        """Make sure a failed rank's process is gone and its pipe closed."""
+        proc = self._procs[rank]
+        if proc.is_alive() and proc.pid is not None:
+            try:
+                # SIGKILL, not terminate(): a SIGSTOP'd process ignores
+                # SIGTERM until resumed, SIGKILL it cannot.
+                os.kill(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                pass
+        proc.join(timeout=10.0)
+        try:
+            self._conns[rank].close()
+        except Exception:
+            pass
+
+    def _recover(self, sig: _RankFailureSignal) -> None:
+        """In-run rank recovery: quiesce, respawn, roll back, replay.
+
+        The sequence (each stage gated on the previous):
+
+        1. publish dead ranks + bump the abort epoch on the supervision
+           board, so every survivor's blocked communicator wait raises
+           instead of deadlocking on a peer that will never answer;
+        2. quiesce: every commanded survivor comes to rest (a late
+           ``step_done`` or an abort-induced ``step_failed``) —
+           non-responders escalate into the failure set;
+        3. check the restart budget (raising
+           :class:`SupervisionExhausted` carrying the snapshot when
+           spent) and back off exponentially;
+        4. recreate every shm ring touching a dead rank (it may have died
+           mid-push, leaving the ring torn), respawn the dead ranks with
+           deferred init, and rebind survivors to the fresh rings;
+        5. roll **every** rank back to the last consistent snapshot —
+           physics, caches, metrics, fault-replay position — so the
+           retried steps are bit-identical to a fault-free run.
+        """
+        sup = self.supervision
+        failures = dict(sig.failures)
+        step_failed = dict(sig.step_failed)
+        if not failures:
+            # No crashed or hung rank: a pure logical failure (numerics,
+            # exhausted retries) is deterministic and would recur on
+            # replay — fatal, exactly like the unsupervised path.
+            rank, (desc, tb) = sorted(step_failed.items())[0]
+            self._abort()
+            raise WorkerError(f"worker rank {rank} failed: {desc}\n{tb}")
+
+        for rank in failures:
+            self._board.mark_dead(rank)
+        self._board.abort()
+        for rank, (kind, detail) in sorted(failures.items()):
+            self.metrics.counter(f"supervision.{kind}_detected").inc()
+            self._emit_supervision_event(
+                "detected", failure=kind, rank=rank, detail=detail,
+                step=self.steps + 1,
+            )
+            self._reap(rank)
+
+        owing = set(sig.pending) - set(failures)
+        if owing:
+            try:
+                self._collect(
+                    "step_done",
+                    timeout_s=sup.quiesce_timeout_s,
+                    ranks=owing,
+                    mode="quiesce",
+                )
+            except _RankFailureSignal as more:
+                for rank, (kind, detail) in sorted(more.failures.items()):
+                    failures[rank] = (kind, detail)
+                    self._board.mark_dead(rank)
+                    self.metrics.counter(f"supervision.{kind}_detected").inc()
+                    self._emit_supervision_event(
+                        "detected", failure=kind, rank=rank, detail=detail,
+                        step=self.steps + 1,
+                    )
+                    self._reap(rank)
+
+        need = len(failures)
+        if self._restarts_used + need > sup.max_rank_restarts:
+            self.metrics.counter("supervision.budget_exhausted").inc()
+            self._emit_supervision_event(
+                "budget_exhausted", ranks=sorted(failures),
+                restarts_used=self._restarts_used,
+                max_rank_restarts=sup.max_rank_restarts,
+            )
+            snapshot = self._snapshot
+            self._abort()
+            raise SupervisionExhausted(
+                f"rank restart budget exhausted: {need} respawn(s) needed "
+                f"for rank(s) {sorted(failures)} with "
+                f"{sup.max_rank_restarts - self._restarts_used} of "
+                f"{sup.max_rank_restarts} remaining",
+                snapshot=snapshot,
+            )
+        time.sleep(
+            min(
+                sup.backoff_base_s * (2.0 ** self._restart_rounds),
+                sup.backoff_cap_s,
+            )
+        )
+
+        affected = {
+            pair
+            for pair in self._caps
+            if pair[0] in failures or pair[1] in failures
+        }
+        for pair in sorted(affected):
+            try:
+                self._channels[pair].close()
+            except Exception:
+                pass
+            ch = ShmChannel.create(self._caps[pair])
+            self._channels[pair] = ch
+            self._segments.append(ch.name)
+
+        for rank in sorted(failures):
+            self._board.revive(rank)
+            self._board.touch(rank)
+            self._spawn(rank, defer_init=True)
+        self._collect(
+            "ready", timeout_s=self._ready_timeout_s, ranks=set(failures)
+        )
+
+        rebinds: dict = {}
+        for rank in range(self.size):
+            if rank in failures:
+                continue
+            sub = {
+                pair: (self._channels[pair].name, self._caps[pair])
+                for pair in affected
+                if rank in pair
+            }
+            if sub:
+                try:
+                    self._conns[rank].send(("rebind", sub))
+                except (BrokenPipeError, OSError):
+                    self._abort()
+                    raise WorkerError(
+                        f"worker rank {rank}: cannot rebind after recovery"
+                    ) from None
+                rebinds[rank] = sub
+        if rebinds:
+            self._collect("rebound", ranks=set(rebinds))
+
+        self._board.reset_barrier()
+        states = self._snapshot["states"]
+        for rank in range(self.size):
+            try:
+                self._conns[rank].send(("restore_full", states[rank]))
+            except (BrokenPipeError, OSError):
+                self._abort()
+                raise WorkerError(
+                    f"worker rank {rank}: cannot restore after recovery"
+                ) from None
+        self._collect("restored_full")
+        self.t = float(self._snapshot["t"])
+        self.steps = int(self._snapshot["steps"])
+
+        self._restarts_used += need
+        self._restart_rounds += 1
+        self.metrics.counter("resilience.worker_restarts").inc(need)
+        self.metrics.counter("supervision.respawns").inc(need)
+        self.metrics.counter("supervision.recoveries").inc()
+        self._emit_supervision_event(
+            "respawned", ranks=sorted(failures),
+            restarts_used=self._restarts_used,
+            resumed_step=self.steps, t=self.t,
+        )
 
     def run(
         self,
@@ -856,12 +1450,7 @@ class ProcessSolver:
                     conn.close()
                 except Exception:
                     pass
-            for ch in self._channels.values():
-                try:
-                    ch.close()
-                except Exception:
-                    pass
-            self._channels = {}
+            self._release_segments()
             self._closed = True
 
     def __enter__(self) -> "ProcessSolver":
@@ -869,6 +1458,134 @@ class ProcessSolver:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _fold_to_serial(solver: ProcessSolver, snapshot: dict) -> DistributedSolver:
+    """Rebuild a serial :class:`DistributedSolver` carrying *snapshot*.
+
+    The per-rank supervision states install verbatim — ghosted conserved
+    arrays, con2prim warm-start caches, and (when every rank has one) the
+    exchanged-primitive cache — so the serial continuation advances the
+    exact bytes the process run held at its last consistent boundary.
+    Logical fault plans are not resumed across the fold: the degraded
+    tail runs fault-free (mirroring ``run_with_restart``'s per-run plan
+    semantics).
+    """
+    from ..io.checkpoint import _quiescent_prim
+
+    system = solver.system
+    grid = solver.global_grid
+    serial = DistributedSolver(
+        system,
+        grid,
+        _quiescent_prim(system, grid),
+        tuple(solver.decomp.dims),
+        config=solver.config,
+        boundaries=solver._wall_bcs,
+        periodic=solver._periodic,
+        halo_policy=solver.halo_policy,
+        source_fn=solver._source_fn,
+    )
+    states = snapshot["states"]
+    prims: dict[int, np.ndarray] = {}
+    for rank in range(serial.size):
+        st = states[rank]
+        serial.cons[rank] = np.array(st["cons"])
+        p_cache = st["p_cache"]
+        serial.pipelines[rank]._p_cache = (
+            None if p_cache is None else np.array(p_cache)
+        )
+        if st["prims_cache"] is not None:
+            prims[rank] = np.array(st["prims_cache"])
+    serial._prims_cache = prims if len(prims) == serial.size else None
+    serial.t = float(snapshot["t"])
+    serial.steps = int(snapshot["steps"])
+    return serial
+
+
+def run_supervised(
+    solver: ProcessSolver,
+    t_final: float,
+    max_steps: int | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_path=None,
+):
+    """Drive a supervised :class:`ProcessSolver`, degrading on exhaustion.
+
+    Runs ``solver.run(...)``.  When the rank-restart budget runs out and
+    the solver's :class:`~repro.resilience.policies.SupervisionPolicy`
+    has ``degrade=True``, the run folds down to the serial
+    :class:`DistributedSolver`, restored from the last consistent
+    supervision snapshot, and finishes there: the final physics state is
+    bit-identical to a fault-free run.  Steps the process solver already
+    emitted are replayed quietly, so the caller's recorder sees every
+    step exactly once (post-fold timing/comm fields reflect the serial
+    substrate; canonical physics fields are unchanged).
+
+    Returns ``(solver, info)`` where *solver* is whichever solver
+    finished the run and *info* reports ``degraded``,
+    ``worker_restarts``, ``t``, and ``steps``.
+    """
+    sup = solver.supervision
+    try:
+        solver.run(
+            t_final,
+            max_steps=max_steps,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        return solver, {
+            "degraded": False,
+            "worker_restarts": solver.restarts_used,
+            "t": solver.t,
+            "steps": solver.steps,
+        }
+    except SupervisionExhausted as exc:
+        if sup is None or not sup.degrade or exc.snapshot is None:
+            raise
+        restarts = solver.restarts_used
+        emitted = solver.steps_emitted
+        recorder = solver.recorder
+        serial = _fold_to_serial(solver, exc.snapshot)
+        solver.close()
+        serial.metrics.counter("supervision.degraded").inc()
+        if recorder is not None:
+            recorder.emit_event(
+                "supervision", action="degrade",
+                step=serial.steps, t=serial.t, reason=str(exc),
+            )
+        # Quiet replay of steps the caller's recorder already saw.
+        limit = max_steps if max_steps is not None else serial.config.max_steps
+        while (
+            serial.steps < min(emitted, limit)
+            and serial.t < t_final * (1.0 - 1e-14)
+        ):
+            serial.step(t_final=t_final)
+        if recorder is not None:
+            # Re-baseline the recorder's delta state against the fresh
+            # serial registries before attaching it.
+            recorder.restore_state(
+                {
+                    "prev_timers": {
+                        name: t.elapsed for name, t in serial.timers.items()
+                    },
+                    "prev_metrics": serial.metrics.snapshot(),
+                    "steps_recorded": recorder.steps_recorded,
+                }
+            )
+            serial.recorder = recorder
+        serial.run(
+            t_final,
+            max_steps=max_steps,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        return serial, {
+            "degraded": True,
+            "worker_restarts": restarts,
+            "t": serial.t,
+            "steps": serial.steps,
+        }
 
 
 def make_distributed_solver(
@@ -893,6 +1610,7 @@ def make_distributed_solver(
     kwargs.pop("comm_timeout_s", None)
     kwargs.pop("step_timeout_s", None)
     kwargs.pop("ready_timeout_s", None)
+    kwargs.pop("supervision", None)
     return DistributedSolver(
         system, global_grid, initial_prim, dims, config=cfg, **kwargs
     )

@@ -18,6 +18,11 @@ forest topology in ``meta``.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
+import zlib
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -27,9 +32,59 @@ from ..core.distributed import DistributedSolver
 from ..core.solver import Solver
 from ..mesh.amr.blocks import BlockKey
 from ..mesh.grid import Grid
-from ..utils.errors import ConfigurationError
+from ..utils.errors import CheckpointError, ConfigurationError
 
 FORMAT_VERSION = 1
+
+
+def _atomic_savez(path, **arrays) -> None:
+    """Write a compressed ``.npz`` archive atomically.
+
+    The archive is assembled in a temp file in the destination directory
+    and moved into place with :func:`os.replace`, so a crash mid-write
+    can never tear the (often only) checkpoint: readers see either the
+    old complete archive or the new complete archive, never a truncated
+    one.  Mirrors ``np.savez``'s suffix behavior (``.npz`` appended when
+    missing) so the on-disk name is unchanged from the direct call.
+    """
+    final = str(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".ckpt-", suffix=".npz", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@contextmanager
+def _read_archive(path):
+    """Open a checkpoint archive, mapping corruption to CheckpointError.
+
+    A truncated or torn archive surfaces as ``BadZipFile``/``zlib.error``/
+    ``EOFError``/``KeyError`` (missing member) depending on where the
+    bytes ran out; all of them become a single clear
+    :class:`~repro.utils.errors.CheckpointError` naming the path.  A
+    missing file keeps raising ``FileNotFoundError`` (callers distinguish
+    "no checkpoint yet" from "checkpoint destroyed").
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            yield data
+    except (ConfigurationError, FileNotFoundError):
+        raise
+    except (zipfile.BadZipFile, zlib.error, EOFError, KeyError,
+            ValueError, OSError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable (truncated or corrupt): {exc}"
+        ) from exc
 
 
 def _quiescent_prim(system, grid: Grid) -> np.ndarray:
@@ -74,7 +129,7 @@ def save_checkpoint(solver: Solver, path) -> None:
     p_cache = solver.pipeline._p_cache
     if p_cache is not None:
         arrays["p_cache"] = p_cache
-    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+    _atomic_savez(path, meta=json.dumps(meta), **arrays)
 
 
 def load_checkpoint(path, system, boundaries=None) -> Solver:
@@ -84,7 +139,7 @@ def load_checkpoint(path, system, boundaries=None) -> Solver:
     the caller supplies them; geometry, configuration, time, and the
     conserved state come from the archive.
     """
-    with np.load(path, allow_pickle=False) as data:
+    with _read_archive(path) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("format") != FORMAT_VERSION:
             raise ConfigurationError(
@@ -144,7 +199,7 @@ def save_distributed_checkpoint(solver, path) -> None:
         arrays[f"rank_{rank}"] = cons
         if p_cache is not None:
             arrays[f"pcache_{rank}"] = p_cache
-    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+    _atomic_savez(path, meta=json.dumps(meta), **arrays)
 
 
 def load_distributed_checkpoint(
@@ -170,7 +225,7 @@ def load_distributed_checkpoint(
     :func:`repro.resilience.run_with_restart` drive chaos runs on either
     backend through the same loader.
     """
-    with np.load(path, allow_pickle=False) as data:
+    with _read_archive(path) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("format") != FORMAT_VERSION:
             raise ConfigurationError(
@@ -260,12 +315,12 @@ def save_amr_checkpoint(solver: AMRSolver, path) -> None:
         pipe = solver._pipelines.get(key)
         if pipe is not None and pipe._p_cache is not None:
             arrays["pcache_" + name] = pipe._p_cache
-    np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+    _atomic_savez(path, meta=json.dumps(meta), **arrays)
 
 
 def load_amr_checkpoint(path, system, boundaries=None) -> AMRSolver:
     """Reconstruct an AMR solver (topology + leaf states) from *path*."""
-    with np.load(path, allow_pickle=False) as data:
+    with _read_archive(path) as data:
         meta = json.loads(str(data["meta"]))
         if meta.get("kind") != "amr":
             raise ConfigurationError(

@@ -108,12 +108,25 @@ _TIMING_SUFFIXES = ("_s", "_seconds", "_frac")
 
 #: metric-name prefixes that describe the transport substrate rather than
 #: the numerics (e.g. real shared-memory bytes/waits of the process
-#: backend) — excluded so serial and process streams canonicalize equal
-_SUBSTRATE_PREFIXES = ("comm.shm.",)
+#: backend, or the supervisor's failure/recovery accounting) — excluded so
+#: serial, process, and fault-recovered streams canonicalize equal
+_SUBSTRATE_PREFIXES = ("comm.shm.", "supervision.")
+
+#: exact metric names with the same substrate character (a recovered run
+#: must canonicalize byte-identical to a fault-free one)
+_SUBSTRATE_NAMES = frozenset({"resilience.worker_restarts"})
+
+#: non-step event kinds describing the execution substrate, dropped from
+#: the canonical projection entirely
+_SUBSTRATE_EVENTS = frozenset({"supervision"})
 
 
 def _is_timing_metric(name: str) -> bool:
-    return name.endswith(_TIMING_SUFFIXES) or name.startswith(_SUBSTRATE_PREFIXES)
+    return (
+        name.endswith(_TIMING_SUFFIXES)
+        or name.startswith(_SUBSTRATE_PREFIXES)
+        or name in _SUBSTRATE_NAMES
+    )
 
 
 def _filter_metrics(mapping: dict) -> dict:
@@ -128,13 +141,20 @@ def canonical_stream(records) -> str:
     gauges, histogram summaries, and the ``comm`` byte accounting — and
     drops every wall-clock-derived field: ``wall_seconds``,
     ``kernel_seconds``, and any metric whose name ends in ``_s``,
-    ``_seconds``, or ``_frac``.  Rendered with sorted keys, the result is
+    ``_seconds``, or ``_frac``.  Substrate records are dropped too:
+    ``supervision`` events, ``supervision.*`` counters and
+    ``resilience.worker_restarts`` describe how the run was executed and
+    recovered, not what it computed, so a supervised run that survived a
+    rank failure canonicalizes identical to a fault-free one.  Rendered
+    with sorted keys, the result is
     byte-stable across runs of the same build, so committed fixtures catch
     metric renames, schema drift, and numerical regressions loudly.
     """
     lines = []
     for r in records:
         event = r.get("event")
+        if event in _SUBSTRATE_EVENTS:
+            continue
         if event == "step":
             proj = {
                 "schema": r.get("schema"),

@@ -240,6 +240,26 @@ class Histogram:
         self.nonpos = 0
         self.buckets = {}
 
+    def restore_summary(self, summary: dict) -> None:
+        """Reset, then adopt the state captured by :meth:`summary`.
+
+        The round trip is exact: a restored histogram's next
+        :meth:`summary` is equal to the one it was restored from (bucket
+        counts are integers; ``sum`` is carried verbatim).
+        """
+        self.reset()
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count = count
+        self.total = float(summary.get("sum", 0.0))
+        self.vmin = float(summary.get("min", 0.0))
+        self.vmax = float(summary.get("max", 0.0))
+        self.nonpos = int(summary.get("nonpos", 0))
+        self.buckets = {
+            int(k): int(v) for k, v in summary.get("buckets", {}).items()
+        }
+
 
 class MetricsRegistry:
     """Named collection of instruments; one name maps to one kind."""
@@ -288,6 +308,28 @@ class MetricsRegistry:
         for pool in (self._counters, self._gauges, self._histograms):
             for instrument in pool.values():
                 instrument.reset()
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the registry's whole state with a prior :meth:`snapshot`.
+
+        Instruments not present in *snapshot* are dropped (a partially
+        executed step may have registered instruments the snapshot
+        predates), so after restoring, :meth:`snapshot` returns exactly
+        the dict that was passed in. Used by the supervised process
+        executor to roll a rank back to the last consistent step boundary.
+        """
+        self._counters = {
+            n: Counter(n, float(v))
+            for n, v in snapshot.get("counters", {}).items()
+        }
+        self._gauges = {
+            n: Gauge(n, float(v)) for n, v in snapshot.get("gauges", {}).items()
+        }
+        self._histograms = {}
+        for n, summ in snapshot.get("histograms", {}).items():
+            hist = Histogram(n)
+            hist.restore_summary(summ)
+            self._histograms[n] = hist
 
 
 def counter_deltas(new: dict, old: dict | None) -> dict[str, float]:

@@ -115,6 +115,44 @@ class StepRecorder:
         self.steps_recorded += 1
         self._emit("step", **record, **extra)
 
+    def emit_event(self, event: str, **fields) -> None:
+        """Emit an auxiliary (non-``step``) record, e.g. supervision events.
+
+        The record shares the stream's schema/source envelope but does not
+        advance the recorder's cumulative step state, so interleaving
+        events between steps leaves the step deltas untouched.
+        """
+        self._emit(event, **fields)
+
+    def state(self) -> dict:
+        """Serializable snapshot of the recorder's cumulative delta state."""
+        prev = self._prev_metrics
+        return {
+            "prev_timers": dict(self._prev_timers),
+            "prev_metrics": None if prev is None else {
+                "counters": dict(prev.get("counters", {})),
+                "gauges": dict(prev.get("gauges", {})),
+                "histograms": dict(prev.get("histograms", {})),
+            },
+            "steps_recorded": self.steps_recorded,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a prior :meth:`state` snapshot (does not rewind the sink).
+
+        Used by the supervised process executor so post-recovery step
+        deltas are computed against the last *emitted* step, not against
+        partially executed work that was rolled back.
+        """
+        self._prev_timers = dict(state.get("prev_timers", {}))
+        prev = state.get("prev_metrics")
+        self._prev_metrics = None if prev is None else {
+            "counters": dict(prev.get("counters", {})),
+            "gauges": dict(prev.get("gauges", {})),
+            "histograms": dict(prev.get("histograms", {})),
+        }
+        self.steps_recorded = int(state.get("steps_recorded", 0))
+
     def finish(self, **summary) -> None:
         """Emit the ``run_end`` record with cumulative totals."""
         self._emit(

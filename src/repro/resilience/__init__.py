@@ -23,12 +23,14 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     HaloFault,
+    ProcessFault,
     corrupt_payload,
 )
 from .oracle import ExchangeSchedule, FaultOracle, RankStridedFaultInjector
 from .policies import (
     HaloRetryPolicy,
     RestartPolicy,
+    SupervisionPolicy,
     blocking_retry_policy,
     run_with_restart,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "HaloFault",
     "DeviceFault",
     "Con2PrimFault",
+    "ProcessFault",
     "FaultInjector",
     "corrupt_payload",
     "ExchangeSchedule",
@@ -46,6 +49,7 @@ __all__ = [
     "HaloRetryPolicy",
     "blocking_retry_policy",
     "RestartPolicy",
+    "SupervisionPolicy",
     "run_with_restart",
     "default_chaos_plan",
     "run_chaos_shocktube",

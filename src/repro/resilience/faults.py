@@ -37,6 +37,7 @@ from ..utils.errors import ConfigurationError
 
 HALO_FAULT_KINDS = ("drop", "duplicate", "corrupt")
 DEVICE_FAULT_KINDS = ("fail", "straggle")
+PROCESS_FAULT_KINDS = ("kill_rank", "hang_rank")
 
 
 def corrupt_payload(payload: np.ndarray, scale: float) -> np.ndarray:
@@ -138,6 +139,46 @@ class Con2PrimFault:
             )
 
 
+@dataclass(frozen=True)
+class ProcessFault:
+    """Kill or wedge one real rank process of a supervised run.
+
+    Injected by the *parent* of the process executor (the targeted worker
+    cannot cooperate — that is the point): ``kill_rank`` delivers SIGKILL,
+    ``hang_rank`` delivers SIGSTOP, right after the ``step`` command for
+    the addressed step is issued, so the fault lands mid-step.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill_rank"`` (process dies instantly) or ``"hang_rank"``
+        (process freezes; detected via heartbeat staleness).
+    rank:
+        The rank process to target.
+    step:
+        1-based step index during which the fault strikes.
+    """
+
+    kind: str
+    rank: int
+    step: int = 1
+
+    def __post_init__(self):
+        if self.kind not in PROCESS_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown process fault kind {self.kind!r}; "
+                f"choose from {PROCESS_FAULT_KINDS}"
+            )
+        if self.rank < 0:
+            raise ConfigurationError(
+                f"process fault rank must be >= 0, got {self.rank}"
+            )
+        if self.step < 1:
+            raise ConfigurationError(
+                f"process fault step must be >= 1, got {self.step}"
+            )
+
+
 @dataclass
 class FaultPlan:
     """A complete, seeded fault schedule for one chaos run.
@@ -153,6 +194,7 @@ class FaultPlan:
     devices: list[DeviceFault] = field(default_factory=list)
     con2prim: list[Con2PrimFault] = field(default_factory=list)
     halo_random: dict[str, float] = field(default_factory=dict)
+    processes: list[ProcessFault] = field(default_factory=list)
 
     def __post_init__(self):
         known = {"p_drop", "p_duplicate", "p_corrupt"}
@@ -174,11 +216,14 @@ class FaultPlan:
             "devices": [asdict(f) for f in self.devices],
             "con2prim": [asdict(f) for f in self.con2prim],
             "halo_random": dict(self.halo_random),
+            "processes": [asdict(f) for f in self.processes],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
-        unknown = set(data) - {"seed", "halo", "devices", "con2prim", "halo_random"}
+        unknown = set(data) - {
+            "seed", "halo", "devices", "con2prim", "halo_random", "processes"
+        }
         if unknown:
             raise ConfigurationError(f"unknown fault plan keys {sorted(unknown)}")
         return cls(
@@ -187,6 +232,7 @@ class FaultPlan:
             devices=[DeviceFault(**f) for f in data.get("devices", [])],
             con2prim=[Con2PrimFault(**f) for f in data.get("con2prim", [])],
             halo_random=dict(data.get("halo_random", {})),
+            processes=[ProcessFault(**f) for f in data.get("processes", [])],
         )
 
     def save(self, path) -> None:

@@ -104,6 +104,23 @@ class FaultOracle:
             self._crc.clear()
         return sched
 
+    def rewind(self, calls: list[bool]) -> None:
+        """Reset to plan start, then fast-forward through *calls*.
+
+        *calls* is the ordered list of ``overlapped`` flags of every
+        :meth:`next_exchange` already consumed up to a step boundary (as
+        recorded by the worker's supervision snapshot).  Replaying them
+        against a fresh injector reproduces the exact internal state —
+        message counters, repeat bookkeeping, RNG stream, virtual
+        mailboxes — so a rank restored after a failure keeps deriving the
+        identical fault decisions the serial run would.
+        """
+        self._inj = FaultInjector(self._inj.plan)
+        self._box = {}
+        self._crc = {}
+        for overlapped in calls:
+            self.next_exchange(overlapped=overlapped)
+
     # -- protocol replay -------------------------------------------------
     def _sim_post_phase(self, sched, axis: int, resilient: bool) -> None:
         decomp = self._decomp

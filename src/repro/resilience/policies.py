@@ -82,6 +82,57 @@ class RestartPolicy:
             )
 
 
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """In-run rank supervision knobs for the process executor.
+
+    Governs the supervision layer of
+    :class:`~repro.core.parallel.ProcessSolver`: how failures are
+    detected (heartbeat staleness vs ``hang_timeout_s`` for hangs,
+    ``is_alive()``/pipe EOF for crashes), how often the parent captures a
+    consistent in-memory snapshot of every rank (``snapshot_every``, in
+    steps — the rollback point of in-run recovery), how many rank
+    respawns the run may spend (``max_rank_restarts``, with exponential
+    backoff between recovery rounds), and what happens when the budget
+    runs out: raise :class:`~repro.utils.errors.SupervisionExhausted`, or
+    — with ``degrade=True`` — fold the run down to the serial
+    ``DistributedSolver`` from the last snapshot and finish there.
+    """
+
+    max_rank_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    heartbeat_interval_s: float = 0.25
+    hang_timeout_s: float = 30.0
+    quiesce_timeout_s: float = 30.0
+    snapshot_every: int = 1
+    degrade: bool = False
+
+    def __post_init__(self):
+        if self.max_rank_restarts < 0:
+            raise ConfigurationError(
+                f"max_rank_restarts must be >= 0, got {self.max_rank_restarts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.hang_timeout_s <= 0:
+            raise ConfigurationError(
+                f"hang_timeout_s must be > 0, got {self.hang_timeout_s}"
+            )
+        if self.quiesce_timeout_s <= 0:
+            raise ConfigurationError(
+                f"quiesce_timeout_s must be > 0, got {self.quiesce_timeout_s}"
+            )
+        if self.snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+
+
 def run_with_restart(
     solver,
     t_final: float,

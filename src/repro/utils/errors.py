@@ -60,5 +60,25 @@ class WorkerError(ReproError):
     """A process-backend worker failed or died; the message names the rank."""
 
 
+class SupervisionExhausted(WorkerError):
+    """The supervised process executor ran out of rank-restart budget.
+
+    Attributes
+    ----------
+    snapshot:
+        The last consistent parent-held supervision snapshot (or ``None``),
+        from which the run can be folded down to the serial
+        ``DistributedSolver`` when graceful degradation is enabled.
+    """
+
+    def __init__(self, message: str, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class CheckpointError(ReproError):
+    """A checkpoint archive is unreadable (truncated, torn, or corrupt)."""
+
+
 class CodegenError(ReproError):
     """Kernel generation or verification failure."""

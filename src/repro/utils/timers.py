@@ -96,6 +96,24 @@ class TimerRegistry:
         for timer in self._timers.values():
             timer.reset()
 
+    def state(self) -> dict[str, tuple[float, int, int]]:
+        """Serializable ``{name: (elapsed, count, aborted)}`` snapshot."""
+        return {
+            name: (t.elapsed, t.count, t.aborted)
+            for name, t in self._timers.items()
+        }
+
+    def restore(self, state: dict[str, tuple[float, int, int]]) -> None:
+        """Replace all timers with a prior :meth:`state` snapshot.
+
+        Timers absent from *state* are dropped; any running interval is
+        discarded. Used when rolling a worker back to a step boundary.
+        """
+        self._timers = {
+            name: Timer(name, float(el), int(cnt), int(ab))
+            for name, (el, cnt, ab) in state.items()
+        }
+
     def summary(self) -> str:
         if not self._timers:
             return "(no timers)"

@@ -430,3 +430,47 @@ class TestCache:
         load_kernel("flux", ndim=2, axis=1)
         load_kernel("flux", ndim=2, axis=0, target="flat")
         assert cache_size() == 3
+
+
+class TestCextCacheCorruption:
+    """A corrupt cached artifact must be evicted and rebuilt, not crash."""
+
+    def test_corrupt_artifact_evicted_and_rebuilt(self, monkeypatch, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        from repro.codegen import cext as cext_mod
+
+        if not cext_mod.cext_available(1):
+            pytest.skip("no C toolchain")
+        # Plant a corrupt artifact under the exact key a fresh process will
+        # look up (CPython caches extension imports in-process, so the
+        # eviction path only runs on a cold start — drive one).
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        kinds_axes = [("prim_to_con", 0)]
+        name, _, _ = cext_mod.module_spec(1, kinds_axes)
+        path = cext_mod.artifact_path(name)
+        garbage = b"\x7fELF garbage, not a real shared object"
+        path.write_bytes(garbage)
+
+        env = dict(os.environ)
+        env[cext_mod.CACHE_DIR_ENV] = str(tmp_path)
+        probe = (
+            "import json\n"
+            "from repro.codegen import cext\n"
+            "ffi, lib = cext.load_cext_module(1, [('prim_to_con', 0)])\n"
+            "print(json.dumps({'builds': cext.build_count,"
+            " 'loaded': lib is not None}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True, text=True, timeout=240, env=env,
+        )
+        assert out.returncode == 0, f"cold load crashed:\n{out.stderr}"
+        result = json.loads(out.stdout.strip().splitlines()[-1])
+        assert result == {"builds": 1, "loaded": True}, (
+            "corrupt artifact was not evicted and rebuilt"
+        )
+        assert path.read_bytes() != garbage, "corrupt artifact left in cache"

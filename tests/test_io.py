@@ -11,6 +11,7 @@ import pytest
 
 from repro import Grid, IdealGasEOS, Solver, SolverConfig, SRHDSystem
 from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.io import checkpoint as checkpoint_mod
 from repro.io import (
     load_amr_checkpoint,
     load_checkpoint,
@@ -22,7 +23,7 @@ from repro.io import (
     write_curve,
 )
 from repro.physics.initial_data import RP1, shock_tube, smooth_wave
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import CheckpointError, ConfigurationError
 
 
 class TestUnigridCheckpoint:
@@ -159,3 +160,59 @@ class TestSolutionOutput:
     def test_curve_validation(self, tmp_path):
         with pytest.raises(ConfigurationError):
             write_curve(tmp_path / "bad.dat", {"a": np.zeros(3), "b": np.zeros(4)})
+
+
+class TestCrashSafeCheckpoint:
+    """Checkpoint writes are atomic; torn archives fail loudly, not weirdly."""
+
+    def _small_solver(self, system1d):
+        grid = Grid((32,), ((0.0, 1.0),))
+        solver = Solver(system1d, grid, shock_tube(system1d, grid, RP1))
+        solver.run(t_final=1.0, max_steps=2)
+        return solver
+
+    def test_truncated_checkpoint_raises_checkpoint_error(
+        self, system1d, tmp_path
+    ):
+        solver = self._small_solver(system1d)
+        path = tmp_path / "torn.npz"
+        save_checkpoint(solver, path)
+        blob = path.read_bytes()
+        for cut in (len(blob) // 2, 10, 1):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointError, match="torn.npz"):
+                load_checkpoint(path, system1d)
+
+    def test_garbage_checkpoint_raises_checkpoint_error(
+        self, system1d, tmp_path
+    ):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00" * 512)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, system1d)
+
+    def test_missing_checkpoint_stays_file_not_found(self, system1d, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "absent.npz", system1d)
+
+    def test_failed_save_preserves_previous_checkpoint(
+        self, system1d, tmp_path, monkeypatch
+    ):
+        solver = self._small_solver(system1d)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(solver, path)
+        good = path.read_bytes()
+
+        def torn_savez(fh, **arrays):
+            fh.write(b"PK\x03\x04 partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(checkpoint_mod.np, "savez_compressed", torn_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(solver, path)
+        assert path.read_bytes() == good, "failed save damaged the archive"
+        litter = list(tmp_path.glob(".ckpt-*"))
+        assert not litter, f"temp files left behind: {litter}"
+        monkeypatch.undo()
+        restored = load_checkpoint(path, system1d)
+        assert restored.t == solver.t

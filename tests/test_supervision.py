@@ -1,0 +1,444 @@
+"""Supervised process execution: in-run rank recovery and degradation.
+
+The contract under test: with a :class:`SupervisionPolicy`, a worker rank
+SIGKILL'd (crash) or SIGSTOP'd (hang) mid-run is respawned in-run and the
+whole run rolled back to the last consistent snapshot — and the final
+state, the dt sequence, *and* the canonical metrics stream are
+bit-identical to a fault-free run.  When the restart budget is exhausted,
+the run either fails with :class:`SupervisionExhausted` or — with
+``degrade=True`` — folds down to the serial executor from the last
+snapshot, still finishing with bit-identical physics.
+
+The spawn-based workers re-import this module by file path, so everything
+at module level must be import-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.comm.shm import ShmChannel, ShmCommunicator, SupervisionBoard
+from repro.core.config import SolverConfig
+from repro.core.distributed import DistributedSolver
+from repro.core.parallel import ProcessSolver, run_supervised
+from repro.eos import IdealGasEOS
+from repro.harness.report import Report
+from repro.mesh.grid import Grid
+from repro.obs import (
+    BufferSink,
+    JsonlEventSink,
+    StepRecorder,
+    canonical_stream,
+    read_events,
+)
+from repro.physics.initial_data import SHOCK_TUBES, blast_wave_2d, shock_tube
+from repro.physics.srhd import SRHDSystem
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    HaloFault,
+    ProcessFault,
+)
+from repro.resilience.policies import HaloRetryPolicy, SupervisionPolicy
+from repro.utils.errors import (
+    CommunicationError,
+    ConfigurationError,
+    SupervisionExhausted,
+    WorkerError,
+)
+
+META = {"suite": "supervision"}
+
+#: fast-recovery knobs for tests (production defaults are far laxer)
+FAST = dict(backoff_base_s=0.01, backoff_cap_s=0.05,
+            heartbeat_interval_s=0.05)
+
+
+def _rp1_setup(n=32):
+    system = SRHDSystem(IdealGasEOS(gamma=SHOCK_TUBES["RP1"].gamma), ndim=1)
+    grid = Grid((n,), ((0.0, 1.0),))
+    return system, grid, shock_tube(system, grid, SHOCK_TUBES["RP1"])
+
+
+def _blast2d_setup(n=12):
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    return system, grid, blast_wave_2d(system, grid)
+
+
+def _run_serial(setup, dims, steps, *, plan=None, policy=None):
+    """Fault-free-equivalent serial reference (process faults are ignored
+    by the serial executor; logical faults replay identically)."""
+    system, grid, prim0 = setup
+    sink = BufferSink()
+    recorder = StepRecorder(sink, meta=META)
+    solver = DistributedSolver(
+        system, grid, prim0.copy(), dims,
+        config=SolverConfig(cfl=0.4),
+        recorder=recorder,
+        fault_injector=FaultInjector(plan) if plan is not None else None,
+        halo_policy=policy,
+    )
+    solver.run(t_final=1.0, max_steps=steps)
+    recorder.finish(t_end=solver.t)
+    return solver, sink
+
+
+def _run_supervised_process(
+    setup, dims, steps, *, plan, supervision, policy=None, sink=None
+):
+    system, grid, prim0 = setup
+    sink = sink if sink is not None else BufferSink()
+    recorder = StepRecorder(sink, meta=META)
+    with ProcessSolver(
+        system, grid, prim0.copy(), dims,
+        config=SolverConfig(cfl=0.4, executor="process"),
+        recorder=recorder,
+        fault_injector=FaultInjector(plan) if plan is not None else None,
+        halo_policy=policy,
+        supervision=supervision,
+    ) as solver:
+        solver.run(t_final=1.0, max_steps=steps)
+        recorder.finish(t_end=solver.t)
+        out = {
+            "t": solver.t,
+            "steps": solver.steps,
+            "cons": solver.gather_cons(),
+            "prims": solver.gather_primitives(),
+            "counters": solver.metrics.snapshot()["counters"],
+            "restarts": solver.restarts_used,
+            "segments": list(solver._segments),
+            "sink": sink,
+        }
+    return out
+
+
+def _assert_bitexact(serial, sink, proc):
+    assert serial.t == proc["t"] and serial.steps == proc["steps"]
+    for rank in range(serial.size):
+        assert serial.cons[rank].tobytes() == proc["cons"][rank].tobytes(), (
+            f"rank {rank} conserved state diverged"
+        )
+    assert serial.gather_primitives().tobytes() == proc["prims"].tobytes()
+    a, b = canonical_stream(sink.records), canonical_stream(proc["sink"].records)
+    assert a == b, "canonical metrics streams differ:\n" + "\n".join(
+        f"-{x}\n+{y}" for x, y in zip(a.splitlines(), b.splitlines()) if x != y
+    )
+
+
+class TestPlanAndPolicy:
+    def test_process_fault_roundtrip(self):
+        plan = FaultPlan(
+            seed=3,
+            processes=[
+                ProcessFault(kind="kill_rank", rank=2, step=3),
+                ProcessFault(kind="hang_rank", rank=0, step=5),
+            ],
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.processes == plan.processes
+        assert again.to_dict() == plan.to_dict()
+
+    def test_process_fault_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessFault(kind="segfault", rank=0, step=1)
+        with pytest.raises(ConfigurationError):
+            ProcessFault(kind="kill_rank", rank=-1, step=1)
+        with pytest.raises(ConfigurationError):
+            ProcessFault(kind="kill_rank", rank=0, step=0)
+
+    def test_supervision_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisionPolicy(max_rank_restarts=-1)
+        with pytest.raises(ConfigurationError):
+            SupervisionPolicy(hang_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisionPolicy(snapshot_every=0)
+
+    def test_fault_rank_beyond_decomposition_rejected(self):
+        system, grid, prim0 = _rp1_setup()
+        plan = FaultPlan(
+            seed=1, processes=[ProcessFault(kind="kill_rank", rank=7, step=1)]
+        )
+        with pytest.raises(ConfigurationError):
+            ProcessSolver(
+                system, grid, prim0.copy(), (2,),
+                config=SolverConfig(cfl=0.4),
+                fault_injector=FaultInjector(plan),
+            )
+
+
+class TestSupervisionBoard:
+    def test_abort_breaks_barrier_wait(self):
+        parent = SupervisionBoard.create(2)
+        w0 = SupervisionBoard.attach(parent.name, 2, rank=0)
+        caught = []
+
+        def waiter():
+            try:
+                w0.wait(timeout=30.0)
+            except CommunicationError as exc:
+                caught.append(exc)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.1)
+        parent.abort()
+        th.join(timeout=5.0)
+        assert not th.is_alive() and caught, "abort did not break the wait"
+        w0.close()
+        parent.close()
+
+    def test_dead_peer_check_names_rank(self):
+        parent = SupervisionBoard.create(2)
+        w0 = SupervisionBoard.attach(parent.name, 2, rank=0)
+        parent.mark_dead(1)
+        with pytest.raises(CommunicationError, match="rank 1"):
+            w0.check(peer=1)
+        w0.close()
+        parent.close()
+
+    def test_fastfail_recv_names_dead_rank(self):
+        """A recv on a dead peer raises promptly (fast-fail probing), long
+        before the communicator's own blocking timeout."""
+        parent = SupervisionBoard.create(2)
+        w0 = SupervisionBoard.attach(parent.name, 2, rank=0)
+        ch = ShmChannel.create(capacity=4096)
+        rd = ShmChannel.attach(ch.name, ch.capacity)
+        comm = ShmCommunicator(
+            0, 2, writers={}, readers={1: rd}, timeout_s=60.0, board=w0
+        )
+        parent.mark_dead(1)
+        start = time.perf_counter()
+        with pytest.raises(CommunicationError, match="rank 1"):
+            comm.recv(src=1)
+        assert time.perf_counter() - start < 5.0, "fast-fail was not fast"
+        rd.close()
+        ch.close()
+        w0.close()
+        parent.close()
+
+
+@pytest.mark.chaos
+class TestKillRecovery:
+    def test_kill_rank_recovery_bitexact(self, tmp_path):
+        """Acceptance: SIGKILL one rank of a 4-worker 2-D run mid-step; the
+        run completes via in-run respawn, bit-identical to the fault-free
+        serial run — canonical stream included — with the supervision
+        counters and events in the JSONL and in Report.from_metrics."""
+        setup = _blast2d_setup()
+        serial, sink = _run_serial(setup, (2, 2), 6)
+        plan = FaultPlan(
+            seed=7, processes=[ProcessFault(kind="kill_rank", rank=2, step=3)]
+        )
+        path = tmp_path / "supervised.jsonl"
+        jsink = JsonlEventSink(path)
+        proc = _run_supervised_process(
+            setup, (2, 2), 6, plan=plan,
+            supervision=SupervisionPolicy(max_rank_restarts=3, **FAST),
+            sink=jsink,
+        )
+        jsink.close()
+        records = read_events(path)
+        proc["sink"] = BufferSink()
+        proc["sink"].records = records
+        _assert_bitexact(serial, sink, proc)
+        assert proc["restarts"] == 1
+        assert proc["counters"]["resilience.worker_restarts"] == 1
+        assert proc["counters"]["supervision.crash_detected"] == 1
+        assert proc["counters"]["supervision.respawns"] == 1
+        assert proc["counters"]["supervision.injected_kill_rank"] == 1
+        # the JSONL stream carries the supervision events and counters
+        events = [r for r in records if r.get("event") == "supervision"]
+        actions = {e["action"] for e in events}
+        assert {"inject", "detected", "respawned"} <= actions
+        step_counters = [
+            r.get("counters", {}) for r in records if r.get("event") == "step"
+        ]
+        assert any(
+            "resilience.worker_restarts" in c for c in step_counters
+        ), "worker_restarts never surfaced in the step stream"
+        report = str(Report.from_metrics(records))
+        assert "counter.resilience.worker_restarts" in report
+        assert "counter.supervision.respawns" in report
+
+    def test_repeated_kills_within_budget(self):
+        setup = _blast2d_setup()
+        serial, sink = _run_serial(setup, (2, 2), 6)
+        plan = FaultPlan(
+            seed=7,
+            processes=[
+                ProcessFault(kind="kill_rank", rank=1, step=2),
+                ProcessFault(kind="kill_rank", rank=3, step=5),
+            ],
+        )
+        proc = _run_supervised_process(
+            setup, (2, 2), 6, plan=plan,
+            supervision=SupervisionPolicy(max_rank_restarts=3, **FAST),
+        )
+        _assert_bitexact(serial, sink, proc)
+        assert proc["restarts"] == 2
+        assert proc["counters"]["resilience.worker_restarts"] == 2
+
+    def test_kill_combined_with_logical_faults(self):
+        """A crash recovery must rewind the fault oracle too: a seeded
+        halo-fault plan keeps striking the identical messages after the
+        respawn (serial reference runs the same logical plan)."""
+        plan_logical = [
+            HaloFault(kind="duplicate", exchange=1, message=2),
+            HaloFault(kind="corrupt", exchange=3, message=0),
+        ]
+        setup = _rp1_setup()
+        policy = HaloRetryPolicy()
+        serial, sink = _run_serial(
+            setup, (2,), 5, plan=FaultPlan(seed=11, halo=list(plan_logical)),
+            policy=policy,
+        )
+        plan = FaultPlan(
+            seed=11, halo=list(plan_logical),
+            processes=[ProcessFault(kind="kill_rank", rank=1, step=4)],
+        )
+        proc = _run_supervised_process(
+            setup, (2,), 5, plan=plan, policy=policy,
+            supervision=SupervisionPolicy(max_rank_restarts=2, **FAST),
+        )
+        _assert_bitexact(serial, sink, proc)
+        assert proc["restarts"] == 1
+
+    def test_shm_segments_swept_after_recovery_and_close(self):
+        setup = _rp1_setup()
+        plan = FaultPlan(
+            seed=5, processes=[ProcessFault(kind="kill_rank", rank=1, step=1)]
+        )
+        proc = _run_supervised_process(
+            setup, (2,), 2, plan=plan,
+            supervision=SupervisionPolicy(max_rank_restarts=1, **FAST),
+        )
+        assert proc["restarts"] == 1
+        # recovery recreated rings, so there are more names than live
+        # segments ever at once — every single one must be unlinked now
+        assert len(proc["segments"]) > 3
+        for name in proc["segments"]:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+@pytest.mark.chaos
+class TestHangRecovery:
+    def test_hang_rank_recovery_bitexact(self):
+        """SIGSTOP (not a crash: the process stays alive) is classified as
+        a hang via heartbeat staleness and recovered identically."""
+        setup = _rp1_setup()
+        serial, sink = _run_serial(setup, (2,), 4)
+        plan = FaultPlan(
+            seed=9, processes=[ProcessFault(kind="hang_rank", rank=1, step=2)]
+        )
+        proc = _run_supervised_process(
+            setup, (2,), 4, plan=plan,
+            supervision=SupervisionPolicy(
+                max_rank_restarts=2, hang_timeout_s=1.5, **FAST
+            ),
+        )
+        _assert_bitexact(serial, sink, proc)
+        assert proc["restarts"] == 1
+        assert proc["counters"]["supervision.hang_detected"] >= 1
+        assert proc["counters"]["supervision.injected_hang_rank"] == 1
+
+
+@pytest.mark.chaos
+class TestBudgetAndDegradation:
+    def test_budget_exhaustion_raises_with_snapshot(self):
+        setup = _rp1_setup()
+        system, grid, prim0 = setup
+        plan = FaultPlan(
+            seed=5, processes=[ProcessFault(kind="kill_rank", rank=1, step=2)]
+        )
+        solver = ProcessSolver(
+            system, grid, prim0.copy(), (2,),
+            config=SolverConfig(cfl=0.4, executor="process"),
+            fault_injector=FaultInjector(plan),
+            supervision=SupervisionPolicy(max_rank_restarts=0, **FAST),
+        )
+        with pytest.raises(SupervisionExhausted) as err:
+            solver.run(t_final=1.0, max_steps=4)
+        assert isinstance(err.value, WorkerError)  # callers catching the
+        # pre-supervision error type keep working
+        assert err.value.snapshot is not None
+        assert err.value.snapshot["steps"] >= 1
+
+    def test_degrade_to_serial_bitexact(self):
+        """Budget 0 + degrade=True: the run folds down to the serial
+        executor from the last snapshot and finishes with physics
+        bit-identical to a fault-free run."""
+        setup = _blast2d_setup()
+        serial, _ = _run_serial(setup, (2, 2), 6)
+        ref = serial.gather_primitives()
+        system, grid, prim0 = setup
+        plan = FaultPlan(
+            seed=7, processes=[ProcessFault(kind="kill_rank", rank=2, step=3)]
+        )
+        sink = BufferSink()
+        recorder = StepRecorder(sink, meta=META)
+        solver = ProcessSolver(
+            system, grid, prim0.copy(), (2, 2),
+            config=SolverConfig(cfl=0.4, executor="process"),
+            recorder=recorder,
+            fault_injector=FaultInjector(plan),
+            supervision=SupervisionPolicy(
+                max_rank_restarts=0, degrade=True, **FAST
+            ),
+        )
+        finisher, info = run_supervised(solver, 1.0, max_steps=6)
+        recorder.finish(t_end=finisher.t)
+        assert info["degraded"] is True
+        assert isinstance(finisher, DistributedSolver)
+        assert finisher.steps == serial.steps and finisher.t == serial.t
+        assert finisher.gather_primitives().tobytes() == ref.tobytes()
+        snap = finisher.metrics.snapshot()["counters"]
+        assert snap["supervision.degraded"] == 1
+        # every step appears exactly once in the caller's stream
+        steps_seen = [
+            r["step"] for r in sink.records if r.get("event") == "step"
+        ]
+        assert steps_seen == sorted(set(steps_seen))
+        assert max(steps_seen) == serial.steps
+
+    def test_exhaustion_without_degrade_propagates_via_run_supervised(self):
+        setup = _rp1_setup()
+        system, grid, prim0 = setup
+        plan = FaultPlan(
+            seed=5, processes=[ProcessFault(kind="kill_rank", rank=0, step=1)]
+        )
+        solver = ProcessSolver(
+            system, grid, prim0.copy(), (2,),
+            config=SolverConfig(cfl=0.4, executor="process"),
+            fault_injector=FaultInjector(plan),
+            supervision=SupervisionPolicy(max_rank_restarts=0, **FAST),
+        )
+        with pytest.raises(SupervisionExhausted):
+            run_supervised(solver, 1.0, max_steps=3)
+
+
+@pytest.mark.chaos
+class TestFatalStaysFatal:
+    def test_logical_failure_is_not_retried(self):
+        """A deterministic logical error (unrecovered halo drop) must stay
+        fatal under supervision — replaying it would fail forever."""
+        plan = FaultPlan(
+            seed=1, halo=[HaloFault(kind="drop", exchange=1, message=0)]
+        )
+        setup = _rp1_setup()
+        system, grid, prim0 = setup
+        with pytest.raises(WorkerError, match="CommunicationError"):
+            with ProcessSolver(
+                system, grid, prim0.copy(), (2,),
+                config=SolverConfig(cfl=0.4),
+                fault_injector=FaultInjector(plan),
+                supervision=SupervisionPolicy(max_rank_restarts=3, **FAST),
+            ) as solver:
+                solver.run(t_final=1.0, max_steps=3)
