@@ -144,11 +144,102 @@ def _build_parser() -> argparse.ArgumentParser:
         "no C toolchain is available)",
     )
 
+    run.set_defaults(_subparser=run)
+
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
 
     sub.add_parser("info", help="list problems, schemes, and experiments")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a batch of scenario requests from a file through the "
+        "admission-queue service",
+    )
+    serve.add_argument(
+        "requests",
+        metavar="REQUESTS.json",
+        help="JSON array (or JSONL stream) of scenario spec dicts; see "
+        "repro.serve.ScenarioSpec for the schema",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="admission-queue depth; requests beyond it are rejected",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="largest number of compatible scenarios per batched solve",
+    )
+    serve.add_argument(
+        "--out", metavar="PATH", help="write per-request results JSON to PATH"
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="stream per-request/per-batch service events (JSONL) to PATH",
+    )
+    serve.set_defaults(_subparser=serve)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="generate and serve a parametric family of shock-tube scenarios",
+    )
+    sweep.add_argument("problem", choices=("rp1", "rp2"))
+    sweep.add_argument(
+        "--count", type=int, default=8, metavar="N",
+        help="number of scenarios in the family",
+    )
+    sweep.add_argument("--n", type=int, default=128, help="cells per scenario")
+    sweep.add_argument("--t-final", type=float, default=None)
+    sweep.add_argument(
+        "--vary", metavar="SIDE.FIELD:LO:HI",
+        help="vary one diaphragm-state field linearly across the family, "
+        "e.g. left.p:5:20 (SIDE in {left,right}, FIELD in {rho,v,p})",
+    )
+    sweep.add_argument(
+        "--kernel-target", choices=("numpy", "flat", "cext"), default="numpy",
+        help="codegen target for the batched kernels",
+    )
+    sweep.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="largest number of scenarios per batched solve",
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", help="write per-request results JSON to PATH"
+    )
+    sweep.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="stream per-request/per-batch service events (JSONL) to PATH",
+    )
+    sweep.set_defaults(_subparser=sweep)
     return parser
+
+
+def _validate_run_args(args) -> None:
+    """Fail fast on flag combinations that would silently ignore each other.
+
+    Every rejected combination names *both* flags involved, through the
+    ``run`` subparser's own ``error`` (usage + message, exit code 2) —
+    running something other than what was asked is never an option.
+    """
+    err = args._subparser.error
+    if args.checkpoint_every and not args.checkpoint:
+        err("--checkpoint-every requires --checkpoint")
+    if args.executor == "process":
+        if args.workers < 1:
+            err("--executor process requires --workers >= 1")
+        if args.ranks and args.ranks != args.workers:
+            err("--ranks and --workers disagree; with --executor process "
+                "give just --workers")
+    elif args.workers:
+        err("--workers requires --executor process (the serial executor "
+            "would ignore --workers)")
+    if args.overlap and not (args.ranks or args.workers):
+        err("--overlap requires --ranks (or --executor process with "
+            "--workers); the single-grid solver would ignore --overlap")
+    if args.max_rank_restarts is not None and args.executor != "process":
+        err("--max-rank-restarts requires --executor process")
+    if args.degrade and args.max_rank_restarts is None:
+        err("--degrade requires --max-rank-restarts")
 
 
 def _cmd_run(args) -> int:
@@ -170,35 +261,8 @@ def _cmd_run(args) -> int:
         executor=args.executor,
         kernel_target=args.kernel_target,
     )
-    if args.checkpoint_every and not args.checkpoint:
-        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
-        return 2
-    n_ranks = args.ranks
-    if args.executor == "process":
-        if args.workers < 1:
-            print("error: --executor process requires --workers >= 1",
-                  file=sys.stderr)
-            return 2
-        if args.ranks and args.ranks != args.workers:
-            print("error: --ranks and --workers disagree; with --executor "
-                  "process give just --workers", file=sys.stderr)
-            return 2
-        n_ranks = args.workers
-    elif args.workers:
-        print("error: --workers requires --executor process", file=sys.stderr)
-        return 2
-    if args.overlap and not n_ranks:
-        print("error: --overlap requires --ranks (or --executor process "
-              "with --workers)", file=sys.stderr)
-        return 2
-    if args.max_rank_restarts is not None and args.executor != "process":
-        print("error: --max-rank-restarts requires --executor process",
-              file=sys.stderr)
-        return 2
-    if args.degrade and args.max_rank_restarts is None:
-        print("error: --degrade requires --max-rank-restarts",
-              file=sys.stderr)
-        return 2
+    _validate_run_args(args)
+    n_ranks = args.workers if args.executor == "process" else args.ranks
     if args.problem in ("rp1", "rp2"):
         prim0 = shock_tube(system, grid, SHOCK_TUBES[args.problem.upper()])
         bcs = make_boundaries("outflow")
@@ -378,6 +442,156 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _service_report(svc, requests, extra_rejected=0) -> None:
+    """Print the service-side outcome summary shared by serve and sweep."""
+    snap = svc.metrics.snapshot()
+    counters = snap["counters"]
+    hists = snap["histograms"]
+    n_ok = sum(1 for r in requests if r.status == "ok")
+    n_failed = sum(1 for r in requests if r.status == "failed")
+    print(f"requests  : {len(requests) + extra_rejected} "
+          f"(ok {n_ok}, failed {n_failed}, rejected {extra_rejected})")
+    print(f"batches   : {counters.get('serve.batches', 0):g} "
+          f"(kernel cache: {counters.get('serve.kernel_cache.hits', 0):g} hits, "
+          f"{counters.get('serve.kernel_cache.misses', 0):g} misses)")
+    lat = hists.get("serve.request_latency_s")
+    if lat and lat["count"]:
+        print(f"latency   : p50 {lat['p50'] * 1e3:.2f} ms, "
+              f"p99 {lat['p99'] * 1e3:.2f} ms")
+    sps = hists.get("serve.scenarios_per_sec")
+    if sps and sps["count"]:
+        print(f"throughput: {sps['mean']:.1f} scenarios/sec "
+              f"(best batch {sps['max']:.1f})")
+
+
+def _write_service_results(path, requests, rejected) -> None:
+    import json
+
+    payload = {
+        "results": [r.summary() for r in requests],
+        "rejected": rejected,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"results   : {path}")
+
+
+def _make_service(args, meta: dict, max_queue: int | None = None):
+    from .serve import BatchService
+
+    recorder = None
+    if args.metrics_out:
+        from .obs import JsonlEventSink, StepRecorder
+
+        recorder = StepRecorder(JsonlEventSink(args.metrics_out), meta=meta)
+    return BatchService(
+        max_queue_depth=max_queue if max_queue is not None else 1024,
+        max_batch=args.max_batch,
+        recorder=recorder,
+    ), recorder
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from .utils.errors import AdmissionError
+
+    with open(args.requests, encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        payloads = json.loads(text)
+        if not isinstance(payloads, list):
+            raise ValueError("top level must be a JSON array")
+    except ValueError:
+        # JSONL fallback: one spec dict per non-empty line.
+        payloads = [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    svc, recorder = _make_service(
+        args, {"mode": "serve", "requests": args.requests},
+        max_queue=args.max_queue,
+    )
+    rejected = []
+    for i, payload in enumerate(payloads):
+        try:
+            svc.submit(payload)
+        except AdmissionError as exc:
+            rejected.append({"index": i, "status": "rejected", "error": str(exc)})
+    requests = svc.drain()
+    _service_report(svc, requests, extra_rejected=len(rejected))
+    if args.out:
+        _write_service_results(args.out, requests, rejected)
+    if recorder is not None:
+        recorder.close()
+        print(f"metrics   : {args.metrics_out}")
+    return 0 if all(r.status == "ok" for r in requests) and not rejected else 1
+
+
+_SWEEP_FIELDS = ("rho", "v", "p")
+
+
+def _parse_vary(args) -> tuple[str, str, float, float]:
+    spec = args.vary
+    err = args._subparser.error
+    head, sep, rest = spec.partition(":")
+    side, dot, field = head.partition(".")
+    if not sep or not dot or side not in ("left", "right") or field not in _SWEEP_FIELDS:
+        err(f"--vary must look like SIDE.FIELD:LO:HI with SIDE in "
+            f"{{left,right}} and FIELD in {{rho,v,p}}, got {spec!r}")
+    lo_s, sep2, hi_s = rest.partition(":")
+    try:
+        lo, hi = float(lo_s), float(hi_s)
+    except ValueError:
+        sep2 = ""
+    if not sep2:
+        err(f"--vary needs numeric LO:HI bounds, got {spec!r}")
+    return side, field, lo, hi
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+
+    from .physics.initial_data import SHOCK_TUBES
+    from .serve import ScenarioSpec
+
+    if args.count < 1:
+        args._subparser.error(f"--count must be >= 1, got {args.count}")
+    problem = SHOCK_TUBES[args.problem.upper()]
+    t_final = args.t_final if args.t_final is not None else problem.t_final
+    base = dict(
+        kind="shock_tube", problem=problem.name, nx=args.n, t_final=t_final,
+        gamma=problem.gamma, kernel_target=args.kernel_target,
+    )
+    specs = []
+    if args.vary:
+        side, field, lo, hi = _parse_vary(args)
+        values = np.linspace(lo, hi, args.count)
+        for value in values:
+            state = dataclasses.replace(
+                getattr(problem, side), **{field: float(value)}
+            )
+            specs.append(ScenarioSpec(**base, **{side: state}))
+        print(f"sweep     : {args.problem} x{args.count}, "
+              f"{side}.{field} in [{lo:g}, {hi:g}]")
+    else:
+        specs = [ScenarioSpec(**base) for _ in range(args.count)]
+        print(f"sweep     : {args.problem} x{args.count}")
+
+    svc, recorder = _make_service(
+        args,
+        {"mode": "sweep", "problem": args.problem, "count": args.count,
+         "n": args.n, "t_final": t_final, "vary": args.vary,
+         "kernel_target": args.kernel_target},
+    )
+    requests = svc.sweep(specs)
+    _service_report(svc, requests)
+    if args.out:
+        _write_service_results(args.out, requests, [])
+    if recorder is not None:
+        recorder.close()
+        print(f"metrics   : {args.metrics_out}")
+    return 0 if all(r.status == "ok" for r in requests) else 1
+
+
 def _cmd_info(_args) -> int:
     from .harness import EXPERIMENTS
 
@@ -396,6 +610,10 @@ def main(argv=None) -> int:
             return _cmd_run(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         return _cmd_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

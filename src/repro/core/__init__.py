@@ -1,5 +1,6 @@
 """Core solver drivers: configuration, pipeline, unigrid and AMR solvers."""
 
+from .batch import BatchGrid, BatchPipeline, BatchSolver
 from .config import SolverConfig
 from .diagnostics import ConservedTotals, RunSummary
 from .distributed import DistributedSolver
@@ -10,6 +11,9 @@ from .solver import Solver
 __all__ = [
     "SolverConfig",
     "Solver",
+    "BatchGrid",
+    "BatchPipeline",
+    "BatchSolver",
     "DistributedSolver",
     "ProcessSolver",
     "make_distributed_solver",

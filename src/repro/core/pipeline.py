@@ -223,6 +223,7 @@ class HydroPipeline:
                 f"injected con2prim burst of {n_burst} cells exceeds the "
                 f"failsafe budget ({self.config.failsafe_frac} of {n_cells})",
                 n_failed=n_burst,
+                indices=self.fault_injector.burst_indices(n_burst, n_cells),
             )
         indices = self.fault_injector.burst_indices(n_burst, n_cells)
         reset_cells_to_atmosphere(

@@ -59,23 +59,40 @@ def empty_histogram_summary() -> dict:
     }
 
 
+def _normalize_buckets(buckets: dict) -> dict[int, int]:
+    """Bucket counts keyed by int index, summing int/str key collisions.
+
+    Bucket keys may be ints (live registry) or strings (JSON round-trip) —
+    or *both at once*, e.g. a live registry summary merged with one read
+    back from a JSONL stream.  Key collisions (``3`` and ``"3"``) are
+    summed so no sample is dropped.
+    """
+    out: dict[int, int] = {}
+    for k, v in buckets.items():
+        idx = int(k)
+        out[idx] = out.get(idx, 0) + v
+    return out
+
+
 def _quantile(
     q: float, count: int, nonpos: int, buckets: dict, vmin: float, vmax: float
 ) -> float:
     """The q-quantile as a bucket upper edge, clamped to [vmin, vmax].
 
     Observations <= 0 (the ``nonpos`` bucket) sort below every log bucket
-    and are represented by the sample minimum.  Bucket keys may be ints
-    (live registry) or strings (JSON round-trip); both are accepted.
+    and are represented by the sample minimum.  Bucket keys are normalized
+    up front (see :func:`_normalize_buckets`), so summaries holding a mix
+    of int and str keys for the same index count every sample exactly once.
     """
     if count <= 0:
         return 0.0
+    normalized = _normalize_buckets(buckets)
     rank = min(max(math.ceil(q * count), 1), count)
     if rank <= nonpos:
         return min(vmin, 0.0)
     acc = nonpos
-    for idx in sorted(int(k) for k in buckets):
-        acc += buckets[idx] if idx in buckets else buckets[str(idx)]
+    for idx in sorted(normalized):
+        acc += normalized[idx]
         if rank <= acc:
             return min(max(bucket_edge(idx), vmin), vmax)
     return vmax
@@ -108,21 +125,33 @@ def merge_histogram_summaries(cur: dict | None, new: dict | None) -> dict:
     if cur is None and new is None:
         return empty_histogram_summary()
     if cur is None or new is None:
+        # One-sided merge still re-derives the quantiles: the surviving
+        # summary may predate the p50/p99 fields (an older stream) or
+        # carry stale values — propagating them unrepaired would poison
+        # every downstream merge.
         src = cur if new is None else new
         out = dict(src)
-        out["buckets"] = {str(k): v for k, v in src.get("buckets", {}).items()}
+        count = src.get("count", 0)
+        nonpos = src.get("nonpos", 0)
+        raw = src.get("buckets", {})
+        vmin = src.get("min", 0.0)
+        vmax = src.get("max", 0.0)
+        out["buckets"] = {
+            str(k): v for k, v in sorted(_normalize_buckets(raw).items())
+        }
+        out["p50"] = _quantile(0.5, count, nonpos, raw, vmin, vmax)
+        out["p99"] = _quantile(0.99, count, nonpos, raw, vmin, vmax)
         return out
     count = cur["count"] + new["count"]
     total = cur["sum"] + new["sum"]
     vmin = min(cur["min"], new["min"])
     vmax = max(cur["max"], new["max"])
     nonpos = cur.get("nonpos", 0) + new.get("nonpos", 0)
-    buckets: dict[str, int] = {
-        str(k): v for k, v in cur.get("buckets", {}).items()
-    }
-    for k, v in new.get("buckets", {}).items():
-        key = str(k)
-        buckets[key] = buckets.get(key, 0) + v
+    buckets: dict[str, int] = {}
+    for src in (cur, new):
+        for k, v in _normalize_buckets(src.get("buckets", {})).items():
+            key = str(k)
+            buckets[key] = buckets.get(key, 0) + v
     return {
         "count": count,
         "sum": total,

@@ -1,0 +1,9 @@
+"""Scenario-sweep batch service: admission queue + SoA-batched solves.
+
+See :mod:`repro.serve.service` for the architecture overview.
+"""
+
+from .scenario import ScenarioSpec
+from .service import BatchService, Request
+
+__all__ = ["ScenarioSpec", "BatchService", "Request"]

@@ -82,3 +82,7 @@ class CheckpointError(ReproError):
 
 class CodegenError(ReproError):
     """Kernel generation or verification failure."""
+
+
+class AdmissionError(ReproError):
+    """The batch service refused a request (admission queue at capacity)."""

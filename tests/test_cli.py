@@ -104,6 +104,121 @@ class TestRun:
             main(["run", "warp-drive"])
 
 
+class TestFlagCombos:
+    """Silently-contradictory flag pairs must die with an argparse error
+    naming both flags, not run something other than what was asked."""
+
+    @pytest.mark.parametrize(
+        "argv,both",
+        [
+            (["run", "rp1", "--workers", "2"], ("--workers", "--executor process")),
+            (["run", "rp1", "--overlap"], ("--overlap", "--ranks")),
+            (["run", "rp1", "--executor", "process"], ("--executor process", "--workers")),
+            (
+                ["run", "rp1", "--executor", "process", "--workers", "2", "--ranks", "4"],
+                ("--ranks", "--workers"),
+            ),
+            (
+                ["run", "rp1", "--checkpoint-every", "5"],
+                ("--checkpoint-every", "--checkpoint"),
+            ),
+            (
+                ["run", "rp1", "--max-rank-restarts", "1"],
+                ("--max-rank-restarts", "--executor process"),
+            ),
+            (["run", "rp1", "--degrade"], ("--degrade", "--max-rank-restarts")),
+        ],
+    )
+    def test_contradictory_flags_fail_fast(self, argv, both, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for flag in both:
+            assert flag in err
+
+    def test_valid_combo_still_runs(self, capsys):
+        assert main(["run", "rp1", "--n", "50", "--t-final", "0.02",
+                     "--ranks", "2", "--overlap"]) == 0
+        assert "overlapped" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_requests_file(self, tmp_path, capsys):
+        import json
+
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([
+            {"kind": "shock_tube", "problem": "RP1", "nx": 64, "t_final": 0.05},
+            {"kind": "shock_tube", "problem": "RP2", "nx": 64, "t_final": 0.05},
+        ]))
+        out = tmp_path / "out.json"
+        assert main(["serve", str(reqs), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "ok 2" in text
+        assert "latency" in text
+        payload = json.loads(out.read_text())
+        assert [r["status"] for r in payload["results"]] == ["ok", "ok"]
+
+    def test_serve_jsonl_requests(self, tmp_path, capsys):
+        import json
+
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            '{"kind": "shock_tube", "nx": 64, "t_final": 0.05}\n'
+            '{"kind": "smooth_wave", "nx": 64, "t_final": 0.05}\n'
+        )
+        assert main(["serve", str(reqs)]) == 0
+        assert "ok 2" in capsys.readouterr().out
+
+    def test_serve_rejects_overflow_nonzero_exit(self, tmp_path, capsys):
+        import json
+
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps(
+            [{"kind": "shock_tube", "nx": 64, "t_final": 0.05}] * 3
+        ))
+        assert main(["serve", str(reqs), "--max-queue", "2"]) == 1
+        assert "rejected 1" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_vary_writes_results(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "sweep.json"
+        assert main(["sweep", "rp1", "--count", "4", "--n", "64",
+                     "--t-final", "0.05", "--vary", "left.p:8:14",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "left.p in [8, 14]" in text
+        assert "throughput" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["results"]) == 4
+        varied = [r["spec"]["left"]["p"] for r in payload["results"]]
+        assert varied == pytest.approx(list(np.linspace(8, 14, 4)))
+
+    def test_sweep_metrics_stream(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        assert main(["sweep", "rp1", "--count", "2", "--n", "64",
+                     "--t-final", "0.05", "--metrics-out", str(path)]) == 0
+        from repro.obs import read_events
+
+        records = read_events(path)
+        events = [r["event"] for r in records]
+        assert events.count("serve.request") == 2
+        assert "serve.batch" in events
+
+    @pytest.mark.parametrize(
+        "vary", ["bogus", "left.q:1:2", "middle.p:1:2", "left.p:1", "left.p:a:b"]
+    )
+    def test_sweep_bad_vary_fails_fast(self, vary, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "rp1", "--vary", vary])
+        assert excinfo.value.code == 2
+        assert "--vary" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_e8_runs(self, capsys):
         assert main(["experiment", "e8"]) == 0

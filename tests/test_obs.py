@@ -99,6 +99,77 @@ class TestMetricsPrimitives:
         assert merge_histogram_summaries(empty, merged) == merged
         assert merge_histogram_summaries(None, None) == empty
 
+    def test_quantile_mixed_int_str_bucket_keys(self):
+        # Regression: a summary holding both 3 and "3" (a live registry
+        # merged with a JSON round-trip) silently dropped one form's
+        # samples from the quantile scan.
+        from repro.obs import summary_quantile
+
+        h = MetricsRegistry().histogram("h")
+        for v in [float((7 * k) % 23 + 1) for k in range(200)]:
+            h.observe(v)
+        clean = h.summary()
+        mixed = dict(clean)
+        # Re-key half the buckets as ints; int(k) collides with the str form.
+        buckets = {}
+        for i, (k, v) in enumerate(clean["buckets"].items()):
+            half = v // 2
+            if half:
+                buckets[int(k)] = half
+                buckets[k] = v - half
+            else:
+                buckets[k] = v
+        mixed["buckets"] = buckets
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert summary_quantile(mixed, q) == summary_quantile(clean, q)
+
+    def test_merge_one_sided_rederives_quantiles(self):
+        # Regression: the one-sided merge path returned the surviving
+        # summary as-is, so stale or missing p50/p99 survived the merge.
+        from repro.obs import merge_histogram_summaries
+
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 4.0, 8.0, 16.0):
+            h.observe(v)
+        good = h.summary()
+        stale = dict(good)
+        stale["p50"] = -123.0
+        del stale["p99"]
+        for merged in (
+            merge_histogram_summaries(stale, None),
+            merge_histogram_summaries(None, stale),
+        ):
+            assert merged["p50"] == good["p50"]
+            assert merged["p99"] == good["p99"]
+        # Mixed-key buckets are normalized (and counts preserved) too.
+        mixed = dict(good)
+        mixed["buckets"] = {
+            **{int(k): v for k, v in list(good["buckets"].items())[:1]},
+            **dict(list(good["buckets"].items())[1:]),
+        }
+        merged = merge_histogram_summaries(mixed, None)
+        assert sum(merged["buckets"].values()) == good["count"]
+        assert merge_histogram_summaries(merged, None) == merge_histogram_summaries(good, None)
+
+    def test_merge_two_sided_sums_mixed_key_collisions(self):
+        # Regression: the two-sided bucket merge dict comprehension let a
+        # str key overwrite its int twin instead of summing the counts.
+        from repro.obs import merge_histogram_summaries
+
+        a = MetricsRegistry().histogram("h")
+        b = MetricsRegistry().histogram("h")
+        whole = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0, 5.0, 9.0):
+            a.observe(v)
+            whole.observe(v)
+        for v in (1.5, 2.5, 4.0, 20.0):
+            b.observe(v)
+            whole.observe(v)
+        sa = a.summary()
+        sa["buckets"] = {int(k): v for k, v in sa["buckets"].items()}
+        merged = merge_histogram_summaries(sa, b.summary())
+        assert merged == whole.summary()
+
     def test_kind_collision_rejected(self):
         reg = MetricsRegistry()
         reg.counter("x")
