@@ -1,0 +1,156 @@
+"""Distributed-AMR process backend benchmark (BENCH_amr_parallel.json).
+
+Runs an *off-center* 2-D blast under the adaptive forest on the real
+process backend at increasing worker counts and reports, per count:
+
+``cells_per_s``
+    Cells updated per wall-clock second (the AMR analogue of the
+    unigrid throughput number; ``amr.cells_updated`` summed over steps).
+
+``imbalance_max`` / ``imbalance_final``
+    The measured rank-work imbalance (max/mean) over the run.  The
+    blast is deliberately off-center and the refine/coarsen thresholds
+    straddle the shell's gradient, so the topology keeps changing
+    asymmetrically — each regrid skews the rank loads, trips the low
+    rebalance threshold, and forces a Morton-curve recut with real
+    block migrations.  When at least one repartition fires, the final
+    imbalance must not exceed the maximum observed — the dynamic
+    rebalancer decays imbalance, never grows it.
+
+The sweep doubles as a cross-executor bit-exactness check: every worker
+count must reproduce the 1-worker forest byte for byte, block by block.
+
+Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the grid, steps,
+and worker counts; the JSON artifact layout is identical.
+"""
+
+import json
+import os
+import time
+
+from repro.core import SolverConfig
+from repro.core.amr_parallel import AMRProcessSolver
+from repro.core.amr_solver import AMRConfig
+from repro.eos import IdealGasEOS
+from repro.harness import Report
+from repro.mesh.grid import Grid
+from repro.obs import BufferSink, StepRecorder
+from repro.obs.events import steps_of
+from repro.physics.initial_data import blast_wave_2d
+from repro.physics.srhd import SRHDSystem
+
+from .conftest import RESULTS_DIR, emit
+
+
+def _measured_case(n: int, workers: int, n_steps: int) -> dict:
+    system = SRHDSystem(IdealGasEOS(), ndim=2)
+    grid = Grid((n, n), ((0.0, 1.0), (0.0, 1.0)))
+    amr = AMRConfig(
+        block_size=8, max_levels=2, refine_threshold=0.3,
+        coarsen_threshold=0.15, regrid_interval=2, rebalance_threshold=1.02,
+    )
+    sink = BufferSink()
+    solver = AMRProcessSolver(
+        system, grid,
+        lambda s, g: blast_wave_2d(s, g, p_in=50.0, radius=0.12,
+                                   center=(0.3, 0.35), smoothing=0.02),
+        config=SolverConfig(cfl=0.4, executor="process"),
+        amr=amr,
+        recorder=StepRecorder(sink, meta={"bench": "amr-parallel"}),
+        n_ranks=workers,
+    )
+    try:
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            solver.step()
+        wall_s = time.perf_counter() - t0
+        blocks = solver.gather_blocks()
+    finally:
+        solver.close()
+    steps = steps_of(sink.records)
+    imbalance = [s["amr"]["imbalance"] for s in steps]
+    rebalances = [
+        {k: r[k] for k in ("step", "imbalance_after", "migrated_blocks",
+                           "repartitions") if k in r}
+        for r in sink.records if r.get("event") == "amr_rebalance"
+    ]
+    return {
+        "workers": workers,
+        "grid": [n, n],
+        "steps": len(steps),
+        "wall_s": wall_s,
+        "cells_updated": int(sum(s["amr"]["cells_updated"] for s in steps)),
+        "cells_per_s": sum(s["amr"]["cells_updated"] for s in steps) / wall_s,
+        "n_leaves_final": steps[-1]["amr"]["n_leaves"],
+        "imbalance_series": imbalance,
+        "imbalance_max": max(imbalance),
+        "imbalance_final": imbalance[-1],
+        "repartitions": steps[-1]["amr"]["repartitions"],
+        "migrated_blocks": steps[-1]["amr"]["migrated_blocks"],
+        "rebalances": rebalances,
+        "blocks": blocks,
+    }
+
+
+def test_bench_amr_parallel():
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    n, n_steps = (16, 3) if smoke else (32, 12)
+    worker_counts = (1, 2) if smoke else (1, 2, 4, 8)
+    host_cpus = os.cpu_count() or 1
+
+    runs = [_measured_case(n, w, n_steps) for w in worker_counts]
+
+    # Cross-executor bit-exactness: identical forest at every count.
+    base_blocks = runs[0].pop("blocks")
+    for run in runs[1:]:
+        blocks = run.pop("blocks")
+        assert set(blocks) == set(base_blocks), (
+            f"{run['workers']}-worker leaf set diverged"
+        )
+        for key, ref in base_blocks.items():
+            assert blocks[key].tobytes() == ref.tobytes(), (
+                f"{run['workers']}-worker block {key} diverged"
+            )
+
+    report = Report(
+        experiment="BENCH-amr-parallel",
+        title=f"distributed AMR, {n}x{n} blast, {n_steps} steps",
+        headers=[
+            "workers", "wall_s", "cells_per_s", "imbalance_max",
+            "imbalance_final", "repartitions", "migrated",
+        ],
+    )
+    for run in runs:
+        report.add_row(
+            run["workers"], run["wall_s"], run["cells_per_s"],
+            run["imbalance_max"], run["imbalance_final"],
+            run["repartitions"], run["migrated_blocks"],
+        )
+    report.add_note(f"host_cpus={host_cpus}, rebalance_threshold=1.02")
+    report.add_note("every worker count bit-identical to the 1-worker forest")
+    emit(report)
+
+    result = {
+        "experiment": "distributed AMR process-backend throughput",
+        "grid": [n, n],
+        "steps": n_steps,
+        "smoke": smoke,
+        "host_cpus": host_cpus,
+        "runs": runs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_amr_parallel.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\namr-parallel benchmark -> {path}")
+
+    for run in runs:
+        assert run["cells_per_s"] > 0
+        assert run["imbalance_final"] >= 1.0
+        # Imbalance decay: whenever the rebalancer fired, the run must not
+        # end worse than its worst observed cut.
+        if run["repartitions"] > 0:
+            assert run["imbalance_final"] <= run["imbalance_max"] + 1e-9, (
+                f"{run['workers']}-worker imbalance grew after rebalancing"
+            )
+        for ev in run["rebalances"]:
+            assert ev["imbalance_after"] <= run["imbalance_max"] + 1e-9

@@ -5,6 +5,10 @@ Commands
 ``run``
     Evolve a named problem on a uniform grid, report the summary, and
     optionally write a snapshot or checkpoint.
+``amr``
+    Evolve a named problem on the adaptive block forest, optionally
+    distributed over simulated ranks or real worker processes with
+    dynamic Morton-curve rebalancing.
 ``experiment``
     Regenerate one table/figure of the evaluation by id (E1..E12).
 ``info``
@@ -22,6 +26,7 @@ from .analysis import relative_l1_error
 from .boundary import make_boundaries
 from .core import Solver, SolverConfig
 from .eos import IdealGasEOS
+from .mesh.amr.partition import PARTITIONERS
 from .mesh.grid import Grid
 from .physics.initial_data import (
     SHOCK_TUBES,
@@ -145,6 +150,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     run.set_defaults(_subparser=run)
+
+    amr = sub.add_parser(
+        "amr",
+        help="evolve a named problem on the adaptive (AMR) block forest",
+    )
+    amr.add_argument("problem", choices=("blast2d", "rp1", "rp2"))
+    amr.add_argument("--n", type=int, default=64, help="root cells per axis")
+    amr.add_argument("--t-final", type=float, default=None)
+    amr.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="stop after N coarse steps even if --t-final is not reached",
+    )
+    amr.add_argument("--cfl", type=float, default=0.4)
+    amr.add_argument(
+        "--block-size", type=int, default=None, metavar="B",
+        help="cells per block per axis (AMRConfig default when omitted)",
+    )
+    amr.add_argument("--max-levels", type=int, default=None, metavar="L")
+    amr.add_argument("--refine-threshold", type=float, default=None)
+    amr.add_argument("--coarsen-threshold", type=float, default=None)
+    amr.add_argument("--regrid-interval", type=int, default=None, metavar="N")
+    amr.add_argument(
+        "--rebalance-threshold", type=float, default=None, metavar="R",
+        help="recut the Morton curve and migrate blocks when the measured "
+        "rank imbalance (max/mean work) exceeds R after a regrid",
+    )
+    amr.add_argument(
+        "--partitioner", choices=sorted(PARTITIONERS), default=None,
+        help="leaf-to-rank partitioner used for the initial cut and every "
+        "rebalance recut",
+    )
+    amr.add_argument(
+        "--ranks", type=int, default=0, metavar="P",
+        help="distribute the forest over P simulated ranks "
+        "(0 = plain serial AMR solver)",
+    )
+    amr.add_argument(
+        "--executor", choices=("serial", "process"), default="serial",
+        help="distributed execution backend: 'serial' simulates all ranks "
+        "in one process, 'process' runs one worker process per rank over "
+        "shared memory (bit-identical forests, real parallel wall-clock)",
+    )
+    amr.add_argument(
+        "--workers", type=int, default=0, metavar="P",
+        help="with --executor process: number of worker processes "
+        "(one per rank of the Morton-curve partition)",
+    )
+    amr.add_argument(
+        "--max-rank-restarts", type=int, default=None, metavar="N",
+        help="with --executor process: supervise the workers and respawn "
+        "crashed or hung ranks in-run, up to N respawns",
+    )
+    amr.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="stream per-step structured metrics (JSONL) to PATH and print "
+        "the aggregated summary table",
+    )
+    amr.set_defaults(_subparser=amr)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("id", metavar="EID", help="experiment id, e.g. E2")
@@ -431,6 +494,140 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _validate_amr_args(args) -> None:
+    """Fail fast on amr flag combos that would silently ignore each other."""
+    err = args._subparser.error
+    if args.executor == "process":
+        if args.workers < 1:
+            err("--executor process requires --workers >= 1")
+        if args.ranks and args.ranks != args.workers:
+            err("--ranks and --workers disagree; with --executor process "
+                "give just --workers")
+    elif args.workers:
+        err("--workers requires --executor process (the serial executor "
+            "would ignore --workers)")
+    if args.max_rank_restarts is not None and args.executor != "process":
+        err("--max-rank-restarts requires --executor process")
+
+
+def _cmd_amr(args) -> int:
+    from .core.amr_parallel import make_distributed_amr_solver
+    from .core.amr_solver import AMRConfig, AMRSolver
+
+    _validate_amr_args(args)
+    ndim, default_t = PROBLEMS[args.problem]
+    t_final = args.t_final if args.t_final is not None else default_t
+    eos_gamma = (
+        SHOCK_TUBES[args.problem.upper()].gamma
+        if args.problem in ("rp1", "rp2")
+        else 5.0 / 3.0
+    )
+    system = SRHDSystem(IdealGasEOS(gamma=eos_gamma), ndim=ndim)
+    grid = Grid((args.n,) * ndim, tuple((0.0, 1.0) for _ in range(ndim)))
+    config = SolverConfig(cfl=args.cfl, executor=args.executor)
+    # Omitted knobs fall through to the AMRConfig defaults.
+    amr_cfg = AMRConfig(**{
+        name: value
+        for name, value in dict(
+            block_size=args.block_size,
+            max_levels=args.max_levels,
+            refine_threshold=args.refine_threshold,
+            coarsen_threshold=args.coarsen_threshold,
+            regrid_interval=args.regrid_interval,
+            rebalance_threshold=args.rebalance_threshold,
+            partitioner=args.partitioner,
+        ).items()
+        if value is not None
+    })
+    if args.problem in ("rp1", "rp2"):
+        prob = SHOCK_TUBES[args.problem.upper()]
+        init = lambda sys_, g: shock_tube(sys_, g, prob)  # noqa: E731
+    else:
+        init = lambda sys_, g: blast_wave_2d(  # noqa: E731
+            sys_, g, p_in=100.0, radius=0.1, smoothing=0.02
+        )
+
+    recorder = None
+    if args.metrics_out:
+        from .obs import JsonlEventSink, StepRecorder
+
+        recorder = StepRecorder(
+            JsonlEventSink(args.metrics_out),
+            meta={
+                "problem": f"{args.problem}-amr",
+                "n": args.n,
+                "ndim": ndim,
+                "cfl": args.cfl,
+                "ranks": args.workers or args.ranks,
+                "executor": args.executor,
+            },
+        )
+
+    n_ranks = args.workers if args.executor == "process" else args.ranks
+    if n_ranks:
+        supervision = None
+        if args.max_rank_restarts is not None:
+            from .resilience import SupervisionPolicy
+
+            supervision = SupervisionPolicy(
+                max_rank_restarts=args.max_rank_restarts
+            )
+        solver = make_distributed_amr_solver(
+            system, grid, init, config=config, amr=amr_cfg,
+            n_ranks=n_ranks, recorder=recorder, supervision=supervision,
+        )
+    else:
+        solver = AMRSolver(
+            system, grid, init, config, amr_cfg, recorder=recorder
+        )
+    try:
+        solver.run(t_final, max_steps=args.max_steps)
+        if recorder is not None:
+            recorder.finish(t_end=solver.t)
+            recorder.close()
+        if args.executor == "process":
+            prims = solver.gather_block_primitives()
+            levels: dict[int, int] = {}
+            for key in prims:
+                levels[key.level] = levels.get(key.level, 0) + 1
+            rho_min = min(p[system.RHO].min() for p in prims.values())
+            rho_max = max(p[system.RHO].max() for p in prims.values())
+        else:
+            levels = solver.leaf_count_by_level()
+            _, prim = solver.composite_primitives()
+            rho_min = prim[system.RHO].min()
+            rho_max = prim[system.RHO].max()
+    finally:
+        if args.executor == "process":
+            solver.close()  # workers stay up through the gathers above
+
+    print(f"{args.problem} [amr]: t = {solver.t:.4f}, steps = {solver.steps}")
+    by_level = " ".join(f"{lvl}:{n}" for lvl, n in sorted(levels.items()))
+    n_leaves = sum(levels.values())
+    regrids = getattr(solver, "regrids", None)
+    forest_line = f"  forest    : {n_leaves} leaves (level {by_level})"
+    if regrids is not None:
+        forest_line += f", {regrids} regrids"
+    print(forest_line)
+    if n_ranks:
+        print(f"  ranks     : {n_ranks} ({args.executor} executor, "
+              f"{amr_cfg.partitioner} partitioner)")
+        print(f"  balance   : imbalance {solver.imbalance:.3f}, "
+              f"{solver.repartitions} repartition(s), "
+              f"{solver.migrated_blocks} block(s) migrated")
+        if args.max_rank_restarts is not None:
+            print(f"  supervise : {solver.restarts_used} rank respawn(s) "
+                  f"of {args.max_rank_restarts} allowed")
+    print(f"  rho range : [{rho_min:.4g}, {rho_max:.4g}]")
+    if args.metrics_out:
+        from .harness.report import Report
+        from .obs import read_events
+
+        print(f"  metrics   : {args.metrics_out}")
+        print(Report.from_metrics(read_events(args.metrics_out)))
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .harness import EXPERIMENTS
 
@@ -608,6 +805,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "amr":
+            return _cmd_amr(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "serve":

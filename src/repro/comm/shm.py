@@ -452,6 +452,29 @@ def channel_capacities(decomp, nvars: int, n_ghost: int, policy=None,
     return caps
 
 
+def amr_channel_capacities(n_ranks: int, block_nbytes: int,
+                           headroom: int = 8) -> dict:
+    """Ring capacity (bytes) for the all-pairs channels of the distributed
+    AMR driver.
+
+    Unlike the Cartesian :func:`channel_capacities`, any rank may send any
+    other rank halo blocks, fine-face flux columns, and whole-block
+    migration frames, so every directed pair gets the same budget:
+    *headroom* worst-case ghosted-block messages (with per-record slack),
+    floored at 4 MiB.  ``block_nbytes`` must be the largest single message
+    a run can post — one ghosted conserved-state block — since a ring
+    rejects any record bigger than its whole capacity.
+    """
+    per_msg = int(block_nbytes) + 512
+    cap = max(4 << 20, headroom * per_msg)
+    return {
+        (src, dest): cap
+        for src in range(n_ranks)
+        for dest in range(n_ranks)
+        if src != dest
+    }
+
+
 class ShmCommunicator:
     """Rank-local communicator over shared-memory rings.
 
@@ -489,10 +512,24 @@ class ShmCommunicator:
             self._board.check(peer)
 
     def _probe_for(self, peer: int):
-        if self._board is None:
-            return None
         board = self._board
-        return lambda: board.check(peer)
+
+        def probe() -> None:
+            if board is not None:
+                board.check(peer)
+            # Pump inbound rings while blocked on a full outbound ring.
+            # All-pairs exchange patterns (distributed-AMR halos and block
+            # migration) would otherwise deadlock: two ranks can block
+            # pushing to each other while both their inbound rings sit
+            # full.  Draining to the pending mailbox frees peer capacity.
+            self.drain_all()
+
+        return probe
+
+    def drain_all(self) -> None:
+        """Drain every inbound ring into the pending mailbox."""
+        for src in self._readers:
+            self._drain(src)
 
     # -- epochs ----------------------------------------------------------
     def begin_exchange_epoch(self) -> None:

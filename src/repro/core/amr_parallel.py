@@ -1,0 +1,822 @@
+"""Process-backend executor for the distributed AMR driver.
+
+:class:`AMRProcessSolver` runs one :class:`_AMRRankWorker` process per rank
+in lockstep, reusing the fleet machinery of
+:class:`~repro.core.parallel.ProcessSolver` (spawn/collect protocol,
+supervised rank recovery, process-fault injection) with forest-shaped
+workers instead of Cartesian sub-grid workers.
+
+Bit-exactness contract: every rank holds the full replicated forest
+*topology* and the per-step decision state (flags, merges, repartition
+triggers) is combined through exact integer/selection reductions, so the
+worker fleet replays the identical split/merge/migrate sequence as the
+serial :class:`~repro.core.amr_distributed.DistributedAMRSolver` — and the
+evolved block bytes match the serial :class:`~repro.core.amr_solver.
+AMRSolver` exactly, before and after every block migration and across
+supervised rank failures.
+
+Construction happens once, in the parent: a serial prototype solver seeds
+the forest from ``initial_data`` (which may be an unpicklable lambda), and
+each worker receives its rank's blocks plus the replicated topology as
+plain arrays.  Rank 0 additionally inherits the prototype's metric and
+timer baselines so merged step records reproduce the serial stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..boundary.conditions import BoundarySet
+from ..comm.shm import (
+    ShmChannel,
+    ShmCommunicator,
+    SupervisionBoard,
+    amr_channel_capacities,
+)
+from ..mesh.amr.blocks import BlockKey
+from ..mesh.amr.exchange import (
+    TAG_AMR_HALO,
+    TAG_AMR_FLUX,
+    TAG_AMR_MERGE,
+    TAG_AMR_MIGRATE,
+    block_frame_header,
+    check_block_frame,
+    check_block_payload,
+    face_flux_column,
+    merge_plan,
+    stats_from_vector,
+    stats_vector,
+)
+from ..mesh.amr.forest import AMRForest
+from ..mesh.amr.reflux import apply_reflux
+from ..mesh.amr.transfer import restrict_array
+from ..mesh.grid import Grid
+from ..obs.events import BufferSink
+from ..obs.recorder import StepRecorder
+from ..physics.srhd import SRHDSystem
+from ..utils.errors import ConfigurationError, WorkerError
+from .amr_distributed import DistributedAMRSolver
+from .amr_solver import AMRConfig, AMRSolver
+from .config import SolverConfig
+from .parallel import ProcessSolver, _MergedMetrics
+
+
+def _validate_amr_plan(plan, n_ranks: int) -> None:
+    if plan is None:
+        return
+    if plan.halo or plan.devices or plan.con2prim or plan.halo_random:
+        raise ConfigurationError(
+            "the distributed AMR driver supports only process faults "
+            "(kill_rank/hang_rank); logical halo/device/con2prim faults "
+            "target the Cartesian executors"
+        )
+    for fault in plan.processes:
+        if fault.rank >= n_ranks:
+            raise ConfigurationError(
+                f"process fault targets rank {fault.rank} but the AMR run "
+                f"has only {n_ranks} ranks"
+            )
+
+
+@dataclass
+class _AMRWorkerSpec:
+    """Everything one AMR rank worker needs to rebuild itself (picklable)."""
+
+    rank: int
+    size: int
+    system: SRHDSystem
+    root_grid: Grid
+    config: SolverConfig
+    amr: AMRConfig
+    wall_bcs: BoundarySet
+    source_fn: object
+    #: initial install state (same shape as ``supervision_state()``)
+    state: dict
+    channels: dict  # {(src, dest): (shm_name, capacity)} touching this rank
+    comm_timeout_s: float
+    barrier_timeout_s: float
+    board_name: str
+    heartbeat_interval_s: float
+    defer_init: bool = False
+
+    def build(self, board: SupervisionBoard) -> "_AMRRankWorker":
+        return _AMRRankWorker(self, board)
+
+
+class _AMRRankWorker(DistributedAMRSolver):
+    """One rank of the distributed AMR run, inside a worker process.
+
+    Inherits the full decision logic of :class:`DistributedAMRSolver` and
+    swaps the rank loop for real shm-ring exchange: halo interiors, fine
+    face-flux columns, merge quarters, and checksummed block-migration
+    frames travel between ranks, while flags and dt reduce through the
+    communicator's exact collectives.
+    """
+
+    def __init__(self, spec: _AMRWorkerSpec, board: SupervisionBoard):
+        self.rank = spec.rank
+        self.n_ranks = spec.size
+        self.spec = spec
+        self._barrier = board
+        self._barrier_timeout = spec.barrier_timeout_s
+        self.assignment = None
+        self._init_distributed_state()
+        self._pipe_state: dict[BlockKey, tuple] = {}
+        self._init_core(
+            spec.system, spec.root_grid, spec.config, spec.amr,
+            spec.wall_bcs, None, spec.source_fn,
+        )
+        self.recorder = StepRecorder(BufferSink())
+
+        writers: dict = {}
+        readers: dict = {}
+        self._channels = []
+        for (src, dest), (name, cap) in spec.channels.items():
+            ch = ShmChannel.attach(name, cap)
+            self._channels.append(ch)
+            if src == self.rank:
+                writers[dest] = ch
+            if dest == self.rank:
+                readers[src] = ch
+        self.comm = ShmCommunicator(
+            self.rank, spec.size, writers, readers,
+            metrics=self.metrics, barrier=board,
+            timeout_s=spec.comm_timeout_s, board=board,
+        )
+        self._install_state(spec.state)
+        self._process_t0 = time.process_time()
+
+    # ------------------------------------------------------------------
+    # State install / snapshot (shared by construction and supervision)
+    # ------------------------------------------------------------------
+
+    def _install_state(self, state: dict) -> None:
+        """Rebuild forest topology, block data, and counters from *state*.
+
+        Leaf insertion order is part of the byte-level contract (every
+        iteration the drivers do follows it), so the ordered leaf list is
+        replayed verbatim.
+        """
+        forest = AMRForest(self.layout, self.amr.max_levels)
+        for key in state["leaves"]:
+            forest.add_leaf(key, None)
+        forest.refined = set(state["refined"])
+        self.forest = forest
+        self._pipelines = {}
+        self._pipe_state = {}
+        for key, (cons, p_cache, stats_vec) in state["blocks"].items():
+            self.forest.leaves[key].cons = np.array(cons)
+            self._pipe_state[key] = (
+                None if p_cache is None else np.array(p_cache),
+                None if stats_vec is None else stats_from_vector(stats_vec),
+            )
+        self.assignment = dict(state["assignment"])
+        self._invalidate_plans()
+        self.t = float(state["t"])
+        self.steps = int(state["steps"])
+        self.cells_updated = int(state["cells_updated"])
+        self.regrids = int(state["regrids"])
+        self.repartitions = int(state["repartitions"])
+        self.migrated_blocks = int(state["migrated_blocks"])
+        self._last_imbalance = float(state["imbalance"])
+        if state.get("metrics") is not None:
+            self.metrics.restore(state["metrics"])
+        if state.get("timers") is not None:
+            self.timers.restore(state["timers"])
+        if state.get("recorder") is not None:
+            self.recorder.restore_state(state["recorder"])
+
+    def _block_state(self, key: BlockKey) -> tuple:
+        pipe = self._pipelines.get(key)
+        if pipe is not None:
+            p_cache = pipe._p_cache
+            return (
+                None if p_cache is None else p_cache.copy(),
+                stats_vector(pipe.recovery_stats),
+            )
+        staged = self._pipe_state.get(key)
+        if staged is not None:
+            p_cache, stats = staged
+            return (
+                None if p_cache is None else p_cache.copy(),
+                None if stats is None else stats_vector(stats),
+            )
+        return None, None
+
+    def supervision_state(self) -> dict:
+        blocks = {}
+        for key in self._step_keys():
+            p_cache, stats_vec = self._block_state(key)
+            blocks[key] = (
+                self.forest.leaves[key].cons.copy(), p_cache, stats_vec
+            )
+        return {
+            "leaves": list(self.forest.leaves),
+            "refined": sorted(self.forest.refined),
+            "assignment": dict(self.assignment),
+            "blocks": blocks,
+            "t": self.t,
+            "steps": self.steps,
+            "cells_updated": self.cells_updated,
+            "regrids": self.regrids,
+            "repartitions": self.repartitions,
+            "migrated_blocks": self.migrated_blocks,
+            "imbalance": self._last_imbalance,
+            "metrics": self.metrics.snapshot(),
+            "timers": self.timers.state(),
+            "recorder": self.recorder.state(),
+            "traffic": self.comm.traffic_state(),
+            "epoch": self.comm._epoch,
+        }
+
+    def restore_supervision_state(self, state: dict) -> None:
+        """Roll back to a step boundary after a rank failure: forest,
+        blocks, warm-start caches, counters, and the communicator (pending
+        records dropped, epoch and traffic restored, board re-baselined)."""
+        self._install_state(state)
+        self.comm.reset_after_failure(state["epoch"], state["traffic"])
+
+    # ------------------------------------------------------------------
+    # Pipeline warm-start migration hook
+    # ------------------------------------------------------------------
+
+    def _on_new_pipeline(self, key: BlockKey, pipe) -> None:
+        staged = self._pipe_state.pop(key, None)
+        if staged is None:
+            return
+        p_cache, stats = staged
+        pipe._p_cache = p_cache
+        if stats is not None:
+            pipe.recovery_stats = stats
+
+    # ------------------------------------------------------------------
+    # Rank-local evolution set
+    # ------------------------------------------------------------------
+
+    def _step_keys(self) -> list[BlockKey]:
+        if self._owned is None:
+            self._owned = [
+                k for k in self.forest.leaves
+                if self.assignment[k] == self.rank
+            ]
+        return self._owned
+
+    def _flags_here(self, key: BlockKey) -> bool:
+        return self.assignment[key] == self.rank
+
+    def _combine_flags(self, flags: np.ndarray) -> np.ndarray:
+        out = self.comm.allreduce({self.rank: flags}, "sum")
+        return out[self.rank]
+
+    def _reduce_dt(self, local_min: float) -> float:
+        out = self.comm.allreduce(
+            {self.rank: np.asarray([local_min])}, "min"
+        )
+        return float(out[self.rank][0])
+
+    # ------------------------------------------------------------------
+    # Ghost exchange
+    # ------------------------------------------------------------------
+
+    def _fill_ghosts(self, prims: dict[BlockKey, np.ndarray]) -> None:
+        plan = self._get_halo_plan()
+        owned = plan.owned[self.rank]
+        self.comm.begin_exchange_epoch()
+        for (src, dst), keys in plan.sends.items():
+            if src != self.rank:
+                continue
+            for key in keys:
+                leaf = self.forest.leaves[key]
+                self.comm.send(
+                    self.rank, dst, leaf.grid.interior_of(prims[key]),
+                    tag=TAG_AMR_HALO,
+                )
+        fields = {k: prims[k] for k in owned}
+        for (src, dst), keys in plan.sends.items():
+            if dst != self.rank:
+                continue
+            for key in keys:
+                data = self.comm.recv(src, tag=TAG_AMR_HALO)
+                leaf = self.forest.leaves[key]
+                arr = leaf.grid.allocate(self.system.nvars)
+                leaf.grid.interior_of(arr)[...] = data
+                fields[key] = arr
+        if owned:
+            self.forest.fill_ghosts(
+                fields, self.system.nvars, self.system, self.wall_bcs,
+                only=owned,
+            )
+
+    def _count_halo_traffic(self, plan) -> None:
+        pass  # real traffic is counted by the communicator (comm.shm.*)
+
+    # ------------------------------------------------------------------
+    # Refluxing across ranks
+    # ------------------------------------------------------------------
+
+    def _apply_reflux(self, fluxes, dU) -> None:
+        plan = self._get_reflux_plan()
+        B = self.layout.block_size
+        for (src, dst), entries in plan.items():
+            if src != self.rank:
+                continue
+            for child, axis in entries:
+                self.comm.send(
+                    self.rank, dst,
+                    face_flux_column(fluxes[child], child, axis, B),
+                    tag=TAG_AMR_FLUX,
+                )
+        remote_faces: dict = {}
+        for (src, dst), entries in plan.items():
+            if dst != self.rank:
+                continue
+            for child, axis in entries:
+                remote_faces[(child, axis)] = self.comm.recv(
+                    src, tag=TAG_AMR_FLUX
+                )
+        apply_reflux(
+            self.forest, fluxes, dU,
+            remote_faces=remote_faces, only=self._step_keys(),
+        )
+
+    # ------------------------------------------------------------------
+    # Topology changes with remote data
+    # ------------------------------------------------------------------
+
+    def _split_leaf(self, key, from_initial_data=False, ghosted_prim=None):
+        if self.assignment is not None and self.assignment[key] != self.rank:
+            # Topology-only split: the block's data lives on its owner.
+            self.forest.split(key, {c: None for c in key.children()})
+            self._drop_pipeline(key)
+            self._on_split(key)
+            return
+        super()._split_leaf(
+            key, from_initial_data=from_initial_data,
+            ghosted_prim=ghosted_prim,
+        )
+
+    def _merge_groups(self, merges: list[BlockKey]) -> None:
+        if not merges:
+            return
+        plan = merge_plan(merges, self.assignment)
+        ndim = self.layout.ndim
+        half = self.layout.block_size // 2
+        qshape = (self.system.nvars,) + (half,) * ndim
+        for parent, child, src, dst in plan:
+            if src != self.rank:
+                continue
+            leaf = self.forest.leaves[child]
+            self.comm.send(
+                self.rank, dst,
+                restrict_array(leaf.grid.interior_of(leaf.cons), ndim),
+                tag=TAG_AMR_MERGE,
+            )
+        received: dict = {}
+        for parent, child, src, dst in plan:
+            if dst != self.rank:
+                continue
+            data = np.asarray(self.comm.recv(src, tag=TAG_AMR_MERGE))
+            received[(parent, child)] = check_block_payload(
+                data, qshape, "merge quarter", child
+            )
+        for parent in merges:
+            self._merge_with(parent, received)
+
+    def _merge_with(self, parent: BlockKey, received: dict) -> None:
+        children = parent.children()
+        dst = self.assignment[children[0]]
+        self._on_merge(parent)
+        cons = None
+        if dst == self.rank:
+            grid = self.layout.grid_for(parent)
+            cons = grid.allocate(self.system.nvars)
+            half = self.layout.block_size // 2
+            for child in children:
+                data = received.get((parent, child))
+                if data is None:
+                    leaf = self.forest.leaves[child]
+                    data = restrict_array(
+                        leaf.grid.interior_of(leaf.cons), self.layout.ndim
+                    )
+                off = child.child_offset()
+                sel = (slice(None),) + tuple(
+                    slice(o * half, (o + 1) * half) for o in off
+                )
+                grid.interior_of(cons)[sel] = data
+        for child in children:
+            self._drop_pipeline(child)
+            self._pipe_state.pop(child, None)
+        self.forest.merge(parent, cons)
+
+    # ------------------------------------------------------------------
+    # Block migration
+    # ------------------------------------------------------------------
+
+    def _migrate(self, moves, new_assignment: dict[BlockKey, int]) -> None:
+        """Ship departing blocks, validate every incoming frame, then
+        install — a torn or corrupt frame raises
+        :class:`~repro.utils.errors.BlockMigrationError` before any forest
+        state changes."""
+        outgoing = [m for m in moves if m[1] == self.rank]
+        incoming = [m for m in moves if m[2] == self.rank]
+        for key, _src, dst in outgoing:
+            leaf = self.forest.leaves[key]
+            pipe = self._pipelines.get(key)
+            staged = self._pipe_state.get(key)
+            if pipe is not None:
+                p_cache = pipe._p_cache
+                stats = pipe.recovery_stats
+            elif staged is not None:
+                p_cache, stats = staged
+            else:
+                p_cache = stats = None
+            header = block_frame_header(key, leaf.cons, p_cache, stats)
+            self.comm.send(self.rank, dst, header, tag=TAG_AMR_MIGRATE)
+            self.comm.send(self.rank, dst, leaf.cons, tag=TAG_AMR_MIGRATE)
+            if p_cache is not None:
+                self.comm.send(self.rank, dst, p_cache, tag=TAG_AMR_MIGRATE)
+        staged_in = []
+        for key, src, _dst in incoming:
+            leaf = self.forest.leaves[key]
+            gshape = (self.system.nvars,) + tuple(
+                n + 2 * leaf.grid.n_ghost for n in leaf.grid.shape
+            )
+            header = self.comm.recv(src, tag=TAG_AMR_MIGRATE)
+            has_pcache, stats = check_block_frame(header, key, gshape)
+            cons = check_block_payload(
+                np.asarray(self.comm.recv(src, tag=TAG_AMR_MIGRATE)),
+                gshape, "cons", key,
+            )
+            p_cache = None
+            if has_pcache:
+                # The con2prim warm-start cache holds only the pressure
+                # variable over the block interior.
+                pshape = tuple(leaf.grid.shape)
+                p_cache = check_block_payload(
+                    np.asarray(self.comm.recv(src, tag=TAG_AMR_MIGRATE)),
+                    pshape, "p_cache", key,
+                )
+            staged_in.append((key, cons, p_cache, stats))
+        # Validate-all-then-install: nothing above mutated the forest.
+        for key, cons, p_cache, stats in staged_in:
+            self.forest.leaves[key].cons = cons
+            self._drop_pipeline(key)
+            self._pipe_state[key] = (p_cache, stats)
+        for key, _src, _dst in outgoing:
+            self.forest.leaves[key].cons = None
+            self._drop_pipeline(key)
+            self._pipe_state.pop(key, None)
+        self.assignment = dict(new_assignment)
+        self._invalidate_plans()
+
+    def _emit_rebalance_event(self, **payload) -> None:
+        pass  # the parent emits the event from the merged record delta
+
+    # ------------------------------------------------------------------
+    # Worker-process protocol surface
+    # ------------------------------------------------------------------
+
+    def step(self, dt=None, t_final=None):
+        self._barrier.wait(self._barrier_timeout)
+        out_dt = AMRSolver.step(self, dt=dt, t_final=t_final)
+        return out_dt, self.recorder.sink.records.pop()
+
+    @property
+    def cons(self) -> dict[BlockKey, np.ndarray]:
+        """Owned blocks' ghosted conserved arrays (``gather_cons`` reply)."""
+        return {k: self.forest.leaves[k].cons for k in self._step_keys()}
+
+    def interior_primitives(self) -> dict[BlockKey, np.ndarray]:
+        return {
+            k: self.forest.leaves[k].grid.interior_of(
+                self._pipeline(k).recover_primitives(
+                    self.forest.leaves[k].cons
+                )
+            ).copy()
+            for k in self._step_keys()
+        }
+
+    def snapshot(self) -> dict:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "timers": {name: t.elapsed for name, t in self.timers.items()},
+            "process_seconds": time.process_time() - self._process_t0,
+        }
+
+    def checkpoint_state(self):
+        raise WorkerError(
+            "in-run checkpointing is not supported by the distributed AMR "
+            "driver"
+        )
+
+    def restore_state(self, *args):
+        raise WorkerError(
+            "in-run checkpointing is not supported by the distributed AMR "
+            "driver"
+        )
+
+    def rebind(self, channels: dict) -> None:
+        """Attach freshly recreated shm rings (a peer was respawned)."""
+        for (src, dest), (name, cap) in channels.items():
+            ch = ShmChannel.attach(name, cap)
+            self._channels.append(ch)
+            self.comm.rebind_channel(src, dest, ch)
+
+    def close(self) -> None:
+        for ch in self._channels:
+            try:
+                ch.close()
+            except Exception:
+                pass
+
+
+class AMRProcessSolver(ProcessSolver):
+    """Multi-process executor for :class:`DistributedAMRSolver`.
+
+    Same step/record/supervision surface as :class:`ProcessSolver`, with a
+    forest instead of a Cartesian decomposition: blocks are partitioned by
+    the Morton curve, ghost and reflux data travel over all-pairs shm
+    rings, and dynamic repartitioning migrates whole blocks between worker
+    processes.  Results are bit-identical to the serial
+    :class:`~repro.core.amr_solver.AMRSolver` (the test tier pins this at
+    1/2/4 ranks, through migrations and injected process faults).
+    """
+
+    def __init__(
+        self,
+        system: SRHDSystem,
+        root_grid: Grid,
+        initial_data,
+        config: SolverConfig | None = None,
+        amr: AMRConfig | None = None,
+        boundaries: BoundarySet | None = None,
+        recorder: "StepRecorder | None" = None,
+        source_fn=None,
+        n_ranks: int = 2,
+        fault_injector=None,
+        comm_timeout_s: float = 120.0,
+        step_timeout_s: float = 600.0,
+        ready_timeout_s: float = 180.0,
+        supervision=None,
+    ):
+        plan = fault_injector.plan if fault_injector is not None else None
+        _validate_amr_plan(plan, n_ranks)
+        if supervision is not None and supervision.degrade:
+            raise ConfigurationError(
+                "degrade-to-serial is not supported by the distributed AMR "
+                "driver; use degrade=False"
+            )
+        proto = DistributedAMRSolver(
+            system, root_grid, initial_data,
+            config=config, amr=amr, boundaries=boundaries,
+            source_fn=source_fn, n_ranks=n_ranks,
+        )
+        self.system = system
+        self.root_grid = root_grid
+        self.config = proto.config
+        self.amr = proto.amr
+        self.layout = proto.layout
+        self.recorder = recorder
+        self.supervision = supervision
+        self._plan = plan
+        self.n_ranks = int(n_ranks)
+        self.t = 0.0
+        self.steps = 0
+        self.step_timeout_s = float(step_timeout_s)
+        self.metrics = _MergedMetrics(self)
+        self._closed = False
+        self._last_record: dict | None = None
+        self._wall_bcs = proto.wall_bcs
+        self._source_fn = source_fn
+        self._comm_timeout_s = float(comm_timeout_s)
+        self._ready_timeout_s = float(ready_timeout_s)
+        self._heartbeat_interval_s = (
+            supervision.heartbeat_interval_s if supervision is not None
+            else 0.25
+        )
+        self._snapshot: dict | None = None
+        self._emitted = 0
+        self._restarts_used = 0
+        self._restart_rounds = 0
+        self._process_faults_fired: set[int] = set()
+        self._local_prev: dict = {}
+        self._last_amr: dict | None = None
+
+        self._init_states = self._states_from_proto(proto)
+
+        g = root_grid.n_ghost
+        B = self.amr.block_size
+        block_nbytes = 8 * system.nvars * (B + 2 * g) ** root_grid.ndim
+        caps = amr_channel_capacities(self.n_ranks, block_nbytes)
+        self._caps = dict(caps)
+        self._segments: list[str] = []
+        self._channels: dict = {}
+        for pair, cap in caps.items():
+            ch = ShmChannel.create(cap)
+            self._channels[pair] = ch
+            self._segments.append(ch.name)
+
+        self._ctx = mp.get_context("spawn")
+        self._board = SupervisionBoard.create(self.size)
+        self._segments.append(self._board.name)
+        self._procs: dict[int, mp.Process] = {}
+        self._conns: dict = {}
+        try:
+            for rank in range(self.size):
+                self._spawn(rank)
+            self._collect("ready", timeout_s=self._ready_timeout_s)
+            if supervision is not None:
+                self._snapshot = self._gather_supervision_state()
+        except BaseException:
+            self._abort()
+            raise
+
+    def _states_from_proto(self, proto: DistributedAMRSolver) -> dict:
+        """Per-rank initial install states from the prototype solver.
+
+        Rank 0 carries the prototype's full metric/timer baselines (the
+        construction-time con2prim work), so merged step records reproduce
+        the serial recorder stream byte for byte.
+        """
+        topo_leaves = list(proto.forest.leaves)
+        topo_refined = sorted(proto.forest.refined)
+        metrics_snap = proto.metrics.snapshot()
+        timers_state = proto.timers.state()
+        states = {}
+        for rank in range(self.n_ranks):
+            blocks = {}
+            for key in topo_leaves:
+                if proto.assignment[key] != rank:
+                    continue
+                leaf = proto.forest.leaves[key]
+                pipe = proto._pipelines.get(key)
+                p_cache = (
+                    None if pipe is None or pipe._p_cache is None
+                    else pipe._p_cache.copy()
+                )
+                stats_vec = (
+                    None if pipe is None
+                    else stats_vector(pipe.recovery_stats)
+                )
+                blocks[key] = (leaf.cons.copy(), p_cache, stats_vec)
+            states[rank] = {
+                "leaves": topo_leaves,
+                "refined": topo_refined,
+                "assignment": dict(proto.assignment),
+                "blocks": blocks,
+                "t": proto.t,
+                "steps": proto.steps,
+                "cells_updated": proto.cells_updated,
+                "regrids": proto.regrids,
+                "repartitions": proto.repartitions,
+                "migrated_blocks": proto.migrated_blocks,
+                "imbalance": proto._last_imbalance,
+                "metrics": metrics_snap if rank == 0 else None,
+                "timers": timers_state if rank == 0 else None,
+                "recorder": None,
+                "traffic": None,
+                "epoch": None,
+            }
+        return states
+
+    def _make_spec(self, rank: int, defer_init: bool = False) -> _AMRWorkerSpec:
+        return _AMRWorkerSpec(
+            rank=rank,
+            size=self.size,
+            system=self.system,
+            root_grid=self.root_grid,
+            config=self.config,
+            amr=self.amr,
+            wall_bcs=self._wall_bcs,
+            source_fn=self._source_fn,
+            state=self._init_states[rank],
+            channels={
+                pair: (ch.name, ch.capacity)
+                for pair, ch in self._channels.items()
+                if rank in pair
+            },
+            comm_timeout_s=self._comm_timeout_s,
+            barrier_timeout_s=self.step_timeout_s,
+            board_name=self._board.name,
+            heartbeat_interval_s=self._heartbeat_interval_s,
+            defer_init=defer_init,
+        )
+
+    @property
+    def size(self) -> int:
+        return self.n_ranks
+
+    # Rebalance bookkeeping mirrored from the workers' last step record,
+    # matching the DistributedAMRSolver surface.
+    @property
+    def repartitions(self) -> int:
+        return int((self._last_amr or {}).get("repartitions", 0))
+
+    @property
+    def migrated_blocks(self) -> int:
+        return int((self._last_amr or {}).get("migrated_blocks", 0))
+
+    @property
+    def imbalance(self) -> float:
+        return float((self._last_amr or {}).get("imbalance", 1.0))
+
+    def _emit_step_record(self, merged: dict) -> None:
+        amr = merged.get("amr")
+        if amr is not None:
+            prev = self._last_amr or {}
+            reps = amr.get("repartitions", 0) - prev.get("repartitions", 0)
+            if reps and self.recorder is not None:
+                self.recorder.emit_event(
+                    "amr_rebalance",
+                    step=merged["step"],
+                    imbalance_after=amr.get("imbalance"),
+                    migrated_blocks=(
+                        amr.get("migrated_blocks", 0)
+                        - prev.get("migrated_blocks", 0)
+                    ),
+                    repartitions=amr.get("repartitions"),
+                )
+            self._last_amr = dict(amr)
+        super()._emit_step_record(merged)
+
+    def run(self, t_final, max_steps=None, checkpoint_every=0,
+            checkpoint_path=None) -> None:
+        if checkpoint_every:
+            raise ConfigurationError(
+                "in-run checkpointing is not supported by the distributed "
+                "AMR driver"
+            )
+        super().run(t_final, max_steps=max_steps)
+
+    def gather_blocks(self) -> dict[BlockKey, np.ndarray]:
+        """Every leaf's ghosted conserved array, merged across ranks."""
+        self._command_all("gather_cons")
+        replies = self._collect("cons")
+        out: dict[BlockKey, np.ndarray] = {}
+        for rank in range(self.size):
+            out.update(replies[rank][2])
+        return out
+
+    def gather_block_primitives(self) -> dict[BlockKey, np.ndarray]:
+        """Every leaf's interior primitives, merged across ranks."""
+        self._command_all("gather_prims")
+        replies = self._collect("prims")
+        out: dict[BlockKey, np.ndarray] = {}
+        for rank in range(self.size):
+            out.update(replies[rank][2])
+        return out
+
+    def gather_primitives(self):
+        raise ConfigurationError(
+            "the AMR executor gathers per-block data; use gather_blocks() "
+            "or gather_block_primitives()"
+        )
+
+    def checkpoint_shards(self):
+        raise ConfigurationError(
+            "in-run checkpointing is not supported by the distributed AMR "
+            "driver"
+        )
+
+    def restore_state(self, *args):
+        raise ConfigurationError(
+            "in-run checkpointing is not supported by the distributed AMR "
+            "driver"
+        )
+
+
+def make_distributed_amr_solver(
+    system: SRHDSystem,
+    root_grid: Grid,
+    initial_data,
+    config: SolverConfig | None = None,
+    amr: AMRConfig | None = None,
+    n_ranks: int = 1,
+    **kwargs,
+):
+    """Build the distributed AMR solver selected by ``config.executor``.
+
+    ``"serial"`` returns the in-process rank loop
+    (:class:`DistributedAMRSolver`), ``"process"`` the multi-core
+    :class:`AMRProcessSolver` — same decision sequence, bit-identical
+    block bytes.
+    """
+    cfg = config or SolverConfig()
+    if cfg.executor == "process":
+        return AMRProcessSolver(
+            system, root_grid, initial_data,
+            config=cfg, amr=amr, n_ranks=n_ranks, **kwargs,
+        )
+    kwargs.pop("comm_timeout_s", None)
+    kwargs.pop("step_timeout_s", None)
+    kwargs.pop("ready_timeout_s", None)
+    kwargs.pop("supervision", None)
+    kwargs.pop("fault_injector", None)
+    return DistributedAMRSolver(
+        system, root_grid, initial_data,
+        config=cfg, amr=amr, n_ranks=n_ranks, **kwargs,
+    )

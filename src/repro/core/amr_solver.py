@@ -8,6 +8,14 @@ snapshots, gradient-based regridding with 2:1 balance enforcement.
 The headline accounting for experiment E11 is :attr:`cells_updated` — the
 number of leaf-cell RK-stage updates actually performed — against the error
 measured on the composite solution.
+
+Every regrid decision is made from one *ghosted snapshot* (all leaves
+recovered once, ghosts filled once) and applied in the forest's leaf
+iteration order, so the sequence of topology changes is a deterministic
+function of the snapshot.  The distributed driver
+(:class:`~repro.core.amr_distributed.DistributedAMRSolver`) relies on this:
+each rank flags only the leaves it owns, the flags are combined, and every
+rank replays the identical split/merge sequence.
 """
 
 from __future__ import annotations
@@ -56,6 +64,18 @@ class AMRConfig(ParameterSet):
     reflux = param(
         True, bool, doc="conservative flux correction at coarse-fine faces"
     )
+    rebalance_threshold = param(
+        1.25,
+        float,
+        lambda v: v >= 1.0,
+        "repartition when max/mean rank work exceeds this after a regrid",
+    )
+    partitioner = param(
+        "sfc",
+        str,
+        lambda v: v in ("sfc", "round-robin", "random"),
+        "leaf-to-rank partitioner used by the distributed driver",
+    )
 
 
 class AMRSolver:
@@ -94,6 +114,35 @@ class AMRSolver:
         recorder: "StepRecorder | None" = None,
         source_fn=None,
     ):
+        self._init_core(
+            system, root_grid, config, amr, boundaries, recorder, source_fn
+        )
+        self._initial_data = initial_data
+
+        # Root tiling from the analytic initial data.
+        for key in self.layout.root_keys():
+            grid = self.layout.grid_for(key)
+            prim = initial_data(system, grid).astype(float, copy=True)
+            self.forest.add_leaf(key, system.prim_to_con(prim))
+        # Initial refinement sweeps resolve features present at t = 0.
+        for _ in range(self.amr.initial_regrid_passes):
+            if not self._initial_refine_pass():
+                break
+        self._enforce_balance(from_initial_data=True)
+
+    def _init_core(
+        self,
+        system: SRHDSystem,
+        root_grid: Grid,
+        config: SolverConfig | None,
+        amr: AMRConfig | None,
+        boundaries: BoundarySet | None,
+        recorder: "StepRecorder | None",
+        source_fn,
+    ) -> None:
+        """Everything except initial-data seeding — shared with the
+        process-backend rank worker, which rebuilds its forest from shipped
+        state instead of evaluating ``initial_data``."""
         if system.ndim != root_grid.ndim:
             raise ConfigurationError("system/grid dimensionality mismatch")
         self.system = system
@@ -106,7 +155,7 @@ class AMRSolver:
             self.amr.refine_threshold, self.amr.coarsen_threshold
         )
         self.integrator = make_integrator(self.config.integrator)
-        self._initial_data = initial_data
+        self._initial_data = None
         self.source_fn = source_fn
         self._pipelines: dict[BlockKey, HydroPipeline] = {}
         self._interior_bcs = BoundarySet(default=InteriorFace())
@@ -120,17 +169,6 @@ class AMRSolver:
         self.steps = 0
         self.cells_updated = 0
         self.regrids = 0
-
-        # Root tiling from the analytic initial data.
-        for key in self.layout.root_keys():
-            grid = self.layout.grid_for(key)
-            prim = initial_data(system, grid).astype(float, copy=True)
-            self.forest.add_leaf(key, system.prim_to_con(prim))
-        # Initial refinement sweeps resolve features present at t = 0.
-        for _ in range(self.amr.initial_regrid_passes):
-            if not self._initial_refine_pass():
-                break
-        self._enforce_balance(from_initial_data=True)
 
     # ------------------------------------------------------------------
     # Pipelines
@@ -151,19 +189,53 @@ class AMRSolver:
             pipe.source_fn = self.source_fn
             pipe.time = self.t
             self._pipelines[key] = pipe
+            self._on_new_pipeline(key, pipe)
         return pipe
+
+    def _on_new_pipeline(self, key: BlockKey, pipe: HydroPipeline) -> None:
+        """Hook: the process-backend worker seeds migrated-in warm-start
+        state (p_cache, recovery stats) here."""
 
     def _drop_pipeline(self, key: BlockKey) -> None:
         self._pipelines.pop(key, None)
 
     # ------------------------------------------------------------------
+    # Ghosted snapshots
+    # ------------------------------------------------------------------
+
+    def _recover_leaf_prims(self) -> dict[BlockKey, np.ndarray]:
+        """Recover primitives for every leaf this driver evolves, in leaf
+        iteration order (warm-start caches make the order part of the
+        byte-level contract)."""
+        return {
+            k: self._pipeline(k).recover_primitives(self.forest.leaves[k].cons)
+            for k in self._step_keys()
+        }
+
+    def _fill_ghosts(self, prims: dict[BlockKey, np.ndarray]) -> None:
+        """Ghost-fill hook: the distributed drivers swap in per-rank
+        partial fills (plus inter-rank exchange in the process backend)."""
+        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+
+    def _ghosted_snapshot(self) -> dict[BlockKey, np.ndarray]:
+        """Recover every evolved leaf once and fill ghosts once; all regrid
+        decisions and prolongations read this snapshot."""
+        prims = self._recover_leaf_prims()
+        self._fill_ghosts(prims)
+        return prims
+
+    # ------------------------------------------------------------------
     # Refinement operations
     # ------------------------------------------------------------------
 
-    def _split_leaf(self, key: BlockKey, from_initial_data: bool = False) -> None:
-        """Refine one leaf; children get analytic data at t=0, prolonged
-        primitives afterwards."""
-        leaf = self.forest.leaves[key]
+    def _split_leaf(
+        self,
+        key: BlockKey,
+        from_initial_data: bool = False,
+        ghosted_prim: np.ndarray | None = None,
+    ) -> None:
+        """Refine one leaf; children get analytic data at t=0, primitives
+        prolonged from the supplied ghosted snapshot afterwards."""
         children = key.children()
         child_cons: dict[BlockKey, np.ndarray] = {}
         if from_initial_data and self.t == 0.0:
@@ -172,17 +244,15 @@ class AMRSolver:
                 prim = self._initial_data(self.system, grid).astype(float, copy=True)
                 child_cons[child] = self.system.prim_to_con(prim)
         else:
-            prim = self._pipeline(key).recover_primitives(leaf.cons)
-            self.forest.fill_ghosts(
-                {key: prim, **self._recover_all_except(key)},
-                self.system.nvars,
-                self.system,
-                self.wall_bcs,
-            )
+            if ghosted_prim is None:
+                raise ConfigurationError(
+                    f"split of {key} at t > 0 requires a ghosted snapshot"
+                )
+            leaf = self.forest.leaves[key]
             g = leaf.grid.n_ghost
             B = self.layout.block_size
             pad = (slice(None),) + (slice(g - 1, g + B + 1),) * self.layout.ndim
-            fine_prim = prolong_array(prim[pad], self.layout.ndim)
+            fine_prim = prolong_array(ghosted_prim[pad], self.layout.ndim)
             for child in children:
                 grid = self.layout.grid_for(child)
                 child_prim = grid.allocate(self.system.nvars)
@@ -197,15 +267,13 @@ class AMRSolver:
                 child_cons[child] = self.system.prim_to_con(child_prim)
         self.forest.split(key, child_cons)
         self._drop_pipeline(key)
+        self._on_split(key)
 
-    def _recover_all_except(self, skip: BlockKey) -> dict[BlockKey, np.ndarray]:
-        return {
-            k: self._pipeline(k).recover_primitives(leaf.cons)
-            for k, leaf in self.forest.leaves.items()
-            if k != skip
-        }
+    def _on_split(self, key: BlockKey) -> None:
+        """Hook: ownership bookkeeping for the distributed drivers."""
 
     def _merge_siblings(self, parent: BlockKey) -> None:
+        self._on_merge(parent)
         children = parent.children()
         grid = self.layout.grid_for(parent)
         cons = grid.allocate(self.system.nvars)
@@ -227,6 +295,10 @@ class AMRSolver:
             self._drop_pipeline(child)
         self.forest.merge(parent, cons)
 
+    def _on_merge(self, parent: BlockKey) -> None:
+        """Hook, called while the children are still leaves: ownership
+        bookkeeping for the distributed drivers."""
+
     def _flag_view(self, prim: np.ndarray, grid: Grid) -> np.ndarray:
         """Interior plus one ghost ring: discontinuities sitting exactly on
         a block face must still flag both neighbouring blocks."""
@@ -238,11 +310,7 @@ class AMRSolver:
 
     def _initial_refine_pass(self) -> bool:
         """One sweep of refinement over the initial data; True if changed."""
-        prims = {
-            k: self._pipeline(k).recover_primitives(leaf.cons)
-            for k, leaf in self.forest.leaves.items()
-        }
-        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+        prims = self._ghosted_snapshot()
         flagged = []
         for key, leaf in self.forest.leaves.items():
             if key.level + 1 >= self.amr.max_levels:
@@ -260,93 +328,145 @@ class AMRSolver:
             bad = self.forest.unbalanced_leaves()
             if not bad:
                 return
+            prims = None
+            if not (from_initial_data and self.t == 0.0):
+                prims = self._ghosted_snapshot()
             for key in bad:
                 if key in self.forest.leaves:
-                    self._split_leaf(key, from_initial_data=from_initial_data)
+                    self._split_leaf(
+                        key,
+                        from_initial_data=from_initial_data,
+                        ghosted_prim=None if prims is None else prims.get(key),
+                    )
         raise ConfigurationError("2:1 balance did not converge")
 
     def regrid(self) -> None:
         """Flag, refine, coarsen, and rebalance."""
         self.regrids += 1
-        prims = {
-            k: self._pipeline(k).recover_primitives(leaf.cons)
-            for k, leaf in self.forest.leaves.items()
-        }
-        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
-        refine_flags: set[BlockKey] = set()
-        coarsen_ok: set[BlockKey] = set()
-        for key, leaf in self.forest.leaves.items():
-            view = self._flag_view(prims[key], leaf.grid)
-            if self.criterion.needs_refinement(self.system, view):
-                if key.level + 1 < self.amr.max_levels:
-                    refine_flags.add(key)
-            elif self.criterion.allows_coarsening(self.system, view):
-                coarsen_ok.add(key)
+        prims = self._ghosted_snapshot()
+        refine_flags, coarsen_ok = self._flag_leaves(prims)
         for key in refine_flags:
             if key in self.forest.leaves:
-                self._split_leaf(key)
+                self._split_leaf(key, ghosted_prim=prims.get(key))
         # Coarsen complete, unflagged sibling groups.
-        parents = {}
+        parents: dict[BlockKey, list[BlockKey]] = {}
         for key in coarsen_ok:
             if key.level == 0 or key not in self.forest.leaves:
                 continue
             parents.setdefault(key.parent(), []).append(key)
-        for parent, kids in parents.items():
-            if len(kids) == 2**self.layout.ndim:
-                self._merge_siblings(parent)
+        merges = [
+            parent
+            for parent, kids in parents.items()
+            if len(kids) == 2**self.layout.ndim
+        ]
+        self._merge_groups(merges)
         self._enforce_balance()
+        self._post_regrid()
+
+    def _flag_leaves(self, prims) -> tuple[list[BlockKey], list[BlockKey]]:
+        """(refine, coarsen-ok) lists in leaf iteration order.  Each driver
+        scores the leaves it evolves; `_combine_flags` merges the per-rank
+        scores in the distributed backends."""
+        order = list(self.forest.leaves)
+        flags = np.zeros(len(order), dtype=np.int64)
+        for i, key in enumerate(order):
+            if not self._flags_here(key):
+                continue
+            leaf = self.forest.leaves[key]
+            view = self._flag_view(prims[key], leaf.grid)
+            if self.criterion.needs_refinement(self.system, view):
+                if key.level + 1 < self.amr.max_levels:
+                    flags[i] = 1
+            elif self.criterion.allows_coarsening(self.system, view):
+                flags[i] = 2
+        flags = self._combine_flags(flags)
+        refine = [key for key, f in zip(order, flags) if f == 1]
+        coarsen = [key for key, f in zip(order, flags) if f == 2]
+        return refine, coarsen
+
+    def _flags_here(self, key: BlockKey) -> bool:
+        return True
+
+    def _combine_flags(self, flags: np.ndarray) -> np.ndarray:
+        return flags
+
+    def _merge_groups(self, merges: list[BlockKey]) -> None:
+        for parent in merges:
+            self._merge_siblings(parent)
+
+    def _post_regrid(self) -> None:
+        """Hook: the distributed drivers measure imbalance and repartition
+        here, after the topology has settled."""
 
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------
+
+    def _step_keys(self) -> list[BlockKey]:
+        """The leaves this driver evolves (all of them; the process-backend
+        worker narrows this to its own rank's blocks)."""
+        return list(self.forest.leaves)
 
     def _rhs(self, cons_parts: dict[BlockKey, np.ndarray]) -> dict[BlockKey, np.ndarray]:
         # Per-block pipelines own their workspaces, so hot-path reuse is
         # safe; refluxing is too, since last_face_fluxes stores copies.
         prims = {
             key: self._pipeline(key).recover_primitives(cons_parts[key], reuse=True)
-            for key in self.forest.leaves
+            for key in cons_parts
         }
-        self.forest.fill_ghosts(prims, self.system.nvars, self.system, self.wall_bcs)
+        self._fill_ghosts(prims)
         dU = {
             key: self._pipeline(key).flux_divergence(prims[key], reuse=True)
-            for key in self.forest.leaves
+            for key in cons_parts
         }
         if self.amr.reflux:
-            from ..mesh.amr.reflux import apply_reflux
-
             fluxes = {
                 key: self._pipelines[key].last_face_fluxes
-                for key in self.forest.leaves
+                for key in cons_parts
             }
-            apply_reflux(self.forest, fluxes, dU)
+            self._apply_reflux(fluxes, dU)
         if self.source_fn is not None:
-            for key in self.forest.leaves:
+            for key in cons_parts:
                 self._pipeline(key).apply_source(prims[key], dU[key])
         return dU
 
+    def _apply_reflux(self, fluxes, dU) -> None:
+        from ..mesh.amr.reflux import apply_reflux
+
+        apply_reflux(self.forest, fluxes, dU)
+
     def compute_dt(self, t_final: float | None = None) -> float:
-        dt = min(
+        local = [
             compute_dt(
                 self.system,
-                leaf.grid,
-                self._pipeline(key).recover_primitives(leaf.cons, reuse=True),
+                self.forest.leaves[key].grid,
+                self._pipeline(key).recover_primitives(
+                    self.forest.leaves[key].cons, reuse=True
+                ),
                 cfl=self.config.cfl,
             )
-            for key, leaf in self.forest.leaves.items()
-        )
+            for key in self._step_keys()
+        ]
+        dt = self._reduce_dt(min(local) if local else float("inf"))
         return clip_dt_to_final(dt, self.t, t_final)
+
+    def _reduce_dt(self, local_min: float) -> float:
+        """Reduction hook: min over ranks in the process backend.  A global
+        min over per-leaf dt values is a *selection*, so reducing per-rank
+        minima is bit-identical to the serial min."""
+        return local_min
 
     def _set_stage_time(self, t: float) -> None:
         """Stage-time hook: every block pipeline's sources see t0 + c_i dt."""
         for pipeline in self._pipelines.values():
             pipeline.time = t
 
-    def step(self, dt: float | None = None, t_final: float | None = None) -> float:
-        wall0 = time.perf_counter()
-        if dt is None:
-            dt = self.compute_dt(t_final)
-        state = _DictState({k: leaf.cons for k, leaf in self.forest.leaves.items()})
+    def _advance(self, dt: float) -> int:
+        """One integrator step plus any due regrid; returns the global
+        leaf-cell RK-stage update count."""
+        state = _DictState(
+            {k: self.forest.leaves[k].cons for k in self._step_keys()}
+        )
         rhs = lambda s: _DictState(self._rhs(s.parts))
         advanced = self.integrator.step(
             state, dt, rhs, t0=self.t, set_time=self._set_stage_time
@@ -359,6 +479,13 @@ class AMRSolver:
         self.cells_updated += step_cells
         if self.steps % self.amr.regrid_interval == 0:
             self.regrid()
+        return step_cells
+
+    def step(self, dt: float | None = None, t_final: float | None = None) -> float:
+        wall0 = time.perf_counter()
+        if dt is None:
+            dt = self.compute_dt(t_final)
+        step_cells = self._advance(dt)
         if self.recorder is not None:
             self.recorder.record_step(
                 step=self.steps,
@@ -367,17 +494,20 @@ class AMRSolver:
                 wall_seconds=time.perf_counter() - wall0,
                 timers=self.timers,
                 metrics=self.metrics,
-                amr={
-                    "n_leaves": len(self.forest.leaves),
-                    "cells_updated": step_cells,
-                    "regrids": self.regrids,
-                    "leaves_by_level": {
-                        str(lvl): n
-                        for lvl, n in sorted(self.leaf_count_by_level().items())
-                    },
-                },
+                amr=self._amr_record(step_cells),
             )
         return dt
+
+    def _amr_record(self, step_cells: int) -> dict:
+        return {
+            "n_leaves": len(self.forest.leaves),
+            "cells_updated": step_cells,
+            "regrids": self.regrids,
+            "leaves_by_level": {
+                str(lvl): n
+                for lvl, n in sorted(self.leaf_count_by_level().items())
+            },
+        }
 
     def run(self, t_final: float, max_steps: int | None = None) -> None:
         limit = max_steps if max_steps is not None else self.config.max_steps

@@ -128,6 +128,11 @@ class _WorkerSpec:
     #: is installed via ``restore_full`` before they ever step.
     defer_init: bool = False
 
+    def build(self, board: "SupervisionBoard"):
+        """Construct this spec's rank worker (overridden by the AMR spec,
+        which builds a forest-shaped worker from the same process shell)."""
+        return _RankWorker(self, board)
+
 
 class _RankWorker:
     """One rank of the decomposition, living inside a worker process.
@@ -536,7 +541,7 @@ def _worker_main(spec: _WorkerSpec, conn) -> None:
             target=_heartbeat, name=f"heartbeat-{spec.rank}", daemon=True
         )
         hb_thread.start()
-        worker = _RankWorker(spec, board)
+        worker = spec.build(board)
         _send(("ready", spec.rank))
         while True:
             msg = conn.recv()
@@ -667,6 +672,10 @@ def merge_step_records(shards: list[dict]) -> dict:
                 "halo_bytes_model_per_exchange", 0
             ),
         }
+    if "amr" in base:
+        # The AMR record is replicated (forest shape and repartition state
+        # are identical on every rank) — take shard 0's verbatim.
+        merged["amr"] = base["amr"]
     return merged
 
 
@@ -1139,9 +1148,14 @@ class ProcessSolver:
             if sup is not None:
                 self._attach_parent_counters(merged)
             self._emitted = self.steps
-            if self.recorder is not None:
-                self.recorder.emit_step(merged)
+            self._emit_step_record(merged)
         return dt0
+
+    def _emit_step_record(self, merged: dict) -> None:
+        """Emit one freshly merged (non-replayed) step record.  The AMR
+        driver hooks in here to surface rebalance events first."""
+        if self.recorder is not None:
+            self.recorder.emit_step(merged)
 
     def _attach_parent_counters(self, merged: dict) -> None:
         """Fold parent-side counter deltas into an outgoing step record.

@@ -121,21 +121,27 @@ class Report:
                 "comm.overlap.hidden_frac",
                 counters.get("comm.overlap.hidden_s", 0.0) / modeled,
             )
-        # Gauges and histogram summaries are cumulative, so each rank's
-        # last record carries that rank's full-run state; aggregate the
-        # finals across ranks (max for gauges, exact combine for
-        # histogram summaries).
-        finals: dict[Any, dict] = {}
-        for s in steps:
-            finals[s.get("rank", 0)] = s
+        # Gauges and histogram summaries are cumulative, so a rank's last
+        # record *containing a name* carries that rank's full-run state for
+        # it.  Aggregation is per (rank, name) last occurrence — not the
+        # rank's final record wholesale: a name can drop out of later
+        # records (e.g. per-rank ``amr.*`` histograms after every block of
+        # a kind migrated away, or a registry swap on recovery), and taking
+        # only the final record would silently lose those buckets.
+        gauge_last: dict[tuple[Any, str], float] = {}
+        hist_last: dict[tuple[Any, str], dict] = {}
+        for s in steps:  # sorted by (step, rank): later records win
+            rank = s.get("rank", 0)
+            for name, val in s.get("gauges", {}).items():
+                gauge_last[(rank, name)] = val
+            for name, summ in s.get("histograms", {}).items():
+                hist_last[(rank, _HISTOGRAM_RENAMES.get(name, name))] = summ
         gauges: dict[str, float] = {}
         hists: dict[str, dict] = {}
-        for s in finals.values():
-            for name, val in s.get("gauges", {}).items():
-                gauges[name] = max(gauges[name], val) if name in gauges else val
-            for name, summ in s.get("histograms", {}).items():
-                name = _HISTOGRAM_RENAMES.get(name, name)
-                hists[name] = merge_histogram_summaries(hists.get(name), summ)
+        for (_rank, name), val in gauge_last.items():
+            gauges[name] = max(gauges[name], val) if name in gauges else val
+        for (_rank, name), summ in hist_last.items():
+            hists[name] = merge_histogram_summaries(hists.get(name), summ)
         for name, val in sorted(gauges.items()):
             report.add_row(f"gauge.{name}", val)
         for name, summ in sorted(hists.items()):

@@ -146,11 +146,17 @@ class AMRForest:
         system: SRHDSystem,
         wall_bcs: BoundarySet,
         up_to_level: int | None = None,
+        partial: bool = False,
     ) -> list[tuple[Grid, np.ndarray]]:
         """Uniform (grid, ghosted-array) snapshots per level, 0..finest.
 
         *fields* maps every leaf to its ghosted per-leaf array (typically
-        primitives); only interiors are consumed.
+        primitives); only interiors are consumed.  With ``partial=True``
+        leaves absent from *fields* are skipped instead of raising — the
+        distributed driver deposits only the blocks a rank owns plus their
+        ghost dependencies (see :func:`repro.mesh.amr.exchange.
+        ghost_dependencies` for why the filled windows still match the full
+        composite bit for bit).
         """
         finest = self.finest_level() if up_to_level is None else up_to_level
         root = self.layout.root_grid
@@ -161,6 +167,8 @@ class AMRForest:
             if level == 0:
                 # Everything restricted down to the root resolution.
                 for key, leaf in self.leaves.items():
+                    if partial and key not in fields:
+                        continue
                     data = self.layout_interior(fields[key], leaf.grid)
                     for _ in range(key.level):
                         data = restrict_array(data, self.layout.ndim)
@@ -177,6 +185,8 @@ class AMRForest:
                 # Overwrite with real data wherever leaves at >= this level live.
                 for key, leaf in self.leaves.items():
                     if key.level < level:
+                        continue
+                    if partial and key not in fields:
                         continue
                     data = self.layout_interior(fields[key], leaf.grid)
                     for _ in range(key.level - level):
@@ -212,12 +222,35 @@ class AMRForest:
         nvars: int,
         system: SRHDSystem,
         wall_bcs: BoundarySet,
+        only=None,
     ) -> None:
-        """Fill every leaf's ghost zones in place from the composites."""
-        composites = self.composite_levels(fields, nvars, system, wall_bcs)
+        """Fill every leaf's ghost zones in place from the composites.
+
+        With ``only=<keys>`` just those leaves' ghosts are written (their
+        arrays must be in *fields*); other entries of *fields* contribute
+        interiors to the composites but are never modified.  The composites
+        are then built partially, from exactly the entries present in
+        *fields*.
+        """
+        if only is None:
+            composites = self.composite_levels(fields, nvars, system, wall_bcs)
+            targets = list(self.leaves)
+        else:
+            targets = list(only)
+            if not targets:
+                return
+            composites = self.composite_levels(
+                fields,
+                nvars,
+                system,
+                wall_bcs,
+                up_to_level=max(k.level for k in targets),
+                partial=True,
+            )
         g = self.layout.n_ghost
         B = self.layout.block_size
-        for key, leaf in self.leaves.items():
+        for key in targets:
+            leaf = self.leaves[key]
             comp_grid, comp = composites[key.level]
             idx = [slice(None)]
             for ax in range(self.layout.ndim):

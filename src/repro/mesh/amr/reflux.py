@@ -38,12 +38,15 @@ def fine_face_flux(
     coarse_key: BlockKey,
     axis: int,
     side: int,
+    remote_faces: dict | None = None,
 ) -> np.ndarray | None:
     """Restricted fine flux through face (axis, side) of *coarse_key*.
 
     Returns None when the neighbour is not refined (no correction needed).
     *fluxes* maps each leaf to its per-axis face-flux arrays (shape
-    ``(nvars, *transverse_interior, n+1)``, face index last).
+    ``(nvars, *transverse_interior, n+1)``, face index last).  In the
+    distributed driver, face columns of children owned by other ranks
+    arrive pre-sliced in *remote_faces* keyed by ``(child, axis)``.
     """
     nbr = coarse_key.neighbor(axis, side)
     if not forest.layout.in_domain(nbr) or nbr not in forest.refined:
@@ -53,7 +56,12 @@ def fine_face_flux(
     trans_axes = [ax for ax in range(ndim) if ax != axis]
     touching = 1 - side  # the children of nbr facing us
 
-    nvars = next(iter(fluxes.values()))[axis].shape[0]
+    probe = next(iter(fluxes.values()), None)
+    nvars = (
+        probe[axis].shape[0]
+        if probe is not None
+        else next(iter(remote_faces.values())).shape[0]
+    )
     out = np.empty((nvars,) + (B,) * len(trans_axes))
     for child in nbr.children():
         off = child.child_offset()
@@ -64,8 +72,11 @@ def fine_face_flux(
                 f"2:1 balance violated: {child} borders {coarse_key} but is "
                 "not a leaf"
             )
-        face_col = 0 if touching == 0 else B
-        child_face = fluxes[child][axis][..., face_col]
+        if child in fluxes:
+            face_col = 0 if touching == 0 else B
+            child_face = fluxes[child][axis][..., face_col]
+        else:
+            child_face = remote_faces[(child, axis)]
         reduced = _restrict_face(child_face, len(trans_axes))
         sel = [slice(None)]
         for t_ax in trans_axes:
@@ -79,18 +90,26 @@ def apply_reflux(
     forest: AMRForest,
     fluxes: dict[BlockKey, dict[int, np.ndarray]],
     dU: dict[BlockKey, np.ndarray],
+    remote_faces: dict | None = None,
+    only=None,
 ) -> int:
     """Correct every coarse leaf's dU at faces shared with finer leaves.
 
     *dU* arrays are full ghosted right-hand sides, modified in place.
     Returns the number of faces corrected (useful for diagnostics/tests).
+    The distributed driver restricts the sweep to its own coarse leaves
+    (*only*) and supplies imported fine-face columns via *remote_faces*.
     """
     ndim = forest.layout.ndim
     corrected = 0
-    for key, leaf in forest.leaves.items():
+    keys = forest.leaves if only is None else only
+    for key in keys:
+        leaf = forest.leaves[key]
         for axis in range(ndim):
             for side in (0, 1):
-                fine = fine_face_flux(forest, fluxes, key, axis, side)
+                fine = fine_face_flux(
+                    forest, fluxes, key, axis, side, remote_faces
+                )
                 if fine is None:
                     continue
                 coarse_faces = fluxes[key][axis]

@@ -108,17 +108,33 @@ _TIMING_SUFFIXES = ("_s", "_seconds", "_frac")
 
 #: metric-name prefixes that describe the transport substrate rather than
 #: the numerics (e.g. real shared-memory bytes/waits of the process
-#: backend, or the supervisor's failure/recovery accounting) — excluded so
-#: serial, process, and fault-recovered streams canonicalize equal
-_SUBSTRATE_PREFIXES = ("comm.shm.", "supervision.")
+#: backend, modelled distributed-AMR ghost traffic, or the supervisor's
+#: failure/recovery accounting) — excluded so serial, process, and
+#: fault-recovered streams canonicalize equal
+_SUBSTRATE_PREFIXES = ("comm.shm.", "comm.amr.", "supervision.")
 
 #: exact metric names with the same substrate character (a recovered run
-#: must canonicalize byte-identical to a fault-free one)
-_SUBSTRATE_NAMES = frozenset({"resilience.worker_restarts"})
+#: must canonicalize byte-identical to a fault-free one; rank counts and
+#: rebalance bookkeeping describe how the forest was executed, not what
+#: it computed, so an N-rank distributed-AMR stream canonicalizes equal
+#: to the serial one)
+_SUBSTRATE_NAMES = frozenset(
+    {
+        "resilience.worker_restarts",
+        "amr.imbalance",
+        "amr.migrated_blocks",
+        "amr.repartitions",
+    }
+)
 
 #: non-step event kinds describing the execution substrate, dropped from
 #: the canonical projection entirely
-_SUBSTRATE_EVENTS = frozenset({"supervision"})
+_SUBSTRATE_EVENTS = frozenset({"supervision", "amr_rebalance"})
+
+#: the executor-independent part of a step record's ``amr`` block — the
+#: distributed extras (imbalance, migrations, per-rank block counts) are
+#: projected away for the same reason as the substrate metrics above
+_AMR_CANONICAL_KEYS = ("n_leaves", "cells_updated", "regrids", "leaves_by_level")
 
 
 def _is_timing_metric(name: str) -> bool:
@@ -145,7 +161,10 @@ def canonical_stream(records) -> str:
     ``supervision`` events, ``supervision.*`` counters and
     ``resilience.worker_restarts`` describe how the run was executed and
     recovered, not what it computed, so a supervised run that survived a
-    rank failure canonicalizes identical to a fault-free one.  Rendered
+    rank failure canonicalizes identical to a fault-free one.  The
+    distributed-AMR bookkeeping (``amr_rebalance`` events, ``amr.imbalance``
+    and migration counters, per-rank block counts) is dropped the same way:
+    an N-rank run canonicalizes identical to the serial forest.  Rendered
     with sorted keys, the result is
     byte-stable across runs of the same build, so committed fixtures catch
     metric renames, schema drift, and numerical regressions loudly.
@@ -169,6 +188,10 @@ def canonical_stream(records) -> str:
             }
             if "comm" in r:
                 proj["comm"] = r["comm"]
+            if "amr" in r:
+                proj["amr"] = {
+                    k: r["amr"][k] for k in _AMR_CANONICAL_KEYS if k in r["amr"]
+                }
         else:
             proj = {
                 k: v

@@ -60,6 +60,13 @@ class WorkerError(ReproError):
     """A process-backend worker failed or died; the message names the rank."""
 
 
+class BlockMigrationError(CommunicationError):
+    """A block-migration message arrived torn or corrupt (bad frame header,
+    wrong block address, or mismatched payload shape).  Raised *before* any
+    forest state is modified so a failed migration cannot corrupt the
+    receiver's topology."""
+
+
 class SupervisionExhausted(WorkerError):
     """The supervised process executor ran out of rank-restart budget.
 

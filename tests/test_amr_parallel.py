@@ -1,0 +1,232 @@
+"""Process-backend distributed AMR: rank parity, migration, wire format.
+
+The canonical scenario matches the ``amr_rp1_stream_golden.jsonl`` fixture:
+a 64-cell RP1 shock tube under a 3-level forest whose topology keeps
+changing (refine ahead of the shock, coarsen behind it), so the Morton
+rebalance threshold trips mid-run and whole blocks migrate between worker
+processes.  The contract: :class:`AMRProcessSolver` is bit-identical to the
+serial :class:`AMRSolver` — block bytes and canonical record stream — at
+every rank count, through at least one real cross-process migration.
+
+The spawn-based workers re-import this module by file path, so everything
+at module level must be import-safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig
+from repro.core.amr_distributed import DistributedAMRSolver
+from repro.core.amr_parallel import (
+    AMRProcessSolver,
+    make_distributed_amr_solver,
+)
+from repro.core.amr_solver import AMRConfig, AMRSolver
+from repro.eos import IdealGasEOS
+from repro.mesh.amr.blocks import BlockKey
+from repro.mesh.amr.exchange import (
+    block_frame_header,
+    check_block_frame,
+    check_block_payload,
+    stats_from_vector,
+    stats_vector,
+)
+from repro.mesh.grid import Grid
+from repro.obs import BufferSink, StepRecorder, canonical_stream
+from repro.obs.events import steps_of
+from repro.physics.initial_data import SHOCK_TUBES, shock_tube
+from repro.physics.srhd import SRHDSystem
+from repro.resilience.faults import FaultInjector, FaultPlan, HaloFault
+from repro.utils.errors import BlockMigrationError, ConfigurationError
+
+AMR_STEPS = 40
+
+
+def _scenario():
+    system = SRHDSystem(IdealGasEOS(gamma=5.0 / 3.0), ndim=1)
+    grid = Grid((64,), ((0.0, 1.0),))
+    config = SolverConfig(cfl=0.4)
+    amr = AMRConfig(
+        block_size=8, max_levels=3, refine_threshold=0.05,
+        coarsen_threshold=0.02, regrid_interval=4, rebalance_threshold=1.05,
+    )
+    init = lambda sys, g: shock_tube(sys, g, SHOCK_TUBES["RP1"])  # noqa: E731
+    return system, grid, init, config, amr
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    system, grid, init, config, amr = _scenario()
+    sink = BufferSink()
+    solver = AMRSolver(
+        system, grid, init, config, amr,
+        recorder=StepRecorder(sink, meta={"suite": "amr"}),
+    )
+    for _ in range(AMR_STEPS):
+        solver.step()
+    blocks = {k: leaf.cons.copy() for k, leaf in solver.forest.leaves.items()}
+    return {
+        "blocks": blocks, "records": sink.records,
+        "t": solver.t, "steps": solver.steps,
+    }
+
+
+def _run_process(n_ranks, *, steps=AMR_STEPS, fault_injector=None,
+                 supervision=None):
+    system, grid, init, config, amr = _scenario()
+    sink = BufferSink()
+    solver = AMRProcessSolver(
+        system, grid, init, config=config, amr=amr,
+        recorder=StepRecorder(sink, meta={"suite": "amr"}),
+        n_ranks=n_ranks, fault_injector=fault_injector,
+        supervision=supervision,
+    )
+    try:
+        for _ in range(steps):
+            solver.step()
+        out = {
+            "blocks": solver.gather_blocks(),
+            "records": sink.records,
+            "t": solver.t,
+            "steps": solver.steps,
+            "restarts": solver.restarts_used,
+        }
+    finally:
+        solver.close()
+    return out
+
+
+def _assert_blocks_bitexact(ref, proc):
+    assert proc["t"] == ref["t"] and proc["steps"] == ref["steps"]
+    assert set(proc["blocks"]) == set(ref["blocks"]), "leaf sets differ"
+    for key, ref_cons in ref["blocks"].items():
+        assert proc["blocks"][key].tobytes() == ref_cons.tobytes(), (
+            f"block {key} diverged from the serial forest"
+        )
+
+
+class TestProcessParity:
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_rank_parity_bitexact_through_migration(
+        self, serial_reference, n_ranks
+    ):
+        proc = _run_process(n_ranks)
+        _assert_blocks_bitexact(serial_reference, proc)
+        # The parity is only meaningful if the run actually repartitioned
+        # and moved at least one block between worker processes.
+        last = steps_of(proc["records"])[-1]
+        assert last["amr"]["repartitions"] >= 1
+        assert last["amr"]["migrated_blocks"] >= 1
+        assert proc["restarts"] == 0
+        # Canonical projection of the merged parent stream matches the
+        # serial AMRSolver stream byte for byte (rank counts, shm traffic
+        # and rebalance bookkeeping all canonicalize away).
+        assert canonical_stream(steps_of(proc["records"])) == canonical_stream(
+            steps_of(serial_reference["records"])
+        )
+
+
+class TestMigrationWireFormat:
+    KEY = BlockKey(1, (3,))
+
+    def _frame(self, p_cache=True):
+        cons = np.arange(36, dtype=np.float64).reshape(3, 12)
+        p = np.arange(8, dtype=np.float64) if p_cache else None
+        stats = stats_from_vector([9, 5, 3, 1, 0, 0, 7])
+        return cons, p, stats, block_frame_header(self.KEY, cons, p, stats)
+
+    def test_frame_roundtrip(self):
+        cons, p, stats, header = self._frame()
+        has_pcache, got = check_block_frame(header, self.KEY, cons.shape)
+        assert has_pcache
+        assert stats_vector(got) == stats_vector(stats)
+        _, _, _, bare = self._frame(p_cache=False)
+        has_pcache, _ = check_block_frame(bare, self.KEY, cons.shape)
+        assert not has_pcache
+
+    def test_torn_frame_raises_named_error(self):
+        cons, _, _, header = self._frame()
+        with pytest.raises(BlockMigrationError, match="torn"):
+            check_block_frame(header[:-2], self.KEY, cons.shape)
+
+    def test_corrupt_magic_raises(self):
+        cons, _, _, header = self._frame()
+        header = header.copy()
+        header[0] = 0xDEAD
+        with pytest.raises(BlockMigrationError, match="magic"):
+            check_block_frame(header, self.KEY, cons.shape)
+
+    def test_misaddressed_frame_raises(self):
+        cons, _, _, header = self._frame()
+        with pytest.raises(BlockMigrationError, match="addresses"):
+            check_block_frame(header, BlockKey(1, (4,)), cons.shape)
+
+    def test_wrong_cons_shape_raises(self):
+        cons, _, _, header = self._frame()
+        with pytest.raises(BlockMigrationError, match="cons shape"):
+            check_block_frame(header, self.KEY, (3, 14))
+
+    def test_payload_shape_checked(self):
+        arr = np.zeros((3, 12))
+        assert check_block_payload(arr, (3, 12), "cons", self.KEY) is arr
+        with pytest.raises(BlockMigrationError, match="p_cache payload"):
+            check_block_payload(np.zeros(8), (3, 8), "p_cache", self.KEY)
+
+
+class TestConfigSurface:
+    def test_factory_dispatches_on_executor(self):
+        system, grid, init, config, amr = _scenario()
+        serial = make_distributed_amr_solver(
+            system, grid, init, config=config, amr=amr, n_ranks=2
+        )
+        assert isinstance(serial, DistributedAMRSolver)
+        assert not isinstance(serial, AMRProcessSolver)
+
+        system, grid, init, config, amr = _scenario()
+        proc = make_distributed_amr_solver(
+            system, grid, init,
+            config=SolverConfig(cfl=0.4, executor="process"),
+            amr=amr, n_ranks=2,
+        )
+        try:
+            assert isinstance(proc, AMRProcessSolver)
+            proc.step()
+        finally:
+            proc.close()
+
+    def test_degrade_policy_rejected(self):
+        from repro.resilience.policies import SupervisionPolicy
+
+        system, grid, init, config, amr = _scenario()
+        with pytest.raises(ConfigurationError, match="degrade"):
+            AMRProcessSolver(
+                system, grid, init, config=config, amr=amr, n_ranks=2,
+                supervision=SupervisionPolicy(max_rank_restarts=0, degrade=True),
+            )
+
+    def test_non_process_faults_rejected(self):
+        system, grid, init, config, amr = _scenario()
+        plan = FaultPlan(
+            seed=1, halo=[HaloFault(kind="drop", exchange=1, message=0)]
+        )
+        with pytest.raises(ConfigurationError):
+            AMRProcessSolver(
+                system, grid, init, config=config, amr=amr, n_ranks=2,
+                fault_injector=FaultInjector(plan),
+            )
+
+    def test_unsupported_surfaces_raise(self):
+        system, grid, init, config, amr = _scenario()
+        solver = AMRProcessSolver(
+            system, grid, init, config=config, amr=amr, n_ranks=2
+        )
+        try:
+            with pytest.raises(ConfigurationError):
+                solver.run(t_final=1.0, max_steps=1, checkpoint_every=1,
+                           checkpoint_path="x.npz")
+            with pytest.raises(ConfigurationError):
+                solver.gather_primitives()
+        finally:
+            solver.close()

@@ -104,6 +104,77 @@ class TestRun:
             main(["run", "warp-drive"])
 
 
+class TestAMR:
+    """The adaptive-forest driver: serial, simulated ranks, and the real
+    process executor, all through ``repro amr``."""
+
+    # The canonical golden-stream scenario: topology churn trips the
+    # rebalance threshold mid-run at >= 2 ranks.
+    ARGS = [
+        "amr", "rp1", "--n", "64", "--max-steps", "20",
+        "--block-size", "8", "--max-levels", "3",
+        "--refine-threshold", "0.05", "--coarsen-threshold", "0.02",
+        "--regrid-interval", "4", "--rebalance-threshold", "1.05",
+    ]
+
+    def test_serial_amr_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "rp1 [amr]" in out
+        assert "forest" in out and "leaves" in out and "regrids" in out
+        assert "rho range" in out
+        assert "balance" not in out  # no ranks -> no rebalance bookkeeping
+
+    def test_distributed_ranks_report_rebalance(self, capsys):
+        assert main(self.ARGS + ["--ranks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ranks     : 2 (serial executor, sfc partitioner)" in out
+        assert "repartition(s)" in out and "migrated" in out
+
+    def test_process_executor_runs_and_reports(self, capsys):
+        assert main(self.ARGS + ["--executor", "process", "--workers", "2",
+                                 "--max-rank-restarts", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ranks     : 2 (process executor, sfc partitioner)" in out
+        assert "supervise : 0 rank respawn(s) of 1 allowed" in out
+
+    def test_metrics_out_written(self, tmp_path, capsys):
+        path = tmp_path / "amr.jsonl"
+        # 40 steps: enough shock travel for the rebalance threshold to trip.
+        argv = [a if a != "20" else "40" for a in self.ARGS]
+        assert main(argv + ["--ranks", "2", "--metrics-out", str(path)]) == 0
+        assert "run metrics summary" in capsys.readouterr().out
+        from repro.obs import read_events, steps_of
+
+        records = read_events(path)
+        assert records[0]["meta"]["problem"] == "rp1-amr"
+        steps = steps_of(records)
+        assert steps and steps[-1]["amr"]["n_leaves"] > 0
+        assert steps[-1]["amr"]["repartitions"] >= 1
+
+    @pytest.mark.parametrize(
+        "argv,both",
+        [
+            (["amr", "rp1", "--workers", "2"],
+             ("--workers", "--executor process")),
+            (["amr", "rp1", "--executor", "process"],
+             ("--executor process", "--workers")),
+            (["amr", "rp1", "--executor", "process", "--workers", "2",
+              "--ranks", "4"],
+             ("--ranks", "--workers")),
+            (["amr", "rp1", "--max-rank-restarts", "1"],
+             ("--max-rank-restarts", "--executor process")),
+        ],
+    )
+    def test_contradictory_flags_fail_fast(self, argv, both, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for flag in both:
+            assert flag in err
+
+
 class TestFlagCombos:
     """Silently-contradictory flag pairs must die with an argparse error
     naming both flags, not run something other than what was asked."""

@@ -1,6 +1,6 @@
 """Golden-stream regression tests: committed fixtures pin the numerics.
 
-Two fixtures live in ``tests/golden/``:
+Three fixtures live in ``tests/golden/``:
 
 ``rp1_l1_golden.json``
     Relative L1(rho) errors of the RP1 shock tube against the exact
@@ -15,7 +15,17 @@ Two fixtures live in ``tests/golden/``:
     wall-clock-derived fields removed.  Compared byte-for-byte, so metric
     renames, schema drift, and stream regressions fail loudly.
 
-Regenerate both (after an *intentional* change) with::
+``amr_rp1_stream_golden.jsonl``
+    The canonical projection of the canonical AMR shock-tube run (serial
+    :class:`~repro.core.amr_solver.AMRSolver`, fixed regrid cadence).
+    Besides pinning the serial forest numerics byte-for-byte, the same
+    fixture is the parity bar for the distributed driver: the scenario is
+    tuned so the forest topology keeps changing mid-run, which makes
+    :class:`~repro.core.amr_distributed.DistributedAMRSolver` at 2 and 4
+    ranks cross the rebalance threshold and migrate blocks — and it still
+    has to reproduce the serial stream byte-for-byte.
+
+Regenerate all (after an *intentional* change) with::
 
     REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_stream.py
 """
@@ -26,9 +36,13 @@ import json
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import relative_l1_error
 from repro.boundary import make_boundaries
 from repro.core import Solver, SolverConfig
+from repro.core.amr_distributed import DistributedAMRSolver
+from repro.core.amr_solver import AMRConfig, AMRSolver
 from repro.core.distributed import DistributedSolver
 from repro.eos import IdealGasEOS
 from repro.mesh.grid import Grid
@@ -82,6 +96,63 @@ def _blast2d_stream() -> str:
     solver.run(t_final=0.1, max_steps=6)
     recorder.finish(t_end=solver.t)
     return canonical_stream(sink.records)
+
+
+#: steps of the canonical AMR run — enough for the shock to cross several
+#: block boundaries, so regrids split ahead of the front and coarsen behind
+#: it; the resulting ownership drift trips the rebalance threshold at 2 and
+#: 4 ranks with at least one real block migration.
+AMR_STEPS = 40
+
+
+def _amr_scenario():
+    system = SRHDSystem(IdealGasEOS(gamma=5.0 / 3.0), ndim=1)
+    grid = Grid((64,), ((0.0, 1.0),))
+    config = SolverConfig(cfl=0.4)
+    amr = AMRConfig(
+        block_size=8, max_levels=3, refine_threshold=0.05,
+        coarsen_threshold=0.02, regrid_interval=4, rebalance_threshold=1.05,
+    )
+    init = lambda sys, g: shock_tube(sys, g, SHOCK_TUBES["RP1"])  # noqa: E731
+    return system, grid, init, config, amr
+
+
+def _amr_stream(n_ranks: int | None = None):
+    """Canonical AMR run -> (canonical stream, solver).
+
+    ``n_ranks=None`` runs the plain serial :class:`AMRSolver` (the golden
+    reference); an integer runs :class:`DistributedAMRSolver` with that
+    many ranks in the serial rank loop.
+    """
+    system, grid, init, config, amr = _amr_scenario()
+    sink = BufferSink()
+    recorder = StepRecorder(
+        sink, meta={"problem": "rp1-amr", "n": 64, "regrid_interval": 4}
+    )
+    if n_ranks is None:
+        solver = AMRSolver(system, grid, init, config, amr, recorder=recorder)
+    else:
+        solver = DistributedAMRSolver(
+            system, grid, init, config=config, amr=amr,
+            recorder=recorder, n_ranks=n_ranks,
+        )
+    for _ in range(AMR_STEPS):
+        solver.step()
+    recorder.finish(t_end=solver.t)
+    return canonical_stream(sink.records), solver
+
+
+def _assert_stream_equal(stream: str, golden: str) -> None:
+    if stream == golden:
+        return
+    got, want = stream.splitlines(), golden.splitlines()
+    for i, (a, b) in enumerate(zip(got, want)):
+        assert a == b, (
+            f"stream line {i + 1} diverges from golden\n"
+            f"  got : {a}\n  want: {b}\n"
+            "regenerate with REPRO_REGEN_GOLDEN=1 only if intentional"
+        )
+    raise AssertionError(f"stream has {len(got)} lines, golden has {len(want)}")
 
 
 class TestRP1Golden:
@@ -146,3 +217,50 @@ class TestBlast2DStreamGolden:
 
     def test_stream_is_reproducible_within_session(self):
         assert _blast2d_stream() == _blast2d_stream()
+
+
+class TestAMRStreamGolden:
+    PATH = GOLDEN_DIR / "amr_rp1_stream_golden.jsonl"
+
+    def test_serial_stream_matches_golden_bytes(self):
+        stream, _ = _amr_stream()
+        if REGEN:
+            self.PATH.write_text(stream)
+        _assert_stream_equal(stream, self.PATH.read_text())
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_distributed_ranks_reproduce_golden_bytes(self, n_ranks):
+        """The distributed driver — partial per-rank ghost fills, rank-aware
+        refluxing, dynamic Morton-curve rebalancing and all — canonicalizes
+        byte-identical to the serial forest at every rank count."""
+        stream, solver = _amr_stream(n_ranks)
+        _assert_stream_equal(stream, self.PATH.read_text())
+        if n_ranks > 1:
+            # The parity above is only meaningful if the run actually
+            # crossed the rebalance threshold and moved blocks mid-run.
+            assert solver.repartitions >= 1
+            assert solver.migrated_blocks >= 1
+        else:
+            assert solver.repartitions == 0
+
+    def test_canonical_stream_drops_rebalance_bookkeeping(self):
+        """The fixture must stay executor-independent: no rebalance events,
+        no imbalance/migration metrics, only the canonical amr keys."""
+        records = [
+            json.loads(line) for line in self.PATH.read_text().splitlines()
+        ]
+        assert not any(r["event"] == "amr_rebalance" for r in records)
+        steps = [r for r in records if r["event"] == "step"]
+        assert len(steps) == AMR_STEPS
+        banned = {"amr.imbalance", "amr.repartitions", "amr.migrated_blocks"}
+        for r in steps:
+            assert set(r["amr"]) <= {
+                "n_leaves", "cells_updated", "regrids", "leaves_by_level"
+            }
+            assert "rank_blocks" not in r["amr"]
+            for name in list(r["counters"]) + list(r["gauges"]):
+                assert not name.startswith(("comm.amr.", "supervision.")), name
+                assert name not in banned, name
+        # The forest must actually regrid mid-run for the distributed
+        # parity to exercise ownership churn.
+        assert steps[-1]["amr"]["regrids"] > steps[0]["amr"]["regrids"]

@@ -521,6 +521,40 @@ class TestMultiRankReport:
         assert by_name["hist.con2prim.newton_iters_max.max"] == 6.0
         assert any("2 rank shards" in n for n in report.notes)
 
+    def test_heterogeneous_histogram_names_keep_all_ranks(self):
+        # Regression: aggregation used each rank's *final* record wholesale,
+        # so a histogram/gauge name absent from that record (e.g. per-rank
+        # amr.* histograms after a rebalance migrated the last block of a
+        # kind away) silently dropped that rank's buckets from the report.
+        from repro.obs import MetricsRegistry, merge_histogram_summaries
+
+        h0 = MetricsRegistry().histogram("h")
+        h1 = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h0.observe(v)
+        for v in (8.0, 16.0):
+            h1.observe(v)
+        records = [
+            {"event": "step", "rank": 0, "step": 1, "t": 0.1,
+             "histograms": {"amr.block_cells": h0.summary()},
+             "gauges": {"amr.rank_leaves": 3.0}},
+            {"event": "step", "rank": 1, "step": 1, "t": 0.1,
+             "histograms": {"amr.block_cells": h1.summary()},
+             "gauges": {"amr.rank_leaves": 5.0}},
+            {"event": "step", "rank": 0, "step": 2, "t": 0.2,
+             "histograms": {"amr.block_cells": h0.summary()},
+             "gauges": {"amr.rank_leaves": 3.0}},
+            # Rank 1's final record no longer carries the amr entries.
+            {"event": "step", "rank": 1, "step": 2, "t": 0.2,
+             "histograms": {}, "gauges": {}},
+        ]
+        report = Report.from_metrics(records)
+        by_name = dict(zip(report.column("metric"), report.column("value")))
+        expect = merge_histogram_summaries(h0.summary(), h1.summary())
+        assert by_name["hist.amr.block_cells.count"] == expect["count"]
+        assert by_name["hist.amr.block_cells.max"] == 16.0
+        assert by_name["gauge.amr.rank_leaves"] == 5.0
+
     def test_single_rank_stream_unchanged(self):
         records = [self._shard(0, 1, 10, 4.0), self._shard(0, 2, 10, 5.0)]
         report = Report.from_metrics(records)

@@ -10,6 +10,7 @@ from repro.core.amr_solver import AMRConfig, AMRSolver
 from repro.mesh.amr import BlockKey, BlockLayout, AMRForest
 from repro.mesh.amr.partition import (
     PARTITIONERS,
+    _measure,
     morton_key,
     partition_random,
     partition_round_robin,
@@ -18,6 +19,9 @@ from repro.mesh.amr.partition import (
 )
 from repro.physics.initial_data import RP1, blast_wave_2d, shock_tube
 from repro.utils.errors import MeshError
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import assume, given, settings, strategies as st  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +134,121 @@ class TestPartitioners:
         part = partition_sfc(forest, 2)
         # The curve puts [left | right-children] -> one cut at the c-f face.
         assert part.edge_cut >= 1
+
+
+MAX_LEVELS = 3
+
+
+def _refined_forest(ndim: int, split_seeds) -> AMRForest:
+    """A deterministic forest refined by a seed-driven split sequence.
+
+    Leaves carry ``cons=None`` (topology only): the partitioners consume
+    the forest shape, never the block payloads.
+    """
+    grid = Grid((16,) * ndim, tuple(((0.0, 1.0),) * ndim))
+    layout = BlockLayout(grid, block_size=8)
+    forest = AMRForest(layout, max_levels=MAX_LEVELS)
+    for key in layout.root_keys():
+        forest.add_leaf(key, None)
+    for seed in split_seeds:
+        splittable = sorted(
+            (k for k in forest.leaves if k.level < MAX_LEVELS - 1),
+            key=lambda k: (k.level, k.idx),
+        )
+        if not splittable:
+            break
+        target = splittable[seed % len(splittable)]
+        forest.split(target, {c: None for c in target.children()})
+    return forest
+
+
+forests = st.builds(
+    _refined_forest,
+    st.sampled_from([1, 2]),
+    st.lists(st.integers(min_value=0, max_value=10**6), max_size=10),
+)
+
+
+class TestPartitionProperties:
+    """Hypothesis properties of the Morton keys and the SFC cut."""
+
+    @given(forest=forests)
+    @settings(max_examples=30, deadline=None, database=None)
+    def test_keys_unique_and_total_order(self, forest):
+        ml = forest.finest_level()
+        codes = [morton_key(k, ml) for k in forest.leaves]
+        assert len(set(codes)) == len(codes)
+        # sfc_order is a permutation of the leaves, stable across calls.
+        ordered = sfc_order(forest.leaves)
+        assert sorted(ordered, key=lambda k: (k.level, k.idx)) == sorted(
+            forest.leaves, key=lambda k: (k.level, k.idx)
+        )
+        assert ordered == sfc_order(list(forest.leaves))
+
+    @given(forest=forests, pick=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None, database=None)
+    def test_refinement_preserves_curve_order(self, forest, pick):
+        """Splitting a leaf replaces it *in place* on the Morton curve:
+        its children occupy a contiguous segment at the parent's old
+        position and every other leaf keeps its relative order."""
+        before = sfc_order(forest.leaves)
+        splittable = [k for k in before if k.level < MAX_LEVELS - 1]
+        assume(splittable)
+        target = splittable[pick % len(splittable)]
+        forest.split(target, {c: None for c in target.children()})
+        after = sfc_order(forest.leaves)
+        i = before.index(target)
+        nchild = len(target.children())
+        assert after[:i] == before[:i]
+        assert set(after[i : i + nchild]) == set(target.children())
+        assert after[i + nchild :] == before[i + 1 :]
+
+    @given(
+        forest=forests,
+        n_ranks=st.integers(min_value=1, max_value=8),
+        name=st.sampled_from(sorted(PARTITIONERS)),
+    )
+    @settings(max_examples=30, deadline=None, database=None)
+    def test_every_leaf_assigned_exactly_once(self, forest, n_ranks, name):
+        part = PARTITIONERS[name](forest, n_ranks)
+        assert set(part.assignment) == set(forest.leaves)
+        assert all(0 <= r < n_ranks for r in part.assignment.values())
+
+    @given(
+        forest=forests,
+        n_ranks=st.integers(min_value=1, max_value=8),
+        weight_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None, database=None)
+    def test_imbalance_bounded_by_max_block_work(self, forest, n_ranks, weight_seed):
+        """The greedy curve cut never loads a rank beyond its quota plus
+        one block: imbalance <= 1 + max(work)/mean(rank work)."""
+        rng = np.random.default_rng(weight_seed)
+        keys = sorted(forest.leaves, key=lambda k: (k.level, k.idx))
+        work = {k: float(rng.integers(1, 65)) for k in keys}
+        part = partition_sfc(forest, n_ranks, work=work)
+        mean_rank_work = sum(work.values()) / n_ranks
+        bound = 1.0 + max(work.values()) / mean_rank_work
+        assert part.imbalance <= bound + 1e-9
+
+    @given(
+        forest=forests,
+        n_ranks=st.integers(min_value=1, max_value=6),
+        perm_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None, database=None)
+    def test_quality_invariant_under_rank_permutation(
+        self, forest, n_ranks, perm_seed
+    ):
+        """edge_cut/comm_volume/imbalance depend on the *shape* of the
+        cut, not on which rank id each segment got."""
+        base = partition_sfc(forest, n_ranks)
+        perm = list(np.random.default_rng(perm_seed).permutation(n_ranks))
+        relabeled = {k: int(perm[r]) for k, r in base.assignment.items()}
+        again = _measure(forest, relabeled, n_ranks)
+        assert again.edge_cut == base.edge_cut
+        assert again.comm_volume == base.comm_volume
+        assert again.imbalance == pytest.approx(base.imbalance)
 
 
 class TestExperimentE14:

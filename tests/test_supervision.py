@@ -23,6 +23,8 @@ import numpy as np
 import pytest
 
 from repro.comm.shm import ShmChannel, ShmCommunicator, SupervisionBoard
+from repro.core.amr_parallel import AMRProcessSolver
+from repro.core.amr_solver import AMRConfig, AMRSolver
 from repro.core.config import SolverConfig
 from repro.core.distributed import DistributedSolver
 from repro.core.parallel import ProcessSolver, run_supervised
@@ -422,6 +424,129 @@ class TestBudgetAndDegradation:
         )
         with pytest.raises(SupervisionExhausted):
             run_supervised(solver, 1.0, max_steps=3)
+
+
+#: canonical distributed-AMR scenario (matches amr_rp1_stream_golden.jsonl):
+#: the first Morton repartition fires at the step-36 regrid, migrating at
+#: least one block between ranks — the faults below strike exactly there.
+AMR_STEPS = 40
+AMR_FAULT_STEP = 36
+
+
+def _amr_scenario():
+    system = SRHDSystem(IdealGasEOS(gamma=5.0 / 3.0), ndim=1)
+    grid = Grid((64,), ((0.0, 1.0),))
+    config = SolverConfig(cfl=0.4)
+    amr = AMRConfig(
+        block_size=8, max_levels=3, refine_threshold=0.05,
+        coarsen_threshold=0.02, regrid_interval=4, rebalance_threshold=1.05,
+    )
+    init = lambda sys, g: shock_tube(sys, g, SHOCK_TUBES["RP1"])  # noqa: E731
+    return system, grid, init, config, amr
+
+
+def _amr_serial_blocks():
+    system, grid, init, config, amr = _amr_scenario()
+    solver = AMRSolver(system, grid, init, config, amr)
+    for _ in range(AMR_STEPS):
+        solver.step()
+    return solver, {k: leaf.cons.copy() for k, leaf in solver.forest.leaves.items()}
+
+
+def _amr_supervised_run(plan, supervision, n_ranks=2):
+    system, grid, init, config, amr = _amr_scenario()
+    sink = BufferSink()
+    solver = AMRProcessSolver(
+        system, grid, init, config=config, amr=amr,
+        recorder=StepRecorder(sink, meta=META), n_ranks=n_ranks,
+        fault_injector=FaultInjector(plan), supervision=supervision,
+    )
+    try:
+        for _ in range(AMR_STEPS):
+            solver.step()
+        return {
+            "blocks": solver.gather_blocks(),
+            "t": solver.t, "steps": solver.steps,
+            "restarts": solver.restarts_used,
+            "records": sink.records,
+        }
+    finally:
+        solver.close()
+
+
+def _assert_amr_bitexact(serial, blocks, proc):
+    assert proc["t"] == serial.t and proc["steps"] == serial.steps
+    assert set(proc["blocks"]) == set(blocks), "leaf sets diverged"
+    for key, ref in blocks.items():
+        assert proc["blocks"][key].tobytes() == ref.tobytes(), (
+            f"block {key} diverged after recovery"
+        )
+    # Recovery replayed the repartition: the migration really happened.
+    amr_last = [r for r in proc["records"] if r.get("event") == "step"][-1]["amr"]
+    assert amr_last["repartitions"] >= 1
+    assert amr_last["migrated_blocks"] >= 1
+
+
+@pytest.mark.chaos
+class TestAMRSupervision:
+    """Distributed-AMR process backend under injected rank faults: the
+    recovery must replay regrids, Morton repartitions and cross-process
+    block migrations bit-exactly against the serial forest."""
+
+    def test_kill_rank_mid_migration_bitexact(self):
+        """SIGKILL a rank on the exact step whose regrid triggers the first
+        repartition; the respawned rank re-executes the migration and the
+        final forest matches the serial run byte for byte."""
+        serial, blocks = _amr_serial_blocks()
+        plan = FaultPlan(
+            seed=7,
+            processes=[
+                ProcessFault(kind="kill_rank", rank=1, step=AMR_FAULT_STEP)
+            ],
+        )
+        proc = _amr_supervised_run(
+            plan, SupervisionPolicy(max_rank_restarts=3, **FAST)
+        )
+        _assert_amr_bitexact(serial, blocks, proc)
+        assert proc["restarts"] == 1
+
+    def test_hang_rank_during_repartition_bitexact(self):
+        """SIGSTOP (hang, not crash) across the repartition step: heartbeat
+        staleness classifies it, the rank is replaced, and the replayed
+        migration still produces the identical forest."""
+        serial, blocks = _amr_serial_blocks()
+        plan = FaultPlan(
+            seed=9,
+            processes=[
+                ProcessFault(kind="hang_rank", rank=1, step=AMR_FAULT_STEP)
+            ],
+        )
+        proc = _amr_supervised_run(
+            plan,
+            SupervisionPolicy(max_rank_restarts=2, hang_timeout_s=1.5, **FAST),
+        )
+        _assert_amr_bitexact(serial, blocks, proc)
+        assert proc["restarts"] == 1
+
+    def test_budget_exhaustion_surfaces_snapshot(self):
+        system, grid, init, config, amr = _amr_scenario()
+        plan = FaultPlan(
+            seed=5,
+            processes=[ProcessFault(kind="kill_rank", rank=1, step=2)],
+        )
+        solver = AMRProcessSolver(
+            system, grid, init, config=config, amr=amr, n_ranks=2,
+            fault_injector=FaultInjector(plan),
+            supervision=SupervisionPolicy(max_rank_restarts=0, **FAST),
+        )
+        try:
+            with pytest.raises(SupervisionExhausted) as err:
+                for _ in range(4):
+                    solver.step()
+            assert err.value.snapshot is not None
+            assert err.value.snapshot["steps"] >= 1
+        finally:
+            solver.close()
 
 
 @pytest.mark.chaos
