@@ -45,27 +45,50 @@ def _setup(n):
     return system, grid, blast_wave_2d(system, grid)
 
 
+# Benchmark "targets" are solver configurations, not just codegen targets:
+# cext_pointwise is the PR 7 shape of the compiled backend (pointwise
+# kernels compiled, stencil stages interpreted), cext is the fused sweep.
+TARGET_CONFIGS = {
+    "numpy": {"kernel_target": "numpy"},
+    "flat": {"kernel_target": "flat"},
+    "cext_pointwise": {"kernel_target": "cext", "fused_stencils": False},
+    "cext": {"kernel_target": "cext"},
+}
+
+# Per-kernel stage timers worth a column.  "reconstruct"/"riemann" only
+# tick on the interpreted stencil path, "face_flux" only on the fused one;
+# absent stages report 0.0 so every row has the same columns.
+STAGE_NAMES = ("con2prim", "reconstruct", "riemann", "face_flux", "update")
+
+
 def _serial_case(target: str, n: int, n_steps: int) -> dict:
     system, grid, prim = _setup(n)
     solver = Solver(
         system,
         grid,
         prim,
-        SolverConfig(cfl=0.4, kernel_target=target),
+        SolverConfig(cfl=0.4, **TARGET_CONFIGS[target]),
         make_boundaries("outflow"),
     )
     # Warm-up step: generates/compiles/loads kernels, allocates scratch.
     solver.run(t_final=1.0, max_steps=1)
+    solver.timers.reset()  # stage columns must cover the timed window only
     cpu0, wall0 = time.process_time(), time.perf_counter()
     solver.run(t_final=1.0, max_steps=1 + n_steps)
     cpu_s = time.process_time() - cpu0
     wall_s = time.perf_counter() - wall0
+    stages = {
+        name: (solver.timers[name].elapsed / n_steps if name in solver.timers
+               else 0.0)
+        for name in STAGE_NAMES
+    }
     return {
         "target": target,
         "steps": n_steps,
         "cpu_s": cpu_s,
         "wall_s": wall_s,
         "cpu_per_step": cpu_s / n_steps,
+        "stage_per_step": stages,
         "prims": grid.interior_of(solver.primitives()).copy(),
     }
 
@@ -75,7 +98,7 @@ def _process_case(target: str, n: int, n_steps: int, workers: int = 4) -> dict:
     dims = choose_dims(workers, 2)
     with ProcessSolver(
         system, grid, prim, dims,
-        config=SolverConfig(cfl=0.4, executor="process", kernel_target=target),
+        config=SolverConfig(cfl=0.4, executor="process", **TARGET_CONFIGS[target]),
     ) as solver:
         solver.step()  # warm-up: per-worker kernel build/load
         snaps0 = solver.worker_snapshots()
@@ -130,25 +153,41 @@ def _best_per_target(reps: int, targets, case_fn, *args) -> dict:
 def test_bench_compiled_kernels():
     smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
     n, n_steps, reps = (24, 3, 2) if smoke else (64, 12, 4)
+    n_big, big_steps, big_reps = (32, 2, 1) if smoke else (128, 8, 2)
     workers = 4
     have_cext = cext_available(ndim=2)
-    targets = ("numpy", "flat", "cext") if have_cext else ("numpy", "flat")
+    targets = (
+        ("numpy", "flat", "cext_pointwise", "cext")
+        if have_cext
+        else ("numpy", "flat")
+    )
+    proc_targets = ("numpy", "flat", "cext") if have_cext else ("numpy", "flat")
+    big_targets = (
+        ("numpy", "cext_pointwise", "cext") if have_cext else ("numpy",)
+    )
 
     serial = _best_per_target(reps, targets, _serial_case, n, n_steps)
-    proc = _best_per_target(reps, targets, _process_case, n, n_steps, workers)
+    proc = _best_per_target(reps, proc_targets, _process_case, n, n_steps, workers)
+    big = _best_per_target(big_reps, big_targets, _serial_case, n_big, big_steps)
 
     # Parity: every target lands on the same blast solution.
-    ref = serial["numpy"]["prims"]
-    for t in targets[1:]:
-        assert np.allclose(serial[t]["prims"], ref, rtol=1e-11, atol=1e-13), (
-            f"serial {t} solution diverged from numpy"
-        )
+    for cases, tgts in ((serial, targets), (big, big_targets)):
+        ref = cases["numpy"]["prims"]
+        for t in tgts[1:]:
+            assert np.allclose(cases[t]["prims"], ref, rtol=1e-11, atol=1e-13), (
+                f"serial {t} solution diverged from numpy"
+            )
     if have_cext:
-        # Same expression tree, same per-op rounding: flat == cext bitwise.
+        # Same expression tree, same per-op rounding: flat == cext bitwise,
+        # and the fused stencil sweep does not change a single bit.
+        flat_bytes = serial["flat"]["prims"].tobytes()
+        assert flat_bytes == serial["cext"]["prims"].tobytes()
+        assert flat_bytes == serial["cext_pointwise"]["prims"].tobytes()
         assert (
-            serial["flat"]["prims"].tobytes() == serial["cext"]["prims"].tobytes()
+            big["cext"]["prims"].tobytes()
+            == big["cext_pointwise"]["prims"].tobytes()
         )
-    for t in targets:
+    for t in proc_targets:
         # Each target is serial-vs-process bit-exact (4-worker decomposition).
         assert proc[t]["prims"].tobytes() == serial[t]["prims"].tobytes(), (
             f"{t}: process-executor solution diverged from serial"
@@ -159,26 +198,31 @@ def test_bench_compiled_kernels():
         title=f"kernel-target rhs cost, {n}x{n} blast, {n_steps} steps",
         headers=[
             "target", "serial_cpu_per_step", "serial_speedup",
-            "proc_cpu_per_step", "proc_speedup",
+            "con2prim", "recon", "riemann", "face_flux", "update",
         ],
     )
     base_s = serial["numpy"]["cpu_per_step"]
-    base_p = proc["numpy"]["cpu_per_step"]
     for t in targets:
+        st = serial[t]["stage_per_step"]
         report.add_row(
             t,
             serial[t]["cpu_per_step"],
             base_s / serial[t]["cpu_per_step"],
-            proc[t]["cpu_per_step"],
-            base_p / proc[t]["cpu_per_step"],
+            st["con2prim"], st["reconstruct"], st["riemann"],
+            st["face_flux"], st["update"],
         )
     if not have_cext:
         report.add_note("no C toolchain: cext rows omitted")
+    report.add_note(
+        f"process arm ({workers} workers) and {n_big}x{n_big} arm in "
+        "BENCH_compiled.json"
+    )
     emit(report)
 
     result = {
         "experiment": "compiled kernel target comparison",
         "grid": [n, n],
+        "grid_big": [n_big, n_big],
         "steps": n_steps,
         "workers": workers,
         "smoke": smoke,
@@ -187,12 +231,18 @@ def test_bench_compiled_kernels():
             t: {k: v for k, v in c.items() if k != "prims"}
             for t, c in serial.items()
         },
+        "serial_big": {
+            t: {k: v for k, v in c.items() if k != "prims"}
+            for t, c in big.items()
+        },
         "process": {
             t: {k: v for k, v in c.items() if k != "prims"}
             for t, c in proc.items()
         },
     }
-    for arm, cases in (("serial", serial), ("process", proc)):
+    for arm, cases in (
+        ("serial", serial), ("serial_big", big), ("process", proc)
+    ):
         base = cases["numpy"]["cpu_per_step"]
         for t, c in cases.items():
             result[arm][t]["speedup_vs_numpy"] = base / c["cpu_per_step"]
@@ -214,10 +264,19 @@ def test_bench_compiled_kernels():
         assert proc["cext"]["cpu_per_step"] < proc["numpy"]["cpu_per_step"] * 1.5
         return
     # The point of the compiled target: strictly faster than the numpy
-    # path on both executors.
+    # path on both executors, and the fused stencil sweep strictly faster
+    # than the PR 7 pointwise-only compiled path.
     assert serial["cext"]["cpu_per_step"] < serial["numpy"]["cpu_per_step"], (
         "cext not faster than numpy on the serial solver"
     )
     assert proc["cext"]["cpu_per_step"] < proc["numpy"]["cpu_per_step"], (
         "cext not faster than numpy on the process executor"
     )
+    for cases, label in ((serial, f"{n}x{n}"), (big, f"{n_big}x{n_big}")):
+        assert (
+            cases["cext"]["cpu_per_step"]
+            < cases["cext_pointwise"]["cpu_per_step"]
+        ), f"{label}: fused stencils not faster than pointwise cext"
+    assert (
+        big["numpy"]["cpu_per_step"] >= 1.5 * big["cext"]["cpu_per_step"]
+    ), "128x128: fused cext below the 1.5x-over-numpy bar"

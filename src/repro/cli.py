@@ -274,7 +274,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream per-request/per-batch service events (JSONL) to PATH",
     )
     sweep.set_defaults(_subparser=sweep)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect (and optionally prune) the compiled-kernel artifact "
+        "cache ($REPRO_CEXT_CACHE)",
+    )
+    cache.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="prune least-recently-used artifacts until the cache fits in "
+        "SIZE bytes (suffixes K/M/G accepted, e.g. 64M); without it the "
+        "command only reports",
+    )
+    cache.add_argument(
+        "--json", action="store_true",
+        help="emit the report (and any pruned artifact names) as JSON",
+    )
+    cache.set_defaults(_subparser=cache)
     return parser
+
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def _parse_size(text: str):
+    """``'64M'`` -> 67108864; returns None on malformed input."""
+    s = text.strip().upper().removesuffix("B")
+    scale = 1
+    if s and s[-1] in _SIZE_SUFFIXES:
+        scale = _SIZE_SUFFIXES[s[-1]]
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError:
+        return None
+    if value < 0:
+        return None
+    return int(value * scale)
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from .codegen import cache_report, prune_cache
+
+    removed: list[str] = []
+    if args.max_bytes is not None:
+        bound = _parse_size(args.max_bytes)
+        if bound is None:
+            args._subparser.error(
+                f"--max-bytes wants a non-negative size like 512K or 64M, "
+                f"got {args.max_bytes!r}"
+            )
+        removed = prune_cache(bound)
+    report = cache_report()
+    if args.json:
+        report["pruned"] = removed
+        print(json.dumps(report, indent=2))
+        return 0
+    print(f"cache dir : {report['dir']}")
+    print(f"artifacts : {report['n_artifacts']} "
+          f"({report['total_bytes'] / 1024:.1f} KiB)")
+    for art in report["artifacts"]:  # oldest (least recently served) first
+        print(f"  {art['bytes']:>10d}  {art['name']}")
+    if args.max_bytes is not None:
+        print(f"pruned    : {len(removed)} artifact(s)")
+        for name in removed:
+            print(f"  - {name}")
+    return 0
 
 
 def _validate_run_args(args) -> None:
@@ -813,6 +880,8 @@ def main(argv=None) -> int:
             return _cmd_serve(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         return _cmd_info(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -16,10 +16,21 @@ from .cache import (
     run_flat_kernel,
     verify_kernels,
 )
-from .cext import cext_available, load_cext_module
+from .cext import (
+    cache_report,
+    cext_available,
+    load_cext_module,
+    load_cext_stencil_module,
+    prune_cache,
+)
 from .generator import KernelGenerator
 from .symbols import SRHDSymbols
-from .system import CompiledSRHDSystem, GeneratedSRHDSystem, make_kernel_system
+from .system import (
+    CompiledSRHDSystem,
+    GeneratedSRHDSystem,
+    make_kernel_system,
+    stencil_scheme_ids,
+)
 
 __all__ = [
     "SRHDSymbols",
@@ -27,6 +38,7 @@ __all__ = [
     "GeneratedSRHDSystem",
     "CompiledSRHDSystem",
     "make_kernel_system",
+    "stencil_scheme_ids",
     "load_kernel",
     "run_flat_kernel",
     "verify_kernels",
@@ -34,5 +46,8 @@ __all__ = [
     "cache_size",
     "cext_available",
     "load_cext_module",
+    "load_cext_stencil_module",
+    "cache_report",
+    "prune_cache",
     "ALL_TARGETS",
 ]

@@ -44,6 +44,10 @@ _log = get_logger("codegen.cext")
 
 #: Set to any non-empty value to force the no-toolchain fallback path.
 DISABLE_ENV = "REPRO_CEXT_DISABLE"
+#: Set to any non-empty value to disable only the fused stencil module —
+#: the pointwise kernels keep compiling, exercising the per-kernel
+#: fallback (compiled algebra + interpreted face-flux sweep).
+STENCIL_DISABLE_ENV = "REPRO_CEXT_STENCIL_DISABLE"
 #: Overrides the on-disk artifact cache directory.
 CACHE_DIR_ENV = "REPRO_CEXT_CACHE"
 
@@ -173,22 +177,21 @@ def _import_artifact(name: str, path: Path):
     return module
 
 
-def load_cext_module(ndim: int, kinds_axes=None):
-    """(ffi, lib) of the compiled kernel module for *ndim*.
-
-    Builds (and disk-caches) on first use; raises
-    :class:`~repro.utils.errors.CodegenError` when the target is disabled
-    or no toolchain is available.
-    """
-    if cext_disabled():
-        raise CodegenError(f"cext target disabled via {DISABLE_ENV}=1")
-    name, source, cdef = module_spec(ndim, kinds_axes)
+def _load_spec(name: str, source: str, cdef: str):
+    """Load (building if needed) one compiled module by its content spec."""
     module = _modules.get(name)
     if module is None:
         path = artifact_path(name)
         if not path.exists():
             _log.info("building cext kernel module %s", name)
             _build(name, source, cdef, path)
+        else:
+            # LRU bookkeeping for `repro cache`: a served artifact is a
+            # recently-used artifact, even across processes.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         try:
             module = _import_artifact(name, path)
         except Exception as exc:
@@ -210,9 +213,108 @@ def load_cext_module(ndim: int, kinds_axes=None):
     return module.ffi, module.lib
 
 
+def load_cext_module(ndim: int, kinds_axes=None):
+    """(ffi, lib) of the compiled kernel module for *ndim*.
+
+    Builds (and disk-caches) on first use; raises
+    :class:`~repro.utils.errors.CodegenError` when the target is disabled
+    or no toolchain is available.
+    """
+    if cext_disabled():
+        raise CodegenError(f"cext target disabled via {DISABLE_ENV}=1")
+    return _load_spec(*module_spec(ndim, kinds_axes))
+
+
+def stencil_module_spec(ndim: int) -> tuple[str, str, str]:
+    """(artifact name, C source, cdef) of the fused stencil module.
+
+    A separate artifact from the pointwise module: the two compile (and
+    fail) independently, which is what makes the per-kernel fallback —
+    compiled algebra with an interpreted face-flux sweep — possible.
+    """
+    gen = KernelGenerator(ndim)
+    source = gen.generate_c_stencil_module()
+    cdef = gen.c_stencil_declarations()
+    digest = hashlib.sha256(
+        "\0".join([source, cdef, toolchain_fingerprint()]).encode()
+    ).hexdigest()[:16]
+    return f"_repro_cext_st_{ndim}d_{digest}", source, cdef
+
+
+def load_cext_stencil_module(ndim: int):
+    """(ffi, lib) of the fused stencil module for *ndim*.
+
+    Raises :class:`~repro.utils.errors.CodegenError` when the cext target
+    is disabled outright, when only the stencil module is disabled
+    (``REPRO_CEXT_STENCIL_DISABLE=1``), or when the build fails.
+    """
+    if cext_disabled():
+        raise CodegenError(f"cext target disabled via {DISABLE_ENV}=1")
+    if os.environ.get(STENCIL_DISABLE_ENV):
+        raise CodegenError(
+            f"fused stencil kernels disabled via {STENCIL_DISABLE_ENV}=1"
+        )
+    return _load_spec(*stencil_module_spec(ndim))
+
+
 def clear_modules() -> None:
     """Drop in-process module handles (test hook; disk artifacts remain)."""
     _modules.clear()
+
+
+def cache_report() -> dict:
+    """Inventory of the on-disk artifact cache, oldest (LRU) first.
+
+    Each entry carries name, size, and mtime; mtime doubles as the
+    recency signal (:func:`_load_spec` touches artifacts it serves).
+    """
+    d = cache_dir()
+    artifacts = []
+    for p in d.iterdir():
+        if not p.is_file():
+            continue
+        try:
+            st = p.stat()
+        except OSError:
+            continue
+        artifacts.append({"name": p.name, "bytes": st.st_size, "mtime": st.st_mtime})
+    artifacts.sort(key=lambda a: (a["mtime"], a["name"]))
+    return {
+        "dir": str(d),
+        "n_artifacts": len(artifacts),
+        "total_bytes": sum(a["bytes"] for a in artifacts),
+        "artifacts": artifacts,
+    }
+
+
+def prune_cache(max_bytes: int) -> list[str]:
+    """Evict least-recently-used artifacts until the cache fits *max_bytes*.
+
+    Returns the evicted file names (oldest first). Artifacts that vanish
+    or resist deletion mid-prune are skipped, not fatal — concurrent
+    builders may be racing us.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    report = cache_report()
+    total = report["total_bytes"]
+    removed: list[str] = []
+    d = Path(report["dir"])
+    for entry in report["artifacts"]:
+        if total <= max_bytes:
+            break
+        try:
+            (d / entry["name"]).unlink()
+        except OSError:
+            continue
+        total -= entry["bytes"]
+        removed.append(entry["name"])
+    if removed:
+        _log.info(
+            "pruned %d cext artifact(s) (%d bytes remain, bound %d)",
+            len(removed), total, max_bytes,
+        )
+    return removed
 
 
 def cext_available(ndim: int = 1) -> bool:
@@ -303,3 +405,53 @@ def run_con2prim_newton(
         float(damping),
     )
     return conv.view(bool), int(it_max)
+
+
+def run_face_flux(
+    ffi,
+    fn,
+    prim: np.ndarray,
+    row_offsets: np.ndarray,
+    j0: int,
+    n_faces: int,
+    out: np.ndarray,
+    *,
+    axis_stride: int,
+    gamma: float,
+    vmax2: float,
+    rho_atmo: float,
+    p_atmo: float,
+    recon_id: int,
+    limiter_id: int,
+    riemann_id: int,
+) -> np.ndarray:
+    """Run one fused face-flux sweep; returns the sanitize counters.
+
+    *prim* is the full ghosted primitive array (``(nvars, ...)``,
+    C-contiguous); *out* receives the fluxes as ``(nvars, n_rows,
+    n_faces)``.  The returned int64 pair is ``[velocity_rescaled,
+    floored]`` — the exact totals the interpreted sanitize stage counts.
+    """
+    if not prim.flags.c_contiguous:
+        raise CodegenError("fused face_flux needs a C-contiguous prim array")
+    counts = np.zeros(2, dtype=np.int64)
+    keep: list = []
+    fn(
+        _in_buf(ffi, prim, keep),
+        int(prim.strides[0] // prim.itemsize),
+        int(axis_stride),
+        ffi.from_buffer("long*", row_offsets),
+        int(row_offsets.size),
+        int(j0),
+        int(n_faces),
+        _out_buf(ffi, out),
+        float(gamma),
+        float(vmax2),
+        float(rho_atmo),
+        float(p_atmo),
+        int(recon_id),
+        int(limiter_id),
+        int(riemann_id),
+        _out_buf(ffi, counts, "long*"),
+    )
+    return counts

@@ -29,9 +29,40 @@ from ..physics.srhd import SRHDSystem
 from ..utils.errors import CodegenError
 from ..utils.logging import get_logger
 from .cache import load_kernel, run_flat_kernel
-from .generator import KernelGenerator
+from .generator import (
+    STENCIL_LIMITER_IDS,
+    STENCIL_RECON_IDS,
+    STENCIL_RIEMANN_IDS,
+    KernelGenerator,
+)
 
 _log = get_logger("codegen.system")
+
+
+def stencil_scheme_ids(reconstruction, riemann) -> tuple[int, int, int] | None:
+    """Dispatch ids ``(recon, limiter, riemann)`` for a scheme combo.
+
+    Returns ``None`` when the combo has no compiled form (higher-order
+    reconstructions, exotic solvers) — the pipeline then keeps the
+    interpreted face-flux path for that scheme only.
+    """
+    from ..reconstruct.pc import PiecewiseConstant
+    from ..reconstruct.tvd import TVDSlope
+
+    if type(reconstruction) is PiecewiseConstant:
+        recon_id, limiter_id = STENCIL_RECON_IDS["pc"], 0
+    elif (
+        type(reconstruction) is TVDSlope
+        and reconstruction.limiter_name in STENCIL_LIMITER_IDS
+    ):
+        recon_id = STENCIL_RECON_IDS["tvd"]
+        limiter_id = STENCIL_LIMITER_IDS[reconstruction.limiter_name]
+    else:
+        return None
+    riemann_id = STENCIL_RIEMANN_IDS.get(getattr(riemann, "name", None))
+    if riemann_id is None:
+        return None
+    return recon_id, limiter_id, riemann_id
 
 
 class GeneratedSRHDSystem(SRHDSystem):
@@ -131,6 +162,26 @@ class CompiledSRHDSystem(SRHDSystem):
             getattr(self._lib, gen.kernel_name("char_speeds", ax, "cext"))
             for ax in range(ndim)
         ]
+        # The fused stencil module is a separate artifact with its own
+        # build: a failure here degrades per kernel (compiled algebra +
+        # interpreted face-flux sweep) instead of dropping the whole
+        # target back to 'flat'.
+        from .cext import load_cext_stencil_module
+
+        self._st_ffi = None
+        self._c_face_flux = None
+        try:
+            self._st_ffi, st_lib = load_cext_stencil_module(ndim)
+            self._c_face_flux = [
+                getattr(st_lib, gen.stencil_kernel_name(ax))
+                for ax in range(ndim)
+            ]
+        except CodegenError as exc:
+            _log.warning(
+                "compiled stencil kernels unavailable (%s); face_flux "
+                "falls back to the interpreted path (pointwise cext "
+                "kernels stay compiled)", exc,
+            )
 
     # -- marshalling ---------------------------------------------------------
 
@@ -200,6 +251,54 @@ class CompiledSRHDSystem(SRHDSystem):
             self._ffi, self._lib, D, S2, tau, p, p_lo,
             gamma=self.gamma, tol=tol, p_floor=p_floor,
             max_newton=max_newton, damping=damping,
+        )
+
+    @property
+    def has_fused_stencils(self) -> bool:
+        """Whether the compiled face-flux sweep is available."""
+        return self._c_face_flux is not None
+
+    def face_flux(
+        self,
+        prim: np.ndarray,
+        axis: int,
+        row_offsets: np.ndarray,
+        j0: int,
+        n_faces: int,
+        out: np.ndarray,
+        *,
+        ids: tuple[int, int, int],
+        vmax2: float,
+        rho_atmo: float,
+        p_atmo: float,
+        axis_stride: int,
+    ) -> np.ndarray:
+        """One fused reconstruction+Riemann sweep along *axis*.
+
+        Writes the face fluxes into *out* (``(nvars, n_rows, n_faces)``,
+        C-contiguous) and returns the int64 sanitize counters
+        ``[velocity_rescaled, floored]``. *ids* comes from
+        :func:`stencil_scheme_ids`.
+        """
+        from .cext import run_face_flux
+
+        recon_id, limiter_id, riemann_id = ids
+        return run_face_flux(
+            self._st_ffi,
+            self._c_face_flux[axis],
+            prim,
+            row_offsets,
+            j0,
+            n_faces,
+            out,
+            axis_stride=axis_stride,
+            gamma=self.gamma,
+            vmax2=vmax2,
+            rho_atmo=rho_atmo,
+            p_atmo=p_atmo,
+            recon_id=recon_id,
+            limiter_id=limiter_id,
+            riemann_id=riemann_id,
         )
 
     def __repr__(self):

@@ -84,6 +84,15 @@ class SolverConfig(ParameterSet):
         "cffi-compiled C module (falls back to 'flat' with a logged warning "
         "when no C toolchain is available)",
     )
+    fused_stencils = param(
+        True,
+        bool,
+        doc="kernel_target='cext' only: run reconstruction + face-state "
+        "sanitization + Riemann flux as one compiled per-axis sweep "
+        "(bit-identical to the interpreted stages; per-scheme fallback to "
+        "the interpreted path when the combo has no compiled form, "
+        "per-kernel fallback when the stencil module fails to build)",
+    )
     c2p_tuned = param(
         False,
         bool,

@@ -18,9 +18,12 @@ from ..physics.con2prim import RecoveryStats, con_to_prim
 from ..physics.srhd import SRHDSystem
 from ..reconstruct import make_reconstruction
 from ..riemann import make_riemann_solver
+from ..utils.logging import get_logger
 from ..utils.timers import TimerRegistry
 from .config import SolverConfig
 from .workspace import ScratchWorkspace, scratch_buf
+
+_log = get_logger("core.pipeline")
 
 
 class HydroPipeline:
@@ -86,6 +89,27 @@ class HydroPipeline:
             )
         self.timers = timers if timers is not None else TimerRegistry()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: fused-stencil dispatch ids (recon, limiter, riemann), or None to
+        #: run the interpreted reconstruct/sanitize/riemann stages.  Set
+        #: only when the compiled face-flux sweep is loaded AND the scheme
+        #: combo has a compiled form — each missing piece degrades just
+        #: this stage, never the whole kernel target.
+        self._fused_ids = None
+        #: row-offset tables for the fused sweep, keyed by (axis, layout)
+        self._row_offset_cache: dict = {}
+        if target == "cext" and getattr(config, "fused_stencils", True) and getattr(
+            self.system, "has_fused_stencils", False
+        ):
+            from ..codegen.system import stencil_scheme_ids
+
+            ids = stencil_scheme_ids(self.reconstruction, self.riemann)
+            if ids is None:
+                _log.info(
+                    "no compiled face_flux form for scheme combo (%s, %s); "
+                    "keeping the interpreted stencil stages",
+                    config.reconstruction, config.riemann,
+                )
+            self._fused_ids = ids
         self.fault_injector = fault_injector
         if fault_injector is not None and fault_injector.metrics is None:
             fault_injector.metrics = self.metrics
@@ -319,10 +343,39 @@ class HydroPipeline:
         in a workspace buffer keyed by ``(axis, lo, hi)`` and survives until
         the same region is evaluated again.
         """
-        grid, system = self.grid, self.system
+        grid = self.grid
         ws = self.workspace if reuse else None
         g = grid.n_ghost
         full_axis = (lo, hi) == (0, grid.shape[axis])
+        if self._fused_ids is not None and prim.flags.c_contiguous:
+            # Compiled path: one C sweep replaces reconstruct + sanitize +
+            # riemann, bit-identical to the interpreted stages below.
+            with self.timers("face_flux"):
+                Fm = self._fused_face_flux(prim, axis, lo, hi, ws)
+        else:
+            Fm = self._interpreted_face_flux(prim, axis, lo, hi, ws)
+        with self.timers("update"):
+            # Slice transverse axes to the interior, difference along axis.
+            sel = [slice(None)]
+            for ax in range(grid.ndim):
+                if ax != axis:
+                    sel.append(slice(g, g + grid.shape[ax]))
+            Fm = Fm[tuple(sel)]
+            if self.store_fluxes and full_axis:
+                self.last_face_fluxes[axis] = Fm.copy()
+            div = scratch_buf(ws, ("div", axis, lo, hi), Fm[..., 1:].shape)
+            np.subtract(Fm[..., 1:], Fm[..., :-1], out=div)
+            np.divide(div, grid.dx[axis], out=div)
+        return div
+
+    def _interpreted_face_flux(
+        self, prim: np.ndarray, axis: int, lo: int, hi: int, ws
+    ) -> np.ndarray:
+        """Face fluxes via the interpreted reconstruct/sanitize/riemann
+        stages; returns them with the face index last (ghosted transverse
+        extent kept)."""
+        grid, system = self.grid, self.system
+        g = grid.n_ghost
         slab_idx = [slice(None)] * (grid.ndim + 1)
         slab_idx[axis + 1] = slice(lo, hi + 2 * g)
         slab = prim[tuple(slab_idx)]
@@ -354,20 +407,69 @@ class HydroPipeline:
                 out=scratch_buf(ws, ("flux", axis, lo, hi), face_shape),
                 scratch=ws,
             )
-        with self.timers("update"):
-            # Slice transverse axes to the interior, difference along axis.
-            Fm = np.moveaxis(F, axis + 1, -1)
-            sel = [slice(None)]
-            for ax in range(grid.ndim):
-                if ax != axis:
-                    sel.append(slice(g, g + grid.shape[ax]))
-            Fm = Fm[tuple(sel)]
-            if self.store_fluxes and full_axis:
-                self.last_face_fluxes[axis] = Fm.copy()
-            div = scratch_buf(ws, ("div", axis, lo, hi), Fm[..., 1:].shape)
-            np.subtract(Fm[..., 1:], Fm[..., :-1], out=div)
-            np.divide(div, grid.dx[axis], out=div)
-        return div
+        return np.moveaxis(F, axis + 1, -1)
+
+    def _fused_face_flux(
+        self, prim: np.ndarray, axis: int, lo: int, hi: int, ws
+    ) -> np.ndarray:
+        """Face fluxes via the compiled fused sweep, same layout as
+        :meth:`_interpreted_face_flux` (faces last, ghosted transverse)."""
+        grid, system = self.grid, self.system
+        g = grid.n_ghost
+        n_faces = hi - lo + 1
+        offs = self._face_row_offsets(prim, axis)
+        out3 = scratch_buf(
+            ws, ("fused_flux", axis, lo, hi), (system.nvars, offs.size, n_faces)
+        )
+        counts = system.face_flux(
+            prim,
+            axis,
+            offs,
+            lo + g - 1,
+            n_faces,
+            out3,
+            ids=self._fused_ids,
+            vmax2=1.0 - 1.0 / self.config.w_max**2,
+            rho_atmo=self.atmosphere.rho_atmo,
+            p_atmo=self.atmosphere.p_atmo,
+            axis_stride=prim.strides[axis + 1] // prim.itemsize,
+        )
+        if counts[0]:
+            self.metrics.counter("sanitize.velocity_rescaled").inc(int(counts[0]))
+        if counts[1]:
+            self.metrics.counter("sanitize.floored").inc(int(counts[1]))
+        transverse = tuple(
+            prim.shape[1 + d] for d in range(grid.ndim) if d != axis
+        )
+        return out3.reshape((system.nvars,) + transverse + (n_faces,))
+
+    def _face_row_offsets(self, prim: np.ndarray, axis: int) -> np.ndarray:
+        """Flattened element offsets of every ghosted transverse row.
+
+        Rows enumerate the full ghosted transverse extent in C order —
+        the same rows the interpreted slab sweep covers — so flux values
+        *and* sanitize counter totals match the interpreted path exactly.
+        """
+        key = (axis, prim.shape, prim.strides)
+        offs = self._row_offset_cache.get(key)
+        if offs is None:
+            strides = [s // prim.itemsize for s in prim.strides[1:]]
+            tdims = [d for d in range(prim.ndim - 1) if d != axis]
+            if tdims:
+                off = np.zeros(
+                    tuple(prim.shape[1 + d] for d in tdims), dtype=np.int64
+                )
+                for pos, d in enumerate(tdims):
+                    idx = np.arange(prim.shape[1 + d], dtype=np.int64)
+                    idx *= strides[d]
+                    shape = [1] * len(tdims)
+                    shape[pos] = idx.size
+                    off += idx.reshape(shape)
+                offs = np.ascontiguousarray(off.ravel())
+            else:
+                offs = np.zeros(1, dtype=np.int64)
+            self._row_offset_cache[key] = offs
+        return offs
 
     def accumulate_divergence(
         self, dU: np.ndarray, axis: int, lo: int, hi: int, div: np.ndarray

@@ -308,3 +308,54 @@ class TestInfo:
         assert "weno5" in out
         assert "hllc" in out
         assert "E12" in out
+
+
+class TestCache:
+    """``repro cache``: artifact-cache report and LRU pruning."""
+
+    @staticmethod
+    def _planted_cache(tmp_path, monkeypatch, sizes):
+        import os
+
+        from repro.codegen import cext as cext_mod
+
+        cache_dir = tmp_path / "cext-cache"
+        cache_dir.mkdir()
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(cache_dir))
+        for i, n_bytes in enumerate(sizes):
+            path = cache_dir / f"_repro_cext_fake{i}d_0.so"
+            path.write_bytes(b"x" * n_bytes)
+            os.utime(path, (1000.0 + i, 1000.0 + i))  # fake0 is oldest
+        return cache_dir
+
+    def test_cache_report(self, tmp_path, monkeypatch, capsys):
+        self._planted_cache(tmp_path, monkeypatch, [100, 200])
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts : 2" in out
+        assert "_repro_cext_fake0d_0.so" in out
+
+    def test_cache_prune_lru(self, tmp_path, monkeypatch, capsys):
+        cache_dir = self._planted_cache(tmp_path, monkeypatch, [100, 200, 300])
+        assert main(["cache", "--max-bytes", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned    : 1 artifact(s)" in out
+        assert not (cache_dir / "_repro_cext_fake0d_0.so").exists()
+        assert (cache_dir / "_repro_cext_fake2d_0.so").exists()
+
+    def test_cache_json_with_suffix(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        self._planted_cache(tmp_path, monkeypatch, [1024, 2048])
+        assert main(["cache", "--max-bytes", "2K", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_artifacts"] == 1
+        assert report["total_bytes"] == 2048
+        assert report["pruned"] == ["_repro_cext_fake0d_0.so"]
+
+    def test_cache_bad_size_fails_fast(self, tmp_path, monkeypatch, capsys):
+        self._planted_cache(tmp_path, monkeypatch, [100])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "--max-bytes", "lots"])
+        assert excinfo.value.code == 2
+        assert "--max-bytes" in capsys.readouterr().err

@@ -3,6 +3,8 @@ handwritten reference bit-for-bit (to round-off) on both targets."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 import sympy as sp
@@ -474,3 +476,269 @@ class TestCextCacheCorruption:
             "corrupt artifact was not evicted and rebuilt"
         )
         assert path.read_bytes() != garbage, "corrupt artifact left in cache"
+
+
+class TestFusedStencilParity:
+    """The fused cext face-flux sweep vs the interpreted stages.
+
+    Random smooth and discontinuous ghosted states through both pipelines
+    for every limiter x Riemann combo: the compiled sweep must reproduce
+    the interpreted divergence bitwise (FP contraction is off) *and* the
+    sanitize counter totals exactly.
+    """
+
+    COMBOS = [
+        (recon, riemann)
+        for recon in ("pc", "minmod", "mc", "vanleer", "superbee")
+        for riemann in ("llf", "hll", "hllc")
+    ]
+
+    @staticmethod
+    def _pipeline(target, recon, riemann, ndim=2, n_ghost=2, **kw):
+        from repro.boundary.conditions import BoundarySet
+        from repro.core.config import SolverConfig
+        from repro.core.pipeline import HydroPipeline
+        from repro.mesh.grid import Grid
+
+        shape = {1: (24,), 2: (12, 10), 3: (8, 6, 5)}[ndim]
+        grid = Grid(shape, tuple((0.0, 1.0) for _ in shape), n_ghost=n_ghost)
+        system = SRHDSystem(IdealGasEOS(gamma=5.0 / 3.0), ndim=ndim)
+        config = SolverConfig(
+            reconstruction=recon, riemann=riemann, kernel_target=target, **kw
+        )
+        return HydroPipeline(system, grid, BoundarySet(), config)
+
+    @staticmethod
+    def _ghosted_prim(pipe, seed, discontinuous):
+        rng = np.random.default_rng(seed)
+        shape = (pipe.system.nvars,) + pipe.grid.shape_with_ghosts
+        prim = np.zeros(shape)
+        prim[pipe.system.RHO] = 10.0 ** rng.uniform(-4.0, 1.0, shape[1:])
+        prim[pipe.system.P] = 10.0 ** rng.uniform(-6.0, 1.0, shape[1:])
+        v = rng.uniform(-0.95, 0.95, (pipe.system.ndim,) + shape[1:])
+        v2 = (v**2).sum(axis=0)
+        cap = np.where(v2 > 0.98, np.sqrt(0.98 / np.maximum(v2, 1e-300)), 1.0)
+        for ax in range(pipe.system.ndim):
+            prim[pipe.system.V(ax)] = v[ax] * cap
+        if discontinuous:
+            # Axis-aligned jumps: the states TVD limiters are made for.
+            prim[pipe.system.RHO, : shape[1] // 2] *= 1e3
+            prim[pipe.system.P, ..., shape[-1] // 2 :] *= 1e4
+        return prim
+
+    @pytest.mark.parametrize("recon,riemann", COMBOS)
+    def test_fused_sweep_bitwise_all_combos(self, recon, riemann):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.codegen import cext_available
+
+        if not cext_available(2):
+            pytest.skip("no C toolchain")
+        flat = self._pipeline("flat", recon, riemann)
+        cext = self._pipeline("cext", recon, riemann)
+        assert cext._fused_ids is not None, "fused sweep did not engage"
+
+        @given(
+            seed=st.integers(min_value=0, max_value=2**32 - 1),
+            discontinuous=st.booleans(),
+        )
+        @settings(max_examples=4, deadline=None, database=None)
+        def check(seed, discontinuous):
+            prim = self._ghosted_prim(flat, seed, discontinuous)
+            div_flat = flat.flux_divergence(prim.copy())
+            div_cext = cext.flux_divergence(prim.copy())
+            assert div_flat.tobytes() == div_cext.tobytes(), (
+                f"{recon}/{riemann}: fused sweep differs bitwise"
+            )
+            for counter in ("sanitize.velocity_rescaled", "sanitize.floored"):
+                assert (
+                    flat.metrics.counter(counter).value
+                    == cext.metrics.counter(counter).value
+                ), f"{recon}/{riemann}: {counter} totals diverge"
+
+        check()
+
+    @pytest.mark.parametrize("ndim", [1, 3])
+    def test_fused_sweep_bitwise_other_ndims(self, ndim):
+        from repro.codegen import cext_available
+
+        if not cext_available(ndim):
+            pytest.skip("no C toolchain")
+        flat = self._pipeline("flat", "mc", "hllc", ndim=ndim)
+        cext = self._pipeline("cext", "mc", "hllc", ndim=ndim)
+        assert cext._fused_ids is not None
+        prim = self._ghosted_prim(flat, 1234, True)
+        assert (
+            flat.flux_divergence(prim.copy()).tobytes()
+            == cext.flux_divergence(prim.copy()).tobytes()
+        )
+
+    def test_fused_off_matches_fused_on(self):
+        """fused_stencils=False must give the identical (bitwise) result
+        through the interpreted stages — that is the fallback contract."""
+        from repro.codegen import cext_available
+
+        if not cext_available(2):
+            pytest.skip("no C toolchain")
+        on = self._pipeline("cext", "mc", "hllc")
+        off = self._pipeline("cext", "mc", "hllc", fused_stencils=False)
+        assert on._fused_ids is not None
+        assert off._fused_ids is None
+        prim = self._ghosted_prim(on, 99, True)
+        assert (
+            on.flux_divergence(prim.copy()).tobytes()
+            == off.flux_divergence(prim.copy()).tobytes()
+        )
+        assert "face_flux" in on.timers
+        assert "face_flux" not in off.timers
+
+    def test_unsupported_scheme_keeps_interpreted_path(self):
+        """A reconstruction without a compiled form must degrade to the
+        interpreted stages for that pipeline only, without warnings."""
+        from repro.codegen import cext_available
+        from repro.reconstruct import SCHEMES
+
+        if not cext_available(2):
+            pytest.skip("no C toolchain")
+        exotic = next(
+            (s for s in ("ppm", "weno5", "weno") if s in SCHEMES), None
+        )
+        if exotic is None:
+            pytest.skip("no higher-order scheme registered")
+        pipe = self._pipeline("cext", exotic, "hllc", n_ghost=3)
+        assert pipe._fused_ids is None
+        prim = self._ghosted_prim(pipe, 5, False)
+        assert np.all(np.isfinite(pipe.grid.interior_of(
+            pipe.flux_divergence(prim)
+        )))
+
+
+class TestStencilFallback:
+    """Per-kernel degradation: a missing stencil module must keep the
+    pointwise compiled kernels and fall back to the interpreted face-flux
+    sweep, with a logged warning naming the fallback."""
+
+    def test_stencil_disable_env_per_kernel_fallback(self, monkeypatch):
+        import logging
+
+        from repro.codegen import cext as cext_mod
+        from repro.codegen import cext_available, clear_cache
+        from repro.codegen.system import CompiledSRHDSystem
+
+        if not cext_available(2):
+            pytest.skip("no C toolchain")
+        monkeypatch.setenv(cext_mod.STENCIL_DISABLE_ENV, "1")
+        clear_cache()
+        records: list[logging.LogRecord] = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        log = logging.getLogger("repro.codegen.system")
+        log.addHandler(handler)
+        try:
+            fused = TestFusedStencilParity._pipeline("cext", "mc", "hllc")
+        finally:
+            log.removeHandler(handler)
+            clear_cache()
+        assert isinstance(fused.system, CompiledSRHDSystem)
+        assert not fused.system.has_fused_stencils
+        assert fused._fused_ids is None
+        assert any(
+            "falls back to the interpreted path" in r.getMessage()
+            for r in records
+        )
+        # The degraded pipeline still matches flat bitwise (it *is* the
+        # interpreted sweep over compiled pointwise kernels).
+        flat = TestFusedStencilParity._pipeline("flat", "mc", "hllc")
+        prim = TestFusedStencilParity._ghosted_prim(flat, 7, True)
+        assert (
+            flat.flux_divergence(prim.copy()).tobytes()
+            == fused.flux_divergence(prim.copy()).tobytes()
+        )
+
+    def test_disable_env_keeps_interpreted_stencils(self, monkeypatch):
+        """Full REPRO_CEXT_DISABLE: the whole target degrades to flat and
+        the pipeline never engages the fused sweep (the compiled-fallback
+        CI job runs the suite under this env)."""
+        from repro.codegen import cext as cext_mod
+        from repro.codegen import clear_cache
+
+        monkeypatch.setenv(cext_mod.DISABLE_ENV, "1")
+        clear_cache()
+        try:
+            pipe = TestFusedStencilParity._pipeline("cext", "mc", "hllc")
+        finally:
+            clear_cache()
+        assert pipe._fused_ids is None
+        with pytest.raises(CodegenError):
+            cext_mod.load_cext_stencil_module(2)
+        prim = TestFusedStencilParity._ghosted_prim(pipe, 11, False)
+        assert np.all(np.isfinite(pipe.grid.interior_of(
+            pipe.flux_divergence(prim)
+        )))
+
+
+class TestCacheMaintenance:
+    """`repro cache`'s engine: report + LRU pruning over the artifact dir."""
+
+    @staticmethod
+    def _plant(tmp_path, name, size, mtime):
+        p = tmp_path / name
+        p.write_bytes(b"x" * size)
+        os.utime(p, (mtime, mtime))
+        return p
+
+    def test_cache_report_lists_lru_first(self, monkeypatch, tmp_path):
+        from repro.codegen import cext as cext_mod
+
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        self._plant(tmp_path, "new.so", 100, 2000.0)
+        self._plant(tmp_path, "old.so", 300, 1000.0)
+        report = cext_mod.cache_report()
+        assert report["dir"] == str(tmp_path)
+        assert report["n_artifacts"] == 2
+        assert report["total_bytes"] == 400
+        assert [a["name"] for a in report["artifacts"]] == ["old.so", "new.so"]
+
+    def test_prune_evicts_lru_until_bound(self, monkeypatch, tmp_path):
+        from repro.codegen import cext as cext_mod
+
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        self._plant(tmp_path, "a.so", 400, 1000.0)  # oldest
+        self._plant(tmp_path, "b.so", 400, 2000.0)
+        self._plant(tmp_path, "c.so", 400, 3000.0)  # newest
+        removed = cext_mod.prune_cache(900)
+        assert removed == ["a.so"]
+        assert not (tmp_path / "a.so").exists()
+        assert (tmp_path / "b.so").exists() and (tmp_path / "c.so").exists()
+        # Already under the bound: no-op.
+        assert cext_mod.prune_cache(900) == []
+        # Zero bound empties the cache.
+        assert sorted(cext_mod.prune_cache(0)) == ["b.so", "c.so"]
+        assert cext_mod.cache_report()["n_artifacts"] == 0
+
+    def test_prune_rejects_negative_bound(self, monkeypatch, tmp_path):
+        from repro.codegen import cext as cext_mod
+
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        with pytest.raises(ValueError):
+            cext_mod.prune_cache(-1)
+
+    def test_served_artifact_is_touched(self, monkeypatch, tmp_path):
+        """Loading an existing artifact refreshes its mtime, so long-lived
+        hot kernels survive LRU pruning."""
+        from repro.codegen import cext as cext_mod
+        from repro.codegen import cext_available
+
+        if not cext_available(1):
+            pytest.skip("no C toolchain")
+        monkeypatch.setenv(cext_mod.CACHE_DIR_ENV, str(tmp_path))
+        kinds_axes = [("prim_to_con", 0)]
+        cext_mod.load_cext_module(1, kinds_axes)
+        name, _, _ = cext_mod.module_spec(1, kinds_axes)
+        path = cext_mod.artifact_path(name)
+        assert path.exists()
+        os.utime(path, (1000.0, 1000.0))
+        cext_mod.clear_modules()
+        cext_mod.load_cext_module(1, kinds_axes)
+        assert path.stat().st_mtime > 1000.0

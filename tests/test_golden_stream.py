@@ -80,7 +80,7 @@ def _rp1_l1_errors() -> dict[str, float]:
     return out
 
 
-def _blast2d_stream() -> str:
+def _blast2d_stream(kernel_target: str = "numpy") -> str:
     system = SRHDSystem(IdealGasEOS(), ndim=2)
     grid = Grid((12, 12), ((0.0, 1.0), (0.0, 1.0)))
     sink = BufferSink()
@@ -90,7 +90,9 @@ def _blast2d_stream() -> str:
     )
     solver = DistributedSolver(
         system, grid, blast_wave_2d(system, grid), (2, 2),
-        config=SolverConfig(cfl=0.4, overlap_exchange=True),
+        config=SolverConfig(
+            cfl=0.4, overlap_exchange=True, kernel_target=kernel_target
+        ),
         recorder=recorder,
     )
     solver.run(t_final=0.1, max_steps=6)
@@ -217,6 +219,17 @@ class TestBlast2DStreamGolden:
 
     def test_stream_is_reproducible_within_session(self):
         assert _blast2d_stream() == _blast2d_stream()
+
+    def test_cext_fused_stream_matches_flat_bytes(self):
+        """The compiled fused face-flux sweep must canonicalize
+        byte-identical to the interpreted flat pipeline — same solution
+        bits, same sanitize counters, same comm accounting — through the
+        full distributed + overlapped-exchange driver."""
+        from repro.codegen import cext_available
+
+        if not cext_available(2):
+            pytest.skip("no C toolchain")
+        assert _blast2d_stream("cext") == _blast2d_stream("flat")
 
 
 class TestAMRStreamGolden:
